@@ -1,0 +1,19 @@
+#pragma once
+// Shared helpers for the figure-reproduction binaries.
+
+#include <iostream>
+#include <string>
+
+namespace benchutil {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n"
+            << "(reproduction of \"Supercomputing with Commodity CPUs: Are "
+               "Mobile SoCs Ready for HPC?\", SC'13)\n\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "  NOTE: " << text << "\n";
+}
+
+}  // namespace benchutil

@@ -1,0 +1,75 @@
+// Interconnect study: run the IMB-style ping-pong through the full
+// simulation stack (simMPI over the protocol + fabric models) and compare
+// TCP/IP against Open-MX — the Section 4.1 experiment as a library user
+// would script it.
+//
+//   $ ./interconnect_study [tegra2|exynos5250] [freq-ghz]
+
+#include <iostream>
+#include <string>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/chart.hpp"
+#include "tibsim/common/table.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/core/experiments.hpp"
+#include "tibsim/net/protocol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tibsim;
+  using namespace tibsim::units;
+
+  const std::string which = argc > 1 ? argv[1] : "tegra2";
+  const arch::Platform platform =
+      which == "exynos5250" ? arch::PlatformRegistry::exynos5250()
+                            : arch::PlatformRegistry::tegra2();
+  const double freq = argc > 2 ? ghz(std::stod(argv[2]))
+                               : platform.maxFrequencyHz();
+
+  std::cout << "Ping-pong between two " << platform.name << " boards @ "
+            << fmt(toGhz(freq), 1) << " GHz ("
+            << arch::toString(platform.nicAttachment) << "-attached 1 GbE)"
+            << "\n\n";
+
+  TextTable table({"bytes", "TCP/IP lat us", "Open-MX lat us",
+                   "TCP/IP MB/s", "Open-MX MB/s", "simMPI TCP us"});
+  Series tcpBw{"TCP/IP", {}, {}}, omxBw{"Open-MX", {}, {}};
+  for (std::size_t bytes : {std::size_t{1}, std::size_t{64},
+                            std::size_t{1024}, std::size_t{16} * 1024,
+                            std::size_t{256} * 1024,
+                            std::size_t{4} * 1024 * 1024}) {
+    const net::ProtocolModel tcp(net::Protocol::TcpIp, platform, freq);
+    const net::ProtocolModel omx(net::Protocol::OpenMx, platform, freq);
+    const double simTcp =
+        core::simulatedPingPongLatency(platform, net::Protocol::TcpIp, freq,
+                                       bytes, 8);
+    table.addRow({std::to_string(bytes),
+                  fmt(toUs(tcp.pingPongLatency(bytes)), 1),
+                  fmt(toUs(omx.pingPongLatency(bytes)), 1),
+                  fmt(tcp.effectiveBandwidth(bytes) / 1e6, 1),
+                  fmt(omx.effectiveBandwidth(bytes) / 1e6, 1),
+                  fmt(toUs(simTcp), 1)});
+    tcpBw.x.push_back(static_cast<double>(bytes));
+    tcpBw.y.push_back(tcp.effectiveBandwidth(bytes) / 1e6);
+    omxBw.x.push_back(static_cast<double>(bytes));
+    omxBw.y.push_back(omx.effectiveBandwidth(bytes) / 1e6);
+  }
+  std::cout << table.render() << '\n';
+
+  ChartOptions opts;
+  opts.title = "effective bandwidth (MB/s) vs message size (log x)";
+  opts.logX = true;
+  opts.xLabel = "message bytes";
+  std::cout << renderChart({tcpBw, omxBw}, opts) << '\n';
+
+  std::cout << "Estimated execution-time penalty from the TCP small-message "
+               "latency (Section 4.1 method): +"
+            << fmt(100 * net::latencyExecutionTimePenalty(
+                             net::ProtocolModel(net::Protocol::TcpIp,
+                                                platform, freq)
+                                 .pingPongLatency(1),
+                             0.55),
+                   0)
+            << "% on an Arndale-class core\n";
+  return 0;
+}

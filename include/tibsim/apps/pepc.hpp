@@ -1,0 +1,86 @@
+#pragma once
+// PEPC: a tree code for the N-body problem (long-range Coulomb forces).
+//
+//  * BarnesHutTree — a real octree force solver with a multipole acceptance
+//    criterion, validated against direct summation in the tests;
+//  * PepcBenchmark — the distributed skeleton: per step, local tree build,
+//    branch-node exchange with every peer (this all-to-all-ish traffic and
+//    the tree's load imbalance are what limits PEPC's strong scaling), and
+//    the tree-walk force evaluation. The reference input is sized so it
+//    needs at least 24 Tibidabo nodes, as in the paper.
+
+#include <cstddef>
+#include <vector>
+
+#include "tibsim/cluster/cluster.hpp"
+#include "tibsim/mpi/simmpi.hpp"
+
+namespace tibsim::apps {
+
+/// Real serial Barnes-Hut octree for gravitational/Coulomb forces.
+class BarnesHutTree {
+ public:
+  struct Body {
+    double x = 0.0, y = 0.0, z = 0.0;
+    double charge = 0.0;  ///< mass/charge (sign allowed)
+  };
+  struct Force {
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+  };
+
+  /// Build the tree over the bodies (positions must be finite).
+  explicit BarnesHutTree(std::vector<Body> bodies);
+
+  /// Force on body i with opening angle theta (0 = exact direct sum).
+  Force forceOn(std::size_t i, double theta) const;
+
+  /// All forces; theta = 0.5 is the usual accuracy/speed tradeoff.
+  std::vector<Force> allForces(double theta) const;
+
+  /// Direct O(n^2) reference.
+  std::vector<Force> directForces() const;
+
+  std::size_t size() const { return bodies_.size(); }
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    double cx = 0.0, cy = 0.0, cz = 0.0;  ///< cell centre
+    double half = 0.0;                    ///< half edge length
+    double mx = 0.0, my = 0.0, mz = 0.0;  ///< charge-weighted centroid
+    double charge = 0.0;
+    int children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    int body = -1;  ///< leaf body index, -1 if internal/empty
+    int count = 0;
+  };
+
+  int build(std::vector<int> indices, double cx, double cy, double cz,
+            double half, int depth);
+  void accumulate(int nodeIndex, std::size_t i, double theta,
+                  Force& force) const;
+
+  std::vector<Body> bodies_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Distributed PEPC-like benchmark skeleton.
+class PepcBenchmark {
+ public:
+  struct Params {
+    std::size_t particles = 25'000'000;  ///< the >= 24-node reference input
+    int steps = 5;
+  };
+
+  /// Approximate tree-code memory footprint (particles + tree nodes).
+  static double bytesPerParticle() { return 700.0; }
+
+  /// Smallest node count whose memory fits the input (the paper could not
+  /// run the reference set below 24 nodes).
+  static int minimumNodes(const cluster::ClusterSpec& spec,
+                          std::size_t particles);
+
+  static mpi::MpiWorld::RankBody rankBody(Params params);
+};
+
+}  // namespace tibsim::apps

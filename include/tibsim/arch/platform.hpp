@@ -1,0 +1,118 @@
+#pragma once
+// Architectural description of the evaluated platforms (the paper's Table 1).
+//
+// A Platform = SoC (cores + caches + memory system) + developer-board
+// properties (DRAM, NIC attachment, board power). All figures are the
+// published datasheet/paper values; the execution and power models consume
+// them, so a user can evaluate a hypothetical SoC simply by constructing a
+// Platform with different numbers (see PlatformRegistry::armv8Quad2GHz).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tibsim::arch {
+
+/// CPU micro-architectures that appear in the study.
+enum class Microarch {
+  CortexA9,     ///< FMA every 2 cycles (1 FLOP/cycle FP64)
+  CortexA15,    ///< fully pipelined FMA (2 FLOP/cycle FP64)
+  CortexA57,    ///< hypothetical ARMv8: FP64 in NEON (4 FLOP/cycle)
+  SandyBridge,  ///< 256-bit AVX: 8 FLOP/cycle FP64
+};
+
+std::string toString(Microarch arch);
+
+/// How the Ethernet NIC is attached to the SoC. This dominates small-message
+/// latency: the Arndale board reaches its GbE port through the USB 3.0
+/// stack, which costs far more host CPU time per message than PCIe.
+enum class NicAttachment {
+  Pcie,  ///< SECO Q7 / CARMA boards (Tegra 2 / Tegra 3)
+  Usb3,  ///< Arndale board (Exynos 5250)
+  OnChip ///< integrated controller (server parts, Calxeda/KeyStone-style)
+};
+
+std::string toString(NicAttachment attach);
+
+/// One DVFS operating point.
+struct OperatingPoint {
+  double frequencyHz = 0.0;
+  double voltage = 0.0;
+};
+
+struct CpuCoreModel {
+  Microarch microarch = Microarch::CortexA9;
+  double fp64FlopsPerCycle = 1.0;  ///< peak, per core
+  int maxOutstandingMisses = 4;    ///< limits achievable memory bandwidth
+  double issueWidth = 2.0;
+  bool outOfOrder = true;
+};
+
+struct CacheLevel {
+  std::size_t sizeBytes = 0;
+  bool shared = false;
+};
+
+struct MemorySystemModel {
+  int channels = 1;
+  int widthBits = 32;
+  double frequencyHz = 0.0;        ///< memory controller clock
+  double peakBandwidthBytesPerS = 0.0;
+  bool eccCapable = false;         ///< none of the mobile parts support ECC
+  /// Fraction of peak bandwidth all cores together achieve on a streaming
+  /// (STREAM-like) access pattern; a memory-controller quality figure.
+  /// Tegra 3's controller raises the peak far more than the achievable rate,
+  /// which is why its efficiency is the lowest of the four (Figure 5).
+  double streamEfficiency = 0.6;
+  /// Bandwidth one core can extract at the maximum CPU frequency, limited by
+  /// outstanding misses x line size / memory latency.
+  double singleCoreBandwidthBytesPerS = 0.0;
+};
+
+struct SocModel {
+  std::string name;
+  CpuCoreModel core;
+  int cores = 1;
+  int threadsPerCore = 1;
+  std::vector<CacheLevel> caches;  ///< L1D, L2, [L3]
+  MemorySystemModel memory;
+  bool computeCapableGpu = false;  ///< Mali-T604 has OpenCL but no driver
+  std::vector<OperatingPoint> dvfs;  ///< ascending frequency
+
+  /// Peak FP64 FLOP/s with `activeCores` running at `frequencyHz`.
+  double peakFlops(double frequencyHz, int activeCores) const;
+  /// Peak FP64 FLOP/s of the whole SoC at its maximum frequency.
+  double peakFlops() const;
+  double maxFrequencyHz() const;
+  double minFrequencyHz() const;
+  /// Voltage at a given frequency (linear interpolation between DVFS points).
+  double voltageAt(double frequencyHz) const;
+};
+
+/// Board-level power parameters, calibrated against the paper's wall-plug
+/// measurements (see src/arch/platform_registry.cpp for the derivation).
+struct BoardPowerParams {
+  double boardStaticW = 0.0;   ///< everything that is not the SoC
+  double socStaticW = 0.0;     ///< SoC leakage + uncore at any frequency
+  double corePeakDynamicW = 0.0;  ///< one core, 100% busy, at max freq/voltage
+  double memDynamicWPerGBs = 0.0; ///< DRAM+controller power per GB/s moved
+  double nicActiveW = 0.0;        ///< extra power while NIC is busy
+};
+
+struct Platform {
+  std::string name;       ///< e.g. "Tegra2 (SECO Q7)"
+  std::string shortName;  ///< e.g. "Tegra2"
+  SocModel soc;
+  std::size_t dramBytes = 0;
+  std::string dramType;
+  NicAttachment nicAttachment = NicAttachment::Pcie;
+  double nicLinkRateBytesPerS = 0.0;  ///< fastest Ethernet port on the board
+  BoardPowerParams power;
+
+  double maxFrequencyHz() const { return soc.maxFrequencyHz(); }
+  double peakFlops() const { return soc.peakFlops(); }
+  /// Network bytes per FLOP for a given link rate (the paper's Table 4).
+  double bytesPerFlop(double linkRateBytesPerS) const;
+};
+
+}  // namespace tibsim::arch

@@ -1,0 +1,31 @@
+#pragma once
+// The concrete platforms from the paper's Table 1, plus the hypothetical
+// ARMv8 part from Figure 2(b).
+
+#include <vector>
+
+#include "tibsim/arch/platform.hpp"
+
+namespace tibsim::arch {
+
+class PlatformRegistry {
+ public:
+  /// NVIDIA Tegra 2 on a SECO Q7 module (2x Cortex-A9 @ 1.0 GHz).
+  static Platform tegra2();
+  /// NVIDIA Tegra 3 on a SECO CARMA kit (4x Cortex-A9 @ 1.3 GHz).
+  static Platform tegra3();
+  /// Samsung Exynos 5250 on an Arndale board (2x Cortex-A15 @ 1.7 GHz).
+  static Platform exynos5250();
+  /// Intel Core i7-2760QM in a Dell Latitude E6420 (4x Sandy Bridge @ 2.4).
+  static Platform corei7_2760qm();
+  /// Hypothetical quad-core ARMv8 @ 2 GHz (Figure 2(b) projection): same
+  /// micro-architecture class as Cortex-A15 with FP64 in the NEON unit.
+  static Platform armv8Quad2GHz();
+
+  /// The four platforms evaluated in Section 3, in the paper's order.
+  static std::vector<Platform> evaluated();
+  /// All platforms, including the ARMv8 projection.
+  static std::vector<Platform> all();
+};
+
+}  // namespace tibsim::arch

@@ -1,0 +1,64 @@
+#pragma once
+// Batch scheduler for the cluster: Tibidabo nodes ran a SLURM client for
+// job scheduling (Section 5 / Figure 8). This models the scheduler side —
+// FCFS with EASY backfilling over a fixed node pool — so whole-machine
+// studies (utilisation, wait times, energy of a job mix) can be run on top
+// of the per-job cluster simulation.
+
+#include <string>
+#include <vector>
+
+#include "tibsim/cluster/cluster.hpp"
+
+namespace tibsim::cluster {
+
+struct BatchJob {
+  std::string name;
+  int nodes = 1;
+  double durationSeconds = 0.0;   ///< actual runtime once started
+  double requestedSeconds = 0.0;  ///< user wall-time estimate (>= duration);
+                                  ///< 0 means exact (= durationSeconds)
+  double submitSeconds = 0.0;     ///< submission time
+};
+
+struct ScheduledJob {
+  BatchJob job;
+  double startSeconds = 0.0;
+  double endSeconds = 0.0;
+
+  double waitSeconds() const { return startSeconds - job.submitSeconds; }
+};
+
+class SlurmScheduler {
+ public:
+  /// `totalNodes` in the partition; EASY backfilling can be disabled to
+  /// get plain conservative FCFS.
+  explicit SlurmScheduler(int totalNodes, bool enableBackfill = true);
+
+  /// Add a job to the workload (any submit order; sorted internally).
+  void submit(BatchJob job);
+
+  struct Result {
+    std::vector<ScheduledJob> jobs;  ///< in start order
+    double makespanSeconds = 0.0;
+    double nodeUtilization = 0.0;  ///< busy node-seconds / (nodes*makespan)
+    double averageWaitSeconds = 0.0;
+    double maxWaitSeconds = 0.0;
+    int backfilledJobs = 0;  ///< jobs that jumped the FCFS queue
+  };
+
+  /// Run the scheduling simulation over all submitted jobs.
+  Result schedule() const;
+
+  /// Energy of running this job mix on a cluster of the given spec:
+  /// busy nodes draw loaded power, free nodes idle power, for the makespan.
+  static double estimateEnergyJ(const Result& result,
+                                const ClusterSpec& spec, int totalNodes);
+
+ private:
+  int totalNodes_;
+  bool backfill_;
+  std::vector<BatchJob> jobs_;
+};
+
+}  // namespace tibsim::cluster

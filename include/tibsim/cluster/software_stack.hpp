@@ -1,0 +1,51 @@
+#pragma once
+// The HPC software stack deployed on the ARM clusters (Figure 8): the paper
+// argues the ARM ecosystem already carries a complete HPC stack. This
+// module records that inventory as structured data — with each component's
+// ARM status and the paper's caveats (softfp ABI, experimental CUDA/OpenCL)
+// — so the Figure 8 reproduction and the readiness checklist are queryable.
+
+#include <string>
+#include <vector>
+
+namespace tibsim::cluster {
+
+enum class StackLayer {
+  Compiler,
+  RuntimeLibrary,
+  ScientificLibrary,
+  PerformanceTool,
+  Debugger,
+  ClusterManagement,
+  OperatingSystem,
+};
+
+std::string toString(StackLayer layer);
+
+enum class ArmSupport {
+  Full,          ///< works out of the box
+  PortedByTeam,  ///< required local patches/builds (e.g. ATLAS, hardfp)
+  Experimental,  ///< unstable vendor preview (CUDA 4.2, Mali OpenCL)
+};
+
+std::string toString(ArmSupport support);
+
+struct StackComponent {
+  std::string name;
+  StackLayer layer = StackLayer::RuntimeLibrary;
+  ArmSupport support = ArmSupport::Full;
+  std::string notes;  ///< the paper's Section 5 remarks
+};
+
+/// The Figure 8 inventory.
+const std::vector<StackComponent>& softwareStack();
+
+/// Components at a given layer.
+std::vector<StackComponent> componentsAt(StackLayer layer);
+
+/// Fraction of components with full out-of-the-box ARM support — the
+/// quantitative version of Section 5's "the software stack ... is the same
+/// as would be found on a normal HPC cluster".
+double fullSupportFraction();
+
+}  // namespace tibsim::cluster

@@ -1,0 +1,47 @@
+#pragma once
+// Precondition / invariant checking for tibsim.
+//
+// TIB_REQUIRE is used for API preconditions (throws tibsim::ContractError so
+// callers and tests can observe violations); TIB_ASSERT is for internal
+// invariants and is compiled out in NDEBUG builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace tibsim {
+
+/// Thrown when a TIB_REQUIRE precondition fails.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contractFailure(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::string what = std::string("contract violation: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw ContractError(what);
+}
+}  // namespace detail
+
+}  // namespace tibsim
+
+#define TIB_REQUIRE(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::tibsim::detail::contractFailure(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+#define TIB_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::tibsim::detail::contractFailure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define TIB_ASSERT(expr) ((void)0)
+#else
+#define TIB_ASSERT(expr) TIB_REQUIRE(expr)
+#endif

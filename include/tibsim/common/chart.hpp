@@ -1,0 +1,37 @@
+#pragma once
+// ASCII chart rendering so every bench binary can show the *shape* of a
+// paper figure directly in the terminal (speedup curves, latency/bandwidth
+// vs message size, scalability lines).
+
+#include <string>
+#include <vector>
+
+namespace tibsim {
+
+/// One named line of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 20;       ///< plot area height in characters
+  bool logX = false;     ///< log-scale the x axis (requires x > 0)
+  bool logY = false;     ///< log-scale the y axis (requires y > 0)
+  std::string xLabel;
+  std::string yLabel;
+  std::string title;
+};
+
+/// Render one or more series as a scatter/line chart. Each series is drawn
+/// with its own marker character and listed in a legend below the plot.
+std::string renderChart(const std::vector<Series>& series,
+                        const ChartOptions& options);
+
+/// Render a horizontal bar chart (one bar per label).
+std::string renderBars(const std::vector<std::pair<std::string, double>>& bars,
+                       const std::string& title, int width = 50);
+
+}  // namespace tibsim

@@ -1,0 +1,45 @@
+#pragma once
+// Least-squares regression used by the trend module: the paper fits
+// exponential regressions to peak-FLOPS-vs-year series (Figure 2) and reads
+// off growth rates and the projected mobile/server crossover.
+
+#include <span>
+
+namespace tibsim {
+
+/// Result of an ordinary least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+
+  double at(double x) const { return intercept + slope * x; }
+};
+
+/// Fit a straight line through (xs, ys). Requires >= 2 distinct x values.
+LinearFit fitLinear(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of an exponential fit y = a * exp(b * x), obtained by linear
+/// regression of log(y) on x. All y values must be positive.
+struct ExponentialFit {
+  double a = 0.0;   ///< multiplier at x = x0
+  double b = 0.0;   ///< growth rate per unit x
+  double r2 = 0.0;  ///< r^2 of the underlying log-linear fit
+  double x0 = 0.0;  ///< centring offset (mean of the fitted x values),
+                    ///< keeps exp() in range for large x such as years
+
+  double at(double x) const;
+  /// x-interval over which y grows by a factor of two (negative b => decay).
+  double doublingTime() const;
+  /// Growth factor over one unit of x (e.g. yearly improvement factor).
+  double growthPerUnit() const;
+};
+
+ExponentialFit fitExponential(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// Solve for the x at which two exponential fits intersect.
+/// Requires the growth rates to differ.
+double crossover(const ExponentialFit& lhs, const ExponentialFit& rhs);
+
+}  // namespace tibsim

@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic, seedable PRNG (xoshiro256**). Every stochastic component in
+// tibsim takes an explicit seed so simulations replay bit-identically;
+// std::mt19937 is avoided because its state is heavyweight to copy around.
+
+#include <cstdint>
+
+namespace tibsim {
+
+/// xoshiro256** by Blackman & Vigna — fast, high quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise state from a 64-bit seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t nextU64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t nextBelow(std::uint64_t n) { return nextU64() % n; }
+
+  /// Standard normal via Box–Muller (one value per call; simple over fast).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return nextDouble() < p; }
+
+  /// Exponentially distributed value with the given rate (lambda).
+  double exponential(double rate);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tibsim

@@ -1,0 +1,53 @@
+#pragma once
+// Small descriptive-statistics helpers used by the evaluation framework
+// (per-kernel aggregation uses geometric means, as the paper averages
+// speedups across the micro-kernel suite).
+
+#include <span>
+#include <vector>
+
+namespace tibsim::stats {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Geometric mean. Requires all values > 0.
+double geomean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator). Requires size >= 2.
+double stddev(std::span<const double> xs);
+
+/// Median (copies and partially sorts). Requires non-empty.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+double percentile(std::span<const double> xs, double p);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Weighted harmonic mean — the right way to average rates (e.g. FLOP/s
+/// across kernels weighted by work).
+double harmonicMean(std::span<const double> xs);
+
+/// Running mean/variance accumulator (Welford). Numerically stable.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance; requires count() >= 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tibsim::stats

@@ -1,0 +1,41 @@
+#pragma once
+// Result rendering: fixed-column text tables (what the bench binaries print)
+// and CSV export (what a plotting script would consume).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tibsim {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision. Rendered with a header rule, suitable for
+/// terminal output of paper tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; it must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+
+  std::size_t rowCount() const { return rows_.size(); }
+  std::size_t columnCount() const { return headers_.size(); }
+
+  /// Render with 2-space gutters, headers underlined with dashes.
+  std::string render() const;
+
+  /// Comma-separated export (quotes cells containing commas/quotes).
+  std::string toCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` digits after the point.
+std::string fmt(double value, int precision = 2);
+
+/// Format a double in engineering style with a unit suffix, e.g. 1.25 GB/s.
+std::string fmtSi(double value, const std::string& unit, int precision = 2);
+
+}  // namespace tibsim

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal OpenMP-style fork-join thread pool for the native micro-kernel
+// implementations. parallelFor splits an index range into contiguous chunks
+// (static schedule), mirroring `#pragma omp parallel for`.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tibsim {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size() + 1; }
+
+  /// Run body(begin, end, threadIndex) over [0, n) split into one contiguous
+  /// chunk per thread; the calling thread executes chunk 0. Blocks until all
+  /// chunks complete (fork-join barrier, like an OpenMP parallel-for).
+  void parallelFor(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t thread = 0;
+  };
+
+  void workerLoop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body_ =
+      nullptr;
+  std::vector<Task> tasks_;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tibsim

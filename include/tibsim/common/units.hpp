@@ -1,0 +1,62 @@
+#pragma once
+// Unit helpers. tibsim stores quantities as doubles in SI base units
+// (seconds, bytes, FLOPs, hertz, watts, joules); these constexpr factors and
+// literal-style helpers keep call sites readable and conversion-bug free.
+
+namespace tibsim::units {
+
+// --- time ---
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+constexpr double ms(double v) { return v * kMilli; }
+constexpr double us(double v) { return v * kMicro; }
+constexpr double ns(double v) { return v * kNano; }
+
+constexpr double toMs(double seconds) { return seconds / kMilli; }
+constexpr double toUs(double seconds) { return seconds / kMicro; }
+constexpr double toNs(double seconds) { return seconds / kNano; }
+
+// --- data sizes (binary for buffers, decimal for link rates) ---
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+constexpr double kib(double v) { return v * kKiB; }
+constexpr double mib(double v) { return v * kMiB; }
+constexpr double gib(double v) { return v * kGiB; }
+
+// --- rates ---
+inline constexpr double kKbps = 1e3 / 8.0;  // bytes/s per kilobit/s
+inline constexpr double kMbps = 1e6 / 8.0;
+inline constexpr double kGbps = 1e9 / 8.0;
+
+/// Link rate in bytes/s from a gigabits-per-second figure.
+constexpr double gbps(double v) { return v * kGbps; }
+constexpr double mbps(double v) { return v * kMbps; }
+
+/// Bandwidth in bytes/s from GB/s (decimal, as memory vendors quote).
+constexpr double gbPerS(double v) { return v * kGB; }
+
+// --- frequency ---
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+constexpr double mhz(double v) { return v * kMHz; }
+constexpr double ghz(double v) { return v * kGHz; }
+constexpr double toGhz(double hertz) { return hertz / kGHz; }
+
+// --- compute ---
+inline constexpr double kMFLOPS = 1e6;
+inline constexpr double kGFLOPS = 1e9;
+
+constexpr double gflops(double v) { return v * kGFLOPS; }
+constexpr double toGflops(double flopsPerS) { return flopsPerS / kGFLOPS; }
+constexpr double toMflops(double flopsPerS) { return flopsPerS / kMFLOPS; }
+
+}  // namespace tibsim::units

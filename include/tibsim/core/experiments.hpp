@@ -1,0 +1,142 @@
+#pragma once
+// socbench: the evaluation framework that regenerates the paper's figures.
+//
+// Each experiment couples the platform models (arch), the roofline
+// execution model (perfmodel), the power model + simulated meter (power),
+// the protocol/fabric models (net) and the cluster simulator (mpi/cluster)
+// into the exact measurement procedure the paper describes, and returns
+// plain data series the bench binaries print/chart.
+
+#include <string>
+#include <vector>
+
+#include "tibsim/arch/platform.hpp"
+#include "tibsim/cluster/cluster.hpp"
+#include "tibsim/kernels/stream.hpp"
+#include "tibsim/net/protocol.hpp"
+
+namespace tibsim::core {
+
+// ---------------------------------------------------------------------------
+// Figures 3 & 4: micro-kernel suite, frequency sweep
+// ---------------------------------------------------------------------------
+
+struct KernelMeasurement {
+  std::string kernel;
+  double seconds = 0.0;  ///< one iteration
+  double watts = 0.0;    ///< platform draw during the kernel
+  double energyJ = 0.0;
+};
+
+struct SweepPoint {
+  double frequencyHz = 0.0;
+  double suiteSeconds = 0.0;       ///< one suite iteration (all 11 kernels)
+  double suiteEnergyJ = 0.0;       ///< metered energy of one iteration
+  double speedupVsBaseline = 0.0;  ///< geomean per-kernel speedup
+  double energyVsBaseline = 0.0;   ///< suite energy / baseline suite energy
+  std::vector<KernelMeasurement> kernels;
+};
+
+struct PlatformSweep {
+  std::string platform;
+  std::vector<SweepPoint> points;
+};
+
+/// Runs the Section 3.1 experiment: every evaluated platform, every DVFS
+/// point, serial (Figure 3) or all-cores (Figure 4). Both figures are
+/// normalised to the *serial* Tegra 2 @ 1 GHz baseline, as in the paper.
+class MicroKernelExperiment {
+ public:
+  enum class Mode { SingleCore, MultiCore };
+
+  explicit MicroKernelExperiment(Mode mode) : mode_(mode) {}
+
+  std::vector<PlatformSweep> run() const;
+
+  /// Per-kernel modelled measurements on one configuration.
+  static std::vector<KernelMeasurement> measureSuite(
+      const arch::Platform& platform, double frequencyHz, int cores);
+
+  /// The Tegra2 @ 1 GHz single-core baseline used by both figures.
+  static std::vector<KernelMeasurement> baseline();
+
+ private:
+  Mode mode_;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 5: STREAM
+// ---------------------------------------------------------------------------
+
+struct StreamRow {
+  std::string platform;
+  double singleCoreBytesPerS[4] = {};  ///< copy, scale, add, triad
+  double multiCoreBytesPerS[4] = {};
+  double efficiencyVsPeak = 0.0;  ///< multicore triad / datasheet peak
+};
+
+std::vector<StreamRow> streamExperiment();
+
+// ---------------------------------------------------------------------------
+// Figure 7: interconnect latency / effective bandwidth
+// ---------------------------------------------------------------------------
+
+struct PingPongSeries {
+  std::string label;  ///< e.g. "Tegra2 OpenMX"
+  std::vector<double> messageBytes;
+  std::vector<double> latencySeconds;     ///< one-way, IMB convention
+  std::vector<double> bandwidthBytesPerS;
+};
+
+/// Analytic (protocol-model) ping-pong, matching the IMB measurement.
+PingPongSeries pingPongSweep(const arch::Platform& platform,
+                             net::Protocol protocol, double frequencyHz,
+                             const std::vector<std::size_t>& sizes);
+
+/// End-to-end validation: run the real ping-pong through simMPI on a
+/// two-node cluster and report the measured one-way latency.
+double simulatedPingPongLatency(const arch::Platform& platform,
+                                net::Protocol protocol, double frequencyHz,
+                                std::size_t bytes, int repetitions = 16);
+
+/// The sizes used by the latency panels (0..64 B) and bandwidth panels
+/// (1 B..16 MiB) of Figure 7.
+std::vector<std::size_t> latencyMessageSizes();
+std::vector<std::size_t> bandwidthMessageSizes();
+
+// ---------------------------------------------------------------------------
+// Figure 6: application scalability on Tibidabo
+// ---------------------------------------------------------------------------
+
+struct ScalingPoint {
+  int nodes = 0;
+  double wallClockSeconds = 0.0;
+  double speedup = 0.0;  ///< relative to the smallest feasible node count,
+                         ///< assuming linear scaling up to it (paper method)
+};
+
+struct ScalingCurve {
+  std::string application;
+  int baseNodes = 1;  ///< smallest node count that fits the input
+  std::vector<ScalingPoint> points;
+};
+
+/// Run the five applications of Table 3 on the given cluster at the given
+/// node counts (infeasible points are skipped, as on the real machine).
+std::vector<ScalingCurve> scalabilityExperiment(
+    const cluster::ClusterSpec& spec, const std::vector<int>& nodeCounts);
+
+// ---------------------------------------------------------------------------
+// Table 4: network bytes per FLOP
+// ---------------------------------------------------------------------------
+
+struct BytesPerFlopRow {
+  std::string platform;
+  double gbe1 = 0.0;
+  double gbe10 = 0.0;
+  double ib40 = 0.0;
+};
+
+std::vector<BytesPerFlopRow> bytesPerFlopTable();
+
+}  // namespace tibsim::core

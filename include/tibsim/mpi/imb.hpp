@@ -1,0 +1,54 @@
+#pragma once
+// The Intel MPI Benchmarks (IMB), as used in Section 4.1 ("the latency and
+// bandwidth results were measured using the ping-pong test from the Intel
+// MPI Benchmark suite"), implemented over simMPI. Beyond PingPong this
+// provides the other classic IMB patterns so an interconnect configuration
+// can be characterised the way a real deployment would be.
+
+#include <cstddef>
+#include <vector>
+
+#include "tibsim/mpi/simmpi.hpp"
+
+namespace tibsim::mpi::imb {
+
+struct Result {
+  std::size_t bytes = 0;
+  double seconds = 0.0;             ///< per-operation time (IMB convention)
+  double bandwidthBytesPerS = 0.0;  ///< payload moved per second (0 if n/a)
+};
+
+/// The standard IMB message-size ladder: 0, 1, 2, 4, ... maxBytes.
+std::vector<std::size_t> messageSizes(std::size_t maxBytes = 1 << 22);
+
+/// PingPong between ranks 0 and 1: reported time is half the round trip.
+std::vector<Result> pingPong(const WorldConfig& config,
+                             const std::vector<std::size_t>& sizes,
+                             int repetitions = 8);
+
+/// PingPing: both ranks send simultaneously, stressing the full-duplex
+/// path; reported time is the per-message completion time.
+std::vector<Result> pingPing(const WorldConfig& config,
+                             const std::vector<std::size_t>& sizes,
+                             int repetitions = 8);
+
+/// Exchange: every rank exchanges with both chain neighbours per
+/// iteration (the halo pattern); 4 messages per rank per iteration.
+std::vector<Result> exchange(const WorldConfig& config, int ranks,
+                             const std::vector<std::size_t>& sizes,
+                             int repetitions = 4);
+
+/// Allreduce on a vector of doubles across `ranks` ranks.
+std::vector<Result> allreduce(const WorldConfig& config, int ranks,
+                              const std::vector<std::size_t>& sizes,
+                              int repetitions = 4);
+
+/// Bcast from rank 0 across `ranks` ranks.
+std::vector<Result> bcast(const WorldConfig& config, int ranks,
+                          const std::vector<std::size_t>& sizes,
+                          int repetitions = 4);
+
+/// Barrier across `ranks` ranks; a single Result (bytes = 0).
+Result barrier(const WorldConfig& config, int ranks, int repetitions = 16);
+
+}  // namespace tibsim::mpi::imb

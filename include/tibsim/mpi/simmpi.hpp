@@ -1,0 +1,250 @@
+#pragma once
+// simMPI: an MPI-like message-passing runtime whose ranks are cooperative
+// simulation processes. Applications are written as ordinary blocking
+// message-passing code (the real control flow, real payloads if desired);
+// computation is charged through the roofline execution model and
+// communication through the protocol + fabric models. This is how the
+// Figure 6 scalability study and the HPL/Green500 numbers are produced.
+//
+// Semantics implemented:
+//  * eager sends (buffered): the sender pays its stack cost and continues;
+//    the message is delivered to the receiver's mailbox when the wire is
+//    done;
+//  * rendezvous sends (Open-MX >= 32 KiB): RTS/CTS handshake; the sender
+//    blocks until the receiver posts a matching recv;
+//  * tag + source matching (no wildcards — deterministic by construction);
+//  * collectives built from point-to-point with the textbook algorithms
+//    (binomial bcast/reduce, dissemination barrier, ring alltoall).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "tibsim/arch/platform.hpp"
+#include "tibsim/net/fabric.hpp"
+#include "tibsim/mpi/trace.hpp"
+#include "tibsim/net/protocol.hpp"
+#include "tibsim/perfmodel/execution_model.hpp"
+#include "tibsim/perfmodel/work_profile.hpp"
+#include "tibsim/sim/simulation.hpp"
+
+namespace tibsim::mpi {
+
+struct WorldConfig {
+  arch::Platform platform;
+  double frequencyHz = 0.0;  ///< 0 = platform maximum
+  net::Protocol protocol = net::Protocol::TcpIp;
+  int ranksPerNode = 1;
+  net::TopologySpec topology;  ///< .nodes is derived from the rank count
+
+  static WorldConfig tibidaboNode();  ///< Tegra2 node, 1 GbE, TCP/IP
+};
+
+struct WorldStats {
+  double wallClockSeconds = 0.0;
+  std::vector<double> rankFinishSeconds;
+  std::vector<double> nodeBusySeconds;     ///< compute + protocol CPU time
+  std::vector<double> nodeCommCpuSeconds;  ///< protocol CPU time only
+  double totalFlops = 0.0;
+  double totalDramBytes = 0.0;
+  std::uint64_t messageCount = 0;
+  double payloadBytes = 0.0;
+  double wireBytes = 0.0;
+  double fabricQueueingSeconds = 0.0;
+  int nodes = 0;
+
+  double achievedFlopsPerSecond() const {
+    return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;
+  }
+};
+
+class MpiWorld;
+
+/// Per-rank handle passed to the rank body. All methods are blocking in
+/// simulated time and may only be called from inside the rank body.
+class MpiContext {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  int node() const { return node_; }
+  double now() const;
+
+  /// Charge compute work to this rank's core (advances simulated time).
+  void compute(const perfmodel::WorkProfile& work);
+  void computeSeconds(double seconds);
+
+  /// Blocking send of `bytes` with optional real payload.
+  void send(int dst, int tag, std::size_t bytes,
+            std::span<const std::byte> payload = {});
+  void sendDoubles(int dst, int tag, std::span<const double> values);
+
+  /// Blocking receive; returns the payload (empty if size-only message).
+  /// receivedBytes (if non-null) gets the modelled message size.
+  std::vector<std::byte> recv(int src, int tag,
+                              std::size_t* receivedBytes = nullptr);
+  std::vector<double> recvDoubles(int src, int tag);
+
+  /// Deadlock-free paired exchange (ordered by rank id).
+  void sendrecv(int peer, int tag, std::size_t sendBytes,
+                std::size_t* recvBytes = nullptr);
+
+  /// Halo exchange with both chain neighbours (rank-1, rank+1) using a
+  /// red-black schedule: even ranks exchange right first, odd ranks left
+  /// first, so all pairs run in two parallel phases instead of an O(p)
+  /// serialisation chain down the ring.
+  void neighborExchange(std::size_t bytes, int tag);
+
+  // -- non-blocking operations --------------------------------------------
+  /// Handle for a pending non-blocking operation.
+  using Request = std::uint64_t;
+
+  /// Non-blocking send. The sender's stack cost is charged immediately and
+  /// the message is always buffered eagerly (an implementation with enough
+  /// bounce buffers) — the returned request is complete by construction
+  /// but must still be passed to wait()/waitall().
+  Request isend(int dst, int tag, std::size_t bytes,
+                std::span<const std::byte> payload = {});
+
+  /// Non-blocking receive: registers interest in (src, tag); the match is
+  /// performed by wait(). Lets a rank overlap computation with the arrival
+  /// of in-flight messages.
+  Request irecv(int src, int tag);
+
+  /// Complete a pending operation. For irecv requests, blocks until the
+  /// message arrives and returns its payload (and size via receivedBytes).
+  std::vector<std::byte> wait(Request request,
+                              std::size_t* receivedBytes = nullptr);
+
+  /// Complete a set of requests (in request order).
+  void waitall(std::span<const Request> requests);
+
+  // -- collectives -------------------------------------------------------
+  void barrier();
+  /// Broadcast `values` from root; every rank returns the root's data.
+  std::vector<double> bcast(std::vector<double> values, int root);
+  /// Size-only broadcast (models the traffic without carrying data).
+  void bcastBytes(std::size_t bytes, int root);
+  /// Pipelined ring broadcast of a large buffer (HPL-style): a small
+  /// binomial control message enforces causality, then every rank streams
+  /// the payload through once at the protocol's sustained rate. Use for
+  /// bulk broadcasts where the binomial tree's log(p) root fan-out would
+  /// be unrealistic.
+  void pipelinedBcastBytes(std::size_t bytes, int root);
+  std::vector<double> reduceSum(std::span<const double> values, int root);
+  std::vector<double> allreduceSum(std::span<const double> values);
+  double allreduceSum(double value);
+  double allreduceMax(double value);
+  /// Gather one double per rank to root (returned in rank order at root).
+  std::vector<double> gather(double value, int root);
+  std::vector<double> allgather(double value);
+  /// Ring all-to-all of size-only messages (bytesPerPeer to every rank).
+  void alltoallBytes(std::size_t bytesPerPeer);
+
+  MpiWorld& world() { return world_; }
+
+ private:
+  friend class MpiWorld;
+  MpiContext(MpiWorld& world, sim::Process& process, int rank, int node);
+
+  struct PendingOp {
+    bool isRecv = false;
+    int peer = 0;
+    int tag = 0;
+  };
+
+  MpiWorld& world_;
+  sim::Process& process_;
+  int rank_;
+  int node_;
+  std::uint64_t nextRequest_ = 1;
+  std::unordered_map<Request, PendingOp> pending_;
+};
+
+class MpiWorld {
+ public:
+  using RankBody = std::function<void(MpiContext&)>;
+
+  MpiWorld(WorldConfig config, int ranks);
+  ~MpiWorld();
+
+  MpiWorld(const MpiWorld&) = delete;
+  MpiWorld& operator=(const MpiWorld&) = delete;
+
+  /// Run `body` on every rank to completion; throws ContractError on
+  /// deadlock (ranks still blocked when no events remain).
+  WorldStats run(const RankBody& body);
+
+  int ranks() const { return ranks_; }
+  const net::ProtocolModel& protocolModel() const { return *protocol_; }
+
+  /// Record per-rank compute/send/recv/wait spans during run() — the
+  /// Paraver-style post-mortem view. Off by default (spans cost memory).
+  void enableTracing() { tracing_ = true; }
+  const Tracer& tracer() const { return tracer_; }
+  int nodes() const { return nodes_; }
+  const WorldConfig& config() const { return config_; }
+  double frequencyHz() const { return frequencyHz_; }
+  const arch::Platform& platform() const { return config_.platform; }
+
+ private:
+  friend class MpiContext;
+
+  enum class Stage : std::uint8_t { Delivered, RtsPending, AwaitingData };
+
+  struct Message {
+    int src = 0;
+    int tag = 0;
+    std::size_t bytes = 0;
+    std::vector<std::byte> payload;
+    Stage stage = Stage::Delivered;
+    double receiverCost = 0.0;
+    sim::Process* sender = nullptr;  ///< for rendezvous CTS wake-up
+    std::uint64_t id = 0;
+  };
+
+  struct Mailbox {
+    std::deque<Message> messages;
+    // A rank blocked in recv(src, tag):
+    bool waiting = false;
+    int waitSrc = 0;
+    int waitTag = 0;
+    sim::Process* waiter = nullptr;
+  };
+
+  int nodeOfRank(int rank) const { return rank / config_.ranksPerNode; }
+
+  void doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
+              std::span<const std::byte> payload,
+              bool allowRendezvous = true);
+  std::vector<std::byte> doRecv(MpiContext& ctx, int src, int tag,
+                                std::size_t* receivedBytes);
+  void deliver(int dstRank, Message message);
+  void chargeCpu(int node, double seconds);
+  void traceSpan(int rank, SpanKind kind, double begin, double end,
+                 int peer = -1, std::size_t bytes = 0);
+
+  WorldConfig config_;
+  int ranks_;
+  int nodes_;
+  double frequencyHz_;
+  perfmodel::ExecutionModel execModel_;
+  std::unique_ptr<net::ProtocolModel> protocol_;
+
+  // Rebuilt for every run():
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::unique_ptr<MpiContext>> contexts_;
+  WorldStats stats_;
+  std::uint64_t nextMessageId_ = 0;
+  bool tracing_ = false;
+  Tracer tracer_;
+};
+
+}  // namespace tibsim::mpi

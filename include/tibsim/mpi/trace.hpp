@@ -1,0 +1,70 @@
+#pragma once
+// Paraver-style execution tracing for simMPI.
+//
+// The paper's team found Tibidabo's HPL scalability problem through
+// "post-mortem application trace analysis" (Section 4) with Paraver
+// (Figure 8). This module provides the equivalent for simulated runs: each
+// rank's timeline is recorded as typed spans (compute, protocol CPU, wait)
+// and summarised into the per-rank breakdowns that make a scalability
+// bottleneck visible — plus a CSV export a real trace viewer could ingest.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tibsim::mpi {
+
+enum class SpanKind {
+  Compute,  ///< application work charged via compute()
+  Send,     ///< sender-side protocol CPU time
+  Recv,     ///< receiver-side protocol CPU time
+  Wait,     ///< blocked in recv with no matching message
+};
+
+std::string toString(SpanKind kind);
+
+struct TraceSpan {
+  int rank = 0;
+  SpanKind kind = SpanKind::Compute;
+  double begin = 0.0;
+  double end = 0.0;
+  int peer = -1;           ///< other rank for Send/Recv, -1 otherwise
+  std::size_t bytes = 0;   ///< message size for Send/Recv
+
+  double duration() const { return end - begin; }
+};
+
+class Tracer {
+ public:
+  void record(TraceSpan span);
+  void clear();
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  /// Per-rank time breakdown over [0, wallClock].
+  struct RankSummary {
+    int rank = 0;
+    double computeSeconds = 0.0;
+    double sendSeconds = 0.0;
+    double recvSeconds = 0.0;
+    double waitSeconds = 0.0;
+    double otherSeconds = 0.0;  ///< wallclock not covered by spans
+
+    double commSeconds() const { return sendSeconds + recvSeconds; }
+  };
+
+  std::vector<RankSummary> summarize(int ranks, double wallClock) const;
+
+  /// Fraction of total rank-time spent outside compute — the first number
+  /// a scalability post-mortem looks at.
+  double nonComputeFraction(int ranks, double wallClock) const;
+
+  /// One line per span: rank,kind,begin,end,peer,bytes (Paraver-convertible).
+  std::string exportCsv() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace tibsim::mpi

@@ -1,0 +1,53 @@
+#pragma once
+// Energy Efficient Ethernet (IEEE 802.3az) model.
+//
+// The Section 4.1 latency-penalty estimate comes from Saravanan, Carpenter
+// and Ramirez's EEE study (ISPASS'13): putting the PHY into Low Power Idle
+// between messages saves link power but every message that finds the link
+// asleep pays the wake transition. This module models that trade-off for a
+// 1000BASE-T link so the consequence for HPC traffic (frequent small
+// messages) can be quantified against the power saved.
+
+#include <cstddef>
+
+namespace tibsim::net {
+
+class EnergyEfficientEthernet {
+ public:
+  struct Config {
+    // 802.3az 1000BASE-T transition times.
+    double wakeSeconds = 16.5e-6;   ///< LPI -> active (Tw)
+    double sleepSeconds = 182.0e-6; ///< active -> LPI entry (Ts)
+    /// The PHY enters LPI after this much idle (driver policy).
+    double idleEntrySeconds = 40.0e-6;
+    double activePhyWatts = 0.7;    ///< one side of a 1000BASE-T link
+    double lpiPowerFraction = 0.10; ///< LPI power relative to active
+    bool enabled = true;
+  };
+
+  EnergyEfficientEthernet() : EnergyEfficientEthernet(Config{}) {}
+  explicit EnergyEfficientEthernet(Config config);
+
+  const Config& config() const { return config_; }
+
+  /// Extra latency experienced by a message that arrives `gapSeconds`
+  /// after the previous one (0 if the link had no time to enter LPI).
+  double addedLatencySeconds(double gapSeconds) const;
+
+  /// Average PHY power for periodic traffic: messages of `wireSeconds`
+  /// duration every `intervalSeconds`.
+  double averagePhyWatts(double wireSeconds, double intervalSeconds) const;
+
+  /// Fraction of link energy saved vs an always-on PHY for that pattern.
+  double energySavingFraction(double wireSeconds,
+                              double intervalSeconds) const;
+
+  /// Effective one-way message latency including the expected wake cost.
+  double effectiveLatencySeconds(double baseLatencySeconds,
+                                 double intervalSeconds) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace tibsim::net

@@ -1,0 +1,91 @@
+#pragma once
+// Communication protocol stack models (Section 4.1).
+//
+// The paper compares MPI over TCP/IP with MPI over Open-MX on two board
+// types. The measurable differences come from four places, all modelled
+// explicitly:
+//   1. per-message software cost (syscalls, interrupts, stack traversal),
+//      which scales with 1/f and with the core's micro-architecture;
+//   2. per-segment software cost (TCP segments at the 1500-byte MTU and
+//      pays a large per-packet price; Open-MX uses 4 KiB MX frames with a
+//      tiny per-frame cost), which sets the large-message bandwidth;
+//   3. copy passes (TCP: two per side; Open-MX eager: one per side;
+//      Open-MX rendezvous >= 32 KiB: zero-copy send, single-copy receive);
+//   4. NIC attachment: PCIe adds ~1 us per message; the Arndale's USB 3.0
+//      path adds a large frequency-insensitive per-message cost and a
+//      per-byte cost that caps bandwidth well below line rate.
+
+#include <cstddef>
+#include <string>
+
+#include "tibsim/arch/platform.hpp"
+
+namespace tibsim::net {
+
+enum class Protocol { TcpIp, OpenMx };
+
+std::string toString(Protocol protocol);
+
+/// Software/hardware cost of one message on one endpoint pair.
+struct MessageCosts {
+  double senderSeconds = 0.0;    ///< host CPU time on the sender
+  double receiverSeconds = 0.0;  ///< host CPU time on the receiver
+  double wireSeconds = 0.0;      ///< serialisation time on the slowest stage
+  bool rendezvous = false;       ///< requires matching recv before data moves
+
+  double total() const { return senderSeconds + wireSeconds + receiverSeconds; }
+};
+
+/// Cost model for (protocol, platform, frequency). Stateless; cheap to copy.
+class ProtocolModel {
+ public:
+  ProtocolModel(Protocol protocol, const arch::Platform& platform,
+                double frequencyHz);
+
+  Protocol protocol() const { return protocol_; }
+  double frequencyHz() const { return frequencyHz_; }
+  std::size_t rendezvousThreshold() const { return rendezvousThreshold_; }
+
+  /// Endpoint costs of a message of `bytes` payload (excluding switches).
+  MessageCosts messageCosts(std::size_t bytes) const;
+
+  /// One-way small-to-large message latency between two directly connected
+  /// boards through one switch — what the IMB ping-pong test reports.
+  double pingPongLatency(std::size_t bytes) const;
+
+  /// Sustained bandwidth (payload bytes/s) for back-to-back messages of the
+  /// given size — the pipelined bottleneck stage.
+  double effectiveBandwidth(std::size_t bytes) const;
+
+ private:
+  double cyclesToSeconds(double cycles) const;
+  double stackArchFactor() const;  ///< cycle-count scaling vs Cortex-A9
+  double memcpyBytesPerS() const;
+
+  Protocol protocol_;
+  arch::Platform platform_;
+  double frequencyHz_;
+
+  // Protocol constants (set from `protocol_`):
+  double baseCyclesPerSide_ = 0.0;  ///< per-message, in Cortex-A9 cycles
+  double perSegmentCycles_ = 0.0;   ///< per-segment, per side
+  double segmentBytes_ = 1500.0;
+  double wireEfficiency_ = 0.94;    ///< goodput fraction of link rate
+  std::size_t rendezvousThreshold_ = 0;
+  double copyPassesSender_ = 0.0;
+  double copyPassesReceiver_ = 0.0;
+
+  // NIC attachment constants:
+  double nicPerMessageSeconds_ = 0.0;   ///< frequency-insensitive
+  double nicPerByteSeconds_ = 0.0;      ///< controller DMA path
+  double nicPerByteCycles_ = 0.0;       ///< host-stack per byte (USB)
+};
+
+/// Latency-penalty estimate from Section 4.1: a given total communication
+/// latency inflates application execution time by roughly this factor,
+/// scaled from the EEE study's Sandy Bridge result (100 us => +90 %) by the
+/// ratio of single-core performance.
+double latencyExecutionTimePenalty(double latencySeconds,
+                                   double relativeSingleCorePerformance);
+
+}  // namespace tibsim::net

@@ -1,0 +1,58 @@
+#pragma once
+// Roofline-style execution model.
+//
+//   time = max( flops / achievable_flops , bytes / achievable_bandwidth )
+//
+// with achievable FLOP rate reduced by a per-micro-architecture scalar-code
+// efficiency (compiled HPC kernels reach a small fraction of AVX/NEON peak)
+// and by the kernel's own computeEfficiency; achievable bandwidth reduced by
+// the platform's measured stream efficiency, a per-pattern factor, and a
+// single-core outstanding-miss cap. Multicore time applies Amdahl's law and
+// load imbalance. The model's constants are calibrated against the paper's
+// Figures 3-5 (see tests/test_calibration.cpp).
+
+#include "tibsim/arch/platform.hpp"
+#include "tibsim/perfmodel/work_profile.hpp"
+
+namespace tibsim::perfmodel {
+
+/// Per-micro-architecture efficiency constants.
+struct MicroarchEfficiency {
+  /// Fraction of per-core peak FP64 a compiled scalar/auto-vectorised HPC
+  /// kernel sustains (pipeline hazards, non-FMA ops, address arithmetic).
+  double scalarFpEfficiency = 0.5;
+  /// Additional multiplier for Irregular/Random-pattern compute (deeper
+  /// out-of-order windows hide more of the latency).
+  double irregularCodeFactor = 0.9;
+};
+
+MicroarchEfficiency efficiencyOf(arch::Microarch microarch);
+
+/// Fraction of *stream* bandwidth a given access pattern achieves.
+double patternBandwidthFactor(AccessPattern pattern);
+
+class ExecutionModel {
+ public:
+  ExecutionModel() = default;
+
+  /// Achievable DRAM bandwidth (bytes/s) for `cores` active cores at CPU
+  /// frequency `frequencyHz` with the given access pattern.
+  double achievableBandwidth(const arch::Platform& platform,
+                             AccessPattern pattern, int cores,
+                             double frequencyHz) const;
+
+  /// Achievable FP64 rate (FLOP/s) for one core at `frequencyHz`.
+  double achievableFlops(const arch::Platform& platform,
+                         const WorkProfile& work, double frequencyHz) const;
+
+  /// Execution time of one iteration of `work` on `cores` cores.
+  double time(const arch::Platform& platform, const WorkProfile& work,
+              double frequencyHz, int cores) const;
+
+  /// DRAM bandwidth actually consumed while executing `work` (for power).
+  double consumedBandwidth(const arch::Platform& platform,
+                           const WorkProfile& work, double frequencyHz,
+                           int cores) const;
+};
+
+}  // namespace tibsim::perfmodel

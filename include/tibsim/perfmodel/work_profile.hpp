@@ -1,0 +1,55 @@
+#pragma once
+// Work characterisation: what a kernel (or an application phase) does, in
+// machine-independent terms. The execution model turns a WorkProfile plus a
+// Platform into time; the power model turns time plus load into energy.
+
+#include <string>
+
+namespace tibsim::perfmodel {
+
+/// Dominant DRAM access pattern of a piece of work. Determines the fraction
+/// of a platform's stream bandwidth the work can realise.
+enum class AccessPattern {
+  Streaming,  ///< unit-stride reads/writes (vecop, red, STREAM)
+  Strided,    ///< constant non-unit stride (3-D stencil planes, FFT stages)
+  Blocked,    ///< cache-tiled, high reuse (dmmm, msort runs)
+  Spatial,    ///< 2-D neighbourhoods with good locality (2dcon)
+  Irregular,  ///< pointer-chasing / indexed gathers (nbody, spvm)
+  Random,     ///< near-uniform random (hist updates)
+  Resident,   ///< working set fits in cache; DRAM traffic negligible
+};
+
+std::string toString(AccessPattern pattern);
+
+/// Machine-independent description of one iteration of a workload.
+struct WorkProfile {
+  double flops = 0.0;  ///< useful FP64 operations (or ALU ops for int codes)
+  double bytes = 0.0;  ///< DRAM traffic generated (read + write)
+  AccessPattern pattern = AccessPattern::Streaming;
+
+  /// Kernel-intrinsic fraction of the core's peak issue rate this code can
+  /// use even with a perfect memory system (dependency chains, branches,
+  /// non-FMA shapes). 1.0 = perfectly dense FMA stream.
+  double computeEfficiency = 1.0;
+
+  /// Amdahl parallel fraction of the iteration (msort's merge tail and red's
+  /// final reduction are partly serial).
+  double parallelFraction = 1.0;
+
+  /// Relative load imbalance across threads: 0 = perfectly balanced,
+  /// 0.3 = slowest thread does 30 % more work than the mean (spvm).
+  double loadImbalance = 0.0;
+
+  /// Arithmetic intensity in FLOP per DRAM byte.
+  double intensity() const { return bytes > 0.0 ? flops / bytes : 1e30; }
+
+  /// Profile for a scaled copy of this work (n x flops and bytes).
+  WorkProfile scaled(double factor) const {
+    WorkProfile p = *this;
+    p.flops *= factor;
+    p.bytes *= factor;
+    return p;
+  }
+};
+
+}  // namespace tibsim::perfmodel

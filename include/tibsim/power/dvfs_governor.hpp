@@ -1,0 +1,69 @@
+#pragma once
+// DVFS governor simulation.
+//
+// Section 5: "All Linux kernels were tuned for HPC by ... setting the
+// default DVFS policy to performance." This module shows why: it simulates
+// the classic cpufreq governors over a bursty compute trace and reports
+// time-to-solution and platform energy. On board-static-dominated mobile
+// platforms the performance governor wins both metrics for HPC phases —
+// the same race-to-idle effect as the Figure 3(b) frequency sweep.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tibsim/arch/platform.hpp"
+#include "tibsim/perfmodel/work_profile.hpp"
+
+namespace tibsim::power {
+
+enum class GovernorPolicy {
+  Performance,   ///< pin to the highest operating point
+  Powersave,     ///< pin to the lowest operating point
+  OnDemand,      ///< jump to max when busy, decay towards min when idle
+  Conservative,  ///< step one operating point up/down per sample
+};
+
+std::string toString(GovernorPolicy policy);
+
+/// One phase of an application: a burst of compute demand followed by an
+/// idle gap (I/O, communication wait).
+struct WorkPhase {
+  double flops = 0.0;
+  double idleSeconds = 0.0;
+};
+
+class DvfsGovernor {
+ public:
+  struct Config {
+    GovernorPolicy policy = GovernorPolicy::Performance;
+    double samplePeriodSeconds = 0.1;  ///< governor tick (Linux: ~10-100 ms)
+    double upThreshold = 0.80;  ///< ondemand: busy fraction that triggers max
+  };
+
+  DvfsGovernor(arch::Platform platform, Config config);
+
+  struct RunResult {
+    double seconds = 0.0;   ///< wall clock to complete all phases
+    double energyJ = 0.0;   ///< whole-platform energy over the run
+    double averageFrequencyHz = 0.0;  ///< time-weighted
+    double busyFraction = 0.0;
+    std::vector<double> frequencyTrace;  ///< one entry per governor tick
+  };
+
+  /// Execute the phases; compute progresses at the roofline rate for
+  /// `shape` at the governor-selected frequency on one core.
+  RunResult run(std::span<const WorkPhase> phases,
+                const perfmodel::WorkProfile& shape) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  double nextFrequency(double currentHz, double utilization) const;
+  std::size_t opIndexAtOrBelow(double frequencyHz) const;
+
+  arch::Platform platform_;
+  Config config_;
+};
+
+}  // namespace tibsim::power

@@ -1,0 +1,52 @@
+#pragma once
+// DRAM reliability model (Section 6.3).
+//
+// The paper cites Schroeder et al. ("DRAM errors in the wild"): 4-20 % of
+// DIMMs encounter a correctable error per year, and concludes that a
+// 1,500-node machine with 2 DIMMs per node has a ~30 % probability of an
+// error on any given day — which is why the lack of ECC in mobile memory
+// controllers matters. This module reproduces that estimate analytically
+// and with a Monte-Carlo cross-check, and models the consequence of
+// uncorrected errors on long-running jobs.
+
+#include <cstdint>
+
+#include "tibsim/common/rng.hpp"
+
+namespace tibsim::reliability {
+
+struct DramErrorModel {
+  /// Probability that one DIMM sees at least one correctable error per
+  /// year. Schroeder et al. report 4-20 % depending on platform; the
+  /// paper's "~30 % per day for 1,500 nodes" arithmetic corresponds to the
+  /// low end of that band, which is the default here.
+  double dimmAnnualErrorProbability = 0.045;
+  int dimmsPerNode = 2;
+
+  /// Per-DIMM daily error probability (constant hazard rate).
+  double dimmDailyErrorProbability() const;
+
+  /// P(at least one error anywhere in the system on a given day).
+  double systemDailyErrorProbability(int nodes) const;
+
+  /// Expected errors per day across the system.
+  double expectedErrorsPerDay(int nodes) const;
+
+  /// Monte-Carlo estimate of the system daily error probability (for
+  /// validating the closed form; `days` trials).
+  double monteCarloDailyErrorProbability(int nodes, int days,
+                                         std::uint64_t seed) const;
+
+  /// Without ECC a correctable error becomes silent data corruption or a
+  /// crash; assuming any error kills the job, this is the probability a
+  /// job of `hours` on `nodes` nodes completes unharmed.
+  double jobSurvivalProbability(int nodes, double hours) const;
+
+  /// Expected useful work fraction with checkpoint/restart every
+  /// `checkpointHours` given the above failure process (first-order model:
+  /// each failure loses half a checkpoint interval plus the restart cost).
+  double effectiveThroughput(int nodes, double checkpointHours,
+                             double checkpointCostHours) const;
+};
+
+}  // namespace tibsim::reliability

@@ -1,0 +1,150 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// tibsim runs distributed applications (real control flow, modelled costs)
+// against simulated hardware. Application code executes inside cooperative
+// `Process`es: each process is backed by a dedicated OS thread, but exactly
+// one thread — either the scheduler or a single process — runs at any moment,
+// with the baton handed over under a per-process mutex. This gives
+// deterministic, data-race-free simulation while letting application code be
+// written as straight-line code (SimGrid-style) instead of event callbacks.
+//
+// Time is a double in seconds. Events with equal timestamps fire in the
+// order they were scheduled (FIFO tie-break via a sequence number).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tibsim::sim {
+
+class Simulation;
+
+/// Thrown inside a process body when the simulation is torn down while the
+/// process is still blocked; unwinds the fiber stack. Never catch it.
+class ProcessKilled {};
+
+/// A cooperative simulation process. Created via Simulation::spawn; the
+/// body receives a reference to its Process and may call delay()/suspend().
+class Process {
+ public:
+  using Body = std::function<void(Process&)>;
+
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Advance simulated time by dt seconds (dt >= 0). Callable only from
+  /// inside this process's body.
+  void delay(double dt);
+
+  /// Block until another party calls Simulation::resume on this process.
+  /// Callable only from inside this process's body.
+  void suspend();
+
+  /// Current simulated time, in seconds.
+  double now() const;
+
+  Simulation& simulation() { return sim_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+  bool finished() const { return finished_; }
+  /// True while the process is suspended waiting for an external resume.
+  bool suspended() const { return suspended_; }
+  /// Identifier of the current (or most recent) suspension; resumes are
+  /// tagged with this so stale wake-ups cannot disturb a later suspension.
+  std::uint64_t suspendId() const { return suspendSeq_; }
+  /// Exception that escaped the body, if any (rethrow with std::rethrow).
+  std::exception_ptr exception() const { return exception_; }
+
+ private:
+  friend class Simulation;
+  Process(Simulation& sim, std::uint64_t id, std::string name, Body body);
+
+  void start();
+  void switchIn();      // scheduler -> process; blocks scheduler until yield
+  void yieldToHost();   // process -> scheduler
+  void kill();          // request unwind and join
+  std::uint64_t beginSuspend();  // mark suspended, mint a suspension id
+
+  Simulation& sim_;
+  std::uint64_t id_;
+  std::string name_;
+  Body body_;
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool batonWithProcess_ = false;
+  bool finished_ = false;
+  std::exception_ptr exception_;
+  bool killRequested_ = false;
+  bool suspended_ = false;
+  std::uint64_t suspendSeq_ = 0;
+};
+
+/// The event loop: a time-ordered queue of callbacks plus the set of spawned
+/// processes. Not thread-safe: drive it from a single thread.
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  double now() const { return now_; }
+
+  /// Schedule a callback at absolute time t (>= now()).
+  void scheduleAt(double t, std::function<void()> fn);
+
+  /// Schedule a callback dt seconds from now (dt >= 0).
+  void scheduleIn(double dt, std::function<void()> fn);
+
+  /// Create a process and schedule it to start at the current time.
+  Process& spawn(std::string name, Process::Body body);
+
+  /// Wake a suspended process at time t (>= now()).
+  void resumeAt(double t, Process& p);
+
+  /// Wake a suspended process at the current time (after pending events at
+  /// this timestamp that were scheduled earlier).
+  void resume(Process& p);
+
+  /// Run until the event queue drains. Returns the final simulation time.
+  double run();
+
+  /// Run until the event queue drains or time would exceed `deadline`.
+  double runUntil(double deadline);
+
+  std::size_t liveProcessCount() const;
+  std::uint64_t processedEvents() const { return processedEvents_; }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  double now_ = 0.0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t nextProcessId_ = 0;
+  std::uint64_t processedEvents_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace tibsim::sim

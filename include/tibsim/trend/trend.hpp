@@ -1,0 +1,56 @@
+#pragma once
+// Historical trend analysis (Section 1, Figures 1 and 2).
+//
+// Embedded public datasets: TOP500 system counts by architecture class
+// (1993-2013) and peak double-precision MFLOPS of representative processors
+// (vector, commodity micro, server, mobile). Exponential regression on the
+// FLOPS series yields the growth rates the paper discusses and the
+// projected mobile/server crossover.
+
+#include <string>
+#include <vector>
+
+#include "tibsim/common/regression.hpp"
+
+namespace tibsim::trend {
+
+/// One TOP500 list edition: systems per architecture class.
+struct Top500Entry {
+  double year = 0.0;  ///< e.g. 1997.5 for the June list
+  int x86 = 0;
+  int risc = 0;
+  int vectorSimd = 0;
+};
+
+/// The Figure 1 dataset (approximate counts read from the TOP500 archives).
+const std::vector<Top500Entry>& top500ArchitectureShare();
+
+/// The list edition in which `x86` first overtakes `risc` (and similar
+/// questions) — helpers for the Figure 1 narrative.
+double yearX86OvertakesRisc();
+double yearRiscOvertakesVector();
+
+/// One processor's peak FP64 rating.
+struct ProcessorPoint {
+  std::string name;
+  double year = 0.0;
+  double peakMflops = 0.0;
+};
+
+enum class ProcessorClass { Vector, Commodity, Server, Mobile };
+
+/// Figure 2(a)/(b) datasets.
+const std::vector<ProcessorPoint>& processorPoints(ProcessorClass cls);
+
+/// Exponential fit of peak MFLOPS vs year for one class.
+ExponentialFit fitClass(ProcessorClass cls);
+
+/// Performance gap between two classes at a given year (lhs / rhs).
+double gapAt(ProcessorClass lhs, ProcessorClass rhs, double year);
+
+/// Projected year at which the (faster-growing) `challenger` class matches
+/// the `incumbent` class.
+double projectedCrossover(ProcessorClass challenger,
+                          ProcessorClass incumbent);
+
+}  // namespace tibsim::trend

@@ -1,0 +1,71 @@
+#include "tibsim/arch/platform.hpp"
+
+#include <algorithm>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::arch {
+
+std::string toString(Microarch microarch) {
+  switch (microarch) {
+    case Microarch::CortexA9: return "Cortex-A9";
+    case Microarch::CortexA15: return "Cortex-A15";
+    case Microarch::CortexA57: return "ARMv8 (A57-class)";
+    case Microarch::SandyBridge: return "Sandy Bridge";
+  }
+  return "unknown";
+}
+
+std::string toString(NicAttachment attach) {
+  switch (attach) {
+    case NicAttachment::Pcie: return "PCIe";
+    case NicAttachment::Usb3: return "USB 3.0";
+    case NicAttachment::OnChip: return "on-chip";
+  }
+  return "unknown";
+}
+
+double SocModel::peakFlops(double frequencyHz, int activeCores) const {
+  TIB_REQUIRE(activeCores >= 1 && activeCores <= cores);
+  TIB_REQUIRE(frequencyHz > 0.0);
+  return core.fp64FlopsPerCycle * frequencyHz *
+         static_cast<double>(activeCores);
+}
+
+double SocModel::peakFlops() const {
+  return peakFlops(maxFrequencyHz(), cores);
+}
+
+double SocModel::maxFrequencyHz() const {
+  TIB_REQUIRE(!dvfs.empty());
+  return dvfs.back().frequencyHz;
+}
+
+double SocModel::minFrequencyHz() const {
+  TIB_REQUIRE(!dvfs.empty());
+  return dvfs.front().frequencyHz;
+}
+
+double SocModel::voltageAt(double frequencyHz) const {
+  TIB_REQUIRE(!dvfs.empty());
+  const auto& pts = dvfs;
+  if (frequencyHz <= pts.front().frequencyHz) return pts.front().voltage;
+  if (frequencyHz >= pts.back().frequencyHz) return pts.back().voltage;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (frequencyHz <= pts[i].frequencyHz) {
+      const auto& lo = pts[i - 1];
+      const auto& hi = pts[i];
+      const double t =
+          (frequencyHz - lo.frequencyHz) / (hi.frequencyHz - lo.frequencyHz);
+      return lo.voltage + t * (hi.voltage - lo.voltage);
+    }
+  }
+  return pts.back().voltage;
+}
+
+double Platform::bytesPerFlop(double linkRateBytesPerS) const {
+  TIB_REQUIRE(linkRateBytesPerS > 0.0);
+  return linkRateBytesPerS / peakFlops();
+}
+
+}  // namespace tibsim::arch

@@ -1,0 +1,180 @@
+#include "tibsim/cluster/slurm.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/power/power_model.hpp"
+
+namespace tibsim::cluster {
+
+SlurmScheduler::SlurmScheduler(int totalNodes, bool enableBackfill)
+    : totalNodes_(totalNodes), backfill_(enableBackfill) {
+  TIB_REQUIRE(totalNodes_ >= 1);
+}
+
+void SlurmScheduler::submit(BatchJob job) {
+  TIB_REQUIRE(job.nodes >= 1 && job.nodes <= totalNodes_);
+  TIB_REQUIRE(job.durationSeconds > 0.0);
+  TIB_REQUIRE(job.submitSeconds >= 0.0);
+  if (job.requestedSeconds <= 0.0) job.requestedSeconds = job.durationSeconds;
+  TIB_REQUIRE_MSG(job.requestedSeconds >= job.durationSeconds,
+                  "wall-time request must cover the actual duration");
+  jobs_.push_back(std::move(job));
+}
+
+SlurmScheduler::Result SlurmScheduler::schedule() const {
+  struct Running {
+    double actualEnd;
+    double requestedEnd;
+    int nodes;
+  };
+
+  std::vector<BatchJob> arrivals = jobs_;
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const BatchJob& a, const BatchJob& b) {
+                     return a.submitSeconds < b.submitSeconds;
+                   });
+
+  std::deque<BatchJob> pending;
+  std::vector<Running> running;
+  Result result;
+  double now = 0.0;
+  int freeNodes = totalNodes_;
+  std::size_t nextArrival = 0;
+  double busyNodeSeconds = 0.0;
+
+  const auto startJob = [&](const BatchJob& job, bool viaBackfill) {
+    running.push_back(
+        Running{now + job.durationSeconds, now + job.requestedSeconds,
+                job.nodes});
+    freeNodes -= job.nodes;
+    busyNodeSeconds += static_cast<double>(job.nodes) * job.durationSeconds;
+    result.jobs.push_back(ScheduledJob{job, now, now + job.durationSeconds});
+    if (viaBackfill) ++result.backfilledJobs;
+  };
+
+  // EASY backfilling: the queue head gets a reservation at the earliest
+  // time enough nodes are (conservatively, by requested wall time) free;
+  // later jobs may start now if they fit the free nodes and either finish
+  // before the reservation or do not touch the nodes it needs.
+  const auto tryStartPending = [&] {
+    bool started = true;
+    while (started && !pending.empty()) {
+      started = false;
+      if (pending.front().nodes <= freeNodes) {
+        startJob(pending.front(), false);
+        pending.pop_front();
+        started = true;
+        continue;
+      }
+      if (!backfill_) return;
+
+      // Reservation for the head: walk requested end times until enough
+      // nodes accumulate.
+      std::vector<Running> byRequestedEnd = running;
+      std::sort(byRequestedEnd.begin(), byRequestedEnd.end(),
+                [](const Running& a, const Running& b) {
+                  return a.requestedEnd < b.requestedEnd;
+                });
+      int accumulated = freeNodes;
+      double shadowTime = std::numeric_limits<double>::infinity();
+      int shadowFree = 0;
+      for (const Running& r : byRequestedEnd) {
+        accumulated += r.nodes;
+        if (accumulated >= pending.front().nodes) {
+          shadowTime = r.requestedEnd;
+          shadowFree = accumulated - pending.front().nodes;
+          break;
+        }
+      }
+
+      for (std::size_t i = 1; i < pending.size(); ++i) {
+        const BatchJob& candidate = pending[static_cast<std::size_t>(i)];
+        if (candidate.nodes > freeNodes) continue;
+        const bool finishesBeforeShadow =
+            now + candidate.requestedSeconds <= shadowTime;
+        const bool fitsBesideReservation = candidate.nodes <= shadowFree;
+        if (finishesBeforeShadow || fitsBesideReservation) {
+          const BatchJob job = candidate;
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+          startJob(job, true);
+          started = true;
+          break;
+        }
+      }
+    }
+  };
+
+  while (nextArrival < arrivals.size() || !pending.empty() ||
+         !running.empty()) {
+    // Pull in all arrivals at or before `now`.
+    while (nextArrival < arrivals.size() &&
+           arrivals[nextArrival].submitSeconds <= now) {
+      pending.push_back(arrivals[nextArrival++]);
+    }
+    tryStartPending();
+
+    // Advance to the next event: a completion or the next arrival.
+    double nextTime = std::numeric_limits<double>::infinity();
+    for (const Running& r : running) nextTime = std::min(nextTime, r.actualEnd);
+    if (nextArrival < arrivals.size())
+      nextTime = std::min(nextTime, arrivals[nextArrival].submitSeconds);
+    if (nextTime == std::numeric_limits<double>::infinity()) break;
+    TIB_ASSERT(nextTime >= now);
+    now = nextTime;
+
+    // Retire completed jobs.
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->actualEnd <= now + 1e-12) {
+        freeNodes += it->nodes;
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  TIB_REQUIRE_MSG(pending.empty(), "scheduler finished with queued jobs");
+
+  result.makespanSeconds = 0.0;
+  double totalWait = 0.0;
+  for (const ScheduledJob& s : result.jobs) {
+    result.makespanSeconds = std::max(result.makespanSeconds, s.endSeconds);
+    totalWait += s.waitSeconds();
+    result.maxWaitSeconds = std::max(result.maxWaitSeconds, s.waitSeconds());
+  }
+  if (!result.jobs.empty()) {
+    result.averageWaitSeconds = totalWait / static_cast<double>(result.jobs.size());
+    result.nodeUtilization =
+        busyNodeSeconds /
+        (static_cast<double>(totalNodes_) * result.makespanSeconds);
+  }
+  return result;
+}
+
+double SlurmScheduler::estimateEnergyJ(const Result& result,
+                                       const ClusterSpec& spec,
+                                       int totalNodes) {
+  TIB_REQUIRE(totalNodes >= 1);
+  const power::PowerModel model(spec.nodePlatform);
+  power::LoadState loaded;
+  loaded.activeCores = spec.nodePlatform.soc.cores;
+  loaded.coreUtilization = 1.0;
+  const double f = spec.frequencyHz > 0.0
+                       ? spec.frequencyHz
+                       : spec.nodePlatform.maxFrequencyHz();
+  const double loadedW = model.watts(f, loaded);
+  const double idleW = model.idleWatts();
+
+  double busyNodeSeconds = 0.0;
+  for (const ScheduledJob& s : result.jobs)
+    busyNodeSeconds += static_cast<double>(s.job.nodes) *
+                       (s.endSeconds - s.startSeconds);
+  const double totalNodeSeconds =
+      static_cast<double>(totalNodes) * result.makespanSeconds;
+  return busyNodeSeconds * loadedW +
+         (totalNodeSeconds - busyNodeSeconds) * idleW;
+}
+
+}  // namespace tibsim::cluster

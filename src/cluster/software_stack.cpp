@@ -1,0 +1,82 @@
+#include "tibsim/cluster/software_stack.hpp"
+
+namespace tibsim::cluster {
+
+std::string toString(StackLayer layer) {
+  switch (layer) {
+    case StackLayer::Compiler: return "compilers";
+    case StackLayer::RuntimeLibrary: return "runtime libraries";
+    case StackLayer::ScientificLibrary: return "scientific libraries";
+    case StackLayer::PerformanceTool: return "performance analysis";
+    case StackLayer::Debugger: return "debugger";
+    case StackLayer::ClusterManagement: return "cluster management";
+    case StackLayer::OperatingSystem: return "operating system";
+  }
+  return "unknown";
+}
+
+std::string toString(ArmSupport support) {
+  switch (support) {
+    case ArmSupport::Full: return "full";
+    case ArmSupport::PortedByTeam: return "ported";
+    case ArmSupport::Experimental: return "experimental";
+  }
+  return "unknown";
+}
+
+const std::vector<StackComponent>& softwareStack() {
+  static const std::vector<StackComponent> kStack = {
+      {"GCC (gcc/gfortran/g++)", StackLayer::Compiler, ArmSupport::Full,
+       "full ARM support; hardfp images built by the team"},
+      {"Mercurium (OmpSs)", StackLayer::Compiler, ArmSupport::Full,
+       "source-to-source OmpSs compiler"},
+      {"MPICH2", StackLayer::RuntimeLibrary, ArmSupport::Full, ""},
+      {"OpenMPI", StackLayer::RuntimeLibrary, ArmSupport::Full, ""},
+      {"Open-MX", StackLayer::RuntimeLibrary, ArmSupport::Full,
+       "kernel-bypass Ethernet messaging (Section 4.1)"},
+      {"Nanos++", StackLayer::RuntimeLibrary, ArmSupport::Full,
+       "OmpSs runtime"},
+      {"libGOMP", StackLayer::RuntimeLibrary, ArmSupport::Full, ""},
+      {"CUDA 4.2", StackLayer::RuntimeLibrary, ArmSupport::Experimental,
+       "armel-only vendor preview on CARMA; far from optimal"},
+      {"Mali OpenCL", StackLayer::RuntimeLibrary, ArmSupport::Experimental,
+       "early driver; kernel lacks Exynos thermal support (capped 1 GHz)"},
+      {"ATLAS", StackLayer::ScientificLibrary, ArmSupport::PortedByTeam,
+       "needed CPU-identification patches and a pinned frequency for "
+       "auto-tuning"},
+      {"FFTW", StackLayer::ScientificLibrary, ArmSupport::Full,
+       "natively compiled with per-platform flags"},
+      {"HDF5", StackLayer::ScientificLibrary, ArmSupport::Full,
+       "natively compiled"},
+      {"Paraver", StackLayer::PerformanceTool, ArmSupport::Full,
+       "trace visualisation"},
+      {"PAPI", StackLayer::PerformanceTool, ArmSupport::Full,
+       "hardware counters via kernel profiling support"},
+      {"Scalasca", StackLayer::PerformanceTool, ArmSupport::Full, ""},
+      {"Allinea DDT", StackLayer::Debugger, ArmSupport::Full, ""},
+      {"SLURM", StackLayer::ClusterManagement, ArmSupport::Full,
+       "client on every node"},
+      {"Debian/armhf (custom kernels)", StackLayer::OperatingSystem,
+       ArmSupport::PortedByTeam,
+       "hardfp images, non-preemptive scheduler, performance governor, "
+       "NFS root; vendor kernels required for each SoC"},
+  };
+  return kStack;
+}
+
+std::vector<StackComponent> componentsAt(StackLayer layer) {
+  std::vector<StackComponent> out;
+  for (const auto& c : softwareStack())
+    if (c.layer == layer) out.push_back(c);
+  return out;
+}
+
+double fullSupportFraction() {
+  const auto& stack = softwareStack();
+  std::size_t full = 0;
+  for (const auto& c : stack)
+    if (c.support == ArmSupport::Full) ++full;
+  return static_cast<double>(full) / static_cast<double>(stack.size());
+}
+
+}  // namespace tibsim::cluster

@@ -1,0 +1,120 @@
+#include "tibsim/common/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/table.hpp"
+
+namespace tibsim {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '~'};
+
+double transform(double v, bool log) {
+  if (!log) return v;
+  TIB_REQUIRE_MSG(v > 0.0, "log-scale axes require positive values");
+  return std::log10(v);
+}
+}  // namespace
+
+std::string renderChart(const std::vector<Series>& series,
+                        const ChartOptions& options) {
+  TIB_REQUIRE(!series.empty());
+  TIB_REQUIRE(options.width >= 10 && options.height >= 4);
+
+  double xMin = std::numeric_limits<double>::infinity();
+  double xMax = -xMin, yMin = xMin, yMax = -xMin;
+  bool any = false;
+  for (const auto& s : series) {
+    TIB_REQUIRE(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], options.logX);
+      const double ty = transform(s.y[i], options.logY);
+      xMin = std::min(xMin, tx);
+      xMax = std::max(xMax, tx);
+      yMin = std::min(yMin, ty);
+      yMax = std::max(yMax, ty);
+      any = true;
+    }
+  }
+  TIB_REQUIRE_MSG(any, "cannot chart empty series");
+  if (xMax == xMin) xMax = xMin + 1.0;
+  if (yMax == yMin) yMax = yMin + 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % sizeof(kMarkers)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], options.logX);
+      const double ty = transform(s.y[i], options.logY);
+      const int col = static_cast<int>(
+          std::lround((tx - xMin) / (xMax - xMin) * (options.width - 1)));
+      const int row = static_cast<int>(
+          std::lround((ty - yMin) / (yMax - yMin) * (options.height - 1)));
+      grid[static_cast<std::size_t>(options.height - 1 - row)]
+          [static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  const std::string yLo = fmt(options.logY ? std::pow(10, yMin) : yMin, 3);
+  const std::string yHi = fmt(options.logY ? std::pow(10, yMax) : yMax, 3);
+  const std::size_t margin = std::max(yLo.size(), yHi.size());
+
+  for (int r = 0; r < options.height; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = std::string(margin - yHi.size(), ' ') + yHi;
+    if (r == options.height - 1)
+      label = std::string(margin - yLo.size(), ' ') + yLo;
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(margin + 1, ' ') << '+'
+      << std::string(static_cast<std::size_t>(options.width), '-') << '\n';
+  const std::string xLo = fmt(options.logX ? std::pow(10, xMin) : xMin, 2);
+  const std::string xHi = fmt(options.logX ? std::pow(10, xMax) : xMax, 2);
+  out << std::string(margin + 2, ' ') << xLo
+      << std::string(
+             std::max<int>(1, options.width - static_cast<int>(xLo.size()) -
+                                  static_cast<int>(xHi.size())),
+             ' ')
+      << xHi << '\n';
+  if (!options.xLabel.empty() || !options.yLabel.empty())
+    out << "  x: " << options.xLabel << "   y: " << options.yLabel << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << "  " << kMarkers[si % sizeof(kMarkers)] << " = " << series[si].name
+        << '\n';
+  return out.str();
+}
+
+std::string renderBars(const std::vector<std::pair<std::string, double>>& bars,
+                       const std::string& title, int width) {
+  TIB_REQUIRE(!bars.empty());
+  double maxVal = 0.0;
+  std::size_t maxLabel = 0;
+  for (const auto& [label, value] : bars) {
+    maxVal = std::max(maxVal, value);
+    maxLabel = std::max(maxLabel, label.size());
+  }
+  if (maxVal <= 0.0) maxVal = 1.0;
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  for (const auto& [label, value] : bars) {
+    const int len = static_cast<int>(
+        std::lround(value / maxVal * static_cast<double>(width)));
+    out << label << std::string(maxLabel - label.size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(std::max(0, len)), '#') << ' '
+        << fmt(value, 3) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tibsim

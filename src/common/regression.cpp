@@ -1,0 +1,97 @@
+#include "tibsim/common/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim {
+
+LinearFit fitLinear(std::span<const double> xs, std::span<const double> ys) {
+  TIB_REQUIRE(xs.size() == ys.size());
+  TIB_REQUIRE(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  TIB_REQUIRE_MSG(sxx > 0.0, "x values must not all be equal");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  // r^2 = 1 - SS_res / SS_tot; a constant-y series fits perfectly.
+  if (syy > 0.0) {
+    double ssRes = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - fit.at(xs[i]);
+      ssRes += e * e;
+    }
+    fit.r2 = 1.0 - ssRes / syy;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+double ExponentialFit::at(double x) const {
+  return a * std::exp(b * (x - x0));
+}
+
+double ExponentialFit::doublingTime() const {
+  TIB_REQUIRE(b != 0.0);
+  return std::log(2.0) / b;
+}
+
+double ExponentialFit::growthPerUnit() const { return std::exp(b); }
+
+ExponentialFit fitExponential(std::span<const double> xs,
+                              std::span<const double> ys) {
+  TIB_REQUIRE(xs.size() == ys.size());
+  TIB_REQUIRE(!xs.empty());
+  // Centre x so exp(intercept) stays representable when x is e.g. a
+  // calendar year.
+  double x0 = 0.0;
+  for (double x : xs) x0 += x;
+  x0 /= static_cast<double>(xs.size());
+
+  std::vector<double> xc, logy;
+  xc.reserve(xs.size());
+  logy.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    TIB_REQUIRE_MSG(ys[i] > 0.0,
+                    "exponential fit requires positive y values");
+    xc.push_back(xs[i] - x0);
+    logy.push_back(std::log(ys[i]));
+  }
+  const LinearFit lin = fitLinear(xc, logy);
+  ExponentialFit fit;
+  fit.a = std::exp(lin.intercept);
+  fit.b = lin.slope;
+  fit.r2 = lin.r2;
+  fit.x0 = x0;
+  return fit;
+}
+
+double crossover(const ExponentialFit& lhs, const ExponentialFit& rhs) {
+  TIB_REQUIRE_MSG(lhs.b != rhs.b, "parallel growth curves never cross");
+  // a1*exp(b1 (x-x01)) = a2*exp(b2 (x-x02))
+  //   => x = (ln(a2/a1) + b1 x01 - b2 x02) / (b1 - b2)
+  return (std::log(rhs.a / lhs.a) + lhs.b * lhs.x0 - rhs.b * rhs.x0) /
+         (lhs.b - rhs.b);
+}
+
+}  // namespace tibsim

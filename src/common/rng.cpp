@@ -1,0 +1,29 @@
+#include "tibsim/common/rng.hpp"
+
+#include <cmath>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim {
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; draw u1 away from 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = nextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = nextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::exponential(double rate) {
+  TIB_REQUIRE(rate > 0.0);
+  double u = 0.0;
+  do {
+    u = nextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+}  // namespace tibsim

@@ -1,0 +1,109 @@
+#include "tibsim/common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::stats {
+
+double mean(std::span<const double> xs) {
+  TIB_REQUIRE(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  TIB_REQUIRE(!xs.empty());
+  double logSum = 0.0;
+  for (double x : xs) {
+    TIB_REQUIRE_MSG(x > 0.0, "geomean requires positive values");
+    logSum += std::log(x);
+  }
+  return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  TIB_REQUIRE(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  TIB_REQUIRE(!xs.empty());
+  TIB_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min(std::span<const double> xs) {
+  TIB_REQUIRE(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  TIB_REQUIRE(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double harmonicMean(std::span<const double> xs) {
+  TIB_REQUIRE(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    TIB_REQUIRE_MSG(x > 0.0, "harmonic mean requires positive values");
+    acc += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / acc;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  TIB_REQUIRE(n_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  TIB_REQUIRE(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  TIB_REQUIRE(n_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  TIB_REQUIRE(n_ > 0);
+  return max_;
+}
+
+}  // namespace tibsim::stats

@@ -1,0 +1,97 @@
+#include "tibsim/common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TIB_REQUIRE(!headers_.empty());
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  TIB_REQUIRE_MSG(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size())
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emitRow(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emitRow(row);
+  return out.str();
+}
+
+namespace {
+std::string csvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+std::string TextTable::toCsv() const {
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << csvEscape(row[c]);
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emitRow(headers_);
+  for (const auto& row : rows_) emitRow(row);
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmtSi(double value, const std::string& unit, int precision) {
+  static constexpr struct {
+    double factor;
+    const char* prefix;
+  } kScales[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+                 {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}};
+  for (const auto& s : kScales) {
+    if (std::abs(value) >= s.factor || s.factor == 1e-9) {
+      return fmt(value / s.factor, precision) + " " + s.prefix + unit;
+    }
+  }
+  return fmt(value, precision) + " " + unit;
+}
+
+}  // namespace tibsim

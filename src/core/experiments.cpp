@@ -1,0 +1,301 @@
+#include "tibsim/core/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tibsim/apps/hpl.hpp"
+#include "tibsim/apps/hydro.hpp"
+#include "tibsim/apps/md.hpp"
+#include "tibsim/apps/pepc.hpp"
+#include "tibsim/apps/specfem.hpp"
+#include "tibsim/arch/registry.hpp"
+#include <functional>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/table.hpp"
+#include "tibsim/common/statistics.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/kernels/microkernel.hpp"
+#include "tibsim/mpi/simmpi.hpp"
+#include "tibsim/perfmodel/execution_model.hpp"
+#include "tibsim/power/power_model.hpp"
+
+namespace tibsim::core {
+
+using namespace tibsim::units;
+
+// ---------------------------------------------------------------------------
+// Figures 3 & 4
+// ---------------------------------------------------------------------------
+
+std::vector<KernelMeasurement> MicroKernelExperiment::measureSuite(
+    const arch::Platform& platform, double frequencyHz, int cores) {
+  const perfmodel::ExecutionModel exec;
+  const power::PowerModel powerModel(platform);
+
+  std::vector<KernelMeasurement> results;
+  results.reserve(kernels::suiteTags().size());
+  for (const auto& tag : kernels::suiteTags()) {
+    const perfmodel::WorkProfile work = kernels::referenceProfileFor(tag);
+    KernelMeasurement m;
+    m.kernel = tag;
+    m.seconds = exec.time(platform, work, frequencyHz, cores);
+    power::LoadState load;
+    load.activeCores = cores;
+    load.coreUtilization = 1.0;
+    load.memBandwidthBytesPerS =
+        exec.consumedBandwidth(platform, work, frequencyHz, cores);
+    m.watts = powerModel.watts(frequencyHz, load);
+    m.energyJ = m.watts * m.seconds;
+    results.push_back(m);
+  }
+  return results;
+}
+
+std::vector<KernelMeasurement> MicroKernelExperiment::baseline() {
+  return measureSuite(arch::PlatformRegistry::tegra2(), ghz(1.0), 1);
+}
+
+namespace {
+double suiteSeconds(const std::vector<KernelMeasurement>& suite) {
+  double total = 0.0;
+  for (const auto& m : suite) total += m.seconds;
+  return total;
+}
+
+/// Meter one suite iteration through the simulated WT230: the power trace
+/// is piecewise-constant across the kernels.
+double meteredSuiteEnergy(const std::vector<KernelMeasurement>& suite) {
+  const double duration = suiteSeconds(suite);
+  power::SimulatedPowerMeter meter;
+  const auto powerAt = [&suite](double t) {
+    double acc = 0.0;
+    for (const auto& m : suite) {
+      acc += m.seconds;
+      if (t < acc) return m.watts;
+    }
+    return suite.back().watts;
+  };
+  return meter.measure(powerAt, 0.0, duration).energyJ;
+}
+
+double geomeanSpeedup(const std::vector<KernelMeasurement>& base,
+                      const std::vector<KernelMeasurement>& suite) {
+  TIB_REQUIRE(base.size() == suite.size());
+  std::vector<double> ratios;
+  ratios.reserve(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    ratios.push_back(base[i].seconds / suite[i].seconds);
+  return stats::geomean(ratios);
+}
+}  // namespace
+
+std::vector<PlatformSweep> MicroKernelExperiment::run() const {
+  const auto base = baseline();
+  const double baseEnergy = meteredSuiteEnergy(base);
+
+  std::vector<PlatformSweep> sweeps;
+  for (const arch::Platform& platform :
+       arch::PlatformRegistry::evaluated()) {
+    PlatformSweep sweep;
+    sweep.platform = platform.shortName;
+    const int cores = mode_ == Mode::MultiCore ? platform.soc.cores : 1;
+    for (const arch::OperatingPoint& op : platform.soc.dvfs) {
+      SweepPoint point;
+      point.frequencyHz = op.frequencyHz;
+      point.kernels = measureSuite(platform, op.frequencyHz, cores);
+      point.suiteSeconds = suiteSeconds(point.kernels);
+      point.suiteEnergyJ = meteredSuiteEnergy(point.kernels);
+      point.speedupVsBaseline = geomeanSpeedup(base, point.kernels);
+      point.energyVsBaseline = point.suiteEnergyJ / baseEnergy;
+      sweep.points.push_back(std::move(point));
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+  return sweeps;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+std::vector<StreamRow> streamExperiment() {
+  using kernels::StreamBenchmark;
+  using kernels::StreamOp;
+  constexpr StreamOp kOps[4] = {StreamOp::Copy, StreamOp::Scale,
+                                StreamOp::Add, StreamOp::Triad};
+  std::vector<StreamRow> rows;
+  for (const arch::Platform& platform :
+       arch::PlatformRegistry::evaluated()) {
+    StreamRow row;
+    row.platform = platform.shortName;
+    const double f = platform.maxFrequencyHz();
+    for (int i = 0; i < 4; ++i) {
+      row.singleCoreBytesPerS[i] =
+          StreamBenchmark::modeledBandwidth(platform, kOps[i], 1, f);
+      row.multiCoreBytesPerS[i] = StreamBenchmark::modeledBandwidth(
+          platform, kOps[i], platform.soc.cores, f);
+    }
+    row.efficiencyVsPeak =
+        row.multiCoreBytesPerS[3] / platform.soc.memory.peakBandwidthBytesPerS;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> latencyMessageSizes() {
+  return {0, 1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64};
+}
+
+std::vector<std::size_t> bandwidthMessageSizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 1; s <= (std::size_t{16} << 20); s *= 4)
+    sizes.push_back(s);
+  return sizes;
+}
+
+PingPongSeries pingPongSweep(const arch::Platform& platform,
+                             net::Protocol protocol, double frequencyHz,
+                             const std::vector<std::size_t>& sizes) {
+  const net::ProtocolModel model(protocol, platform, frequencyHz);
+  PingPongSeries series;
+  series.label = platform.shortName + " " + net::toString(protocol) + " @" +
+                 fmt(toGhz(frequencyHz), 1) + "GHz";
+  for (std::size_t bytes : sizes) {
+    series.messageBytes.push_back(static_cast<double>(bytes));
+    series.latencySeconds.push_back(model.pingPongLatency(bytes));
+    series.bandwidthBytesPerS.push_back(
+        bytes > 0 ? model.effectiveBandwidth(bytes) : 0.0);
+  }
+  return series;
+}
+
+double simulatedPingPongLatency(const arch::Platform& platform,
+                                net::Protocol protocol, double frequencyHz,
+                                std::size_t bytes, int repetitions) {
+  TIB_REQUIRE(repetitions >= 1);
+  mpi::WorldConfig cfg;
+  cfg.platform = platform;
+  cfg.frequencyHz = frequencyHz;
+  cfg.protocol = protocol;
+  cfg.ranksPerNode = 1;
+  cfg.topology.linkRateBytesPerS = platform.nicLinkRateBytesPerS;
+
+  mpi::MpiWorld world(cfg, 2);
+  const mpi::WorldStats stats =
+      world.run([bytes, repetitions](mpi::MpiContext& ctx) {
+        for (int i = 0; i < repetitions; ++i) {
+          if (ctx.rank() == 0) {
+            ctx.send(1, 7, bytes);
+            ctx.recv(1, 8);
+          } else {
+            ctx.recv(0, 7);
+            ctx.send(0, 8, bytes);
+          }
+        }
+      });
+  // IMB convention: half the mean round-trip.
+  return stats.wallClockSeconds / (2.0 * repetitions);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+std::vector<ScalingCurve> scalabilityExperiment(
+    const cluster::ClusterSpec& spec, const std::vector<int>& nodeCounts) {
+  cluster::ClusterSimulation sim(spec);
+
+  struct App {
+    std::string name;
+    int minNodes;
+    std::function<mpi::MpiWorld::RankBody(int ranks)> make;
+    bool weakScaling;
+  };
+
+  apps::PepcBenchmark::Params pepc;
+  apps::HydroBenchmark::Params hydro;
+  apps::MdBenchmark::Params md;
+  apps::SpecfemBenchmark::Params specfem;
+
+  const std::vector<App> appList = {
+      {"HP Linpack", 1, nullptr, true},
+      {"SPECFEM3D",
+       std::max(1, apps::SpecfemBenchmark::minimumNodes(spec,
+                                                        specfem.elements)),
+       [specfem](int) { return apps::SpecfemBenchmark::rankBody(specfem); },
+       false},
+      {"HYDRO", 2,
+       [hydro](int) { return apps::HydroBenchmark::rankBody(hydro); },
+       false},
+      {"PEPC",
+       apps::PepcBenchmark::minimumNodes(spec, pepc.particles),
+       [pepc](int) { return apps::PepcBenchmark::rankBody(pepc); }, false},
+      {"GROMACS",
+       std::max(2, apps::MdBenchmark::minimumNodes(spec, md.atoms)),
+       [md](int) { return apps::MdBenchmark::rankBody(md); }, false},
+  };
+
+  std::vector<ScalingCurve> curves;
+  for (const App& app : appList) {
+    ScalingCurve curve;
+    curve.application = app.name;
+    curve.baseNodes = app.minNodes;
+    double baseTime = 0.0;
+    double baseGflops = 0.0;
+
+    for (int nodes : nodeCounts) {
+      if (nodes < app.minNodes || nodes > spec.nodes) continue;
+      cluster::JobResult result;
+      if (app.weakScaling) {
+        result = apps::HplBenchmark::run(sim, nodes);
+      } else {
+        result = sim.runJob(nodes, app.make(nodes * spec.ranksPerNode));
+      }
+      ScalingPoint point;
+      point.nodes = nodes;
+      point.wallClockSeconds = result.wallClockSeconds;
+      if (baseTime == 0.0) {
+        baseTime = result.wallClockSeconds;
+        baseGflops = result.gflops;
+        // Linear-scaling assumption below the smallest feasible node count
+        // (the paper's method for PEPC and GROMACS).
+        point.speedup = static_cast<double>(nodes);
+      } else if (app.weakScaling) {
+        // Weak scaling: speedup tracks the achieved rate.
+        point.speedup =
+            result.gflops / baseGflops * curve.points.front().speedup;
+      } else {
+        point.speedup = baseTime / result.wallClockSeconds *
+                        curve.points.front().speedup;
+      }
+      curve.points.push_back(point);
+    }
+    if (!curve.points.empty()) curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+// ---------------------------------------------------------------------------
+// Table 4
+// ---------------------------------------------------------------------------
+
+std::vector<BytesPerFlopRow> bytesPerFlopTable() {
+  std::vector<BytesPerFlopRow> rows;
+  for (const arch::Platform& platform :
+       arch::PlatformRegistry::evaluated()) {
+    BytesPerFlopRow row;
+    row.platform = platform.shortName;
+    row.gbe1 = platform.bytesPerFlop(gbps(1.0));
+    row.gbe10 = platform.bytesPerFlop(gbps(10.0));
+    row.ib40 = platform.bytesPerFlop(gbps(40.0));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace tibsim::core

@@ -1,0 +1,83 @@
+#include "tibsim/kernels/microkernel.hpp"
+
+#include <unordered_map>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/kernels/suite.hpp"
+
+namespace tibsim::kernels {
+
+using perfmodel::AccessPattern;
+using perfmodel::WorkProfile;
+
+namespace {
+
+// Reference work profiles at the Section-3 evaluation sizes. The problem
+// size is identical on every platform ("the same amount of work to perform
+// in one iteration"); these constants are sized so one whole-suite iteration
+// takes ~3 s single-core on the Tegra 2 at 1 GHz, reproducing the paper's
+// 23.93 J/iteration wall-plug energy. flops for the integer kernels (hist,
+// msort) count ALU ops, which is what bounds them.
+const std::unordered_map<std::string, WorkProfile>& referenceProfiles() {
+  static const std::unordered_map<std::string, WorkProfile> kProfiles = {
+      // tag          flops    bytes    pattern                    ce    pf    imb
+      {"vecop", {9.5e6, 113e6, AccessPattern::Streaming, 1.00, 0.99, 0.0}},
+      {"dmmm",  {158e6, 24e6,  AccessPattern::Blocked,   0.90, 1.00, 0.0}},
+      {"3dstc", {33e6,  67e6,  AccessPattern::Strided,   0.80, 1.00, 0.0}},
+      {"2dcon", {124e6, 40e6,  AccessPattern::Spatial,   0.85, 1.00, 0.0}},
+      {"fft",   {130e6, 59e6,  AccessPattern::Strided,   0.65, 0.97, 0.0}},
+      {"red",   {9.9e6, 79e6,  AccessPattern::Streaming, 0.90, 0.98, 0.0}},
+      {"hist",  {40e6,  40e6,  AccessPattern::Streaming, 0.45, 0.98, 0.0}},
+      {"msort", {109e6, 236e6, AccessPattern::Blocked,   0.35, 0.90, 0.0}},
+      {"nbody", {198e6, 2e6,   AccessPattern::Irregular, 0.75, 1.00, 0.0}},
+      {"amcd",  {177e6, 1e6,   AccessPattern::Resident,  0.95, 1.00, 0.0}},
+      {"spvm",  {9.4e6, 59e6,  AccessPattern::Irregular, 0.90, 0.97, 0.25}},
+  };
+  return kProfiles;
+}
+
+}  // namespace
+
+perfmodel::WorkProfile MicroKernel::referenceProfile() const {
+  return referenceProfileFor(tag());
+}
+
+perfmodel::WorkProfile referenceProfileFor(std::string_view tag) {
+  const auto& profiles = referenceProfiles();
+  const auto it = profiles.find(std::string(tag));
+  TIB_REQUIRE_MSG(it != profiles.end(),
+                  "unknown micro-kernel tag: " + std::string(tag));
+  return it->second;
+}
+
+const std::vector<std::string>& suiteTags() {
+  static const std::vector<std::string> kTags = {
+      "vecop", "dmmm", "3dstc", "2dcon", "fft", "red",
+      "hist",  "msort", "nbody", "amcd", "spvm"};
+  return kTags;
+}
+
+std::unique_ptr<MicroKernel> makeKernel(std::string_view tag) {
+  if (tag == "vecop") return std::make_unique<VecOp>();
+  if (tag == "dmmm") return std::make_unique<Dmmm>();
+  if (tag == "3dstc") return std::make_unique<Stencil3D>();
+  if (tag == "2dcon") return std::make_unique<Conv2D>();
+  if (tag == "fft") return std::make_unique<Fft1D>();
+  if (tag == "red") return std::make_unique<Reduction>();
+  if (tag == "hist") return std::make_unique<Histogram>();
+  if (tag == "msort") return std::make_unique<MergeSort>();
+  if (tag == "nbody") return std::make_unique<NBody>();
+  if (tag == "amcd") return std::make_unique<Amcd>();
+  if (tag == "spvm") return std::make_unique<Spvm>();
+  TIB_REQUIRE_MSG(false, "unknown micro-kernel tag: " + std::string(tag));
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<MicroKernel>> makeSuite() {
+  std::vector<std::unique_ptr<MicroKernel>> suite;
+  suite.reserve(suiteTags().size());
+  for (const auto& tag : suiteTags()) suite.push_back(makeKernel(tag));
+  return suite;
+}
+
+}  // namespace tibsim::kernels

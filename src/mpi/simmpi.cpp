@@ -1,0 +1,349 @@
+#include "tibsim/mpi/simmpi.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+
+namespace tibsim::mpi {
+
+using perfmodel::AccessPattern;
+
+WorldConfig WorldConfig::tibidaboNode() {
+  WorldConfig cfg;
+  cfg.platform = arch::PlatformRegistry::tegra2();
+  cfg.frequencyHz = cfg.platform.maxFrequencyHz();
+  cfg.protocol = net::Protocol::TcpIp;
+  cfg.ranksPerNode = 2;  // one MPI rank per Cortex-A9 core
+  cfg.topology.nodesPerLeafSwitch = 32;
+  cfg.topology.linkRateBytesPerS = units::gbps(1.0);
+  cfg.topology.bisectionBytesPerS = units::gbps(8.0);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// MpiContext
+// ---------------------------------------------------------------------------
+
+MpiContext::MpiContext(MpiWorld& world, sim::Process& process, int rank,
+                       int node)
+    : world_(world), process_(process), rank_(rank), node_(node) {}
+
+int MpiContext::size() const { return world_.ranks(); }
+
+double MpiContext::now() const { return process_.now(); }
+
+void MpiContext::compute(const perfmodel::WorkProfile& work) {
+  const double seconds = world_.execModel_.time(
+      world_.platform(), work, world_.frequencyHz(), /*cores=*/1);
+  world_.stats_.totalFlops += work.flops;
+  world_.stats_.totalDramBytes += work.bytes;
+  world_.stats_.nodeBusySeconds[static_cast<std::size_t>(node_)] += seconds;
+  const double begin = now();
+  process_.delay(seconds);
+  world_.traceSpan(rank_, SpanKind::Compute, begin, now());
+}
+
+void MpiContext::computeSeconds(double seconds) {
+  TIB_REQUIRE(seconds >= 0.0);
+  world_.stats_.nodeBusySeconds[static_cast<std::size_t>(node_)] += seconds;
+  const double begin = now();
+  process_.delay(seconds);
+  world_.traceSpan(rank_, SpanKind::Compute, begin, now());
+}
+
+void MpiContext::send(int dst, int tag, std::size_t bytes,
+                      std::span<const std::byte> payload) {
+  world_.doSend(*this, dst, tag, bytes, payload);
+}
+
+void MpiContext::sendDoubles(int dst, int tag,
+                             std::span<const double> values) {
+  send(dst, tag, values.size_bytes(),
+       std::as_bytes(values));
+}
+
+std::vector<std::byte> MpiContext::recv(int src, int tag,
+                                        std::size_t* receivedBytes) {
+  return world_.doRecv(*this, src, tag, receivedBytes);
+}
+
+std::vector<double> MpiContext::recvDoubles(int src, int tag) {
+  const std::vector<std::byte> raw = recv(src, tag);
+  std::vector<double> values(raw.size() / sizeof(double));
+  if (!values.empty())
+    std::memcpy(values.data(), raw.data(), values.size() * sizeof(double));
+  return values;
+}
+
+MpiContext::Request MpiContext::isend(int dst, int tag, std::size_t bytes,
+                                      std::span<const std::byte> payload) {
+  // Eager buffered send: costs are charged now, delivery proceeds in the
+  // background; rendezvous is suppressed so the caller never blocks.
+  world_.doSend(*this, dst, tag, bytes, payload, /*allowRendezvous=*/false);
+  const Request request = nextRequest_++;
+  pending_.emplace(request, PendingOp{false, dst, tag});
+  return request;
+}
+
+MpiContext::Request MpiContext::irecv(int src, int tag) {
+  const Request request = nextRequest_++;
+  pending_.emplace(request, PendingOp{true, src, tag});
+  return request;
+}
+
+std::vector<std::byte> MpiContext::wait(Request request,
+                                        std::size_t* receivedBytes) {
+  const auto it = pending_.find(request);
+  TIB_REQUIRE_MSG(it != pending_.end(), "unknown or already-waited request");
+  const PendingOp op = it->second;
+  pending_.erase(it);
+  if (!op.isRecv) return {};  // isend completed at initiation
+  return world_.doRecv(*this, op.peer, op.tag, receivedBytes);
+}
+
+void MpiContext::waitall(std::span<const Request> requests) {
+  for (Request r : requests) wait(r);
+}
+
+void MpiContext::sendrecv(int peer, int tag, std::size_t sendBytes,
+                          std::size_t* recvBytes) {
+  TIB_REQUIRE(peer != rank_);
+  // Rank-ordered exchange: lower rank sends first. Safe for both eager and
+  // rendezvous messages (the classic deadlock-free pairing).
+  if (rank_ < peer) {
+    send(peer, tag, sendBytes);
+    recv(peer, tag, recvBytes);
+  } else {
+    recv(peer, tag, recvBytes);
+    send(peer, tag, sendBytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MpiWorld
+// ---------------------------------------------------------------------------
+
+MpiWorld::MpiWorld(WorldConfig config, int ranks)
+    : config_(std::move(config)), ranks_(ranks) {
+  TIB_REQUIRE(ranks_ >= 1);
+  TIB_REQUIRE(config_.ranksPerNode >= 1 &&
+              config_.ranksPerNode <= config_.platform.soc.cores);
+  nodes_ = (ranks_ + config_.ranksPerNode - 1) / config_.ranksPerNode;
+  frequencyHz_ = config_.frequencyHz > 0.0 ? config_.frequencyHz
+                                           : config_.platform.maxFrequencyHz();
+  protocol_ = std::make_unique<net::ProtocolModel>(
+      config_.protocol, config_.platform, frequencyHz_);
+}
+
+MpiWorld::~MpiWorld() = default;
+
+void MpiWorld::chargeCpu(int node, double seconds) {
+  stats_.nodeBusySeconds[static_cast<std::size_t>(node)] += seconds;
+  stats_.nodeCommCpuSeconds[static_cast<std::size_t>(node)] += seconds;
+}
+
+void MpiWorld::traceSpan(int rank, SpanKind kind, double begin, double end,
+                         int peer, std::size_t bytes) {
+  if (!tracing_) return;
+  tracer_.record(TraceSpan{rank, kind, begin, end, peer, bytes});
+}
+
+void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
+                      std::span<const std::byte> payload,
+                      bool allowRendezvous) {
+  TIB_REQUIRE(dst >= 0 && dst < ranks_);
+  TIB_REQUIRE(dst != ctx.rank());
+  ++stats_.messageCount;
+  stats_.payloadBytes += static_cast<double>(bytes);
+
+  std::vector<std::byte> copy(payload.begin(), payload.end());
+  const int srcNode = ctx.node();
+  const int dstNode = nodeOfRank(dst);
+
+  const double sendBegin = sim_->now();
+  if (srcNode == dstNode) {
+    // Shared-memory path: one copy in, one copy out, no NIC.
+    const double copyBw = 0.5 * execModel_.achievableBandwidth(
+                                    platform(), AccessPattern::Streaming, 1,
+                                    frequencyHz_);
+    const double side = 0.3e-6 + static_cast<double>(bytes) / copyBw;
+    chargeCpu(srcNode, side);
+    ctx.process_.delay(side);
+    traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst,
+              bytes);
+    Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
+                side, nullptr, nextMessageId_++};
+    const int dstRank = dst;
+    auto deliverLocal = [this, dstRank, m = std::move(msg)]() mutable {
+      deliver(dstRank, std::move(m));
+    };
+    sim_->scheduleIn(0.2e-6, std::move(deliverLocal));
+    return;
+  }
+
+  net::MessageCosts costs = protocol_->messageCosts(bytes);
+  if (!allowRendezvous) costs.rendezvous = false;
+
+  if (!costs.rendezvous) {
+    // Eager: pay the sender stack, put the bytes on the wire, return.
+    chargeCpu(srcNode, costs.senderSeconds);
+    ctx.process_.delay(costs.senderSeconds);
+    traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst,
+              bytes);
+    const double wireBytes =
+        costs.wireSeconds * platform().nicLinkRateBytesPerS;
+    const double arrival =
+        fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim_->now());
+    Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
+                costs.receiverSeconds, nullptr, nextMessageId_++};
+    sim_->scheduleAt(arrival, [this, dst, m = std::move(msg)]() mutable {
+      deliver(dst, std::move(m));
+    });
+    return;
+  }
+
+  // Rendezvous (Open-MX >= 32 KiB): send RTS, block until the CTS wakes us,
+  // then stream the data with zero-copy send semantics.
+  const net::MessageCosts rts = protocol_->messageCosts(0);
+  chargeCpu(srcNode, rts.senderSeconds);
+  ctx.process_.delay(rts.senderSeconds);
+  const double rtsArrival =
+      fabric_->scheduleWire(srcNode, dstNode, 84.0, sim_->now());
+  Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::RtsPending,
+              costs.receiverSeconds, &ctx.process_, nextMessageId_++};
+  const std::uint64_t id = msg.id;
+  sim_->scheduleAt(rtsArrival, [this, dst, m = std::move(msg)]() mutable {
+    deliver(dst, std::move(m));
+  });
+  ctx.process_.suspend();  // woken by the receiver's CTS
+
+  // CTS received: stream the payload.
+  chargeCpu(srcNode, costs.senderSeconds);
+  ctx.process_.delay(costs.senderSeconds);
+  const double wireBytes = costs.wireSeconds * platform().nicLinkRateBytesPerS;
+  const double dataArrival =
+      fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim_->now());
+  traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst, bytes);
+  sim_->scheduleAt(dataArrival, [this, dst, id] {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+    for (auto& m : box.messages) {
+      if (m.id == id) {
+        m.stage = Stage::Delivered;
+        break;
+      }
+    }
+    if (box.waiting) {
+      box.waiting = false;
+      sim_->resume(*box.waiter);
+    }
+  });
+}
+
+void MpiWorld::deliver(int dstRank, Message message) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
+  box.messages.push_back(std::move(message));
+  if (box.waiting && box.messages.back().src == box.waitSrc &&
+      box.messages.back().tag == box.waitTag) {
+    box.waiting = false;
+    sim_->resume(*box.waiter);
+  }
+}
+
+std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
+                                        std::size_t* receivedBytes) {
+  TIB_REQUIRE(src >= 0 && src < ranks_);
+  TIB_REQUIRE(src != ctx.rank());
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(ctx.rank())];
+  const double recvEntry = sim_->now();
+
+  while (true) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->src != src || it->tag != tag) continue;
+      if (it->stage == Stage::Delivered) {
+        Message msg = std::move(*it);
+        box.messages.erase(it);
+        traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim_->now(), src);
+        const double cpuBegin = sim_->now();
+        chargeCpu(ctx.node(), msg.receiverCost);
+        ctx.process_.delay(msg.receiverCost);
+        traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim_->now(), src,
+                  msg.bytes);
+        if (receivedBytes != nullptr) *receivedBytes = msg.bytes;
+        return std::move(msg.payload);
+      }
+      if (it->stage == Stage::RtsPending) {
+        // Matched a rendezvous request: return a CTS and wait for the data.
+        it->stage = Stage::AwaitingData;
+        sim::Process* sender = it->sender;  // before delay(): the yield may
+                                            // grow the deque and invalidate it
+        const net::MessageCosts cts = protocol_->messageCosts(0);
+        chargeCpu(ctx.node(), cts.senderSeconds);
+        ctx.process_.delay(cts.senderSeconds);
+        const double ctsArrival = fabric_->scheduleWire(
+            ctx.node(), nodeOfRank(src), 84.0, sim_->now());
+        sim_->scheduleAt(ctsArrival, [this, sender] {
+          sim_->resume(*sender);
+        });
+        break;  // fall through to waiting for the data-arrival wake-up
+      }
+      // AwaitingData: the exchange is in flight; keep waiting.
+      break;
+    }
+    box.waiting = true;
+    box.waitSrc = src;
+    box.waitTag = tag;
+    box.waiter = &ctx.process_;
+    ctx.process_.suspend();
+    box.waiting = false;
+  }
+}
+
+WorldStats MpiWorld::run(const RankBody& body) {
+  sim_ = std::make_unique<sim::Simulation>();
+  net::TopologySpec topo = config_.topology;
+  topo.nodes = nodes_;
+  fabric_ = std::make_unique<net::Fabric>(topo);
+  mailboxes_.assign(static_cast<std::size_t>(ranks_), Mailbox{});
+  contexts_.clear();
+  stats_ = WorldStats{};
+  stats_.nodes = nodes_;
+  stats_.rankFinishSeconds.assign(static_cast<std::size_t>(ranks_), 0.0);
+  stats_.nodeBusySeconds.assign(static_cast<std::size_t>(nodes_), 0.0);
+  stats_.nodeCommCpuSeconds.assign(static_cast<std::size_t>(nodes_), 0.0);
+
+  std::vector<sim::Process*> processes;
+  processes.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    auto& process = sim_->spawn(
+        "rank" + std::to_string(r),
+        [this, r, &body](sim::Process& p) {
+          MpiContext& ctx = *contexts_[static_cast<std::size_t>(r)];
+          (void)p;
+          body(ctx);
+          stats_.rankFinishSeconds[static_cast<std::size_t>(r)] = ctx.now();
+        });
+    contexts_.push_back(std::unique_ptr<MpiContext>(
+        new MpiContext(*this, process, r, nodeOfRank(r))));
+    processes.push_back(&process);
+  }
+
+  sim_->run();
+
+  for (sim::Process* p : processes) {
+    if (p->exception() != nullptr) std::rethrow_exception(p->exception());
+  }
+  TIB_REQUIRE_MSG(sim_->liveProcessCount() == 0,
+                  "simMPI deadlock: ranks still blocked after event queue "
+                  "drained");
+
+  stats_.wallClockSeconds = *std::max_element(
+      stats_.rankFinishSeconds.begin(), stats_.rankFinishSeconds.end());
+  stats_.wireBytes = fabric_->totalWireBytes();
+  stats_.fabricQueueingSeconds = fabric_->totalQueueingSeconds();
+  return stats_;
+}
+
+}  // namespace tibsim::mpi

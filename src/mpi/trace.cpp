@@ -1,0 +1,70 @@
+#include "tibsim/mpi/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::mpi {
+
+std::string toString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Compute: return "compute";
+    case SpanKind::Send: return "send";
+    case SpanKind::Recv: return "recv";
+    case SpanKind::Wait: return "wait";
+  }
+  return "unknown";
+}
+
+void Tracer::record(TraceSpan span) {
+  TIB_REQUIRE(span.end >= span.begin);
+  spans_.push_back(span);
+}
+
+void Tracer::clear() { spans_.clear(); }
+
+std::vector<Tracer::RankSummary> Tracer::summarize(int ranks,
+                                                   double wallClock) const {
+  TIB_REQUIRE(ranks >= 1);
+  std::vector<RankSummary> summaries(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r)
+    summaries[static_cast<std::size_t>(r)].rank = r;
+  for (const TraceSpan& span : spans_) {
+    if (span.rank < 0 || span.rank >= ranks) continue;
+    RankSummary& s = summaries[static_cast<std::size_t>(span.rank)];
+    switch (span.kind) {
+      case SpanKind::Compute: s.computeSeconds += span.duration(); break;
+      case SpanKind::Send: s.sendSeconds += span.duration(); break;
+      case SpanKind::Recv: s.recvSeconds += span.duration(); break;
+      case SpanKind::Wait: s.waitSeconds += span.duration(); break;
+    }
+  }
+  for (RankSummary& s : summaries) {
+    s.otherSeconds = std::max(
+        0.0, wallClock - s.computeSeconds - s.sendSeconds - s.recvSeconds -
+                 s.waitSeconds);
+  }
+  return summaries;
+}
+
+double Tracer::nonComputeFraction(int ranks, double wallClock) const {
+  if (wallClock <= 0.0) return 0.0;
+  const auto summaries = summarize(ranks, wallClock);
+  double compute = 0.0;
+  for (const auto& s : summaries) compute += s.computeSeconds;
+  const double total = wallClock * static_cast<double>(ranks);
+  return 1.0 - compute / total;
+}
+
+std::string Tracer::exportCsv() const {
+  std::ostringstream out;
+  out << "rank,kind,begin,end,peer,bytes\n";
+  for (const TraceSpan& span : spans_) {
+    out << span.rank << ',' << toString(span.kind) << ',' << span.begin
+        << ',' << span.end << ',' << span.peer << ',' << span.bytes << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tibsim::mpi

@@ -1,0 +1,62 @@
+#include "tibsim/net/eee.hpp"
+
+#include <algorithm>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::net {
+
+EnergyEfficientEthernet::EnergyEfficientEthernet(Config config)
+    : config_(config) {
+  TIB_REQUIRE(config_.wakeSeconds >= 0.0);
+  TIB_REQUIRE(config_.sleepSeconds >= 0.0);
+  TIB_REQUIRE(config_.idleEntrySeconds >= 0.0);
+  TIB_REQUIRE(config_.lpiPowerFraction >= 0.0 &&
+              config_.lpiPowerFraction <= 1.0);
+  TIB_REQUIRE(config_.activePhyWatts > 0.0);
+}
+
+double EnergyEfficientEthernet::addedLatencySeconds(double gapSeconds) const {
+  TIB_REQUIRE(gapSeconds >= 0.0);
+  if (!config_.enabled) return 0.0;
+  // The link only sleeps if the gap outlasted the entry policy plus the
+  // sleep transition itself.
+  if (gapSeconds < config_.idleEntrySeconds + config_.sleepSeconds)
+    return 0.0;
+  return config_.wakeSeconds;
+}
+
+double EnergyEfficientEthernet::averagePhyWatts(double wireSeconds,
+                                                double intervalSeconds) const {
+  TIB_REQUIRE(wireSeconds >= 0.0);
+  TIB_REQUIRE(intervalSeconds > 0.0);
+  if (!config_.enabled) return config_.activePhyWatts;
+
+  const double gap = std::max(0.0, intervalSeconds - wireSeconds);
+  const double sleepable =
+      std::max(0.0, gap - config_.idleEntrySeconds - config_.sleepSeconds);
+  // Active during: transmission, idle-entry window, sleep and wake
+  // transitions (transitions burn active-level power).
+  const double wake = sleepable > 0.0 ? config_.wakeSeconds : 0.0;
+  const double activeSeconds =
+      std::min(intervalSeconds, intervalSeconds - sleepable + wake);
+  const double lpiSeconds = intervalSeconds - activeSeconds;
+  return (activeSeconds * config_.activePhyWatts +
+          lpiSeconds * config_.activePhyWatts * config_.lpiPowerFraction) /
+         intervalSeconds;
+}
+
+double EnergyEfficientEthernet::energySavingFraction(
+    double wireSeconds, double intervalSeconds) const {
+  return 1.0 -
+         averagePhyWatts(wireSeconds, intervalSeconds) /
+             config_.activePhyWatts;
+}
+
+double EnergyEfficientEthernet::effectiveLatencySeconds(
+    double baseLatencySeconds, double intervalSeconds) const {
+  TIB_REQUIRE(baseLatencySeconds >= 0.0);
+  return baseLatencySeconds + addedLatencySeconds(intervalSeconds);
+}
+
+}  // namespace tibsim::net

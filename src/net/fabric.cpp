@@ -1,0 +1,65 @@
+#include "tibsim/net/fabric.hpp"
+
+#include <algorithm>
+
+namespace tibsim::net {
+
+Fabric::Fabric(TopologySpec spec) : spec_(spec) {
+  TIB_REQUIRE(spec_.nodes >= 1);
+  TIB_REQUIRE(spec_.nodesPerLeafSwitch >= 1);
+  TIB_REQUIRE(spec_.linkRateBytesPerS > 0.0);
+  TIB_REQUIRE(spec_.bisectionBytesPerS > 0.0);
+  uplink_.assign(static_cast<std::size_t>(spec_.nodes),
+                 Resource{spec_.linkRateBytesPerS, 0.0});
+  downlink_.assign(static_cast<std::size_t>(spec_.nodes),
+                   Resource{spec_.linkRateBytesPerS, 0.0});
+  core_ = Resource{spec_.bisectionBytesPerS, 0.0};
+}
+
+bool Fabric::sameLeaf(int src, int dst) const {
+  return src / spec_.nodesPerLeafSwitch == dst / spec_.nodesPerLeafSwitch;
+}
+
+int Fabric::hopCount(int src, int dst) const {
+  TIB_REQUIRE(src >= 0 && src < spec_.nodes);
+  TIB_REQUIRE(dst >= 0 && dst < spec_.nodes);
+  if (src == dst) return 0;
+  return sameLeaf(src, dst) ? 1 : 3;
+}
+
+double Fabric::occupy(Resource& resource, double bytes, double earliest) {
+  const double start = std::max(earliest, resource.nextFree);
+  totalQueueingSeconds_ += start - earliest;
+  const double finish = start + bytes / resource.rateBytesPerS;
+  resource.nextFree = finish;
+  return finish;
+}
+
+double Fabric::scheduleWire(int src, int dst, double wireBytes,
+                            double startTime) {
+  TIB_REQUIRE(src >= 0 && src < spec_.nodes);
+  TIB_REQUIRE(dst >= 0 && dst < spec_.nodes);
+  TIB_REQUIRE(src != dst);
+  TIB_REQUIRE(wireBytes >= 0.0);
+
+  totalWireBytes_ += wireBytes;
+  ++transferCount_;
+
+  // Cut-through forwarding: each downstream stage can begin as soon as the
+  // first bytes of the previous stage arrive, so when a resource is free its
+  // serialisation fully overlaps the previous stage (earliest start =
+  // previous finish minus its own serialisation time); when it is busy the
+  // message queues. A fixed per-hop switch latency is added at the end.
+  const double serialise = wireBytes / spec_.linkRateBytesPerS;
+  double t = occupy(uplink_[static_cast<std::size_t>(src)], wireBytes,
+                    startTime);
+  if (!sameLeaf(src, dst)) {
+    const double coreSerialise = wireBytes / spec_.bisectionBytesPerS;
+    t = occupy(core_, wireBytes, std::max(startTime, t - coreSerialise));
+  }
+  t = occupy(downlink_[static_cast<std::size_t>(dst)], wireBytes,
+             std::max(startTime, t - serialise));
+  return t + spec_.switchLatency * hopCount(src, dst);
+}
+
+}  // namespace tibsim::net

@@ -1,0 +1,200 @@
+#include "tibsim/net/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+
+namespace tibsim::net {
+
+using namespace tibsim::units;
+
+std::string toString(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::TcpIp: return "TCP/IP";
+    case Protocol::OpenMx: return "Open-MX";
+  }
+  return "unknown";
+}
+
+namespace {
+// One switch in the path for the two-board ping-pong measurements.
+constexpr double kSwitchLatency = 2.0e-6;
+// Ethernet wire time for a minimum frame (preamble + IFG included).
+constexpr double kMinFrameBytes = 84.0;
+}  // namespace
+
+ProtocolModel::ProtocolModel(Protocol protocol, const arch::Platform& platform,
+                             double frequencyHz)
+    : protocol_(protocol), platform_(platform), frequencyHz_(frequencyHz) {
+  TIB_REQUIRE(frequencyHz > 0.0);
+  switch (protocol_) {
+    case Protocol::TcpIp:
+      // Full socket path: syscall, skb allocation, TCP/IP traversal, IRQ,
+      // scheduler wakeup. Two copies each side (user<->kernel, kernel<->NIC
+      // ring). Calibrated on the Tegra 2 measurements: ~100 us ping-pong
+      // latency and ~65 MB/s sustained at 1 GHz.
+      baseCyclesPerSide_ = 39000.0;
+      perSegmentCycles_ = 19000.0;
+      segmentBytes_ = 1500.0;
+      wireEfficiency_ = 0.941;  // 1460/1552 incl. headers, preamble, IFG
+      rendezvousThreshold_ = 0;
+      copyPassesSender_ = 2.0;
+      copyPassesReceiver_ = 2.0;
+      break;
+    case Protocol::OpenMx:
+      // User-space message layer over raw Ethernet: no socket path, large
+      // MX frames, eager single-copy under 32 KiB, rendezvous zero-copy
+      // send / single-copy receive above. Calibrated on the Tegra 2
+      // measurements: ~65 us latency and ~117 MB/s at 1 GHz.
+      baseCyclesPerSide_ = 29000.0;
+      perSegmentCycles_ = 3000.0;
+      segmentBytes_ = 4096.0;
+      wireEfficiency_ = 0.936;
+      rendezvousThreshold_ = 32 * 1024;
+      copyPassesSender_ = 1.0;
+      copyPassesReceiver_ = 1.0;
+      break;
+  }
+
+  switch (platform_.nicAttachment) {
+    case arch::NicAttachment::Pcie:
+      nicPerMessageSeconds_ = 1.0e-6;
+      nicPerByteSeconds_ = 0.0;
+      nicPerByteCycles_ = 0.0;
+      break;
+    case arch::NicAttachment::Usb3:
+      // USB host stack: URB submission/completion costs dominate small
+      // messages and are mostly frequency-insensitive (controller + DMA);
+      // the per-byte path through the xHCI/adapter caps bandwidth around
+      // 70 MB/s regardless of protocol (Fig. 7(e)-(f)).
+      nicPerMessageSeconds_ = 33.0e-6;
+      nicPerByteSeconds_ = 9.45e-9;
+      nicPerByteCycles_ = 7.26;  // ns per byte at the 1 GHz reference clock
+      break;
+    case arch::NicAttachment::OnChip:
+      nicPerMessageSeconds_ = 0.5e-6;
+      nicPerByteSeconds_ = 0.0;
+      nicPerByteCycles_ = 0.0;
+      break;
+  }
+}
+
+double ProtocolModel::stackArchFactor() const {
+  using arch::Microarch;
+  switch (platform_.soc.core.microarch) {
+    case Microarch::CortexA9: return 1.0;
+    case Microarch::CortexA15: return 0.53;
+    case Microarch::CortexA57: return 0.45;
+    case Microarch::SandyBridge: return 0.22;
+  }
+  return 1.0;
+}
+
+double ProtocolModel::cyclesToSeconds(double cycles) const {
+  return cycles * stackArchFactor() / frequencyHz_;
+}
+
+double ProtocolModel::memcpyBytesPerS() const {
+  // A single core's copy bandwidth: reads + writes both cross the memory
+  // interface, so a one-pass copy moves 2 bytes per payload byte.
+  const auto& mem = platform_.soc.memory;
+  const double fRatio = frequencyHz_ / platform_.soc.maxFrequencyHz();
+  return 0.5 * mem.singleCoreBandwidthBytesPerS * (0.30 + 0.70 * fRatio);
+}
+
+MessageCosts ProtocolModel::messageCosts(std::size_t bytes) const {
+  const double payload = static_cast<double>(bytes);
+  const double segments = std::max(1.0, std::ceil(payload / segmentBytes_));
+
+  const bool rendezvous =
+      rendezvousThreshold_ > 0 && bytes >= rendezvousThreshold_;
+  double sendPasses = copyPassesSender_;
+  double recvPasses = copyPassesReceiver_;
+  if (rendezvous) {
+    sendPasses = 0.0;  // zero-copy send via memory pinning
+    recvPasses = 1.0;
+  }
+
+  const double usbPerByte =
+      nicPerByteSeconds_ + nicPerByteCycles_ * stackArchFactor() *
+                               (units::kGHz / frequencyHz_) * 1e-9;
+
+  MessageCosts costs;
+  costs.rendezvous = rendezvous;
+  costs.senderSeconds = cyclesToSeconds(baseCyclesPerSide_) +
+                        nicPerMessageSeconds_ +
+                        cyclesToSeconds(perSegmentCycles_ * segments) +
+                        payload * sendPasses / memcpyBytesPerS() +
+                        payload * usbPerByte;
+  costs.receiverSeconds = cyclesToSeconds(baseCyclesPerSide_) +
+                          nicPerMessageSeconds_ +
+                          payload * recvPasses / memcpyBytesPerS() +
+                          payload * usbPerByte;
+  const double wireBytes =
+      std::max(kMinFrameBytes, payload / wireEfficiency_);
+  costs.wireSeconds = wireBytes / platform_.nicLinkRateBytesPerS;
+  return costs;
+}
+
+double ProtocolModel::pingPongLatency(std::size_t bytes) const {
+  const MessageCosts costs = messageCosts(bytes);
+  double latency = costs.total() + kSwitchLatency;
+  if (costs.rendezvous) {
+    // RTS/CTS handshake: one extra small-message round trip.
+    const MessageCosts rts = messageCosts(0);
+    latency += 2.0 * (rts.total() + kSwitchLatency);
+  }
+  return latency;
+}
+
+double ProtocolModel::effectiveBandwidth(std::size_t bytes) const {
+  TIB_REQUIRE(bytes > 0);
+  const double payload = static_cast<double>(bytes);
+  if (payload <= segmentBytes_) {
+    // Not enough data to pipeline: bandwidth is payload over full latency.
+    return payload / pingPongLatency(bytes);
+  }
+  // Segments pipeline through sender stack -> wire -> receiver stack; the
+  // sustained rate is set by the slowest per-segment stage.
+  const double usbPerByte =
+      nicPerByteSeconds_ + nicPerByteCycles_ * stackArchFactor() *
+                               (units::kGHz / frequencyHz_) * 1e-9;
+  const bool rendezvous =
+      rendezvousThreshold_ > 0 && bytes >= rendezvousThreshold_;
+  const double sendPasses = rendezvous ? 0.0 : copyPassesSender_;
+  const double recvPasses = rendezvous ? 1.0 : copyPassesReceiver_;
+
+  const double senderStage = cyclesToSeconds(perSegmentCycles_) +
+                             segmentBytes_ * sendPasses / memcpyBytesPerS() +
+                             segmentBytes_ * usbPerByte;
+  const double receiverStage = cyclesToSeconds(perSegmentCycles_) +
+                               segmentBytes_ * recvPasses / memcpyBytesPerS() +
+                               segmentBytes_ * usbPerByte;
+  const double wireStage =
+      (segmentBytes_ / wireEfficiency_) / platform_.nicLinkRateBytesPerS;
+  const double bottleneck =
+      std::max({senderStage, receiverStage, wireStage});
+  const double steadyRate = segmentBytes_ / bottleneck;
+
+  // Amortise the per-message startup over the message size.
+  const double startup = pingPongLatency(0);
+  const double totalTime = payload / steadyRate + startup;
+  return payload / totalTime;
+}
+
+double latencyExecutionTimePenalty(double latencySeconds,
+                                   double relativeSingleCorePerformance) {
+  TIB_REQUIRE(latencySeconds >= 0.0);
+  TIB_REQUIRE(relativeSingleCorePerformance > 0.0);
+  // Saravanan et al. (ISPASS'13): on Sandy Bridge-class cores, 100 us of
+  // added communication latency costs ~+90 % execution time, roughly linear
+  // in the latency. A core that is k times slower spends k times longer
+  // computing between the same messages, so the *relative* penalty shrinks
+  // by k (the paper's first-order estimate: ~+50 % on the Arndale at 100 us).
+  constexpr double kPenaltyPerSecond = 0.90 / 100.0e-6;
+  return kPenaltyPerSecond * latencySeconds * relativeSingleCorePerformance;
+}
+
+}  // namespace tibsim::net

@@ -1,0 +1,129 @@
+#include "tibsim/perfmodel/execution_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::perfmodel {
+
+std::string toString(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::Streaming: return "streaming";
+    case AccessPattern::Strided: return "strided";
+    case AccessPattern::Blocked: return "blocked";
+    case AccessPattern::Spatial: return "spatial";
+    case AccessPattern::Irregular: return "irregular";
+    case AccessPattern::Random: return "random";
+    case AccessPattern::Resident: return "resident";
+  }
+  return "unknown";
+}
+
+MicroarchEfficiency efficiencyOf(arch::Microarch microarch) {
+  using arch::Microarch;
+  switch (microarch) {
+    case Microarch::CortexA9:
+      // 2-wide, short OoO window, FMA every other cycle already folded into
+      // fp64FlopsPerCycle; scalar code keeps the unit fairly busy.
+      return {0.55, 0.78};
+    case Microarch::CortexA15:
+      // Wider and deeper than A9 but the fully-pipelined FMA is harder to
+      // keep fed from scalar code: per-core speedup over A9 at equal
+      // frequency is ~1.3x (paper Fig. 3), not the 2x peak ratio.
+      return {0.34, 0.88};
+    case Microarch::CortexA57:
+      // ARMv8 projection: NEON FP64 doubles peak; compiled code vectorises
+      // moderately well.
+      return {0.33, 0.90};
+    case Microarch::SandyBridge:
+      // 8 FLOP/cycle AVX peak; non-hand-tuned kernels sustain ~1.6
+      // FLOP/cycle, giving the ~3x gap to Cortex-A15 the paper reports.
+      return {0.198, 1.0};
+  }
+  return {};
+}
+
+double patternBandwidthFactor(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::Streaming: return 1.00;
+    case AccessPattern::Strided: return 0.55;
+    case AccessPattern::Blocked: return 0.85;
+    case AccessPattern::Spatial: return 0.80;
+    case AccessPattern::Irregular: return 0.35;
+    case AccessPattern::Random: return 0.20;
+    case AccessPattern::Resident: return 1.00;
+  }
+  return 1.0;
+}
+
+double ExecutionModel::achievableBandwidth(const arch::Platform& platform,
+                                           AccessPattern pattern, int cores,
+                                           double frequencyHz) const {
+  TIB_REQUIRE(cores >= 1 && cores <= platform.soc.cores);
+  const auto& mem = platform.soc.memory;
+  const double factor = patternBandwidthFactor(pattern);
+  const double socLimit =
+      mem.peakBandwidthBytesPerS * mem.streamEfficiency * factor;
+  // A single core is limited by outstanding misses; the request rate (and so
+  // the achievable single-core bandwidth) scales partially with CPU clock.
+  const double fRatio = frequencyHz / platform.soc.maxFrequencyHz();
+  const double perCore = mem.singleCoreBandwidthBytesPerS *
+                         (0.30 + 0.70 * fRatio) * factor;
+  return std::min(socLimit, perCore * static_cast<double>(cores));
+}
+
+double ExecutionModel::achievableFlops(const arch::Platform& platform,
+                                       const WorkProfile& work,
+                                       double frequencyHz) const {
+  const MicroarchEfficiency eff = efficiencyOf(platform.soc.core.microarch);
+  double factor = eff.scalarFpEfficiency * work.computeEfficiency;
+  if (work.pattern == AccessPattern::Irregular ||
+      work.pattern == AccessPattern::Random) {
+    factor *= eff.irregularCodeFactor;
+  }
+  return platform.soc.core.fp64FlopsPerCycle * frequencyHz * factor;
+}
+
+double ExecutionModel::time(const arch::Platform& platform,
+                            const WorkProfile& work, double frequencyHz,
+                            int cores) const {
+  TIB_REQUIRE(cores >= 1 && cores <= platform.soc.cores);
+  TIB_REQUIRE(frequencyHz > 0.0);
+  TIB_REQUIRE(work.flops >= 0.0 && work.bytes >= 0.0);
+
+  // Amdahl + imbalance: the parallel part runs on `cores` streams, the
+  // slowest of which carries (1 + imbalance) of the mean share.
+  const double serialShare = 1.0 - work.parallelFraction;
+  const double parallelShare =
+      work.parallelFraction * (1.0 + work.loadImbalance) /
+      static_cast<double>(cores);
+  const double effectiveShare = serialShare + parallelShare;
+
+  const double flopRate = achievableFlops(platform, work, frequencyHz);
+  const double computeTime = work.flops * effectiveShare / flopRate;
+
+  double memoryTime = 0.0;
+  if (work.bytes > 0.0 && work.pattern != AccessPattern::Resident) {
+    // The serial portion sees single-core bandwidth; the parallel portion
+    // sees all-core bandwidth.
+    const double bwAll =
+        achievableBandwidth(platform, work.pattern, cores, frequencyHz);
+    const double bwOne =
+        achievableBandwidth(platform, work.pattern, 1, frequencyHz);
+    memoryTime = work.bytes * serialShare / bwOne +
+                 work.bytes * work.parallelFraction *
+                     (1.0 + work.loadImbalance) / bwAll;
+  }
+  return std::max(computeTime, memoryTime);
+}
+
+double ExecutionModel::consumedBandwidth(const arch::Platform& platform,
+                                         const WorkProfile& work,
+                                         double frequencyHz, int cores) const {
+  const double t = time(platform, work, frequencyHz, cores);
+  if (t <= 0.0) return 0.0;
+  return work.bytes / t;
+}
+
+}  // namespace tibsim::perfmodel

@@ -1,0 +1,119 @@
+#include "tibsim/power/dvfs_governor.hpp"
+
+#include <algorithm>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/perfmodel/execution_model.hpp"
+#include "tibsim/power/power_model.hpp"
+
+namespace tibsim::power {
+
+std::string toString(GovernorPolicy policy) {
+  switch (policy) {
+    case GovernorPolicy::Performance: return "performance";
+    case GovernorPolicy::Powersave: return "powersave";
+    case GovernorPolicy::OnDemand: return "ondemand";
+    case GovernorPolicy::Conservative: return "conservative";
+  }
+  return "unknown";
+}
+
+DvfsGovernor::DvfsGovernor(arch::Platform platform, Config config)
+    : platform_(std::move(platform)), config_(config) {
+  TIB_REQUIRE(!platform_.soc.dvfs.empty());
+  TIB_REQUIRE(config_.samplePeriodSeconds > 0.0);
+  TIB_REQUIRE(config_.upThreshold > 0.0 && config_.upThreshold <= 1.0);
+}
+
+std::size_t DvfsGovernor::opIndexAtOrBelow(double frequencyHz) const {
+  const auto& dvfs = platform_.soc.dvfs;
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < dvfs.size(); ++i)
+    if (dvfs[i].frequencyHz <= frequencyHz + 1.0) index = i;
+  return index;
+}
+
+double DvfsGovernor::nextFrequency(double currentHz,
+                                   double utilization) const {
+  const auto& dvfs = platform_.soc.dvfs;
+  switch (config_.policy) {
+    case GovernorPolicy::Performance:
+      return dvfs.back().frequencyHz;
+    case GovernorPolicy::Powersave:
+      return dvfs.front().frequencyHz;
+    case GovernorPolicy::OnDemand: {
+      if (utilization >= config_.upThreshold) return dvfs.back().frequencyHz;
+      // Scale down to the lowest point that still covers the load with the
+      // threshold margin (the Linux ondemand heuristic).
+      const double target =
+          currentHz * utilization / config_.upThreshold;
+      for (const auto& op : dvfs)
+        if (op.frequencyHz >= target) return op.frequencyHz;
+      return dvfs.back().frequencyHz;
+    }
+    case GovernorPolicy::Conservative: {
+      const std::size_t index = opIndexAtOrBelow(currentHz);
+      if (utilization >= config_.upThreshold) {
+        return dvfs[std::min(index + 1, dvfs.size() - 1)].frequencyHz;
+      }
+      if (utilization < 0.3 && index > 0) return dvfs[index - 1].frequencyHz;
+      return currentHz;
+    }
+  }
+  return currentHz;
+}
+
+DvfsGovernor::RunResult DvfsGovernor::run(
+    std::span<const WorkPhase> phases,
+    const perfmodel::WorkProfile& shape) const {
+  const perfmodel::ExecutionModel exec;
+  const PowerModel powerModel(platform_);
+  const double tick = config_.samplePeriodSeconds;
+
+  RunResult result;
+  double frequency = config_.policy == GovernorPolicy::Performance
+                         ? platform_.soc.maxFrequencyHz()
+                         : platform_.soc.minFrequencyHz();
+  double freqTimeIntegral = 0.0;
+  double busySeconds = 0.0;
+
+  for (const WorkPhase& phase : phases) {
+    double remainingFlops = phase.flops;
+    while (remainingFlops > 0.0) {
+      const double rate = exec.achievableFlops(platform_, shape, frequency);
+      const double flopsThisTick = rate * tick;
+      const double busy = std::min(1.0, remainingFlops / flopsThisTick);
+      remainingFlops -= flopsThisTick;
+
+      LoadState load;
+      load.activeCores = 1;
+      load.coreUtilization = busy;
+      result.energyJ += powerModel.watts(frequency, load) * tick;
+      result.seconds += tick;
+      busySeconds += busy * tick;
+      freqTimeIntegral += frequency * tick;
+      result.frequencyTrace.push_back(frequency);
+      frequency = nextFrequency(frequency, busy);
+    }
+    // Idle gap: utilization 0 for its duration, governor keeps sampling.
+    double idle = phase.idleSeconds;
+    while (idle > 0.0) {
+      const double span = std::min(idle, tick);
+      result.energyJ +=
+          powerModel.watts(frequency, LoadState{1, 0.0, 0.0, false}) * span;
+      result.seconds += span;
+      freqTimeIntegral += frequency * span;
+      result.frequencyTrace.push_back(frequency);
+      frequency = nextFrequency(frequency, 0.0);
+      idle -= span;
+    }
+  }
+
+  if (result.seconds > 0.0) {
+    result.averageFrequencyHz = freqTimeIntegral / result.seconds;
+    result.busyFraction = busySeconds / result.seconds;
+  }
+  return result;
+}
+
+}  // namespace tibsim::power

@@ -1,0 +1,79 @@
+#include "tibsim/power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+
+namespace tibsim::power {
+
+PowerModel::PowerModel(arch::Platform platform)
+    : platform_(std::move(platform)) {
+  TIB_REQUIRE(!platform_.soc.dvfs.empty());
+}
+
+double PowerModel::coreDynamicWatts(double frequencyHz) const {
+  const auto& soc = platform_.soc;
+  const double fMax = soc.maxFrequencyHz();
+  const double vMax = soc.voltageAt(fMax);
+  const double v = soc.voltageAt(frequencyHz);
+  // P_dyn ∝ f * V^2, anchored at the max operating point.
+  return platform_.power.corePeakDynamicW * (frequencyHz / fMax) *
+         (v / vMax) * (v / vMax);
+}
+
+double PowerModel::watts(double frequencyHz, const LoadState& load) const {
+  TIB_REQUIRE(load.activeCores >= 0 && load.activeCores <= platform_.soc.cores);
+  TIB_REQUIRE(load.coreUtilization >= 0.0 && load.coreUtilization <= 1.0);
+  const auto& p = platform_.power;
+  double total = p.boardStaticW + p.socStaticW;
+  total += static_cast<double>(load.activeCores) * load.coreUtilization *
+           coreDynamicWatts(frequencyHz);
+  total += p.memDynamicWPerGBs * (load.memBandwidthBytesPerS / units::kGB);
+  if (load.nicActive) total += p.nicActiveW;
+  return total;
+}
+
+double PowerModel::idleWatts() const {
+  return watts(platform_.soc.minFrequencyHz(), LoadState::idle());
+}
+
+SimulatedPowerMeter::SimulatedPowerMeter(Config config)
+    : config_(config), rng_(config.seed) {
+  TIB_REQUIRE(config_.sampleRateHz > 0.0);
+  TIB_REQUIRE(config_.relativeError >= 0.0);
+}
+
+SimulatedPowerMeter::Reading SimulatedPowerMeter::measure(
+    const std::function<double(double)>& powerAtTime, double t0, double t1) {
+  TIB_REQUIRE_MSG(t1 > t0, "measurement window must have positive length");
+  const double dt = 1.0 / config_.sampleRateHz;
+  Reading reading;
+  double energy = 0.0;
+  // Sample at the middle of each meter interval (the WT230 reports the mean
+  // power of its integration window); the final partial window is scaled.
+  // Integer window indexing avoids a spurious extra sample from float
+  // accumulation when (t1-t0) is an exact multiple of the period.
+  const auto windows = static_cast<std::size_t>(
+      std::ceil((t1 - t0) * config_.sampleRateHz - 1e-9));
+  for (std::size_t w = 0; w < windows; ++w) {
+    const double t = t0 + static_cast<double>(w) * dt;
+    const double windowEnd = std::min(t + dt, t1);
+    const double sampleT = 0.5 * (t + windowEnd);
+    double watts = powerAtTime(sampleT);
+    watts *= 1.0 + rng_.normal(0.0, config_.relativeError);
+    energy += watts * (windowEnd - t);
+    ++reading.samples;
+  }
+  reading.energyJ = energy;
+  reading.averageW = energy / (t1 - t0);
+  return reading;
+}
+
+double mflopsPerWatt(double flops, double seconds, double averageWatts) {
+  TIB_REQUIRE(seconds > 0.0 && averageWatts > 0.0);
+  return (flops / seconds) / units::kMFLOPS / averageWatts;
+}
+
+}  // namespace tibsim::power

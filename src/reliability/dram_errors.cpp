@@ -1,0 +1,73 @@
+#include "tibsim/reliability/dram_errors.hpp"
+
+#include <cmath>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::reliability {
+
+double DramErrorModel::dimmDailyErrorProbability() const {
+  TIB_REQUIRE(dimmAnnualErrorProbability > 0.0 &&
+              dimmAnnualErrorProbability < 1.0);
+  // Constant hazard: p_year = 1 - exp(-lambda * 365) => p_day from the same
+  // lambda.
+  const double lambdaPerDay =
+      -std::log(1.0 - dimmAnnualErrorProbability) / 365.0;
+  return 1.0 - std::exp(-lambdaPerDay);
+}
+
+double DramErrorModel::systemDailyErrorProbability(int nodes) const {
+  TIB_REQUIRE(nodes >= 1 && dimmsPerNode >= 1);
+  const double pDay = dimmDailyErrorProbability();
+  const double dimms = static_cast<double>(nodes) * dimmsPerNode;
+  return 1.0 - std::pow(1.0 - pDay, dimms);
+}
+
+double DramErrorModel::expectedErrorsPerDay(int nodes) const {
+  const double lambdaPerDay =
+      -std::log(1.0 - dimmAnnualErrorProbability) / 365.0;
+  return lambdaPerDay * static_cast<double>(nodes) * dimmsPerNode;
+}
+
+double DramErrorModel::monteCarloDailyErrorProbability(
+    int nodes, int days, std::uint64_t seed) const {
+  TIB_REQUIRE(days >= 1);
+  Rng rng(seed);
+  const double pDay = dimmDailyErrorProbability();
+  const int dimms = nodes * dimmsPerNode;
+  int hitDays = 0;
+  for (int d = 0; d < days; ++d) {
+    bool hit = false;
+    for (int i = 0; i < dimms && !hit; ++i) hit = rng.bernoulli(pDay);
+    if (hit) ++hitDays;
+  }
+  return static_cast<double>(hitDays) / days;
+}
+
+double DramErrorModel::jobSurvivalProbability(int nodes, double hours) const {
+  TIB_REQUIRE(hours > 0.0);
+  const double lambdaPerDay =
+      -std::log(1.0 - dimmAnnualErrorProbability) / 365.0;
+  const double lambdaJob =
+      lambdaPerDay * (hours / 24.0) * static_cast<double>(nodes) *
+      dimmsPerNode;
+  return std::exp(-lambdaJob);
+}
+
+double DramErrorModel::effectiveThroughput(int nodes, double checkpointHours,
+                                           double checkpointCostHours) const {
+  TIB_REQUIRE(checkpointHours > 0.0 && checkpointCostHours >= 0.0);
+  const double lambdaPerDay =
+      -std::log(1.0 - dimmAnnualErrorProbability) / 365.0;
+  const double lambdaPerHour =
+      lambdaPerDay / 24.0 * static_cast<double>(nodes) * dimmsPerNode;
+  // Per checkpoint interval: useful work = checkpointHours; overhead =
+  // checkpoint write + expected rework (failures in the interval each lose
+  // half the interval on average).
+  const double failuresPerInterval = lambdaPerHour * checkpointHours;
+  const double rework = failuresPerInterval * 0.5 * checkpointHours;
+  return checkpointHours /
+         (checkpointHours + checkpointCostHours + rework);
+}
+
+}  // namespace tibsim::reliability

@@ -1,0 +1,172 @@
+#include "tibsim/sim/simulation.hpp"
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::sim {
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Simulation& sim, std::uint64_t id, std::string name,
+                 Body body)
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() { kill(); }
+
+void Process::start() {
+  thread_ = std::thread([this] {
+    {
+      // Wait for the scheduler to hand over the baton the first time.
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return batonWithProcess_; });
+    }
+    if (!killRequested_) {
+      try {
+        body_(*this);
+      } catch (const ProcessKilled&) {
+        // Simulation torn down while this process was blocked: unwind.
+      } catch (...) {
+        // Keep the simulation alive; the owner inspects exception() after
+        // the event loop drains and rethrows on its own thread.
+        exception_ = std::current_exception();
+      }
+    }
+    std::lock_guard lock(mutex_);
+    finished_ = true;
+    batonWithProcess_ = false;
+    cv_.notify_all();
+  });
+}
+
+void Process::switchIn() {
+  {
+    std::lock_guard lock(mutex_);
+    TIB_ASSERT(!finished_);
+    batonWithProcess_ = true;
+  }
+  cv_.notify_all();
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !batonWithProcess_; });
+}
+
+void Process::yieldToHost() {
+  std::unique_lock lock(mutex_);
+  batonWithProcess_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return batonWithProcess_; });
+  if (killRequested_) throw ProcessKilled{};
+}
+
+std::uint64_t Process::beginSuspend() {
+  suspended_ = true;
+  return ++suspendSeq_;
+}
+
+void Process::delay(double dt) {
+  TIB_REQUIRE_MSG(dt >= 0.0, "cannot delay by negative time");
+  beginSuspend();
+  sim_.resumeAt(sim_.now() + dt, *this);
+  yieldToHost();
+}
+
+void Process::suspend() {
+  beginSuspend();
+  yieldToHost();
+}
+
+double Process::now() const { return sim_.now(); }
+
+void Process::kill() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard lock(mutex_);
+    killRequested_ = true;
+    batonWithProcess_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+Simulation::~Simulation() {
+  // Kill blocked processes before members are destroyed; Process::~Process
+  // would do it too, but doing it explicitly keeps the order obvious.
+  for (auto& p : processes_) p->kill();
+}
+
+void Simulation::scheduleAt(double t, std::function<void()> fn) {
+  TIB_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, nextSeq_++, std::move(fn)});
+}
+
+void Simulation::scheduleIn(double dt, std::function<void()> fn) {
+  TIB_REQUIRE(dt >= 0.0);
+  scheduleAt(now_ + dt, std::move(fn));
+}
+
+Process& Simulation::spawn(std::string name, Process::Body body) {
+  auto process = std::unique_ptr<Process>(
+      new Process(*this, nextProcessId_++, std::move(name), std::move(body)));
+  Process& ref = *process;
+  ref.start();
+  processes_.push_back(std::move(process));
+  scheduleAt(now_, [&ref] {
+    if (!ref.finished()) ref.switchIn();
+  });
+  return ref;
+}
+
+void Simulation::resumeAt(double t, Process& p) {
+  TIB_REQUIRE_MSG(t >= now_, "cannot resume a process in the past");
+  // Tag the wake-up with the suspension it belongs to: a resume scheduled
+  // against suspension N must not fire into suspension N+1 (e.g. a stale
+  // mailbox wake-up arriving while the process already sleeps in delay()).
+  const std::uint64_t id = p.suspendSeq_;
+  scheduleAt(t, [&p, id] {
+    if (!p.finished() && p.suspended_ && p.suspendSeq_ == id) {
+      p.suspended_ = false;
+      p.switchIn();
+    }
+  });
+}
+
+void Simulation::resume(Process& p) { resumeAt(now_, p); }
+
+double Simulation::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  return now_;
+}
+
+double Simulation::runUntil(double deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return now_;
+}
+
+void Simulation::dispatch(Event& ev) {
+  TIB_ASSERT(ev.t >= now_);
+  now_ = ev.t;
+  ++processedEvents_;
+  ev.fn();
+}
+
+std::size_t Simulation::liveProcessCount() const {
+  std::size_t live = 0;
+  for (const auto& p : processes_)
+    if (!p->finished()) ++live;
+  return live;
+}
+
+}  // namespace tibsim::sim

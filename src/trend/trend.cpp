@@ -1,0 +1,132 @@
+#include "tibsim/trend/trend.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::trend {
+
+// Counts approximated from the TOP500 archives (architecture class per
+// system, June lists) — the Figure 1 story: vector/SIMD displaced by RISC
+// micros in the mid-90s, RISC displaced by x86 in the mid-2000s.
+const std::vector<Top500Entry>& top500ArchitectureShare() {
+  static const std::vector<Top500Entry> kData = {
+      // year    x86  RISC  vector/SIMD
+      {1993.5, 15, 155, 330},
+      {1994.5, 18, 210, 272},
+      {1995.5, 22, 270, 208},
+      {1996.5, 45, 310, 145},
+      {1997.5, 88, 335, 77},
+      {1998.5, 95, 345, 60},
+      {1999.5, 110, 348, 42},
+      {2000.5, 125, 340, 35},
+      {2001.5, 150, 320, 30},
+      {2002.5, 185, 290, 25},
+      {2003.5, 235, 245, 20},
+      {2004.5, 300, 185, 15},
+      {2005.5, 370, 118, 12},
+      {2006.5, 400, 90, 10},
+      {2007.5, 420, 72, 8},
+      {2008.5, 440, 54, 6},
+      {2009.5, 450, 45, 5},
+      {2010.5, 458, 37, 5},
+      {2011.5, 465, 30, 5},
+      {2012.5, 470, 25, 5},
+      {2013.5, 476, 19, 5},
+  };
+  return kData;
+}
+
+namespace {
+/// Year at which series a(year) first exceeds b(year), linearly
+/// interpolated between list editions.
+double firstOvertake(const std::function<int(const Top500Entry&)>& a,
+                     const std::function<int(const Top500Entry&)>& b) {
+  const auto& data = top500ArchitectureShare();
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    const double prevDelta = a(data[i - 1]) - b(data[i - 1]);
+    const double delta = a(data[i]) - b(data[i]);
+    if (prevDelta < 0.0 && delta >= 0.0) {
+      const double t = prevDelta / (prevDelta - delta);
+      return data[i - 1].year + t * (data[i].year - data[i - 1].year);
+    }
+  }
+  TIB_REQUIRE_MSG(false, "no overtake found in the dataset");
+  return 0.0;
+}
+}  // namespace
+
+double yearX86OvertakesRisc() {
+  return firstOvertake([](const Top500Entry& e) { return e.x86; },
+                       [](const Top500Entry& e) { return e.risc; });
+}
+
+double yearRiscOvertakesVector() {
+  return firstOvertake([](const Top500Entry& e) { return e.risc; },
+                       [](const Top500Entry& e) { return e.vectorSimd; });
+}
+
+const std::vector<ProcessorPoint>& processorPoints(ProcessorClass cls) {
+  // Peak FP64 per processor (MFLOPS), vendor datasheet values.
+  static const std::vector<ProcessorPoint> kVector = {
+      {"Cray-1", 1976, 160},        {"Cray X-MP", 1983, 235},
+      {"Cray Y-MP", 1988, 333},     {"Cray C90", 1991, 952},
+      {"NEC SX-4", 1995, 2000},     {"Cray T90", 1995, 1800},
+      {"NEC SX-5", 1998, 8000},
+  };
+  static const std::vector<ProcessorPoint> kCommodity = {
+      {"Intel i860", 1989, 80},      {"DEC Alpha EV4", 1992, 200},
+      {"Intel Pentium", 1993, 66},   {"DEC Alpha EV5", 1995, 600},
+      {"Intel Pentium Pro", 1995, 200},
+      {"IBM P2SC", 1996, 640},       {"HP PA8200", 1997, 800},
+      {"Intel Pentium II", 1997, 300},
+      {"DEC Alpha EV6", 1998, 1000}, {"Intel Pentium III", 1999, 500},
+  };
+  static const std::vector<ProcessorPoint> kServer = {
+      {"DEC Alpha EV4", 1992, 200},       {"DEC Alpha EV5", 1995, 600},
+      {"DEC Alpha EV6", 1998, 1000},      {"Intel Pentium 4", 2001, 3000},
+      {"AMD Opteron", 2003, 4400},        {"Intel Woodcrest", 2006, 21300},
+      {"AMD Barcelona", 2007, 36800},     {"Intel Nehalem", 2009, 46900},
+      {"Intel Westmere", 2010, 79900},    {"Intel Xeon E5-2670", 2012, 166400},
+      {"Intel Xeon E5 v2", 2013, 230400},
+  };
+  static const std::vector<ProcessorPoint> kMobile = {
+      {"ARM Cortex-A8 (VFP)", 2009, 250},
+      {"NVIDIA Tegra 2", 2011, 2000},
+      {"NVIDIA Tegra 3", 2012, 5200},
+      {"Samsung Exynos 5250", 2012, 6800},
+      {"Samsung Exynos 5410", 2013, 13600},
+      {"4-core ARMv8 @ 2 GHz", 2014, 32000},
+  };
+  switch (cls) {
+    case ProcessorClass::Vector: return kVector;
+    case ProcessorClass::Commodity: return kCommodity;
+    case ProcessorClass::Server: return kServer;
+    case ProcessorClass::Mobile: return kMobile;
+  }
+  return kVector;
+}
+
+ExponentialFit fitClass(ProcessorClass cls) {
+  const auto& points = processorPoints(cls);
+  std::vector<double> years, mflops;
+  years.reserve(points.size());
+  mflops.reserve(points.size());
+  for (const auto& p : points) {
+    years.push_back(p.year);
+    mflops.push_back(p.peakMflops);
+  }
+  return fitExponential(years, mflops);
+}
+
+double gapAt(ProcessorClass lhs, ProcessorClass rhs, double year) {
+  return fitClass(lhs).at(year) / fitClass(rhs).at(year);
+}
+
+double projectedCrossover(ProcessorClass challenger,
+                          ProcessorClass incumbent) {
+  return crossover(fitClass(challenger), fitClass(incumbent));
+}
+
+}  // namespace tibsim::trend

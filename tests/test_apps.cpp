@@ -1,0 +1,272 @@
+// Tests for the application layer: the real mini-solvers (dense LU,
+// Barnes-Hut, 2-D Euler, LJ MD, acoustic wave) and the distributed
+// benchmark skeletons.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tibsim/apps/hpl.hpp"
+#include "tibsim/apps/hydro.hpp"
+#include "tibsim/apps/md.hpp"
+#include "tibsim/apps/pepc.hpp"
+#include "tibsim/apps/specfem.hpp"
+#include "tibsim/common/rng.hpp"
+
+namespace tibsim::apps {
+namespace {
+
+// ---- DenseLu ---------------------------------------------------------------
+
+class DenseLuSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DenseLuSizes, SolvesRandomSystemAccurately) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> xTrue(n);
+  for (auto& v : xTrue) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * xTrue[j];
+
+  std::vector<double> lu = a;
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(DenseLu::factor(lu, n, pivots));
+  std::vector<double> x = b;
+  DenseLu::solve(lu, n, pivots, x);
+
+  // The HPL acceptance test: scaled residual below O(10).
+  EXPECT_LT(DenseLu::scaledResidual(a, x, b, n), 16.0);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x[i], xTrue[i], 1e-6 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLuSizes,
+                         ::testing::Values(1, 2, 5, 16, 64, 128));
+
+TEST(DenseLu, SingularMatrixReported) {
+  std::vector<double> a = {1.0, 2.0, 2.0, 4.0};  // rank 1
+  std::vector<std::size_t> pivots;
+  EXPECT_FALSE(DenseLu::factor(a, 2, pivots));
+}
+
+TEST(DenseLu, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap.
+  std::vector<double> a = {0.0, 1.0, 1.0, 0.0};
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(DenseLu::factor(a, 2, pivots));
+  std::vector<double> b = {2.0, 3.0};
+  DenseLu::solve(a, 2, pivots, b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);  // x solves [[0,1],[1,0]] x = (2,3)
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(HplBenchmark, FlopCountFormula) {
+  EXPECT_NEAR(HplBenchmark::flopCount(1000),
+              2.0 / 3.0 * 1e9 + 2e6, 1.0);
+}
+
+TEST(HplBenchmark, WeakScalingProblemGrowsWithNodes) {
+  const auto spec = cluster::ClusterSpec::tibidabo();
+  const std::size_t n4 = HplBenchmark::problemSizeForNodes(spec, 4);
+  const std::size_t n16 = HplBenchmark::problemSizeForNodes(spec, 16);
+  EXPECT_NEAR(static_cast<double>(n16) / static_cast<double>(n4), 2.0,
+              0.1);  // memory per node fixed => n ~ sqrt(nodes)
+  EXPECT_EQ(n4 % 256, 0u);
+}
+
+// ---- Barnes-Hut -------------------------------------------------------------
+
+TEST(BarnesHut, MatchesDirectSummation) {
+  Rng rng(7);
+  std::vector<BarnesHutTree::Body> bodies(300);
+  for (auto& b : bodies) {
+    b.x = rng.uniform(-1.0, 1.0);
+    b.y = rng.uniform(-1.0, 1.0);
+    b.z = rng.uniform(-1.0, 1.0);
+    b.charge = rng.uniform(0.1, 1.0);
+  }
+  const BarnesHutTree tree(bodies);
+  const auto approx = tree.allForces(0.4);
+  const auto exact = tree.directForces();
+  double rmsErr = 0.0, rmsMag = 0.0;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    const double dx = approx[i].fx - exact[i].fx;
+    const double dy = approx[i].fy - exact[i].fy;
+    const double dz = approx[i].fz - exact[i].fz;
+    rmsErr += dx * dx + dy * dy + dz * dz;
+    rmsMag += exact[i].fx * exact[i].fx + exact[i].fy * exact[i].fy +
+              exact[i].fz * exact[i].fz;
+  }
+  EXPECT_LT(std::sqrt(rmsErr / rmsMag), 0.02);  // ~2 % at theta=0.4
+}
+
+TEST(BarnesHut, ThetaZeroIsExact) {
+  Rng rng(9);
+  std::vector<BarnesHutTree::Body> bodies(60);
+  for (auto& b : bodies) {
+    b.x = rng.uniform(-1.0, 1.0);
+    b.y = rng.uniform(-1.0, 1.0);
+    b.z = rng.uniform(-1.0, 1.0);
+    b.charge = rng.uniform(-1.0, 1.0);  // mixed signs
+  }
+  const BarnesHutTree tree(bodies);
+  const auto walk = tree.allForces(0.0);
+  const auto exact = tree.directForces();
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    EXPECT_NEAR(walk[i].fx, exact[i].fx, 1e-9);
+    EXPECT_NEAR(walk[i].fy, exact[i].fy, 1e-9);
+    EXPECT_NEAR(walk[i].fz, exact[i].fz, 1e-9);
+  }
+}
+
+TEST(BarnesHut, TreeSizeIsLinearish) {
+  Rng rng(3);
+  std::vector<BarnesHutTree::Body> bodies(500);
+  for (auto& b : bodies) {
+    b.x = rng.uniform(0.0, 1.0);
+    b.y = rng.uniform(0.0, 1.0);
+    b.z = rng.uniform(0.0, 1.0);
+    b.charge = 1.0;
+  }
+  const BarnesHutTree tree(bodies);
+  EXPECT_GE(tree.nodeCount(), 500u);
+  EXPECT_LE(tree.nodeCount(), 5000u);
+}
+
+TEST(BarnesHut, CoincidentBodiesDoNotRecurseForever) {
+  std::vector<BarnesHutTree::Body> bodies(4, {0.5, 0.5, 0.5, 1.0});
+  const BarnesHutTree tree(bodies);  // depth cap must terminate the build
+  EXPECT_GE(tree.nodeCount(), 1u);
+}
+
+// ---- Euler hydro -------------------------------------------------------------
+
+TEST(EulerSolver, SodShockTubeConservesMass) {
+  EulerSolver2D solver(128, 8);
+  solver.initSodShockTube();
+  const double mass0 = solver.totalMass();
+  const double energy0 = solver.totalEnergy();
+  for (int i = 0; i < 50; ++i) solver.step();
+  // Reflecting/periodic boundaries: conserved to round-off.
+  EXPECT_NEAR(solver.totalMass(), mass0, 1e-10 * mass0);
+  EXPECT_NEAR(solver.totalEnergy(), energy0, 1e-10 * energy0);
+}
+
+TEST(EulerSolver, DensityStaysPositiveAndBounded) {
+  EulerSolver2D solver(96, 8);
+  solver.initSodShockTube();
+  for (int i = 0; i < 80; ++i) solver.step();
+  for (std::size_t j = 0; j < solver.ny(); ++j) {
+    for (std::size_t i = 0; i < solver.nx(); ++i) {
+      const auto& s = solver.at(i, j);
+      EXPECT_GT(s.rho, 0.0);
+      EXPECT_LE(s.rho, 1.0 + 1e-9);  // between the two initial states
+      EXPECT_GE(s.rho, 0.125 - 1e-9);
+    }
+  }
+}
+
+TEST(EulerSolver, ShockMovesRight) {
+  EulerSolver2D solver(256, 4);
+  solver.initSodShockTube();
+  while (solver.time() < 0.15) solver.step();
+  // The contact/shock system moves into the low-density right half: density
+  // at 60 % of the tube must have risen above its initial 0.125.
+  EXPECT_GT(solver.at(3 * solver.nx() / 5, 2).rho, 0.15);
+  // Far right is still undisturbed.
+  EXPECT_NEAR(solver.at(solver.nx() - 2, 2).rho, 0.125, 1e-6);
+}
+
+TEST(EulerSolver, TimeAdvancesByCflSteps) {
+  EulerSolver2D solver(64, 4);
+  solver.initSodShockTube();
+  const double dt = solver.step(0.3);
+  EXPECT_GT(dt, 0.0);
+  EXPECT_NEAR(solver.time(), dt, 1e-15);
+}
+
+// ---- LJ MD --------------------------------------------------------------------
+
+TEST(LennardJones, MomentumConserved) {
+  LennardJonesMd::Params params;
+  params.particles = 216;
+  LennardJonesMd md(params);
+  EXPECT_LT(md.momentumNorm(), 1e-9);
+  for (int i = 0; i < 50; ++i) md.step();
+  EXPECT_LT(md.momentumNorm(), 1e-6);
+}
+
+TEST(LennardJones, EnergyDriftBounded) {
+  LennardJonesMd::Params params;
+  params.particles = 216;
+  params.dt = 0.002;
+  LennardJonesMd md(params);
+  const double e0 = md.totalEnergy();
+  for (int i = 0; i < 200; ++i) md.step();
+  const double e1 = md.totalEnergy();
+  EXPECT_LT(std::abs(e1 - e0), 0.02 * std::abs(e0) + 1.0);
+}
+
+TEST(LennardJones, HeatsUpFromLattice) {
+  // The lattice is not the potential minimum under kinetic agitation;
+  // the system must move (positions change) but stay in the box.
+  LennardJonesMd::Params params;
+  params.particles = 125;
+  LennardJonesMd md(params);
+  for (int i = 0; i < 20; ++i) md.step();
+  EXPECT_GT(md.kineticEnergy(), 0.0);
+}
+
+// ---- Acoustic wave -------------------------------------------------------------
+
+TEST(AcousticWave, WavefrontExpandsAtMediumSpeed) {
+  AcousticWave2D::Params params;
+  params.n = 192;
+  params.waveSpeed = 1.0;
+  AcousticWave2D wave(params);
+  for (int i = 0; i < 150; ++i) wave.step();
+  const double radius = wave.wavefrontRadius();
+  const double expected = params.waveSpeed * wave.time();
+  EXPECT_GT(radius, 0.5 * expected);
+  EXPECT_LT(radius, 1.5 * expected + 5.0);
+}
+
+TEST(AcousticWave, EnergyBoundedAfterSourceCutoff) {
+  AcousticWave2D::Params params;
+  params.n = 128;
+  AcousticWave2D wave(params);
+  for (int i = 0; i < 70; ++i) wave.step();  // source active + tail
+  const double eAfterSource = wave.energy();
+  for (int i = 0; i < 60; ++i) wave.step();
+  EXPECT_LT(wave.energy(), 1.3 * eAfterSource + 1e-12);
+  EXPECT_GT(wave.energy(), 0.0);
+}
+
+// ---- Skeleton feasibility helpers ----------------------------------------------
+
+TEST(Skeletons, PepcReferenceNeedsAtLeast24Nodes) {
+  const auto spec = cluster::ClusterSpec::tibidabo();
+  const PepcBenchmark::Params params;
+  const int minNodes = PepcBenchmark::minimumNodes(spec, params.particles);
+  EXPECT_GE(minNodes, 20);
+  EXPECT_LE(minNodes, 28);  // the paper says 24
+}
+
+TEST(Skeletons, MdReferenceFitsTwoNodes) {
+  const auto spec = cluster::ClusterSpec::tibidabo();
+  const MdBenchmark::Params params;
+  const int minNodes = MdBenchmark::minimumNodes(spec, params.atoms);
+  EXPECT_LE(minNodes, 2);
+}
+
+TEST(Skeletons, SpecfemReferenceFitsOneNode) {
+  const auto spec = cluster::ClusterSpec::tibidabo();
+  const SpecfemBenchmark::Params params;
+  EXPECT_LE(SpecfemBenchmark::minimumNodes(spec, params.elements), 1);
+}
+
+}  // namespace
+}  // namespace tibsim::apps

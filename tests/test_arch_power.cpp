@@ -1,0 +1,212 @@
+// Tests for the platform registry (the paper's Table 1 data) and the power
+// model / simulated Yokogawa meter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/power/power_model.hpp"
+
+namespace tibsim {
+namespace {
+
+using namespace units;
+using arch::Platform;
+using arch::PlatformRegistry;
+
+// ---- Table 1 datasheet values -------------------------------------------
+
+TEST(Registry, Tegra2MatchesTable1) {
+  const Platform p = PlatformRegistry::tegra2();
+  EXPECT_EQ(p.soc.cores, 2);
+  EXPECT_DOUBLE_EQ(p.maxFrequencyHz(), ghz(1.0));
+  EXPECT_DOUBLE_EQ(toGflops(p.peakFlops()), 2.0);
+  EXPECT_DOUBLE_EQ(p.soc.memory.peakBandwidthBytesPerS, gbPerS(2.6));
+  EXPECT_EQ(p.soc.memory.channels, 1);
+  EXPECT_FALSE(p.soc.memory.eccCapable);
+  EXPECT_EQ(p.nicAttachment, arch::NicAttachment::Pcie);
+}
+
+TEST(Registry, Tegra3MatchesTable1) {
+  const Platform p = PlatformRegistry::tegra3();
+  EXPECT_EQ(p.soc.cores, 4);
+  EXPECT_DOUBLE_EQ(p.maxFrequencyHz(), ghz(1.3));
+  EXPECT_NEAR(toGflops(p.peakFlops()), 5.2, 1e-9);
+  EXPECT_DOUBLE_EQ(p.soc.memory.peakBandwidthBytesPerS, gbPerS(5.86));
+}
+
+TEST(Registry, Exynos5250MatchesTable1) {
+  const Platform p = PlatformRegistry::exynos5250();
+  EXPECT_EQ(p.soc.cores, 2);
+  EXPECT_DOUBLE_EQ(p.maxFrequencyHz(), ghz(1.7));
+  EXPECT_NEAR(toGflops(p.peakFlops()), 6.8, 1e-9);
+  EXPECT_EQ(p.soc.memory.channels, 2);
+  EXPECT_TRUE(p.soc.computeCapableGpu);
+  EXPECT_EQ(p.nicAttachment, arch::NicAttachment::Usb3);
+}
+
+TEST(Registry, Corei7MatchesTable1) {
+  const Platform p = PlatformRegistry::corei7_2760qm();
+  EXPECT_EQ(p.soc.cores, 4);
+  EXPECT_EQ(p.soc.threadsPerCore, 2);
+  EXPECT_DOUBLE_EQ(p.maxFrequencyHz(), ghz(2.4));
+  EXPECT_NEAR(toGflops(p.peakFlops()), 76.8, 1e-9);
+  EXPECT_DOUBLE_EQ(p.soc.memory.peakBandwidthBytesPerS, gbPerS(25.6));
+  EXPECT_EQ(p.soc.caches.size(), 3u);  // L1 + private L2 + shared L3
+}
+
+TEST(Registry, Armv8ProjectionDoublesA15PerCycleThroughput) {
+  const Platform armv8 = PlatformRegistry::armv8Quad2GHz();
+  const Platform a15 = PlatformRegistry::exynos5250();
+  EXPECT_DOUBLE_EQ(armv8.soc.core.fp64FlopsPerCycle,
+                   2.0 * a15.soc.core.fp64FlopsPerCycle);
+  EXPECT_NEAR(toGflops(armv8.peakFlops()), 32.0, 1e-9);
+}
+
+TEST(Registry, EvaluatedReturnsPaperOrder) {
+  const auto platforms = PlatformRegistry::evaluated();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_EQ(platforms[0].shortName, "Tegra2");
+  EXPECT_EQ(platforms[1].shortName, "Tegra3");
+  EXPECT_EQ(platforms[2].shortName, "Exynos5250");
+  EXPECT_EQ(platforms[3].shortName, "Corei7");
+}
+
+// ---- SocModel helpers -----------------------------------------------------
+
+TEST(SocModel, VoltageInterpolatesMonotonically) {
+  const Platform p = PlatformRegistry::exynos5250();
+  double prev = 0.0;
+  for (double f = p.soc.minFrequencyHz(); f <= p.soc.maxFrequencyHz();
+       f += mhz(50)) {
+    const double v = p.soc.voltageAt(f);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(p.soc.voltageAt(p.soc.minFrequencyHz() / 2),
+                   p.soc.dvfs.front().voltage);
+  EXPECT_DOUBLE_EQ(p.soc.voltageAt(2 * p.soc.maxFrequencyHz()),
+                   p.soc.dvfs.back().voltage);
+}
+
+TEST(SocModel, PeakFlopsScalesWithCoresAndFrequency) {
+  const Platform p = PlatformRegistry::tegra3();
+  EXPECT_DOUBLE_EQ(p.soc.peakFlops(ghz(1.0), 1), 1.0e9);
+  EXPECT_DOUBLE_EQ(p.soc.peakFlops(ghz(1.0), 4), 4.0e9);
+  EXPECT_THROW(p.soc.peakFlops(ghz(1.0), 5), ContractError);
+}
+
+TEST(SocModel, BytesPerFlopMatchesTable4) {
+  // Paper Table 4: Tegra2 0.06 / 0.63 / 2.50; Sandy Bridge 0.00/0.02/0.07.
+  const Platform tegra2 = PlatformRegistry::tegra2();
+  EXPECT_NEAR(tegra2.bytesPerFlop(gbps(1.0)), 0.0625, 0.005);
+  EXPECT_NEAR(tegra2.bytesPerFlop(gbps(10.0)), 0.625, 0.01);
+  EXPECT_NEAR(tegra2.bytesPerFlop(gbps(40.0)), 2.5, 0.01);
+  const Platform i7 = PlatformRegistry::corei7_2760qm();
+  EXPECT_NEAR(i7.bytesPerFlop(gbps(10.0)), 0.016, 0.005);
+  EXPECT_NEAR(i7.bytesPerFlop(gbps(40.0)), 0.065, 0.01);
+}
+
+// ---- Power model ----------------------------------------------------------
+
+TEST(PowerModel, IdleIsBelowLoaded) {
+  for (const Platform& p : PlatformRegistry::evaluated()) {
+    const power::PowerModel model(p);
+    power::LoadState busy;
+    busy.activeCores = p.soc.cores;
+    busy.coreUtilization = 1.0;
+    EXPECT_LT(model.idleWatts(), model.watts(p.maxFrequencyHz(), busy))
+        << p.shortName;
+  }
+}
+
+TEST(PowerModel, DynamicPowerGrowsSuperlinearlyWithFrequency) {
+  const power::PowerModel model(PlatformRegistry::exynos5250());
+  const double pLow = model.coreDynamicWatts(ghz(0.85));
+  const double pHigh = model.coreDynamicWatts(ghz(1.7));
+  // f doubles and V rises, so dynamic power must more than double.
+  EXPECT_GT(pHigh, 2.0 * pLow);
+}
+
+TEST(PowerModel, MoreCoresMorePower) {
+  const Platform p = PlatformRegistry::tegra3();
+  const power::PowerModel model(p);
+  double prev = 0.0;
+  for (int cores = 0; cores <= p.soc.cores; ++cores) {
+    power::LoadState load;
+    load.activeCores = cores;
+    load.coreUtilization = 1.0;
+    const double watts = model.watts(p.maxFrequencyHz(), load);
+    EXPECT_GT(watts, prev);
+    prev = watts;
+  }
+}
+
+TEST(PowerModel, BoardStaticDominatesOnMobilePlatforms) {
+  // The paper's core energy observation: the SoC is *not* the main power
+  // sink on the developer boards.
+  for (const Platform& p : {PlatformRegistry::tegra2(),
+                            PlatformRegistry::tegra3(),
+                            PlatformRegistry::exynos5250()}) {
+    const power::PowerModel model(p);
+    power::LoadState busy;
+    busy.activeCores = 1;
+    busy.coreUtilization = 1.0;
+    const double total = model.watts(p.maxFrequencyHz(), busy);
+    EXPECT_GT(p.power.boardStaticW, 0.5 * total) << p.shortName;
+  }
+}
+
+TEST(PowerModel, InvalidLoadRejected) {
+  const Platform p = PlatformRegistry::tegra2();
+  const power::PowerModel model(p);
+  power::LoadState load;
+  load.activeCores = p.soc.cores + 1;
+  EXPECT_THROW(model.watts(p.maxFrequencyHz(), load), ContractError);
+}
+
+// ---- Simulated meter ------------------------------------------------------
+
+TEST(PowerMeter, ConstantTraceIntegratesExactly) {
+  power::SimulatedPowerMeter::Config cfg;
+  cfg.relativeError = 0.0;
+  power::SimulatedPowerMeter meter(cfg);
+  const auto reading = meter.measure([](double) { return 7.5; }, 0.0, 10.0);
+  EXPECT_NEAR(reading.energyJ, 75.0, 1e-9);
+  EXPECT_NEAR(reading.averageW, 7.5, 1e-9);
+  EXPECT_EQ(reading.samples, 100u);
+}
+
+TEST(PowerMeter, NoiseIsWithinSpec) {
+  power::SimulatedPowerMeter meter;  // 0.1 % noise
+  const auto reading = meter.measure([](double) { return 100.0; }, 0.0,
+                                     60.0);
+  EXPECT_NEAR(reading.averageW, 100.0, 0.1);  // well within 0.1 % * sqrt(n)
+}
+
+TEST(PowerMeter, StepTraceCapturedAtSampleResolution) {
+  power::SimulatedPowerMeter::Config cfg;
+  cfg.relativeError = 0.0;
+  power::SimulatedPowerMeter meter(cfg);
+  // 5 W for 5 s then 10 W for 5 s = 75 J.
+  const auto reading = meter.measure(
+      [](double t) { return t < 5.0 ? 5.0 : 10.0; }, 0.0, 10.0);
+  EXPECT_NEAR(reading.energyJ, 75.0, 0.5);
+}
+
+TEST(PowerMeter, EmptyWindowRejected) {
+  power::SimulatedPowerMeter meter;
+  EXPECT_THROW(meter.measure([](double) { return 1.0; }, 5.0, 5.0),
+               ContractError);
+}
+
+TEST(PowerMetrics, MflopsPerWatt) {
+  // 1 GFLOP in 1 s at 10 W = 100 MFLOPS/W.
+  EXPECT_NEAR(power::mflopsPerWatt(1e9, 1.0, 10.0), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tibsim

@@ -1,0 +1,225 @@
+// Calibration gate: the modelled results must reproduce the paper's
+// reported anchors (Sections 3-4) within stated tolerances. These tests are
+// the machine-checked version of EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/statistics.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/core/experiments.hpp"
+#include "tibsim/net/protocol.hpp"
+
+namespace tibsim::core {
+namespace {
+
+using namespace units;
+using arch::PlatformRegistry;
+
+double speedupAt(const arch::Platform& platform, double frequencyHz,
+                 int cores) {
+  const auto base = MicroKernelExperiment::baseline();
+  const auto suite =
+      MicroKernelExperiment::measureSuite(platform, frequencyHz, cores);
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < base.size(); ++i)
+    ratios.push_back(base[i].seconds / suite[i].seconds);
+  return stats::geomean(ratios);
+}
+
+double suiteEnergy(const arch::Platform& platform, double frequencyHz,
+                   int cores) {
+  double energy = 0.0;
+  for (const auto& m :
+       MicroKernelExperiment::measureSuite(platform, frequencyHz, cores))
+    energy += m.energyJ;
+  return energy;
+}
+
+// ---- Figure 3(a): single-core speedups vs Tegra2 @ 1 GHz -------------------
+
+TEST(Fig3Perf, Tegra3At1GHzAbout9PercentFaster) {
+  const double s = speedupAt(PlatformRegistry::tegra3(), ghz(1.0), 1);
+  EXPECT_GT(s, 1.03);  // paper: 1.09
+  EXPECT_LT(s, 1.20);
+}
+
+TEST(Fig3Perf, ArndaleAt1GHzAbout30PercentFaster) {
+  const double s = speedupAt(PlatformRegistry::exynos5250(), ghz(1.0), 1);
+  EXPECT_GT(s, 1.20);  // paper: 1.30
+  EXPECT_LT(s, 1.55);
+}
+
+TEST(Fig3Perf, MaxFrequencyOrderingMatchesPaper) {
+  // Paper: Tegra3 1.36x, Arndale 2.3x, Intel ~3x Arndale.
+  const double tegra3 =
+      speedupAt(PlatformRegistry::tegra3(), ghz(1.3), 1);
+  const double arndale =
+      speedupAt(PlatformRegistry::exynos5250(), ghz(1.7), 1);
+  const double intel =
+      speedupAt(PlatformRegistry::corei7_2760qm(), ghz(2.4), 1);
+  EXPECT_NEAR(tegra3, 1.36, 0.25);
+  EXPECT_NEAR(arndale, 2.3, 0.45);
+  EXPECT_NEAR(intel / arndale, 3.0, 0.8);
+  // Tegra2 is 6.5-8x slower than the i7 (both at max frequency).
+  EXPECT_GT(intel, 5.5);
+  EXPECT_LT(intel, 9.0);
+}
+
+TEST(Fig3Perf, PerformanceRisesWithFrequencyOnEveryPlatform) {
+  for (const auto& platform : PlatformRegistry::evaluated()) {
+    double prev = 0.0;
+    for (const auto& op : platform.soc.dvfs) {
+      const double s = speedupAt(platform, op.frequencyHz, 1);
+      EXPECT_GT(s, prev) << platform.shortName;
+      prev = s;
+    }
+  }
+}
+
+// ---- Figure 3(b): single-core energy per iteration -------------------------
+
+TEST(Fig3Energy, AbsoluteJoulesMatchPaper) {
+  // Paper: Tegra2 23.93 J, Tegra3 19.62 J, Arndale 16.95 J, i7 28.57 J
+  // (single core, 1 GHz for the ARM parts; the i7 figure is quoted at its
+  // operating point in the same figure).
+  EXPECT_NEAR(suiteEnergy(PlatformRegistry::tegra2(), ghz(1.0), 1), 23.93,
+              3.5);
+  EXPECT_NEAR(suiteEnergy(PlatformRegistry::tegra3(), ghz(1.0), 1), 19.62,
+              3.0);
+  EXPECT_NEAR(suiteEnergy(PlatformRegistry::exynos5250(), ghz(1.0), 1),
+              16.95, 3.0);
+  EXPECT_NEAR(suiteEnergy(PlatformRegistry::corei7_2760qm(), ghz(2.4), 1),
+              28.57, 6.0);
+}
+
+TEST(Fig3Energy, EnergyEfficiencyImprovesWithFrequency) {
+  // The paper's counter-intuitive observation: although core power rises
+  // superlinearly, platform energy-to-solution *falls* as f rises, because
+  // the board's static power dominates.
+  for (const auto& platform : PlatformRegistry::evaluated()) {
+    const double eLow =
+        suiteEnergy(platform, platform.soc.minFrequencyHz(), 1);
+    const double eHigh =
+        suiteEnergy(platform, platform.maxFrequencyHz(), 1);
+    EXPECT_LT(eHigh, eLow) << platform.shortName;
+  }
+}
+
+// ---- Figure 4: multicore ----------------------------------------------------
+
+TEST(Fig4, MulticoreImprovesTimeAndEnergyEverywhere) {
+  for (const auto& platform : PlatformRegistry::evaluated()) {
+    const double f = platform.maxFrequencyHz();
+    const double t1 = suiteEnergy(platform, f, 1);
+    const double tn = suiteEnergy(platform, f, platform.soc.cores);
+    EXPECT_LT(tn, t1) << platform.shortName;
+    EXPECT_GT(speedupAt(platform, f, platform.soc.cores),
+              speedupAt(platform, f, 1))
+        << platform.shortName;
+  }
+}
+
+TEST(Fig4, EnergyGainsNearPaperValues) {
+  // Paper: OpenMP versions use ~1.7x (Tegra2/3), ~2.25x (Arndale), ~2.5x
+  // (Intel) less energy than serial. The Arndale figure implies slightly
+  // superlinear 2-core scaling which the model does not reproduce; accept
+  // the band [1.6, 2.3] there (EXPERIMENTS.md records the deviation).
+  const auto gain = [](const arch::Platform& p) {
+    const double f = p.maxFrequencyHz();
+    return suiteEnergy(p, f, 1) / suiteEnergy(p, f, p.soc.cores);
+  };
+  EXPECT_NEAR(gain(PlatformRegistry::tegra2()), 1.7, 0.35);
+  EXPECT_NEAR(gain(PlatformRegistry::tegra3()), 1.7, 0.6);
+  const double arndale = gain(PlatformRegistry::exynos5250());
+  EXPECT_GT(arndale, 1.5);
+  EXPECT_LT(arndale, 2.35);
+  EXPECT_NEAR(gain(PlatformRegistry::corei7_2760qm()), 2.5, 0.6);
+}
+
+// ---- Figure 7: interconnect -------------------------------------------------
+
+TEST(Fig7, SmallMessageLatenciesMatchPaper) {
+  const auto latency = [](const arch::Platform& p, net::Protocol proto,
+                          double f) {
+    return net::ProtocolModel(proto, p, f).pingPongLatency(1);
+  };
+  const auto tegra2 = PlatformRegistry::tegra2();
+  const auto exynos = PlatformRegistry::exynos5250();
+  // Paper: Tegra2 ~100 us TCP / ~65 us Open-MX.
+  EXPECT_NEAR(toUs(latency(tegra2, net::Protocol::TcpIp, ghz(1.0))), 100.0,
+              12.0);
+  EXPECT_NEAR(toUs(latency(tegra2, net::Protocol::OpenMx, ghz(1.0))), 65.0,
+              9.0);
+  // Paper: Exynos5 ~125 us TCP / ~93 us Open-MX at 1.0 GHz.
+  EXPECT_NEAR(toUs(latency(exynos, net::Protocol::TcpIp, ghz(1.0))), 125.0,
+              15.0);
+  EXPECT_NEAR(toUs(latency(exynos, net::Protocol::OpenMx, ghz(1.0))), 93.0,
+              12.0);
+  // ~10 % lower at 1.4 GHz.
+  const double drop =
+      latency(exynos, net::Protocol::TcpIp, ghz(1.4)) /
+      latency(exynos, net::Protocol::TcpIp, ghz(1.0));
+  EXPECT_NEAR(drop, 0.90, 0.06);
+}
+
+TEST(Fig7, LargeMessageBandwidthsMatchPaper) {
+  const auto bandwidth = [](const arch::Platform& p, net::Protocol proto,
+                            double f) {
+    return net::ProtocolModel(proto, p, f).effectiveBandwidth(4 << 20) /
+           1e6;  // MB/s
+  };
+  const auto tegra2 = PlatformRegistry::tegra2();
+  const auto exynos = PlatformRegistry::exynos5250();
+  // Paper: Tegra2 65 MB/s TCP, 117 MB/s Open-MX.
+  EXPECT_NEAR(bandwidth(tegra2, net::Protocol::TcpIp, ghz(1.0)), 65.0,
+              12.0);
+  EXPECT_NEAR(bandwidth(tegra2, net::Protocol::OpenMx, ghz(1.0)), 117.0,
+              8.0);
+  // Paper: Exynos 63 MB/s TCP; 69 MB/s Open-MX @1.0 GHz, 75 @1.4 GHz.
+  EXPECT_NEAR(bandwidth(exynos, net::Protocol::OpenMx, ghz(1.0)), 69.0,
+              10.0);
+  EXPECT_NEAR(bandwidth(exynos, net::Protocol::OpenMx, ghz(1.4)), 75.0,
+              10.0);
+  // TCP over USB is below Open-MX and well below line rate (shape; the
+  // model exaggerates the paper's 63 MB/s somewhat downwards).
+  const double tcpUsb = bandwidth(exynos, net::Protocol::TcpIp, ghz(1.0));
+  EXPECT_GT(tcpUsb, 35.0);
+  EXPECT_LT(tcpUsb, 70.0);
+}
+
+TEST(Fig7, SimulatedPingPongAgreesWithAnalyticModel) {
+  const auto tegra2 = PlatformRegistry::tegra2();
+  for (net::Protocol proto :
+       {net::Protocol::TcpIp, net::Protocol::OpenMx}) {
+    const double analytic =
+        net::ProtocolModel(proto, tegra2, ghz(1.0)).pingPongLatency(64);
+    const double simulated =
+        simulatedPingPongLatency(tegra2, proto, ghz(1.0), 64);
+    EXPECT_NEAR(simulated, analytic, 0.15 * analytic)
+        << net::toString(proto);
+  }
+}
+
+// ---- Table 4 ---------------------------------------------------------------
+
+TEST(Table4, RatiosMatchPaper) {
+  const auto rows = bytesPerFlopTable();
+  ASSERT_EQ(rows.size(), 4u);
+  // Paper values: Tegra2 0.06/0.63/2.50, Tegra3 0.02/0.24/0.96,
+  // Exynos 0.02/0.18/0.74, Sandy Bridge 0.00/0.02/0.07.
+  EXPECT_NEAR(rows[0].gbe1, 0.06, 0.01);
+  EXPECT_NEAR(rows[0].gbe10, 0.63, 0.02);
+  EXPECT_NEAR(rows[0].ib40, 2.50, 0.05);
+  EXPECT_NEAR(rows[1].gbe1, 0.02, 0.01);
+  EXPECT_NEAR(rows[1].gbe10, 0.24, 0.02);
+  EXPECT_NEAR(rows[1].ib40, 0.96, 0.05);
+  EXPECT_NEAR(rows[2].gbe1, 0.02, 0.01);
+  EXPECT_NEAR(rows[2].gbe10, 0.18, 0.02);
+  EXPECT_NEAR(rows[2].ib40, 0.74, 0.05);
+  EXPECT_NEAR(rows[3].gbe10, 0.02, 0.01);
+  EXPECT_NEAR(rows[3].ib40, 0.07, 0.02);
+}
+
+}  // namespace
+}  // namespace tibsim::core

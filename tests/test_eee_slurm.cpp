@@ -1,0 +1,240 @@
+// Tests for the Energy Efficient Ethernet model and the SLURM-style batch
+// scheduler.
+
+#include <gtest/gtest.h>
+
+#include "tibsim/cluster/slurm.hpp"
+#include "tibsim/cluster/software_stack.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/net/eee.hpp"
+
+namespace tibsim {
+namespace {
+
+// ---- EEE -------------------------------------------------------------------
+
+TEST(Eee, NoWakePenaltyForBackToBackTraffic) {
+  const net::EnergyEfficientEthernet eee;
+  EXPECT_DOUBLE_EQ(eee.addedLatencySeconds(1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(eee.addedLatencySeconds(100e-6), 0.0);  // < entry+sleep
+}
+
+TEST(Eee, WakePenaltyAfterLongGaps) {
+  const net::EnergyEfficientEthernet eee;
+  EXPECT_DOUBLE_EQ(eee.addedLatencySeconds(1.0), eee.config().wakeSeconds);
+  EXPECT_DOUBLE_EQ(eee.addedLatencySeconds(300e-6),
+                   eee.config().wakeSeconds);
+}
+
+TEST(Eee, DisabledMeansNoPenaltyAndNoSaving) {
+  net::EnergyEfficientEthernet::Config cfg;
+  cfg.enabled = false;
+  const net::EnergyEfficientEthernet eee(cfg);
+  EXPECT_DOUBLE_EQ(eee.addedLatencySeconds(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(eee.energySavingFraction(10e-6, 1.0), 0.0);
+}
+
+TEST(Eee, SavingGrowsWithIdleTime) {
+  const net::EnergyEfficientEthernet eee;
+  const double wire = 12e-6;  // one 1500 B frame
+  double prev = -1.0;
+  for (double interval : {1e-3, 1e-2, 1e-1, 1.0}) {
+    const double saving = eee.energySavingFraction(wire, interval);
+    EXPECT_GT(saving, prev);
+    prev = saving;
+  }
+  // Asymptotically approaches 1 - lpiFraction.
+  EXPECT_NEAR(prev, 1.0 - eee.config().lpiPowerFraction, 0.01);
+}
+
+TEST(Eee, NoSavingForSaturatedLink) {
+  const net::EnergyEfficientEthernet eee;
+  EXPECT_NEAR(eee.energySavingFraction(99e-6, 100e-6), 0.0, 1e-9);
+}
+
+TEST(Eee, EffectiveLatencyAddsWakeForSparseTraffic) {
+  const net::EnergyEfficientEthernet eee;
+  const double base = 100e-6;
+  EXPECT_DOUBLE_EQ(eee.effectiveLatencySeconds(base, 50e-6), base);
+  EXPECT_DOUBLE_EQ(eee.effectiveLatencySeconds(base, 10e-3),
+                   base + eee.config().wakeSeconds);
+}
+
+// ---- SLURM ------------------------------------------------------------------
+
+cluster::BatchJob job(const std::string& name, int nodes, double duration,
+                      double submit = 0.0, double requested = 0.0) {
+  cluster::BatchJob j;
+  j.name = name;
+  j.nodes = nodes;
+  j.durationSeconds = duration;
+  j.requestedSeconds = requested;
+  j.submitSeconds = submit;
+  return j;
+}
+
+TEST(Slurm, SingleJobRunsImmediately) {
+  cluster::SlurmScheduler slurm(16);
+  slurm.submit(job("a", 8, 100.0));
+  const auto result = slurm.schedule();
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].startSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.makespanSeconds, 100.0);
+  EXPECT_NEAR(result.nodeUtilization, 0.5, 1e-9);
+}
+
+TEST(Slurm, FcfsOrderRespected) {
+  cluster::SlurmScheduler slurm(10, /*enableBackfill=*/false);
+  slurm.submit(job("a", 10, 50.0));
+  slurm.submit(job("b", 10, 50.0));
+  slurm.submit(job("c", 10, 50.0));
+  const auto result = slurm.schedule();
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].startSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.jobs[1].startSeconds, 50.0);
+  EXPECT_DOUBLE_EQ(result.jobs[2].startSeconds, 100.0);
+  EXPECT_DOUBLE_EQ(result.makespanSeconds, 150.0);
+  EXPECT_EQ(result.backfilledJobs, 0);
+}
+
+TEST(Slurm, ParallelJobsSharePartition) {
+  cluster::SlurmScheduler slurm(16);
+  slurm.submit(job("a", 8, 100.0));
+  slurm.submit(job("b", 8, 100.0));
+  const auto result = slurm.schedule();
+  EXPECT_DOUBLE_EQ(result.makespanSeconds, 100.0);
+  EXPECT_NEAR(result.nodeUtilization, 1.0, 1e-9);
+}
+
+TEST(Slurm, EasyBackfillFillsTheHole) {
+  // a occupies 12/16 nodes; b (head of queue, 16 nodes) must wait for a;
+  // c needs 4 nodes and finishes before a's requested end => backfills.
+  cluster::SlurmScheduler slurm(16);
+  slurm.submit(job("a", 12, 100.0));
+  slurm.submit(job("b", 16, 50.0));
+  slurm.submit(job("c", 4, 80.0));
+  const auto result = slurm.schedule();
+  ASSERT_EQ(result.jobs.size(), 3u);
+  // c started at t=0 alongside a.
+  const auto& c = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                [](const auto& s) {
+                                  return s.job.name == "c";
+                                });
+  EXPECT_DOUBLE_EQ(c.startSeconds, 0.0);
+  EXPECT_EQ(result.backfilledJobs, 1);
+  // b still starts exactly when a ends (backfill did not delay the head).
+  const auto& b = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                [](const auto& s) {
+                                  return s.job.name == "b";
+                                });
+  EXPECT_DOUBLE_EQ(b.startSeconds, 100.0);
+}
+
+TEST(Slurm, BackfillNeverDelaysQueueHead) {
+  // Candidate d would outlast the head's reservation AND needs nodes the
+  // reservation requires => must not backfill.
+  cluster::SlurmScheduler slurm(16);
+  slurm.submit(job("a", 12, 100.0));
+  slurm.submit(job("b", 16, 50.0));
+  slurm.submit(job("d", 4, 200.0));
+  const auto result = slurm.schedule();
+  const auto& b = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                [](const auto& s) {
+                                  return s.job.name == "b";
+                                });
+  EXPECT_DOUBLE_EQ(b.startSeconds, 100.0);
+  const auto& d = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                [](const auto& s) {
+                                  return s.job.name == "d";
+                                });
+  EXPECT_GE(d.startSeconds, b.endSeconds);
+  EXPECT_EQ(result.backfilledJobs, 0);
+}
+
+TEST(Slurm, EarlyCompletionReleasesNodesEarly) {
+  // a requests 1000 s but finishes in 10: b must start at 10, not 1000.
+  cluster::SlurmScheduler slurm(8);
+  slurm.submit(job("a", 8, 10.0, 0.0, /*requested=*/1000.0));
+  slurm.submit(job("b", 8, 10.0));
+  const auto result = slurm.schedule();
+  const auto& b = *std::find_if(result.jobs.begin(), result.jobs.end(),
+                                [](const auto& s) {
+                                  return s.job.name == "b";
+                                });
+  EXPECT_DOUBLE_EQ(b.startSeconds, 10.0);
+}
+
+TEST(Slurm, LateSubmissionsWaitForArrival) {
+  cluster::SlurmScheduler slurm(8);
+  slurm.submit(job("late", 2, 5.0, /*submit=*/100.0));
+  const auto result = slurm.schedule();
+  EXPECT_DOUBLE_EQ(result.jobs[0].startSeconds, 100.0);
+  EXPECT_DOUBLE_EQ(result.jobs[0].waitSeconds(), 0.0);
+}
+
+TEST(Slurm, WaitStatisticsComputed) {
+  cluster::SlurmScheduler slurm(4, false);
+  slurm.submit(job("a", 4, 100.0));
+  slurm.submit(job("b", 4, 100.0));
+  const auto result = slurm.schedule();
+  EXPECT_DOUBLE_EQ(result.maxWaitSeconds, 100.0);
+  EXPECT_DOUBLE_EQ(result.averageWaitSeconds, 50.0);
+}
+
+TEST(Slurm, EnergyEstimatePositiveAndBusyDominated) {
+  cluster::SlurmScheduler slurm(16);
+  slurm.submit(job("a", 16, 100.0));
+  const auto result = slurm.schedule();
+  const auto spec = cluster::ClusterSpec::tibidabo();
+  const double energy =
+      cluster::SlurmScheduler::estimateEnergyJ(result, spec, 16);
+  // 16 fully busy Tegra2 nodes for 100 s at ~7-10 W each.
+  EXPECT_GT(energy, 16 * 100.0 * 6.0);
+  EXPECT_LT(energy, 16 * 100.0 * 12.0);
+}
+
+TEST(Slurm, RejectsInvalidJobs) {
+  cluster::SlurmScheduler slurm(4);
+  EXPECT_THROW(slurm.submit(job("big", 5, 10.0)), ContractError);
+  EXPECT_THROW(slurm.submit(job("zero", 1, 0.0)), ContractError);
+  EXPECT_THROW(slurm.submit(job("lie", 1, 10.0, 0.0, 5.0)), ContractError);
+}
+
+// ---- Software stack (Figure 8) ----------------------------------------------
+
+TEST(SoftwareStack, CoversEveryLayer) {
+  for (auto layer : {cluster::StackLayer::Compiler,
+                     cluster::StackLayer::RuntimeLibrary,
+                     cluster::StackLayer::ScientificLibrary,
+                     cluster::StackLayer::PerformanceTool,
+                     cluster::StackLayer::Debugger,
+                     cluster::StackLayer::ClusterManagement,
+                     cluster::StackLayer::OperatingSystem}) {
+    EXPECT_FALSE(cluster::componentsAt(layer).empty()) << toString(layer);
+  }
+}
+
+TEST(SoftwareStack, Figure8ComponentsPresent) {
+  bool slurm = false, atlas = false, openMx = false;
+  for (const auto& c : cluster::softwareStack()) {
+    if (c.name.find("SLURM") != std::string::npos) slurm = true;
+    if (c.name.find("ATLAS") != std::string::npos) {
+      atlas = true;
+      // Section 5: ATLAS required source modifications.
+      EXPECT_EQ(c.support, cluster::ArmSupport::PortedByTeam);
+    }
+    if (c.name.find("Open-MX") != std::string::npos) openMx = true;
+  }
+  EXPECT_TRUE(slurm);
+  EXPECT_TRUE(atlas);
+  EXPECT_TRUE(openMx);
+}
+
+TEST(SoftwareStack, MostOfTheStackJustWorks) {
+  // The Section 5 claim: the ARM software stack is essentially complete.
+  EXPECT_GT(cluster::fullSupportFraction(), 0.6);
+  EXPECT_LT(cluster::fullSupportFraction(), 1.0);  // CUDA/OpenCL caveats
+}
+
+}  // namespace
+}  // namespace tibsim

@@ -1,0 +1,138 @@
+// Tests for the DVFS governor simulation (Section 5's "performance
+// governor" tuning decision).
+
+#include <gtest/gtest.h>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/power/dvfs_governor.hpp"
+
+namespace tibsim::power {
+namespace {
+
+using namespace units;
+using arch::PlatformRegistry;
+
+perfmodel::WorkProfile computeShape() {
+  return {1.0, 0.0, perfmodel::AccessPattern::Resident, 0.9, 1.0, 0.0};
+}
+
+std::vector<WorkPhase> burstyTrace() {
+  // Ten compute bursts of 0.5 GFLOP separated by 0.3 s waits — an HPC
+  // iteration pattern with communication/IO gaps.
+  return std::vector<WorkPhase>(10, WorkPhase{0.5e9, 0.3});
+}
+
+DvfsGovernor::Config cfg(GovernorPolicy policy) {
+  DvfsGovernor::Config config;
+  config.policy = policy;
+  return config;
+}
+
+TEST(Governor, PerformancePinsMaxFrequency) {
+  const DvfsGovernor governor(PlatformRegistry::tegra2(),
+                              cfg(GovernorPolicy::Performance));
+  const auto result = governor.run(burstyTrace(), computeShape());
+  EXPECT_NEAR(result.averageFrequencyHz, ghz(1.0), 1.0);
+  for (double f : result.frequencyTrace) EXPECT_DOUBLE_EQ(f, ghz(1.0));
+}
+
+TEST(Governor, PowersavePinsMinFrequency) {
+  const auto platform = PlatformRegistry::tegra2();
+  const DvfsGovernor governor(platform, cfg(GovernorPolicy::Powersave));
+  const auto result = governor.run(burstyTrace(), computeShape());
+  EXPECT_NEAR(result.averageFrequencyHz, platform.soc.minFrequencyHz(), 1.0);
+}
+
+TEST(Governor, PerformanceFinishesFirst) {
+  const auto platform = PlatformRegistry::exynos5250();
+  const auto trace = burstyTrace();
+  double prev = 0.0;
+  for (auto policy : {GovernorPolicy::Performance, GovernorPolicy::OnDemand,
+                      GovernorPolicy::Powersave}) {
+    const auto result =
+        DvfsGovernor(platform, cfg(policy)).run(trace, computeShape());
+    EXPECT_GT(result.seconds, prev);  // each slower than the previous
+    prev = result.seconds;
+  }
+}
+
+TEST(Governor, OnDemandRampsUpUnderLoadAndDownWhenIdle) {
+  const auto platform = PlatformRegistry::tegra3();
+  const DvfsGovernor governor(platform, cfg(GovernorPolicy::OnDemand));
+  // One long burst then a long idle tail.
+  const std::vector<WorkPhase> trace = {{2e9, 3.0}};
+  const auto result = governor.run(trace, computeShape());
+  // Reached max during the burst...
+  EXPECT_DOUBLE_EQ(
+      *std::max_element(result.frequencyTrace.begin(),
+                        result.frequencyTrace.end()),
+      platform.maxFrequencyHz());
+  // ...and back to min by the end of the idle tail.
+  EXPECT_DOUBLE_EQ(result.frequencyTrace.back(),
+                   platform.soc.minFrequencyHz());
+}
+
+TEST(Governor, ConservativeStepsOneOperatingPointAtATime) {
+  const auto platform = PlatformRegistry::exynos5250();
+  const DvfsGovernor governor(platform, cfg(GovernorPolicy::Conservative));
+  const std::vector<WorkPhase> trace = {{5e9, 0.0}};
+  const auto result = governor.run(trace, computeShape());
+  const auto& dvfs = platform.soc.dvfs;
+  for (std::size_t i = 1; i < result.frequencyTrace.size(); ++i) {
+    // Find operating-point indices; consecutive samples differ by <= 1.
+    auto indexOf = [&](double f) {
+      for (std::size_t k = 0; k < dvfs.size(); ++k)
+        if (std::abs(dvfs[k].frequencyHz - f) < 1.0) return k;
+      return std::size_t{0};
+    };
+    const auto a = indexOf(result.frequencyTrace[i - 1]);
+    const auto b = indexOf(result.frequencyTrace[i]);
+    EXPECT_LE(b > a ? b - a : a - b, 1u);
+  }
+}
+
+TEST(Governor, PerformanceGovernorWinsEnergyOnMobileBoards) {
+  // The paper's Section 5 decision: with board-dominated power, racing to
+  // idle at max frequency uses *less* energy than crawling at low
+  // frequency — the same result as the Figure 3(b) sweep.
+  for (const auto& platform :
+       {PlatformRegistry::tegra2(), PlatformRegistry::exynos5250()}) {
+    const auto trace = burstyTrace();
+    const auto perf = DvfsGovernor(platform, cfg(GovernorPolicy::Performance))
+                          .run(trace, computeShape());
+    const auto save = DvfsGovernor(platform, cfg(GovernorPolicy::Powersave))
+                          .run(trace, computeShape());
+    EXPECT_LT(perf.energyJ, save.energyJ) << platform.shortName;
+  }
+}
+
+TEST(Governor, OnDemandCloseToPerformanceForSustainedLoad) {
+  // With no idle gaps ondemand ramps once and stays at max: its time must
+  // be within a few governor ticks of the performance governor's.
+  const auto platform = PlatformRegistry::tegra3();
+  const std::vector<WorkPhase> trace = {{20e9, 0.0}};
+  const auto perf = DvfsGovernor(platform, cfg(GovernorPolicy::Performance))
+                        .run(trace, computeShape());
+  const auto ond = DvfsGovernor(platform, cfg(GovernorPolicy::OnDemand))
+                       .run(trace, computeShape());
+  EXPECT_LT(ond.seconds, perf.seconds * 1.10);
+}
+
+TEST(Governor, BusyFractionReported) {
+  const DvfsGovernor governor(PlatformRegistry::tegra2(),
+                              cfg(GovernorPolicy::Performance));
+  const auto result = governor.run(burstyTrace(), computeShape());
+  EXPECT_GT(result.busyFraction, 0.0);
+  EXPECT_LT(result.busyFraction, 1.0);
+}
+
+TEST(Governor, InvalidConfigRejected) {
+  DvfsGovernor::Config bad;
+  bad.samplePeriodSeconds = 0.0;
+  EXPECT_THROW(DvfsGovernor(PlatformRegistry::tegra2(), bad), ContractError);
+}
+
+}  // namespace
+}  // namespace tibsim::power

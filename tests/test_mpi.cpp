@@ -1,0 +1,469 @@
+// Tests for simMPI: point-to-point semantics, payload integrity, tag
+// matching, rendezvous, collectives, deadlock detection, accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/mpi/simmpi.hpp"
+
+namespace tibsim::mpi {
+namespace {
+
+using namespace units;
+
+WorldConfig testConfig(int ranksPerNode = 1,
+                       net::Protocol proto = net::Protocol::TcpIp) {
+  WorldConfig cfg;
+  cfg.platform = arch::PlatformRegistry::tegra2();
+  cfg.frequencyHz = ghz(1.0);
+  cfg.protocol = proto;
+  cfg.ranksPerNode = ranksPerNode;
+  return cfg;
+}
+
+TEST(SimMpi, RankAndSizeVisible) {
+  MpiWorld world(testConfig(), 4);
+  std::vector<int> seen(4, -1);
+  world.run([&](MpiContext& ctx) {
+    seen[static_cast<std::size_t>(ctx.rank())] = ctx.size();
+  });
+  for (int s : seen) EXPECT_EQ(s, 4);
+}
+
+TEST(SimMpi, NodePlacementFollowsRanksPerNode) {
+  MpiWorld world(testConfig(2), 6);
+  EXPECT_EQ(world.nodes(), 3);
+  std::vector<int> nodeOf(6, -1);
+  world.run([&](MpiContext& ctx) {
+    nodeOf[static_cast<std::size_t>(ctx.rank())] = ctx.node();
+  });
+  EXPECT_EQ(nodeOf, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(SimMpi, PayloadRoundTrips) {
+  MpiWorld world(testConfig(), 2);
+  std::vector<double> received;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      const std::vector<double> data = {1.5, -2.25, 3.75};
+      ctx.sendDoubles(1, 42, data);
+    } else {
+      received = ctx.recvDoubles(0, 42);
+    }
+  });
+  EXPECT_EQ(received, (std::vector<double>{1.5, -2.25, 3.75}));
+}
+
+TEST(SimMpi, SizeOnlyMessagesReportBytes) {
+  MpiWorld world(testConfig(), 2);
+  std::size_t got = 0;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, 123456);
+    } else {
+      const auto payload = ctx.recv(0, 1, &got);
+      EXPECT_TRUE(payload.empty());
+    }
+  });
+  EXPECT_EQ(got, 123456u);
+}
+
+TEST(SimMpi, TagMatchingSelectsCorrectMessage) {
+  MpiWorld world(testConfig(), 2);
+  std::vector<double> first, second;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.sendDoubles(1, /*tag=*/7, std::vector<double>{7.0});
+      ctx.sendDoubles(1, /*tag=*/8, std::vector<double>{8.0});
+    } else {
+      // Receive in the opposite order from the sends.
+      second = ctx.recvDoubles(0, 8);
+      first = ctx.recvDoubles(0, 7);
+    }
+  });
+  EXPECT_EQ(first, std::vector<double>{7.0});
+  EXPECT_EQ(second, std::vector<double>{8.0});
+}
+
+TEST(SimMpi, FifoPerSourceAndTag) {
+  MpiWorld world(testConfig(), 2);
+  std::vector<double> order;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 5; ++i)
+        ctx.sendDoubles(1, 3, std::vector<double>{static_cast<double>(i)});
+    } else {
+      for (int i = 0; i < 5; ++i)
+        order.push_back(ctx.recvDoubles(0, 3)[0]);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<double>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimMpi, MessagesTakeSimulatedTime) {
+  MpiWorld world(testConfig(), 2);
+  double recvDone = 0.0;
+  const auto stats = world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, 64);
+    } else {
+      ctx.recv(0, 1);
+      recvDone = ctx.now();
+    }
+  });
+  // One small TCP message on Tegra2 @ 1 GHz: ~100 us one-way.
+  EXPECT_GT(recvDone, 50e-6);
+  EXPECT_LT(recvDone, 200e-6);
+  EXPECT_EQ(stats.messageCount, 1u);
+}
+
+TEST(SimMpi, RendezvousLargeMessageCompletes) {
+  MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
+  const std::size_t big = 256 * 1024;  // > 32 KiB threshold
+  std::size_t got = 0;
+  double senderDone = 0.0, receiverDone = 0.0;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 5, big);
+      senderDone = ctx.now();
+    } else {
+      ctx.computeSeconds(0.01);  // receiver arrives late: RTS must wait
+      ctx.recv(0, 5, &got);
+      receiverDone = ctx.now();
+    }
+  });
+  EXPECT_EQ(got, big);
+  // Rendezvous: the sender cannot complete before the receiver showed up.
+  EXPECT_GT(senderDone, 0.01);
+  EXPECT_GT(receiverDone, senderDone * 0.5);
+}
+
+TEST(SimMpi, RendezvousBothDirectionsViaSendrecv) {
+  MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
+  const std::size_t big = 128 * 1024;
+  world.run([&](MpiContext& ctx) {
+    const int peer = 1 - ctx.rank();
+    ctx.sendrecv(peer, 9, big);
+  });
+  SUCCEED();  // completing without deadlock is the assertion
+}
+
+TEST(SimMpi, SameNodeMessagesAreFast) {
+  MpiWorld world(testConfig(2), 2);  // both ranks on node 0
+  double elapsed = 0.0;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, 1024);
+    } else {
+      ctx.recv(0, 1);
+      elapsed = ctx.now();
+    }
+  });
+  EXPECT_LT(elapsed, 20e-6);  // shared memory, no NIC
+}
+
+TEST(SimMpi, DeadlockIsDetected) {
+  MpiWorld world(testConfig(), 2);
+  EXPECT_THROW(world.run([](MpiContext& ctx) {
+    // Both ranks receive first: classic deadlock.
+    ctx.recv(1 - ctx.rank(), 1);
+  }),
+               ContractError);
+}
+
+TEST(SimMpi, RankExceptionsPropagate) {
+  MpiWorld world(testConfig(), 2);
+  EXPECT_THROW(world.run([](MpiContext& ctx) {
+    if (ctx.rank() == 1) throw std::runtime_error("rank failure");
+    ctx.computeSeconds(0.001);
+  }),
+               std::runtime_error);
+}
+
+TEST(SimMpi, ComputeAdvancesClockAndAccounts) {
+  MpiWorld world(testConfig(), 1);
+  const auto stats = world.run([&](MpiContext& ctx) {
+    ctx.compute(perfmodel::WorkProfile{1e9, 0.0,
+                                       perfmodel::AccessPattern::Resident,
+                                       1.0, 1.0, 0.0});
+  });
+  EXPECT_GT(stats.wallClockSeconds, 1.0);  // 1 GFLOP at ~0.55 GFLOP/s
+  EXPECT_DOUBLE_EQ(stats.totalFlops, 1e9);
+  EXPECT_GT(stats.nodeBusySeconds[0], 1.0);
+}
+
+// ---- Collectives -----------------------------------------------------------
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BarrierSynchronises) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  std::vector<double> after(static_cast<std::size_t>(n), 0.0);
+  world.run([&](MpiContext& ctx) {
+    // Rank r works r milliseconds, then hits the barrier.
+    ctx.computeSeconds(1e-3 * ctx.rank());
+    ctx.barrier();
+    after[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  // Nobody leaves the barrier before the slowest rank reached it.
+  const double slowest = 1e-3 * (n - 1);
+  for (double t : after) EXPECT_GE(t, slowest);
+}
+
+TEST_P(CollectiveSizes, BcastDeliversRootData) {
+  const int n = GetParam();
+  const int root = n > 2 ? 2 : 0;
+  MpiWorld world(testConfig(), n);
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
+  world.run([&](MpiContext& ctx) {
+    std::vector<double> data;
+    if (ctx.rank() == root) data = {3.0, 1.0, 4.0, 1.0, 5.0};
+    results[static_cast<std::size_t>(ctx.rank())] =
+        ctx.bcast(std::move(data), root);
+  });
+  for (const auto& r : results)
+    EXPECT_EQ(r, (std::vector<double>{3.0, 1.0, 4.0, 1.0, 5.0}));
+}
+
+TEST_P(CollectiveSizes, ReduceSumsContributions) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  std::vector<double> rootResult;
+  world.run([&](MpiContext& ctx) {
+    const std::vector<double> mine = {static_cast<double>(ctx.rank()),
+                                      1.0};
+    const auto out = ctx.reduceSum(mine, 0);
+    if (ctx.rank() == 0) rootResult = out;
+  });
+  ASSERT_EQ(rootResult.size(), 2u);
+  EXPECT_DOUBLE_EQ(rootResult[0], n * (n - 1) / 2.0);
+  EXPECT_DOUBLE_EQ(rootResult[1], n);
+}
+
+TEST_P(CollectiveSizes, AllreduceGivesEveryoneTheSum) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  std::vector<double> sums(static_cast<std::size_t>(n), 0.0);
+  world.run([&](MpiContext& ctx) {
+    sums[static_cast<std::size_t>(ctx.rank())] =
+        ctx.allreduceSum(static_cast<double>(ctx.rank() + 1));
+  });
+  for (double s : sums) EXPECT_DOUBLE_EQ(s, n * (n + 1) / 2.0);
+}
+
+TEST_P(CollectiveSizes, AllreduceMaxFindsGlobalMax) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  std::vector<double> maxes(static_cast<std::size_t>(n), 0.0);
+  world.run([&](MpiContext& ctx) {
+    // Values peak in the middle to exercise non-root extremes.
+    const double mine = -std::abs(ctx.rank() - n / 2.0);
+    maxes[static_cast<std::size_t>(ctx.rank())] = ctx.allreduceMax(mine);
+  });
+  const double expected = n % 2 == 0 ? 0.0 : -0.5;
+  for (double m : maxes) EXPECT_DOUBLE_EQ(m, expected);
+}
+
+TEST_P(CollectiveSizes, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  std::vector<double> gathered;
+  world.run([&](MpiContext& ctx) {
+    const auto all = ctx.gather(static_cast<double>(ctx.rank() * 10), 0);
+    if (ctx.rank() == 0) gathered = all;
+  });
+  ASSERT_EQ(gathered.size(), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(r)], r * 10.0);
+}
+
+TEST_P(CollectiveSizes, AllgatherEveryoneSeesAll) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
+  world.run([&](MpiContext& ctx) {
+    results[static_cast<std::size_t>(ctx.rank())] =
+        ctx.allgather(static_cast<double>(ctx.rank()));
+  });
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST_P(CollectiveSizes, AlltoallCompletes) {
+  const int n = GetParam();
+  MpiWorld world(testConfig(), n);
+  const auto stats = world.run([&](MpiContext& ctx) {
+    ctx.alltoallBytes(4096);
+  });
+  // Every ordered pair exchanged one message.
+  EXPECT_EQ(stats.messageCount, static_cast<std::uint64_t>(n) * (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSizes,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 16));
+
+TEST(SimMpiNonblocking, IrecvOverlapsComputeWithArrival) {
+  // Rank 1 posts irecv, computes 10 ms while the message flies, then
+  // waits: total time ~= max(compute, message), not the sum.
+  MpiWorld world(testConfig(), 2);
+  double finish = 0.0;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 3, 64);
+    } else {
+      const auto req = ctx.irecv(0, 3);
+      ctx.computeSeconds(10e-3);
+      ctx.wait(req);
+      finish = ctx.now();
+    }
+  });
+  EXPECT_LT(finish, 10e-3 + 120e-6);  // overlapped, only recv CPU added
+  EXPECT_GT(finish, 10e-3);
+}
+
+TEST(SimMpiNonblocking, IsendDoesNotBlockEvenAboveRendezvousThreshold) {
+  MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
+  double sendDone = 0.0;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      const auto req = ctx.isend(1, 4, 512 * 1024);  // would rendezvous
+      sendDone = ctx.now();
+      ctx.wait(req);
+    } else {
+      ctx.computeSeconds(0.5);  // receiver very late
+      ctx.recv(0, 4);
+    }
+  });
+  // The blocking rendezvous path would have waited ~0.5 s for the CTS.
+  EXPECT_LT(sendDone, 0.1);
+}
+
+TEST(SimMpiNonblocking, PayloadDeliveredThroughWait) {
+  MpiWorld world(testConfig(), 2);
+  std::vector<double> got;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      const std::vector<double> data = {2.5, 7.5};
+      ctx.isend(1, 9, data.size() * sizeof(double),
+                std::as_bytes(std::span<const double>(data)));
+    } else {
+      const auto req = ctx.irecv(0, 9);
+      const auto raw = ctx.wait(req);
+      got.resize(raw.size() / sizeof(double));
+      std::memcpy(got.data(), raw.data(), raw.size());
+    }
+  });
+  EXPECT_EQ(got, (std::vector<double>{2.5, 7.5}));
+}
+
+TEST(SimMpiNonblocking, WaitallCompletesManyRequests) {
+  MpiWorld world(testConfig(), 4);
+  int completed = 0;
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<MpiContext::Request> reqs;
+      for (int r = 1; r < 4; ++r) reqs.push_back(ctx.irecv(r, r));
+      ctx.waitall(reqs);
+      completed = static_cast<int>(reqs.size());
+    } else {
+      ctx.send(0, ctx.rank(), 128);
+    }
+  });
+  EXPECT_EQ(completed, 3);
+}
+
+TEST(SimMpiNonblocking, DoubleWaitThrows) {
+  MpiWorld world(testConfig(), 2);
+  EXPECT_THROW(world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, 8);
+    } else {
+      const auto req = ctx.irecv(0, 1);
+      ctx.wait(req);
+      ctx.wait(req);  // already consumed
+    }
+  }),
+               ContractError);
+}
+
+TEST(SimMpiCollectives, NeighborExchangeHasNoChainSerialisation) {
+  // With the red-black schedule the halo exchange completes in O(1)
+  // message times regardless of rank count.
+  auto haloTime = [](int ranks) {
+    MpiWorld world(testConfig(), ranks);
+    const auto stats = world.run([](MpiContext& ctx) {
+      ctx.neighborExchange(65536, 5);
+    });
+    return stats.wallClockSeconds;
+  };
+  const double small = haloTime(8);
+  const double large = haloTime(64);
+  EXPECT_LT(large, 2.5 * small);
+}
+
+TEST(SimMpiCollectives, NeighborExchangeWorksForOddRankCounts) {
+  for (int ranks : {2, 3, 5, 7}) {
+    MpiWorld world(testConfig(), ranks);
+    const auto stats = world.run([](MpiContext& ctx) {
+      ctx.neighborExchange(1024, 6);
+    });
+    // Each interior rank exchanges with 2 neighbours; ends with 1.
+    EXPECT_EQ(stats.messageCount,
+              static_cast<std::uint64_t>(2 * (ranks - 1)))
+        << ranks;
+  }
+}
+
+TEST(SimMpiCollectives, PipelinedBcastFasterThanBinomialForBigPayloads) {
+  const std::size_t bytes = 8 << 20;
+  auto run = [&](bool pipelined) {
+    MpiWorld world(testConfig(), 16);
+    const auto stats = world.run([&](MpiContext& ctx) {
+      if (pipelined) {
+        ctx.pipelinedBcastBytes(bytes, 0);
+      } else {
+        ctx.bcastBytes(bytes, 0);
+      }
+    });
+    return stats.wallClockSeconds;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(SimMpiCollectives, PipelinedBcastCausality) {
+  // No rank may finish the broadcast before the root produced the data.
+  MpiWorld world(testConfig(), 8);
+  std::vector<double> finish(8, 0.0);
+  world.run([&](MpiContext& ctx) {
+    if (ctx.rank() == 3) ctx.computeSeconds(0.05);  // root is late
+    ctx.pipelinedBcastBytes(1 << 20, 3);
+    finish[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+  });
+  for (double t : finish) EXPECT_GT(t, 0.05);
+}
+
+TEST(SimMpi, DeterministicAcrossRuns) {
+  auto once = [] {
+    MpiWorld world(testConfig(2, net::Protocol::OpenMx), 8);
+    const auto stats = world.run([](MpiContext& ctx) {
+      ctx.computeSeconds(1e-4 * (ctx.rank() % 3));
+      ctx.allreduceSum(1.0);
+      ctx.alltoallBytes(10000);
+      ctx.barrier();
+    });
+    return stats.wallClockSeconds;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace tibsim::mpi

@@ -1,0 +1,201 @@
+// Tests for the protocol-stack and fabric models (Section 4.1 / Figure 7).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/net/fabric.hpp"
+#include "tibsim/net/protocol.hpp"
+
+namespace tibsim::net {
+namespace {
+
+using namespace units;
+using arch::PlatformRegistry;
+
+// ---- Protocol model properties --------------------------------------------
+
+TEST(Protocol, OpenMxAlwaysFasterThanTcp) {
+  for (const auto& platform :
+       {PlatformRegistry::tegra2(), PlatformRegistry::exynos5250()}) {
+    const ProtocolModel tcp(Protocol::TcpIp, platform,
+                            platform.maxFrequencyHz());
+    const ProtocolModel omx(Protocol::OpenMx, platform,
+                            platform.maxFrequencyHz());
+    for (std::size_t bytes : {std::size_t{0}, std::size_t{64},
+                              std::size_t{1024}, std::size_t{1} << 20}) {
+      EXPECT_LT(omx.pingPongLatency(bytes), tcp.pingPongLatency(bytes))
+          << platform.shortName << " bytes=" << bytes;
+    }
+    EXPECT_GT(omx.effectiveBandwidth(1 << 22),
+              tcp.effectiveBandwidth(1 << 22))
+        << platform.shortName;
+  }
+}
+
+TEST(Protocol, LatencyMonotonicInMessageSize) {
+  const auto platform = PlatformRegistry::tegra2();
+  for (Protocol proto : {Protocol::TcpIp, Protocol::OpenMx}) {
+    const ProtocolModel model(proto, platform, ghz(1.0));
+    double prev = 0.0;
+    for (std::size_t bytes = 0; bytes <= 1 << 20;
+         bytes = bytes == 0 ? 1 : bytes * 4) {
+      const double latency = model.pingPongLatency(bytes);
+      EXPECT_GE(latency, prev) << toString(proto) << " " << bytes;
+      prev = latency;
+    }
+  }
+}
+
+TEST(Protocol, BandwidthMonotonicInMessageSize) {
+  const auto platform = PlatformRegistry::tegra2();
+  const ProtocolModel model(Protocol::OpenMx, platform, ghz(1.0));
+  double prev = 0.0;
+  for (std::size_t bytes = 64; bytes <= (1 << 24); bytes *= 4) {
+    const double bw = model.effectiveBandwidth(bytes);
+    EXPECT_GE(bw, prev * 0.98) << bytes;  // allow rendezvous-handshake dip
+    prev = bw;
+  }
+}
+
+TEST(Protocol, HigherFrequencyReducesLatency) {
+  const auto platform = PlatformRegistry::exynos5250();
+  for (Protocol proto : {Protocol::TcpIp, Protocol::OpenMx}) {
+    const ProtocolModel slow(proto, platform, ghz(1.0));
+    const ProtocolModel fast(proto, platform, ghz(1.4));
+    EXPECT_LT(fast.pingPongLatency(1), slow.pingPongLatency(1));
+    // ...but only partially: USB hardware cost does not scale with f.
+    const double ratio =
+        fast.pingPongLatency(1) / slow.pingPongLatency(1);
+    EXPECT_GT(ratio, 0.8);  // paper: ~10 % reduction for 1.0 -> 1.4 GHz
+    EXPECT_LT(ratio, 0.97);
+  }
+}
+
+TEST(Protocol, BandwidthNeverExceedsLineRate) {
+  for (const auto& platform : PlatformRegistry::evaluated()) {
+    for (Protocol proto : {Protocol::TcpIp, Protocol::OpenMx}) {
+      const ProtocolModel model(proto, platform, platform.maxFrequencyHz());
+      for (std::size_t bytes = 1; bytes <= (1 << 24); bytes *= 16) {
+        EXPECT_LE(model.effectiveBandwidth(bytes),
+                  platform.nicLinkRateBytesPerS)
+            << platform.shortName << " " << toString(proto);
+      }
+    }
+  }
+}
+
+TEST(Protocol, RendezvousOnlyForOpenMxLargeMessages) {
+  const auto platform = PlatformRegistry::tegra2();
+  const ProtocolModel omx(Protocol::OpenMx, platform, ghz(1.0));
+  const ProtocolModel tcp(Protocol::TcpIp, platform, ghz(1.0));
+  EXPECT_FALSE(omx.messageCosts(1024).rendezvous);
+  EXPECT_TRUE(omx.messageCosts(32 * 1024).rendezvous);
+  EXPECT_FALSE(tcp.messageCosts(1 << 20).rendezvous);
+}
+
+TEST(Protocol, UsbAttachmentCostsMoreThanPcie) {
+  // Same protocol, same core frequency: the Arndale (USB NIC) must show
+  // higher latency than the SECO board (PCIe NIC) even though the A15 core
+  // runs the software stack faster — the paper's headline Fig. 7 finding.
+  const auto tegra2 = PlatformRegistry::tegra2();
+  const auto exynos = PlatformRegistry::exynos5250();
+  for (Protocol proto : {Protocol::TcpIp, Protocol::OpenMx}) {
+    const ProtocolModel pcie(proto, tegra2, ghz(1.0));
+    const ProtocolModel usb(proto, exynos, ghz(1.0));
+    EXPECT_GT(usb.pingPongLatency(1), pcie.pingPongLatency(1))
+        << toString(proto);
+  }
+}
+
+TEST(Protocol, LatencyPenaltyScalesWithCpuPerformance) {
+  // EEE study anchor: 100 us on a Sandy-Bridge-class core => ~+90 %.
+  EXPECT_NEAR(latencyExecutionTimePenalty(100e-6, 1.0), 0.90, 1e-9);
+  // A 3x slower core sees a proportionally smaller relative penalty.
+  EXPECT_NEAR(latencyExecutionTimePenalty(100e-6, 1.0 / 3.0), 0.30, 1e-9);
+  EXPECT_THROW(latencyExecutionTimePenalty(-1.0, 1.0), ContractError);
+}
+
+// ---- Fabric ----------------------------------------------------------------
+
+TopologySpec smallTopo(int nodes) {
+  TopologySpec spec;
+  spec.nodes = nodes;
+  spec.nodesPerLeafSwitch = 4;
+  spec.linkRateBytesPerS = 125e6;
+  spec.bisectionBytesPerS = 1e9;
+  spec.switchLatency = 2e-6;
+  return spec;
+}
+
+TEST(Fabric, HopCounts) {
+  Fabric fabric(smallTopo(16));
+  EXPECT_EQ(fabric.hopCount(0, 0), 0);
+  EXPECT_EQ(fabric.hopCount(0, 3), 1);   // same leaf
+  EXPECT_EQ(fabric.hopCount(0, 4), 3);   // across the core
+  EXPECT_EQ(fabric.hopCount(15, 12), 1);
+  EXPECT_TRUE(fabric.sameLeaf(0, 3));
+  EXPECT_FALSE(fabric.sameLeaf(3, 4));
+}
+
+TEST(Fabric, WireTimeMatchesRate) {
+  Fabric fabric(smallTopo(8));
+  // 125 MB over a 125 MB/s link = 1 s + switch latency.
+  const double arrival = fabric.scheduleWire(0, 1, 125e6, 0.0);
+  EXPECT_NEAR(arrival, 1.0 + 2e-6, 1e-6);
+}
+
+TEST(Fabric, BackToBackTransfersQueue) {
+  Fabric fabric(smallTopo(8));
+  const double first = fabric.scheduleWire(0, 1, 125e6, 0.0);
+  const double second = fabric.scheduleWire(0, 1, 125e6, 0.0);
+  EXPECT_NEAR(second - first, 1.0, 1e-6);  // serialised on the uplink
+  EXPECT_GT(fabric.totalQueueingSeconds(), 0.9);
+}
+
+TEST(Fabric, DistinctPairsDoNotContend) {
+  Fabric fabric(smallTopo(8));
+  const double a = fabric.scheduleWire(0, 1, 125e6, 0.0);
+  const double b = fabric.scheduleWire(2, 3, 125e6, 0.0);
+  EXPECT_NEAR(a, b, 1e-9);
+  EXPECT_NEAR(fabric.totalQueueingSeconds(), 0.0, 1e-9);
+}
+
+TEST(Fabric, CoreCapacityLimitsCrossLeafTraffic) {
+  // 16 concurrent cross-leaf transfers of 125 MB each: the 1 GB/s core can
+  // carry only 8 links' worth, so the last arrival is pushed out ~2x.
+  Fabric fabric(smallTopo(64));
+  double lastArrival = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    lastArrival = std::max(
+        lastArrival, fabric.scheduleWire(i, 32 + i, 125e6, 0.0));
+  }
+  EXPECT_GT(lastArrival, 1.8);
+  // Within-leaf traffic is not affected by the core.
+  Fabric fabric2(smallTopo(64));
+  double lastLocal = 0.0;
+  for (int i = 0; i < 2; ++i)
+    lastLocal =
+        std::max(lastLocal, fabric2.scheduleWire(i, 2 + i, 125e6, 0.0));
+  EXPECT_LT(lastLocal, 1.1);
+}
+
+TEST(Fabric, AccountsTrafficTotals) {
+  Fabric fabric(smallTopo(8));
+  fabric.scheduleWire(0, 1, 1000.0, 0.0);
+  fabric.scheduleWire(1, 0, 500.0, 0.0);
+  EXPECT_DOUBLE_EQ(fabric.totalWireBytes(), 1500.0);
+  EXPECT_EQ(fabric.transferCount(), 2u);
+}
+
+TEST(Fabric, RejectsInvalidEndpoints) {
+  Fabric fabric(smallTopo(4));
+  EXPECT_THROW(fabric.scheduleWire(0, 4, 10, 0.0), ContractError);
+  EXPECT_THROW(fabric.scheduleWire(2, 2, 10, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace tibsim::net

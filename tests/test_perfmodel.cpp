@@ -1,0 +1,198 @@
+// Property tests for the roofline execution model.
+
+#include <gtest/gtest.h>
+
+#include "tibsim/arch/registry.hpp"
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
+#include "tibsim/perfmodel/execution_model.hpp"
+
+namespace tibsim::perfmodel {
+namespace {
+
+using namespace units;
+using arch::Platform;
+using arch::PlatformRegistry;
+
+WorkProfile computeBound() {
+  return {1e9, 1e6, AccessPattern::Resident, 0.9, 1.0, 0.0};
+}
+
+WorkProfile memoryBound() {
+  return {1e6, 1e9, AccessPattern::Streaming, 1.0, 1.0, 0.0};
+}
+
+TEST(ExecutionModel, ComputeBoundScalesInverselyWithFrequency) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra2();
+  const double t1 = model.time(p, computeBound(), ghz(0.5), 1);
+  const double t2 = model.time(p, computeBound(), ghz(1.0), 1);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-9);
+}
+
+TEST(ExecutionModel, MemoryBoundSaturatesWithCores) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::exynos5250();
+  const double f = p.maxFrequencyHz();
+  const double t1 = model.time(p, memoryBound(), f, 1);
+  const double t2 = model.time(p, memoryBound(), f, 2);
+  // Adding the second core helps less than 2x (SoC bandwidth ceiling).
+  EXPECT_LT(t2, t1);
+  EXPECT_GT(t2, t1 / 2.0);
+}
+
+TEST(ExecutionModel, ComputeBoundScalesWithCores) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra3();
+  const double f = p.maxFrequencyHz();
+  const double t1 = model.time(p, computeBound(), f, 1);
+  const double t4 = model.time(p, computeBound(), f, 4);
+  EXPECT_NEAR(t1 / t4, 4.0, 0.01);
+}
+
+TEST(ExecutionModel, AmdahlLimitsSpeedup) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra3();
+  WorkProfile halfSerial = computeBound();
+  halfSerial.parallelFraction = 0.5;
+  const double t1 = model.time(p, halfSerial, ghz(1.0), 1);
+  const double t4 = model.time(p, halfSerial, ghz(1.0), 4);
+  // Amdahl: max speedup with 50 % serial work is 1/(0.5 + 0.5/4) = 1.6.
+  EXPECT_NEAR(t1 / t4, 1.6, 0.01);
+}
+
+TEST(ExecutionModel, LoadImbalanceSlowsParallelExecution) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra3();
+  WorkProfile balanced = computeBound();
+  WorkProfile imbalanced = computeBound();
+  imbalanced.loadImbalance = 0.3;
+  EXPECT_GT(model.time(p, imbalanced, ghz(1.0), 4),
+            model.time(p, balanced, ghz(1.0), 4));
+  // Serial execution is unaffected by imbalance only through the parallel
+  // share; with parallelFraction=1 the slowdown is exactly 1.3.
+  EXPECT_NEAR(model.time(p, imbalanced, ghz(1.0), 4) /
+                  model.time(p, balanced, ghz(1.0), 4),
+              1.3, 1e-6);
+}
+
+TEST(ExecutionModel, PatternFactorsOrdered) {
+  // Streaming extracts the most bandwidth; random the least.
+  EXPECT_GT(patternBandwidthFactor(AccessPattern::Streaming),
+            patternBandwidthFactor(AccessPattern::Strided));
+  EXPECT_GT(patternBandwidthFactor(AccessPattern::Strided),
+            patternBandwidthFactor(AccessPattern::Irregular));
+  EXPECT_GT(patternBandwidthFactor(AccessPattern::Irregular),
+            patternBandwidthFactor(AccessPattern::Random));
+}
+
+TEST(ExecutionModel, BandwidthRespectsSocCeiling) {
+  const ExecutionModel model;
+  for (const Platform& p : PlatformRegistry::evaluated()) {
+    const double bw = model.achievableBandwidth(
+        p, AccessPattern::Streaming, p.soc.cores, p.maxFrequencyHz());
+    EXPECT_LE(bw, p.soc.memory.peakBandwidthBytesPerS) << p.shortName;
+    EXPECT_GT(bw, 0.1 * p.soc.memory.peakBandwidthBytesPerS) << p.shortName;
+  }
+}
+
+TEST(ExecutionModel, SingleCoreBandwidthBelowAllCore) {
+  const ExecutionModel model;
+  for (const Platform& p : PlatformRegistry::evaluated()) {
+    if (p.soc.cores < 2) continue;
+    const double one = model.achievableBandwidth(
+        p, AccessPattern::Streaming, 1, p.maxFrequencyHz());
+    const double all = model.achievableBandwidth(
+        p, AccessPattern::Streaming, p.soc.cores, p.maxFrequencyHz());
+    EXPECT_LE(one, all) << p.shortName;
+  }
+}
+
+TEST(ExecutionModel, SingleCoreBandwidthDropsWithFrequency) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::exynos5250();
+  const double bwLow =
+      model.achievableBandwidth(p, AccessPattern::Streaming, 1, ghz(0.2));
+  const double bwHigh =
+      model.achievableBandwidth(p, AccessPattern::Streaming, 1, ghz(1.7));
+  EXPECT_LT(bwLow, bwHigh);
+  // ...but not proportionally: the miss-limited core keeps a floor.
+  EXPECT_GT(bwLow, bwHigh * (ghz(0.2) / ghz(1.7)));
+}
+
+TEST(ExecutionModel, RooflineTakesTheMax) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra2();
+  // A kernel with huge bytes and tiny flops must be memory-time dominated.
+  const WorkProfile mem = memoryBound();
+  const double t = model.time(p, mem, ghz(1.0), 1);
+  const double bw =
+      model.achievableBandwidth(p, AccessPattern::Streaming, 1, ghz(1.0));
+  EXPECT_NEAR(t, mem.bytes / bw, 1e-9);
+}
+
+TEST(ExecutionModel, ZeroWorkTakesZeroTime) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra2();
+  const WorkProfile none{0.0, 0.0, AccessPattern::Streaming, 1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.time(p, none, ghz(1.0), 1), 0.0);
+}
+
+TEST(ExecutionModel, InvalidArgumentsRejected) {
+  const ExecutionModel model;
+  const Platform p = PlatformRegistry::tegra2();
+  EXPECT_THROW(model.time(p, computeBound(), ghz(1.0), 0),
+               tibsim::ContractError);
+  EXPECT_THROW(model.time(p, computeBound(), ghz(1.0), p.soc.cores + 1),
+               tibsim::ContractError);
+  EXPECT_THROW(model.time(p, computeBound(), 0.0, 1),
+               tibsim::ContractError);
+}
+
+TEST(ExecutionModel, A15FasterPerCoreThanA9AtSameFrequency) {
+  const ExecutionModel model;
+  const double tA9 = model.time(PlatformRegistry::tegra2(), computeBound(),
+                                ghz(1.0), 1);
+  const double tA15 = model.time(PlatformRegistry::exynos5250(),
+                                 computeBound(), ghz(1.0), 1);
+  EXPECT_GT(tA9 / tA15, 1.15);  // paper: ~1.3x on the suite
+  EXPECT_LT(tA9 / tA15, 1.6);
+}
+
+TEST(ExecutionModel, SandyBridgeFastestPerCore) {
+  const ExecutionModel model;
+  const double tA15 = model.time(PlatformRegistry::exynos5250(),
+                                 computeBound(), ghz(1.7), 1);
+  const double tSnb = model.time(PlatformRegistry::corei7_2760qm(),
+                                 computeBound(), ghz(2.4), 1);
+  EXPECT_GT(tA15 / tSnb, 2.0);  // paper: ~3x at max frequencies
+  EXPECT_LT(tA15 / tSnb, 4.5);
+}
+
+// Parameterised sweep: time is finite, positive, and monotonically
+// non-increasing in core count for every platform/pattern combination.
+class MonotonicCores
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MonotonicCores, TimeNonIncreasingInCores) {
+  const auto [platformIdx, patternIdx] = GetParam();
+  const auto platforms = PlatformRegistry::evaluated();
+  const Platform& p = platforms[static_cast<std::size_t>(platformIdx)];
+  const auto pattern = static_cast<AccessPattern>(patternIdx);
+  const WorkProfile work{5e8, 2e8, pattern, 0.8, 1.0, 0.0};
+  const ExecutionModel model;
+  double prev = 1e300;
+  for (int cores = 1; cores <= p.soc.cores; ++cores) {
+    const double t = model.time(p, work, p.maxFrequencyHz(), cores);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, prev * (1.0 + 1e-12));
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatformsAllPatterns, MonotonicCores,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 7)));
+
+}  // namespace
+}  // namespace tibsim::perfmodel

@@ -1,0 +1,99 @@
+// Tests for the Section 6.3 DRAM reliability model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/reliability/dram_errors.hpp"
+
+namespace tibsim::reliability {
+namespace {
+
+TEST(DramErrors, PaperEstimateThirtyPercentDaily) {
+  // "these figures suggest that a 1,500 node system, with 2 DIMMs per node,
+  //  has a 30% error probability on any given day"
+  DramErrorModel model;
+  model.dimmAnnualErrorProbability = 0.045;  // the paper's arithmetic
+  model.dimmsPerNode = 2;
+  const double p = model.systemDailyErrorProbability(1500);
+  EXPECT_GT(p, 0.20);
+  EXPECT_LT(p, 0.45);
+}
+
+TEST(DramErrors, BandEndsBracketThePaperEstimate) {
+  DramErrorModel low;
+  low.dimmAnnualErrorProbability = 0.04;
+  DramErrorModel high;
+  high.dimmAnnualErrorProbability = 0.20;
+  EXPECT_LT(low.systemDailyErrorProbability(1500), 0.30);
+  EXPECT_GT(high.systemDailyErrorProbability(1500), 0.30);
+}
+
+TEST(DramErrors, DailyProbabilityConsistentWithAnnual) {
+  DramErrorModel model;
+  model.dimmAnnualErrorProbability = 0.12;
+  const double pDay = model.dimmDailyErrorProbability();
+  // Compounding the daily probability over a year returns the annual one.
+  EXPECT_NEAR(1.0 - std::pow(1.0 - pDay, 365.0), 0.12, 1e-9);
+}
+
+TEST(DramErrors, MonteCarloMatchesClosedForm) {
+  DramErrorModel model;
+  model.dimmAnnualErrorProbability = 0.12;
+  const double analytic = model.systemDailyErrorProbability(200);
+  const double mc = model.monteCarloDailyErrorProbability(200, 4000, 99);
+  EXPECT_NEAR(mc, analytic, 0.03);
+}
+
+TEST(DramErrors, MonotonicInNodes) {
+  DramErrorModel model;
+  double prev = 0.0;
+  for (int nodes : {10, 100, 500, 1500, 5000}) {
+    const double p = model.systemDailyErrorProbability(nodes);
+    EXPECT_GT(p, prev);
+    EXPECT_LT(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(DramErrors, ExpectedErrorsScaleLinearly) {
+  DramErrorModel model;
+  EXPECT_NEAR(model.expectedErrorsPerDay(2000),
+              2.0 * model.expectedErrorsPerDay(1000), 1e-12);
+}
+
+TEST(DramErrors, JobSurvivalDropsWithDurationAndScale) {
+  DramErrorModel model;
+  const double shortSmall = model.jobSurvivalProbability(100, 1.0);
+  const double longSmall = model.jobSurvivalProbability(100, 24.0);
+  const double longBig = model.jobSurvivalProbability(1500, 24.0);
+  EXPECT_GT(shortSmall, longSmall);
+  EXPECT_GT(longSmall, longBig);
+  EXPECT_GT(longBig, 0.0);
+  EXPECT_LT(shortSmall, 1.0);
+}
+
+TEST(DramErrors, CheckpointThroughputTradeoff) {
+  DramErrorModel model;
+  // More frequent checkpoints waste more time writing but lose less work;
+  // throughput must be < 1 and the model must see both effects.
+  const double tShort = model.effectiveThroughput(1500, 0.5, 0.05);
+  const double tLong = model.effectiveThroughput(1500, 48.0, 0.05);
+  EXPECT_LT(tShort, 1.0);
+  EXPECT_LT(tLong, 1.0);
+  EXPECT_GT(tShort, 0.5);
+  // Very long intervals on a big machine lose a lot to rework.
+  EXPECT_LT(tLong, tShort);
+}
+
+TEST(DramErrors, InvalidInputsRejected) {
+  DramErrorModel model;
+  model.dimmAnnualErrorProbability = 1.5;
+  EXPECT_THROW(model.dimmDailyErrorProbability(), ContractError);
+  DramErrorModel ok;
+  EXPECT_THROW(ok.jobSurvivalProbability(10, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace tibsim::reliability
