@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_armv8.dir/ablation_armv8.cpp.o"
+  "CMakeFiles/ablation_armv8.dir/ablation_armv8.cpp.o.d"
+  "ablation_armv8"
+  "ablation_armv8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_armv8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

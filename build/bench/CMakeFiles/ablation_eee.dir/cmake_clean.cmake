@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eee.dir/ablation_eee.cpp.o"
+  "CMakeFiles/ablation_eee.dir/ablation_eee.cpp.o.d"
+  "ablation_eee"
+  "ablation_eee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

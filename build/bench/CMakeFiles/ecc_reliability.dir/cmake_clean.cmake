@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_reliability.dir/ecc_reliability.cpp.o"
+  "CMakeFiles/ecc_reliability.dir/ecc_reliability.cpp.o.d"
+  "ecc_reliability"
+  "ecc_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_to_solution.dir/energy_to_solution.cpp.o"
+  "CMakeFiles/energy_to_solution.dir/energy_to_solution.cpp.o.d"
+  "energy_to_solution"
+  "energy_to_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_top500_transitions.dir/fig01_top500_transitions.cpp.o"
+  "CMakeFiles/fig01_top500_transitions.dir/fig01_top500_transitions.cpp.o.d"
+  "fig01_top500_transitions"
+  "fig01_top500_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_top500_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

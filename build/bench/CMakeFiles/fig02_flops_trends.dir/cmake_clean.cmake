@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_flops_trends.dir/fig02_flops_trends.cpp.o"
+  "CMakeFiles/fig02_flops_trends.dir/fig02_flops_trends.cpp.o.d"
+  "fig02_flops_trends"
+  "fig02_flops_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_flops_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_singlecore.dir/fig03_singlecore.cpp.o"
+  "CMakeFiles/fig03_singlecore.dir/fig03_singlecore.cpp.o.d"
+  "fig03_singlecore"
+  "fig03_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

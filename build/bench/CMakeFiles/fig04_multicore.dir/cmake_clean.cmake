@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_multicore.dir/fig04_multicore.cpp.o"
+  "CMakeFiles/fig04_multicore.dir/fig04_multicore.cpp.o.d"
+  "fig04_multicore"
+  "fig04_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_interconnect.dir/fig07_interconnect.cpp.o"
+  "CMakeFiles/fig07_interconnect.dir/fig07_interconnect.cpp.o.d"
+  "fig07_interconnect"
+  "fig07_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

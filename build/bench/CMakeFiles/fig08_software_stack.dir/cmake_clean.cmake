@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_software_stack.dir/fig08_software_stack.cpp.o"
+  "CMakeFiles/fig08_software_stack.dir/fig08_software_stack.cpp.o.d"
+  "fig08_software_stack"
+  "fig08_software_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_software_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_green500.dir/hpl_green500.cpp.o"
+  "CMakeFiles/hpl_green500.dir/hpl_green500.cpp.o.d"
+  "hpl_green500"
+  "hpl_green500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_green500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

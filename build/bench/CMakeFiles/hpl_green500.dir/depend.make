@@ -1,0 +1,2 @@
+# Empty dependencies file for hpl_green500.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imb_suite.dir/imb_suite.cpp.o"
+  "CMakeFiles/imb_suite.dir/imb_suite.cpp.o.d"
+  "imb_suite"
+  "imb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_native.dir/kernels_native.cpp.o"
+  "CMakeFiles/kernels_native.dir/kernels_native.cpp.o.d"
+  "kernels_native"
+  "kernels_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

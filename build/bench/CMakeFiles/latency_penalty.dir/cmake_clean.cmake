@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_penalty.dir/latency_penalty.cpp.o"
+  "CMakeFiles/latency_penalty.dir/latency_penalty.cpp.o.d"
+  "latency_penalty"
+  "latency_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_microkernels.dir/tab02_microkernels.cpp.o"
+  "CMakeFiles/tab02_microkernels.dir/tab02_microkernels.cpp.o.d"
+  "tab02_microkernels"
+  "tab02_microkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_microkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_bytes_per_flop.dir/tab04_bytes_per_flop.cpp.o"
+  "CMakeFiles/tab04_bytes_per_flop.dir/tab04_bytes_per_flop.cpp.o.d"
+  "tab04_bytes_per_flop"
+  "tab04_bytes_per_flop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_bytes_per_flop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

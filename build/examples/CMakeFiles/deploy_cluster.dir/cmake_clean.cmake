@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_cluster.dir/deploy_cluster.cpp.o"
+  "CMakeFiles/deploy_cluster.dir/deploy_cluster.cpp.o.d"
+  "deploy_cluster"
+  "deploy_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_a_soc.dir/design_a_soc.cpp.o"
+  "CMakeFiles/design_a_soc.dir/design_a_soc.cpp.o.d"
+  "design_a_soc"
+  "design_a_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_a_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

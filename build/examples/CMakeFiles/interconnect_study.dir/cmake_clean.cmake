@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_study.dir/interconnect_study.cpp.o"
+  "CMakeFiles/interconnect_study.dir/interconnect_study.cpp.o.d"
+  "interconnect_study"
+  "interconnect_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/hpl.cpp" "src/CMakeFiles/tibsim.dir/apps/hpl.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/apps/hpl.cpp.o.d"
+  "/root/repo/src/apps/hydro.cpp" "src/CMakeFiles/tibsim.dir/apps/hydro.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/apps/hydro.cpp.o.d"
+  "/root/repo/src/apps/md.cpp" "src/CMakeFiles/tibsim.dir/apps/md.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/apps/md.cpp.o.d"
+  "/root/repo/src/apps/pepc.cpp" "src/CMakeFiles/tibsim.dir/apps/pepc.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/apps/pepc.cpp.o.d"
+  "/root/repo/src/apps/specfem.cpp" "src/CMakeFiles/tibsim.dir/apps/specfem.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/apps/specfem.cpp.o.d"
+  "/root/repo/src/arch/platform.cpp" "src/CMakeFiles/tibsim.dir/arch/platform.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/arch/platform.cpp.o.d"
+  "/root/repo/src/arch/registry.cpp" "src/CMakeFiles/tibsim.dir/arch/registry.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/arch/registry.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/tibsim.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/slurm.cpp" "src/CMakeFiles/tibsim.dir/cluster/slurm.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/cluster/slurm.cpp.o.d"
+  "/root/repo/src/cluster/software_stack.cpp" "src/CMakeFiles/tibsim.dir/cluster/software_stack.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/cluster/software_stack.cpp.o.d"
+  "/root/repo/src/common/chart.cpp" "src/CMakeFiles/tibsim.dir/common/chart.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/common/chart.cpp.o.d"
+  "/root/repo/src/common/regression.cpp" "src/CMakeFiles/tibsim.dir/common/regression.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/common/regression.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tibsim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/statistics.cpp" "src/CMakeFiles/tibsim.dir/common/statistics.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/common/statistics.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/tibsim.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/tibsim.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/CMakeFiles/tibsim.dir/core/experiments.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/core/experiments.cpp.o.d"
+  "/root/repo/src/kernels/kernels_complex.cpp" "src/CMakeFiles/tibsim.dir/kernels/kernels_complex.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/kernels/kernels_complex.cpp.o.d"
+  "/root/repo/src/kernels/kernels_compute.cpp" "src/CMakeFiles/tibsim.dir/kernels/kernels_compute.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/kernels/kernels_compute.cpp.o.d"
+  "/root/repo/src/kernels/kernels_mem.cpp" "src/CMakeFiles/tibsim.dir/kernels/kernels_mem.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/kernels/kernels_mem.cpp.o.d"
+  "/root/repo/src/kernels/microkernel.cpp" "src/CMakeFiles/tibsim.dir/kernels/microkernel.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/kernels/microkernel.cpp.o.d"
+  "/root/repo/src/kernels/stream.cpp" "src/CMakeFiles/tibsim.dir/kernels/stream.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/kernels/stream.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/tibsim.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/imb.cpp" "src/CMakeFiles/tibsim.dir/mpi/imb.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/mpi/imb.cpp.o.d"
+  "/root/repo/src/mpi/simmpi.cpp" "src/CMakeFiles/tibsim.dir/mpi/simmpi.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/mpi/simmpi.cpp.o.d"
+  "/root/repo/src/mpi/trace.cpp" "src/CMakeFiles/tibsim.dir/mpi/trace.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/mpi/trace.cpp.o.d"
+  "/root/repo/src/net/eee.cpp" "src/CMakeFiles/tibsim.dir/net/eee.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/net/eee.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/tibsim.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/CMakeFiles/tibsim.dir/net/protocol.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/net/protocol.cpp.o.d"
+  "/root/repo/src/perfmodel/execution_model.cpp" "src/CMakeFiles/tibsim.dir/perfmodel/execution_model.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/perfmodel/execution_model.cpp.o.d"
+  "/root/repo/src/power/dvfs_governor.cpp" "src/CMakeFiles/tibsim.dir/power/dvfs_governor.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/power/dvfs_governor.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/tibsim.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/reliability/dram_errors.cpp" "src/CMakeFiles/tibsim.dir/reliability/dram_errors.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/reliability/dram_errors.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/tibsim.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/trend/trend.cpp" "src/CMakeFiles/tibsim.dir/trend/trend.cpp.o" "gcc" "src/CMakeFiles/tibsim.dir/trend/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_power.dir/test_arch_power.cpp.o"
+  "CMakeFiles/test_arch_power.dir/test_arch_power.cpp.o.d"
+  "test_arch_power"
+  "test_arch_power.pdb"
+  "test_arch_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eee_slurm.dir/test_eee_slurm.cpp.o"
+  "CMakeFiles/test_eee_slurm.dir/test_eee_slurm.cpp.o.d"
+  "test_eee_slurm"
+  "test_eee_slurm.pdb"
+  "test_eee_slurm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eee_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

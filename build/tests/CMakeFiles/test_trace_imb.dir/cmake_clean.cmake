@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_imb.dir/test_trace_imb.cpp.o"
+  "CMakeFiles/test_trace_imb.dir/test_trace_imb.cpp.o.d"
+  "test_trace_imb"
+  "test_trace_imb.pdb"
+  "test_trace_imb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_imb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

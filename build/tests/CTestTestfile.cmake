@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_arch_power[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_trend[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_governor[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_imb[1]_include.cmake")
+include("/root/repo/build/tests/test_eee_slurm[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
