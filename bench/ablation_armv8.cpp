@@ -1,83 +1,8 @@
-// Ablation / projection: the paper argues ARMv8 brings FP64 into the NEON
-// SIMD unit, doubling per-cycle FP64 throughput at similar power. Compare a
-// hypothetical quad-core ARMv8 @ 2 GHz against the evaluated platforms at
-// the micro-kernel, STREAM, and cluster level.
+// Compat wrapper: equivalent to `socbench run ablation_armv8 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/apps/hpl.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/cluster/cluster.hpp"
-#include "tibsim/common/statistics.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/core/experiments.hpp"
-#include "tibsim/kernels/microkernel.hpp"
-#include "tibsim/kernels/stream.hpp"
-#include "tibsim/power/power_model.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Ablation", "ARMv8 projection (Section 3.1.2 outlook)");
-
-  const auto armv8 = arch::PlatformRegistry::armv8Quad2GHz();
-  auto platforms = arch::PlatformRegistry::evaluated();
-  platforms.push_back(armv8);
-
-  // Suite speedups vs the usual baseline.
-  const auto base = core::MicroKernelExperiment::baseline();
-  TextTable table({"platform", "peak GFLOPS", "suite speedup (1 core)",
-                   "suite speedup (all cores)", "platform W (loaded)",
-                   "suite GFLOPS/W"});
-  for (const auto& platform : platforms) {
-    const double f = platform.maxFrequencyHz();
-    const auto one = core::MicroKernelExperiment::measureSuite(platform, f, 1);
-    const auto all = core::MicroKernelExperiment::measureSuite(
-        platform, f, platform.soc.cores);
-    auto geo = [&](const auto& suite) {
-      std::vector<double> r;
-      for (std::size_t i = 0; i < suite.size(); ++i)
-        r.push_back(base[i].seconds / suite[i].seconds);
-      return stats::geomean(r);
-    };
-    double watts = 0.0, seconds = 0.0, flops = 0.0;
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      watts += all[i].watts * all[i].seconds;
-      seconds += all[i].seconds;
-      flops += kernels::referenceProfileFor(kernels::suiteTags()[i]).flops;
-    }
-    watts /= seconds;
-    table.addRow({platform.shortName, fmt(toGflops(platform.peakFlops()), 1),
-                  fmt(geo(one), 2) + "x", fmt(geo(all), 2) + "x",
-                  fmt(watts, 1),
-                  fmt(toGflops(flops / seconds) / watts, 3)});
-  }
-  std::cout << table.render() << '\n';
-
-  // Cluster projection: replace Tibidabo's Tegra 2 nodes with ARMv8 nodes.
-  std::cout << "-- 96-node HPL: Tegra2 cluster vs ARMv8 cluster --\n";
-  cluster::ClusterSpec armv8Cluster = cluster::ClusterSpec::tibidabo();
-  armv8Cluster.name = "ARMv8 cluster (projected)";
-  armv8Cluster.nodePlatform = armv8;
-  armv8Cluster.protocol = net::Protocol::OpenMx;
-  armv8Cluster.topology.linkRateBytesPerS = gbps(10.0);
-  armv8Cluster.topology.bisectionBytesPerS = gbps(80.0);
-
-  TextTable hpl({"cluster", "GFLOPS", "efficiency", "MFLOPS/W"});
-  for (auto spec : {cluster::ClusterSpec::tibidabo(), armv8Cluster}) {
-    cluster::ClusterSimulation sim(spec);
-    const auto result = apps::HplBenchmark::run(sim, 96, 0.5);
-    hpl.addRow({spec.name, fmt(result.gflops, 1),
-                fmt(result.efficiency() * 100, 0) + "%",
-                fmt(result.mflopsPerWatt, 0)});
-  }
-  std::cout << hpl.render() << '\n';
-
-  benchutil::note(
-      "the ARMv8 part doubles per-cycle FP64 (NEON), adds an on-chip 10 GbE "
-      "NIC and ECC-capable memory path — the Section 6.3 wish list — and "
-      "the Green500 metric responds accordingly.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("ablation_armv8", argc, argv);
 }

@@ -1,54 +1,8 @@
-// Ablation: DVFS governor policy. Section 5 states the kernels were tuned
-// for HPC by "setting the default DVFS policy to performance" — this study
-// quantifies that decision across the evaluated platforms for a bursty
-// HPC-style trace (compute bursts separated by communication/IO waits).
+// Compat wrapper: equivalent to `socbench run ablation_dvfs --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/power/dvfs_governor.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Ablation", "DVFS governor policy (Section 5 tuning)");
-
-  const perfmodel::WorkProfile shape{
-      1.0, 0.0, perfmodel::AccessPattern::Resident, 0.9, 1.0, 0.0};
-  // 20 bursts of 1 GFLOP with 0.2 s gaps: an MPI application iterating.
-  const std::vector<power::WorkPhase> trace(20, power::WorkPhase{1e9, 0.2});
-
-  for (const auto& platform : {arch::PlatformRegistry::tegra2(),
-                               arch::PlatformRegistry::exynos5250(),
-                               arch::PlatformRegistry::corei7_2760qm()}) {
-    std::cout << "-- " << platform.name << " --\n";
-    TextTable table({"governor", "time s", "energy J", "avg freq GHz",
-                     "vs performance"});
-    double baseEnergy = 0.0;
-    for (auto policy :
-         {power::GovernorPolicy::Performance, power::GovernorPolicy::OnDemand,
-          power::GovernorPolicy::Conservative,
-          power::GovernorPolicy::Powersave}) {
-      power::DvfsGovernor::Config cfg;
-      cfg.policy = policy;
-      const auto result =
-          power::DvfsGovernor(platform, cfg).run(trace, shape);
-      if (baseEnergy == 0.0) baseEnergy = result.energyJ;
-      table.addRow({toString(policy), fmt(result.seconds, 2),
-                    fmt(result.energyJ, 1),
-                    fmt(toGhz(result.averageFrequencyHz), 2),
-                    fmt(result.energyJ / baseEnergy, 2) + "x energy"});
-    }
-    std::cout << table.render() << '\n';
-  }
-
-  benchutil::note(
-      "on the board-static-dominated mobile platforms the performance "
-      "governor is fastest AND most energy-efficient (race-to-idle) — the "
-      "same effect as the Figure 3(b) frequency sweep, and the reason the "
-      "paper pinned the performance governor for its measurements.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("ablation_dvfs", argc, argv);
 }

@@ -1,59 +1,8 @@
-// Ablation: Energy Efficient Ethernet (802.3az). The Section 4.1 latency
-// penalty estimate cites the EEE study (Saravanan et al., ISPASS'13):
-// saving link power by sleeping the PHY adds wake latency to sparse
-// traffic. This study quantifies the trade-off for Tibidabo-class traffic.
+// Compat wrapper: equivalent to `socbench run ablation_eee --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/net/eee.hpp"
-#include "tibsim/net/protocol.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Ablation",
-                     "Energy Efficient Ethernet vs HPC traffic (the "
-                     "Section 4.1 EEE study)");
-
-  const net::EnergyEfficientEthernet eee;
-  const auto tegra2 = arch::PlatformRegistry::tegra2();
-  const net::ProtocolModel tcp(net::Protocol::TcpIp, tegra2, ghz(1.0));
-  const double baseLatency = tcp.pingPongLatency(64);
-  const double frameWire = 1500.0 / tegra2.nicLinkRateBytesPerS;
-
-  TextTable table({"message interval", "PHY energy saved",
-                   "one-way latency us", "est. app slowdown (Arndale)"});
-  for (double interval : {200e-6, 1e-3, 10e-3, 100e-3, 1.0}) {
-    const double latency = eee.effectiveLatencySeconds(baseLatency, interval);
-    table.addRow(
-        {fmtSi(interval, "s", 1),
-         fmt(100 * eee.energySavingFraction(frameWire, interval), 1) + "%",
-         fmt(toUs(latency), 1),
-         "+" + fmt(100 * net::latencyExecutionTimePenalty(latency, 0.55),
-                   0) +
-             "%"});
-  }
-  std::cout << table.render() << '\n';
-
-  // Whole-cluster view: 192 nodes x 2 PHY sides per link.
-  const double phys = 192 * 2;
-  std::cout << "Tibidabo network PHY power, always-on: "
-            << fmt(phys * eee.config().activePhyWatts, 0) << " W of ~"
-            << fmt(192 * 8.5, 0) << " W total — EEE can recover up to "
-            << fmt(phys * eee.config().activePhyWatts *
-                       (1.0 - eee.config().lpiPowerFraction),
-                   0)
-            << " W on an idle machine.\n\n";
-
-  benchutil::note(
-      "for HPC traffic (sub-millisecond message intervals) EEE saves "
-      "almost nothing and charges a wake penalty on exactly the "
-      "latency-critical messages; for idle/bursty clusters the PHY saving "
-      "is real. This is why the paper treats interconnect latency, not "
-      "link power, as the binding constraint for mobile-SoC clusters.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("ablation_eee", argc, argv);
 }

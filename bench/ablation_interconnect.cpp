@@ -1,103 +1,8 @@
-// Ablation: how much of Tibidabo's application performance is lost to the
-// interconnect software stack and the NIC attachment?
-//   1. TCP/IP vs Open-MX on the same hardware (the paper's Section 4.1
-//      motivation for bypassing the socket stack);
-//   2. PCIe vs USB NIC attachment at fixed protocol;
-//   3. a KeyStone-II-style protocol-offload NIC (on-chip, minimal host
-//      cost) as the "what the SoC vendors should build" upper bound.
+// Compat wrapper: equivalent to `socbench run ablation_interconnect --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/apps/hpl.hpp"
-#include "tibsim/apps/hydro.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/cluster/cluster.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Ablation", "interconnect stack and NIC attachment");
-
-  // --- 1. protocol stack, application level --------------------------------
-  {
-    std::cout << "-- TCP/IP vs Open-MX on Tibidabo (32 nodes) --\n";
-    apps::HydroBenchmark::Params hydro;
-    hydro.nx = 2048;
-    hydro.ny = 2048;
-    hydro.steps = 10;
-
-    TextTable table({"protocol", "HYDRO wallclock s", "HPL GFLOPS",
-                     "HPL efficiency"});
-    for (const auto& spec : {cluster::ClusterSpec::tibidabo(),
-                             cluster::ClusterSpec::tibidaboOpenMx()}) {
-      cluster::ClusterSimulation sim(spec);
-      const auto hydroResult =
-          sim.runJob(32, apps::HydroBenchmark::rankBody(hydro));
-      const auto hplResult = apps::HplBenchmark::run(sim, 32, 0.3);
-      table.addRow({net::toString(spec.protocol),
-                    fmt(hydroResult.wallClockSeconds, 2),
-                    fmt(hplResult.gflops, 1),
-                    fmt(hplResult.efficiency() * 100, 0) + "%"});
-    }
-    std::cout << table.render() << '\n';
-  }
-
-  // --- 2. NIC attachment, message level ------------------------------------
-  {
-    std::cout << "-- NIC attachment (Open-MX small-message latency) --\n";
-    auto exynosPcie = arch::PlatformRegistry::exynos5250();
-    exynosPcie.nicAttachment = arch::NicAttachment::Pcie;
-    auto exynosOnChip = arch::PlatformRegistry::exynos5250();
-    exynosOnChip.nicAttachment = arch::NicAttachment::OnChip;
-
-    TextTable table({"attachment", "latency us", "bandwidth MB/s"});
-    for (const auto& [label, platform] :
-         {std::pair<std::string, arch::Platform>{
-              "USB 3.0 (Arndale as built)",
-              arch::PlatformRegistry::exynos5250()},
-          {"PCIe (hypothetical)", exynosPcie},
-          {"on-chip + offload (KeyStone-II-style)", exynosOnChip}}) {
-      const net::ProtocolModel model(net::Protocol::OpenMx, platform,
-                                     ghz(1.7));
-      table.addRow({label, fmt(toUs(model.pingPongLatency(1)), 1),
-                    fmt(model.effectiveBandwidth(4 << 20) / 1e6, 1)});
-    }
-    std::cout << table.render() << '\n';
-  }
-
-  // --- 3. offload NIC at cluster level --------------------------------------
-  {
-    std::cout << "-- Offload NIC on the whole cluster (HYDRO, 64 nodes) --\n";
-    apps::HydroBenchmark::Params hydro;
-    hydro.nx = 2048;
-    hydro.ny = 2048;
-    hydro.steps = 10;
-
-    cluster::ClusterSpec offload = cluster::ClusterSpec::tibidaboOpenMx();
-    offload.name = "Tibidabo (offload NIC)";
-    offload.nodePlatform.nicAttachment = arch::NicAttachment::OnChip;
-
-    TextTable table({"cluster", "HYDRO wallclock s", "speedup vs TCP"});
-    double base = 0.0;
-    for (const auto& spec : {cluster::ClusterSpec::tibidabo(),
-                             cluster::ClusterSpec::tibidaboOpenMx(),
-                             offload}) {
-      cluster::ClusterSimulation sim(spec);
-      const auto result =
-          sim.runJob(64, apps::HydroBenchmark::rankBody(hydro));
-      if (base == 0.0) base = result.wallClockSeconds;
-      table.addRow({spec.name, fmt(result.wallClockSeconds, 2),
-                    fmt(base / result.wallClockSeconds, 2) + "x"});
-    }
-    std::cout << table.render() << '\n';
-  }
-
-  benchutil::note(
-      "shape: Open-MX helps most where messages are frequent and small; "
-      "the USB attachment costs more than the protocol choice on Arndale "
-      "boards; hardware offload recovers most of the remaining stack cost.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("ablation_interconnect", argc, argv);
 }

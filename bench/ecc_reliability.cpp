@@ -1,74 +1,8 @@
-// Section 6.3's ECC argument: mobile memory controllers lack ECC; using the
-// Schroeder et al. field-study rates, a production-scale machine sees
-// memory errors daily. Reproduces the paper's "1,500 nodes, 2 DIMMs/node
-// => ~30 % daily error probability" estimate and extends it with job
-// survival and checkpoint-throughput consequences.
+// Compat wrapper: equivalent to `socbench run ecc_reliability --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/reliability/dram_errors.hpp"
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("ECC / DRAM reliability",
-                     "Section 6.3 memory-error estimates");
-
-  reliability::DramErrorModel model;  // paper-arithmetic default (4.5 %/yr)
-
-  TextTable daily({"nodes", "P(error today)", "expected errors/day",
-                   "Monte-Carlo check"});
-  for (int nodes : {192, 500, 1000, 1500, 5000}) {
-    daily.addRow({std::to_string(nodes),
-                  fmt(100 * model.systemDailyErrorProbability(nodes), 1) +
-                      "%",
-                  fmt(model.expectedErrorsPerDay(nodes), 2),
-                  fmt(100 * model.monteCarloDailyErrorProbability(
-                                nodes, 2000, 7),
-                      1) +
-                      "%"});
-  }
-  std::cout << daily.render() << '\n';
-  std::cout << "Paper: \"a 1,500 node system, with 2 DIMMs per node, has a "
-               "30% error probability on any given day\" -> model gives "
-            << fmt(100 * model.systemDailyErrorProbability(1500), 1)
-            << "%\n\n";
-
-  std::cout << "Sensitivity over the Schroeder et al. 4-20 % annual band "
-               "(1,500 nodes):\n";
-  TextTable band({"annual DIMM error rate", "P(error today)"});
-  for (double annual : {0.04, 0.08, 0.12, 0.20}) {
-    reliability::DramErrorModel m;
-    m.dimmAnnualErrorProbability = annual;
-    band.addRow({fmt(100 * annual, 0) + "%",
-                 fmt(100 * m.systemDailyErrorProbability(1500), 1) + "%"});
-  }
-  std::cout << band.render() << '\n';
-
-  std::cout << "Consequence without ECC (any error kills the job):\n";
-  TextTable jobs({"nodes", "job hours", "P(survive)"});
-  for (int nodes : {192, 1500}) {
-    for (double hours : {1.0, 12.0, 48.0}) {
-      jobs.addRow({std::to_string(nodes), fmt(hours, 0),
-                   fmt(100 * model.jobSurvivalProbability(nodes, hours), 1) +
-                       "%"});
-    }
-  }
-  std::cout << jobs.render() << '\n';
-
-  std::cout << "Checkpoint/restart throughput (checkpoint costs 3 min):\n";
-  TextTable ckpt({"checkpoint interval h", "useful-work fraction"});
-  for (double interval : {0.5, 2.0, 8.0, 24.0}) {
-    ckpt.addRow({fmt(interval, 1),
-                 fmt(100 * model.effectiveThroughput(1500, interval, 0.05),
-                     1) +
-                     "%"});
-  }
-  std::cout << ckpt.render() << '\n';
-  benchutil::note(
-      "ECC-capable controllers exist in server-class ARM SoCs (Calxeda "
-      "EnergyCore, TI KeyStone II) — a design decision, not a technical "
-      "limitation (Section 6.3).");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("ecc_reliability", argc, argv);
 }

@@ -1,108 +1,8 @@
-// Section 4's energy-to-solution claim (from the Goddeke et al. JCP'13
-// study the paper summarises): running PDE solvers, Tibidabo took ~4x
-// longer than an Intel Nehalem-based cluster but used up to 3x less
-// energy. Reproduced here with the SPECFEM3D proxy on the simulated
-// Tibidabo vs a Nehalem-class x86 cluster sized to the study's throughput.
+// Compat wrapper: equivalent to `socbench run energy_to_solution --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/apps/hydro.hpp"
-#include "tibsim/apps/specfem.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/cluster/cluster.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-
-namespace {
-
-using namespace tibsim;
-using namespace tibsim::units;
-
-/// A dual-socket Nehalem-class compute node: the laptop's core model
-/// downgraded to the Nehalem generation (128-bit SSE, 2.26 GHz) with
-/// server-node power: redundant PSUs, fans, BMC, registered DIMMs.
-cluster::ClusterSpec nehalemCluster(int nodes) {
-  cluster::ClusterSpec spec;
-  spec.name = "Nehalem-class x86 cluster";
-  spec.nodePlatform = arch::PlatformRegistry::corei7_2760qm();
-  spec.nodePlatform.name = "2-socket Nehalem-class node";
-  spec.nodePlatform.shortName = "x86node";
-  // Nehalem generation: 128-bit SSE (4 FP64/cycle), 2.26 GHz parts,
-  // two sockets per node.
-  spec.nodePlatform.soc.core.fp64FlopsPerCycle = 4.0;
-  spec.nodePlatform.soc.cores = 8;
-  spec.nodePlatform.soc.dvfs = {{ghz(1.6), 0.9}, {ghz(2.26), 1.1}};
-  spec.nodePlatform.dramBytes = static_cast<std::size_t>(gib(24.0));
-  spec.nodePlatform.power =
-      arch::BoardPowerParams{/*boardStaticW=*/240.0, /*socStaticW=*/30.0,
-                             /*corePeakDynamicW=*/15.0,
-                             /*memDynamicWPerGBs=*/0.4, /*nicActiveW=*/2.0};
-  spec.nodePlatform.nicAttachment = arch::NicAttachment::OnChip;
-  spec.nodes = nodes;
-  spec.frequencyHz = spec.nodePlatform.maxFrequencyHz();
-  spec.protocol = net::Protocol::TcpIp;
-  spec.ranksPerNode = 8;
-  spec.topology.linkRateBytesPerS = gbps(1.0);
-  spec.topology.bisectionBytesPerS = gbps(8.0);
-  return spec;
-}
-
-}  // namespace
-
-int main() {
-  benchutil::heading("Energy to solution",
-                     "Tibidabo vs Nehalem-class cluster (Section 4, "
-                     "PDE-solver study)");
-
-  apps::SpecfemBenchmark::Params specfem;
-  specfem.steps = 60;
-  apps::HydroBenchmark::Params hydro;
-  hydro.steps = 40;
-
-  cluster::ClusterSimulation tibidabo(cluster::ClusterSpec::tibidabo());
-  cluster::ClusterSimulation nehalem(nehalemCluster(24));
-
-  TextTable table({"application", "cluster", "nodes", "time s",
-                   "avg power W", "energy kJ"});
-  struct Row {
-    double time, energy;
-  };
-  auto runBoth = [&](const std::string& app,
-                     const mpi::MpiWorld::RankBody& tibBody,
-                     const mpi::MpiWorld::RankBody& nehBody, int tibNodes,
-                     int nehNodes) {
-    const auto tib = tibidabo.runJob(tibNodes, tibBody);
-    const auto neh = nehalem.runJob(nehNodes, nehBody);
-    table.addRow({app, "Tibidabo (96 x Tegra2)", std::to_string(tibNodes),
-                  fmt(tib.wallClockSeconds, 1), fmt(tib.averagePowerW, 0),
-                  fmt(tib.energyJ / 1e3, 1)});
-    table.addRow({app, "Nehalem-class x86", std::to_string(nehNodes),
-                  fmt(neh.wallClockSeconds, 1), fmt(neh.averagePowerW, 0),
-                  fmt(neh.energyJ / 1e3, 1)});
-    return std::pair<Row, Row>{{tib.wallClockSeconds, tib.energyJ},
-                               {neh.wallClockSeconds, neh.energyJ}};
-  };
-
-  const auto [tibS, nehS] =
-      runBoth("SPECFEM3D", apps::SpecfemBenchmark::rankBody(specfem),
-              apps::SpecfemBenchmark::rankBody(specfem), 96, 24);
-  const auto [tibH, nehH] =
-      runBoth("HYDRO", apps::HydroBenchmark::rankBody(hydro),
-              apps::HydroBenchmark::rankBody(hydro), 96, 24);
-  std::cout << table.render() << '\n';
-
-  TextTable summary(
-      {"application", "time ratio (ARM/x86)", "energy ratio (x86/ARM)"});
-  summary.addRow({"SPECFEM3D", fmt(tibS.time / nehS.time, 1) + "x",
-                  fmt(nehS.energy / tibS.energy, 1) + "x lower on ARM"});
-  summary.addRow({"HYDRO", fmt(tibH.time / nehH.time, 1) + "x",
-                  fmt(nehH.energy / tibH.energy, 1) + "x lower on ARM"});
-  std::cout << summary.render() << '\n';
-
-  benchutil::note(
-      "paper (citing the JCP'13 study): ~4x longer time-to-solution on "
-      "Tibidabo, up to 3x lower energy-to-solution — the trade the "
-      "Conclusions section calls the opening for mobile SoCs.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("energy_to_solution", argc, argv);
 }

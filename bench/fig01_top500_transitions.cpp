@@ -1,48 +1,8 @@
-// Figure 1: TOP500 — special-purpose HPC replaced by RISC microprocessors,
-// in turn displaced by x86 (system counts per architecture class, 1993-2013).
+// Compat wrapper: equivalent to `socbench run fig01 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/trend/trend.hpp"
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("Figure 1", "TOP500 architecture transitions");
-
-  const auto& data = trend::top500ArchitectureShare();
-
-  Series x86{"x86", {}, {}};
-  Series risc{"RISC", {}, {}};
-  Series vec{"Vector/SIMD", {}, {}};
-  TextTable table({"year", "x86", "RISC", "Vector/SIMD"});
-  for (const auto& e : data) {
-    x86.x.push_back(e.year);
-    x86.y.push_back(e.x86);
-    risc.x.push_back(e.year);
-    risc.y.push_back(e.risc);
-    vec.x.push_back(e.year);
-    vec.y.push_back(e.vectorSimd);
-    table.addRow({fmt(e.year, 1), std::to_string(e.x86),
-                  std::to_string(e.risc), std::to_string(e.vectorSimd)});
-  }
-  std::cout << table.render() << '\n';
-
-  ChartOptions opts;
-  opts.title = "Number of systems in TOP500";
-  opts.xLabel = "year";
-  opts.yLabel = "systems";
-  std::cout << renderChart({x86, risc, vec}, opts) << '\n';
-
-  std::cout << "RISC overtakes Vector/SIMD: "
-            << fmt(trend::yearRiscOvertakesVector(), 1)
-            << "  (paper narrative: mid 1990s)\n";
-  std::cout << "x86 overtakes RISC:         "
-            << fmt(trend::yearX86OvertakesRisc(), 1)
-            << "  (paper narrative: mid 2000s)\n";
-  std::cout << "June 2013 list: " << data.back().x86
-            << " x86 systems — \"still dominated by x86\"\n";
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig01", argc, argv);
 }

@@ -1,88 +1,8 @@
-// Figure 2: evolution of peak double-precision floating-point performance.
-//   (a) HPC vector processors vs commodity microprocessors, 1975-2000;
-//   (b) server processors vs mobile SoCs, 1990-2015, with exponential
-//       regressions and the projected crossover.
+// Compat wrapper: equivalent to `socbench run fig02 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/trend/trend.hpp"
-
-namespace {
-
-using namespace tibsim;
-using trend::ProcessorClass;
-
-Series toSeries(ProcessorClass cls, const std::string& name) {
-  Series s{name, {}, {}};
-  for (const auto& p : trend::processorPoints(cls)) {
-    s.x.push_back(p.year);
-    s.y.push_back(p.peakMflops);
-  }
-  return s;
-}
-
-void printClassTable(ProcessorClass cls, const std::string& name) {
-  TextTable table({"processor", "year", "peak MFLOPS"});
-  for (const auto& p : trend::processorPoints(cls))
-    table.addRow({p.name, fmt(p.year, 0), fmt(p.peakMflops, 0)});
-  std::cout << "-- " << name << " --\n" << table.render();
-  const ExponentialFit fit = trend::fitClass(cls);
-  std::cout << "  exponential fit: x" << fmt(fit.growthPerUnit(), 2)
-            << " per year, doubling every " << fmt(fit.doublingTime(), 2)
-            << " years (r^2 = " << fmt(fit.r2, 2) << ")\n\n";
-}
-
-}  // namespace
-
-int main() {
-  benchutil::heading("Figure 2",
-                     "peak FP64 performance: vector vs commodity (a), "
-                     "server vs mobile (b)");
-
-  std::cout << "--- Figure 2(a): 1975-2000 ---\n\n";
-  printClassTable(ProcessorClass::Vector, "HPC vector processors");
-  printClassTable(ProcessorClass::Commodity, "commodity microprocessors");
-  ChartOptions optsA;
-  optsA.title = "Figure 2(a): MFLOPS vs year (log y)";
-  optsA.logY = true;
-  optsA.xLabel = "year";
-  optsA.yLabel = "MFLOPS";
-  std::cout << renderChart({toSeries(ProcessorClass::Vector, "vector"),
-                            toSeries(ProcessorClass::Commodity, "commodity")},
-                           optsA)
-            << '\n';
-  std::cout << "Gap in 1995 (vector / commodity): "
-            << fmt(trend::gapAt(ProcessorClass::Vector,
-                                ProcessorClass::Commodity, 1995.0),
-                   1)
-            << "x   (paper: \"around ten times slower\")\n\n";
-
-  std::cout << "--- Figure 2(b): 1990-2015 ---\n\n";
-  printClassTable(ProcessorClass::Server, "server processors");
-  printClassTable(ProcessorClass::Mobile, "mobile SoCs");
-  ChartOptions optsB;
-  optsB.title = "Figure 2(b): MFLOPS vs year (log y)";
-  optsB.logY = true;
-  optsB.xLabel = "year";
-  optsB.yLabel = "MFLOPS";
-  std::cout << renderChart({toSeries(ProcessorClass::Server, "server"),
-                            toSeries(ProcessorClass::Mobile, "mobile")},
-                           optsB)
-            << '\n';
-
-  std::cout << "Gap in 2013 (server / mobile): "
-            << fmt(trend::gapAt(ProcessorClass::Server,
-                                ProcessorClass::Mobile, 2013.0),
-                   1)
-            << "x   (paper: \"still ten times slower, but the gap is "
-               "quickly being closed\")\n";
-  std::cout << "Projected crossover year (mobile matches server): "
-            << fmt(trend::projectedCrossover(ProcessorClass::Mobile,
-                                             ProcessorClass::Server),
-                   1)
-            << '\n';
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig02", argc, argv);
 }

@@ -1,87 +1,8 @@
-// Figure 3: single-core performance and energy efficiency of the Table-2
-// micro-kernel suite under a DVFS frequency sweep, on the four Table-1
-// platforms. Baseline: Tegra 2 @ 1 GHz.
-//
-// Also prints the platform inventory (Table 1) for reference.
+// Compat wrapper: equivalent to `socbench run fig03 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/core/experiments.hpp"
-
-namespace {
-
-using namespace tibsim;
-using namespace tibsim::units;
-
-void printTable1() {
-  TextTable table({"platform", "uarch", "cores", "fmax GHz", "FP64 GFLOPS",
-                   "mem peak GB/s", "DRAM", "NIC attach"});
-  for (const auto& p : arch::PlatformRegistry::evaluated()) {
-    table.addRow({p.shortName, arch::toString(p.soc.core.microarch),
-                  std::to_string(p.soc.cores), fmt(toGhz(p.maxFrequencyHz()), 1),
-                  fmt(toGflops(p.peakFlops()), 1),
-                  fmt(p.soc.memory.peakBandwidthBytesPerS / kGB, 2),
-                  p.dramType, arch::toString(p.nicAttachment)});
-  }
-  std::cout << "Table 1 (platform inventory):\n" << table.render() << '\n';
-}
-
-void printSweeps(core::MicroKernelExperiment::Mode mode,
-                 const std::string& figure) {
-  const auto sweeps = core::MicroKernelExperiment(mode).run();
-
-  TextTable table({"platform", "freq GHz", "suite s/iter", "energy J/iter",
-                   "speedup vs Tegra2@1GHz", "energy vs baseline"});
-  std::vector<Series> perf, energy;
-  for (const auto& sweep : sweeps) {
-    Series sp{sweep.platform, {}, {}};
-    Series se{sweep.platform, {}, {}};
-    for (const auto& pt : sweep.points) {
-      table.addRow({sweep.platform, fmt(toGhz(pt.frequencyHz), 2),
-                    fmt(pt.suiteSeconds, 3), fmt(pt.suiteEnergyJ, 2),
-                    fmt(pt.speedupVsBaseline, 2),
-                    fmt(pt.energyVsBaseline, 2)});
-      sp.x.push_back(toGhz(pt.frequencyHz));
-      sp.y.push_back(pt.speedupVsBaseline);
-      se.x.push_back(toGhz(pt.frequencyHz));
-      se.y.push_back(pt.energyVsBaseline);
-    }
-    perf.push_back(std::move(sp));
-    energy.push_back(std::move(se));
-  }
-  std::cout << table.render() << '\n';
-
-  ChartOptions perfOpts;
-  perfOpts.title = figure + "(a): speedup vs Tegra2@1GHz (log y)";
-  perfOpts.logY = true;
-  perfOpts.xLabel = "frequency (GHz)";
-  perfOpts.yLabel = "speedup";
-  std::cout << renderChart(perf, perfOpts) << '\n';
-
-  ChartOptions energyOpts;
-  energyOpts.title = figure + "(b): per-iteration energy vs baseline";
-  energyOpts.xLabel = "frequency (GHz)";
-  energyOpts.yLabel = "normalised energy";
-  std::cout << renderChart(energy, energyOpts) << '\n';
-}
-
-}  // namespace
-
-int main() {
-  benchutil::heading("Figure 3",
-                     "single-core micro-kernel performance & energy, "
-                     "frequency sweep");
-  printTable1();
-  printSweeps(core::MicroKernelExperiment::Mode::SingleCore, "Figure 3");
-
-  std::cout
-      << "Paper anchors: Tegra3@1GHz +9%, Arndale@1GHz +30%; at max\n"
-         "frequency Tegra3 1.36x, Arndale 2.3x, Intel ~3x Arndale; energies\n"
-         "23.93 / 19.62 / 16.95 / 28.57 J per iteration.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig03", argc, argv);
 }

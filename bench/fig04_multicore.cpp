@@ -1,76 +1,8 @@
-// Figure 4: multi-core (OpenMP-style, all cores) micro-kernel performance
-// and energy efficiency under a frequency sweep. Baseline remains the
-// serial Tegra 2 @ 1 GHz run, as in the paper.
+// Compat wrapper: equivalent to `socbench run fig04 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/core/experiments.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Figure 4",
-                     "multi-core micro-kernel performance & energy, "
-                     "frequency sweep");
-
-  const auto multi =
-      core::MicroKernelExperiment(core::MicroKernelExperiment::Mode::MultiCore)
-          .run();
-  const auto single =
-      core::MicroKernelExperiment(
-          core::MicroKernelExperiment::Mode::SingleCore)
-          .run();
-
-  TextTable table({"platform", "freq GHz", "speedup vs Tegra2@1GHz",
-                   "energy vs baseline"});
-  std::vector<Series> perf, energy;
-  for (const auto& sweep : multi) {
-    Series sp{sweep.platform, {}, {}};
-    Series se{sweep.platform, {}, {}};
-    for (const auto& pt : sweep.points) {
-      table.addRow({sweep.platform, fmt(toGhz(pt.frequencyHz), 2),
-                    fmt(pt.speedupVsBaseline, 2),
-                    fmt(pt.energyVsBaseline, 2)});
-      sp.x.push_back(toGhz(pt.frequencyHz));
-      sp.y.push_back(pt.speedupVsBaseline);
-      se.x.push_back(toGhz(pt.frequencyHz));
-      se.y.push_back(pt.energyVsBaseline);
-    }
-    perf.push_back(std::move(sp));
-    energy.push_back(std::move(se));
-  }
-  std::cout << table.render() << '\n';
-
-  ChartOptions perfOpts;
-  perfOpts.title = "Figure 4(a): multicore speedup vs Tegra2@1GHz (log y)";
-  perfOpts.logY = true;
-  perfOpts.xLabel = "frequency (GHz)";
-  std::cout << renderChart(perf, perfOpts) << '\n';
-  ChartOptions energyOpts;
-  energyOpts.title = "Figure 4(b): per-iteration energy vs baseline";
-  energyOpts.xLabel = "frequency (GHz)";
-  std::cout << renderChart(energy, energyOpts) << '\n';
-
-  // The paper's headline multicore observation: OpenMP versions use less
-  // energy than serial, by roughly 1.7x (Tegra2/3), 2.25x (Arndale) and
-  // 2.5x (Intel).
-  TextTable gains({"platform", "serial J/iter", "multicore J/iter",
-                   "energy gain (paper)"});
-  const char* paperGain[] = {"1.7x", "1.7x", "2.25x", "2.5x"};
-  for (std::size_t i = 0; i < multi.size(); ++i) {
-    const double es = single[i].points.back().suiteEnergyJ;
-    const double em = multi[i].points.back().suiteEnergyJ;
-    gains.addRow({multi[i].platform, fmt(es, 2), fmt(em, 2),
-                  fmt(es / em, 2) + "x (" + paperGain[i] + ")"});
-  }
-  std::cout << gains.render() << '\n';
-  benchutil::note(
-      "the Arndale's paper value (2.25x with 2 cores) implies superlinear "
-      "scaling the roofline model does not reproduce; see EXPERIMENTS.md");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig04", argc, argv);
 }

@@ -1,61 +1,8 @@
-// Figure 5: STREAM memory bandwidth (copy/scale/add/triad) per platform,
-// single-core and whole-SoC, plus efficiency vs the datasheet peak.
+// Compat wrapper: equivalent to `socbench run fig05 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/core/experiments.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Figure 5", "STREAM memory bandwidth");
-
-  const auto rows = core::streamExperiment();
-  const char* ops[4] = {"Copy", "Scale", "Add", "Triad"};
-
-  std::cout << "-- Figure 5(a): single core (GB/s) --\n";
-  TextTable single({"platform", "Copy", "Scale", "Add", "Triad"});
-  for (const auto& row : rows) {
-    single.addRow({row.platform, fmt(row.singleCoreBytesPerS[0] / kGB, 2),
-                   fmt(row.singleCoreBytesPerS[1] / kGB, 2),
-                   fmt(row.singleCoreBytesPerS[2] / kGB, 2),
-                   fmt(row.singleCoreBytesPerS[3] / kGB, 2)});
-  }
-  std::cout << single.render() << '\n';
-
-  std::cout << "-- Figure 5(b): all cores / MPSoC (GB/s) --\n";
-  TextTable multi({"platform", "Copy", "Scale", "Add", "Triad",
-                   "peak GB/s", "efficiency (paper)"});
-  const char* paperEff[4] = {"62%", "27%", "52%", "57%"};
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    const auto platform = arch::PlatformRegistry::evaluated()[i];
-    multi.addRow({row.platform, fmt(row.multiCoreBytesPerS[0] / kGB, 2),
-                  fmt(row.multiCoreBytesPerS[1] / kGB, 2),
-                  fmt(row.multiCoreBytesPerS[2] / kGB, 2),
-                  fmt(row.multiCoreBytesPerS[3] / kGB, 2),
-                  fmt(platform.soc.memory.peakBandwidthBytesPerS / kGB, 2),
-                  fmt(row.efficiencyVsPeak * 100, 0) + "% (" + paperEff[i] +
-                      ")"});
-  }
-  std::cout << multi.render() << '\n';
-
-  std::vector<std::pair<std::string, double>> bars;
-  for (std::size_t op = 0; op < 4; ++op)
-    for (const auto& row : rows)
-      bars.emplace_back(std::string(ops[op]) + " " + row.platform,
-                        row.multiCoreBytesPerS[op] / kGB);
-  std::cout << renderBars(bars, "MPSoC bandwidth (GB/s)") << '\n';
-
-  std::cout << "Exynos5250 / Tegra2 multicore triad ratio: "
-            << fmt(rows[2].multiCoreBytesPerS[3] /
-                       rows[0].multiCoreBytesPerS[3],
-                   1)
-            << "x   (paper: \"about 4.5 times\")\n";
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig05", argc, argv);
 }

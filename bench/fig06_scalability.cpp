@@ -1,75 +1,8 @@
-// Figure 6: scalability of the five Table-3 applications on the simulated
-// Tibidabo cluster (192 x Tegra 2, 1 GbE tree, MPI over TCP/IP).
-// HPL runs weak scaling; SPECFEM3D / HYDRO / PEPC / GROMACS run strong
-// scaling with the paper's input-fits-memory constraints.
+// Compat wrapper: equivalent to `socbench run fig06 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/cluster/cluster.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/core/experiments.hpp"
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("Figure 6", "application scalability on Tibidabo");
-
-  // Table 3: applications for scalability evaluation.
-  TextTable table3({"application", "description", "scaling"});
-  table3.addRow({"HPL", "High-Performance LINPACK", "weak"});
-  table3.addRow({"PEPC", "Tree code for N-body problem", "strong"});
-  table3.addRow({"HYDRO", "2D Eulerian code for hydrodynamics", "strong"});
-  table3.addRow({"GROMACS", "Molecular dynamics", "strong"});
-  table3.addRow(
-      {"SPECFEM3D", "3D seismic wave propagation (spectral elements)",
-       "strong"});
-  std::cout << "Table 3 (applications):\n" << table3.render() << '\n';
-
-  const cluster::ClusterSpec spec = cluster::ClusterSpec::tibidabo();
-  const std::vector<int> nodeCounts = {4, 8, 16, 24, 32, 48, 64, 96};
-
-  std::cout << "Running " << spec.name << " (" << spec.nodes << " x "
-            << spec.nodePlatform.shortName << ", "
-            << net::toString(spec.protocol) << ", " << spec.ranksPerNode
-            << " ranks/node)...\n\n";
-
-  const auto curves = core::scalabilityExperiment(spec, nodeCounts);
-
-  TextTable table({"application", "nodes", "wallclock s", "speedup",
-                   "efficiency"});
-  std::vector<Series> chartSeries;
-  Series ideal{"ideal", {}, {}};
-  for (int n : nodeCounts) {
-    ideal.x.push_back(n);
-    ideal.y.push_back(n);
-  }
-  chartSeries.push_back(ideal);
-
-  for (const auto& curve : curves) {
-    Series s{curve.application, {}, {}};
-    for (const auto& pt : curve.points) {
-      table.addRow({curve.application, std::to_string(pt.nodes),
-                    fmt(pt.wallClockSeconds, 2), fmt(pt.speedup, 1),
-                    fmt(pt.speedup / pt.nodes, 2)});
-      s.x.push_back(pt.nodes);
-      s.y.push_back(pt.speedup);
-    }
-    chartSeries.push_back(std::move(s));
-  }
-  std::cout << table.render() << '\n';
-
-  ChartOptions opts;
-  opts.title = "Figure 6: speed-up vs number of nodes (log-log)";
-  opts.logX = true;
-  opts.logY = true;
-  opts.xLabel = "nodes";
-  opts.yLabel = "speed-up";
-  std::cout << renderChart(chartSeries, opts) << '\n';
-
-  benchutil::note(
-      "paper shape: SPECFEM3D near-ideal; HYDRO departs after ~16 nodes; "
-      "GROMACS limited by its 2-node-sized input; PEPC (needs >= 24 nodes) "
-      "scales poorly; HPL weak-scales at ~51 % efficiency.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig06", argc, argv);
 }

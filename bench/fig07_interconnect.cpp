@@ -1,118 +1,8 @@
-// Figure 7: interconnect measurements — IMB ping-pong latency (panels a-c)
-// and effective bandwidth (panels d-f) for MPI over TCP/IP vs Open-MX on
-// Tegra 2 @ 1 GHz (PCIe NIC) and Exynos 5 @ 1.0 / 1.4 GHz (USB NIC).
-// Includes an end-to-end cross-check through the simMPI/fabric stack.
+// Compat wrapper: equivalent to `socbench run fig07 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/chart.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/core/experiments.hpp"
-
-namespace {
-
-using namespace tibsim;
-using namespace tibsim::units;
-
-struct Panel {
-  std::string name;
-  arch::Platform platform;
-  double frequencyHz;
-};
-
-void latencyPanel(const Panel& panel) {
-  std::cout << "-- " << panel.name << " latency --\n";
-  const auto sizes = core::latencyMessageSizes();
-  TextTable table({"bytes", "TCP/IP us", "Open-MX us"});
-  Series tcp{"TCP/IP", {}, {}}, omx{"Open-MX", {}, {}};
-  const auto tcpSweep = core::pingPongSweep(panel.platform,
-                                            net::Protocol::TcpIp,
-                                            panel.frequencyHz, sizes);
-  const auto omxSweep = core::pingPongSweep(panel.platform,
-                                            net::Protocol::OpenMx,
-                                            panel.frequencyHz, sizes);
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    table.addRow({std::to_string(sizes[i]),
-                  fmt(toUs(tcpSweep.latencySeconds[i]), 1),
-                  fmt(toUs(omxSweep.latencySeconds[i]), 1)});
-    tcp.x.push_back(static_cast<double>(sizes[i]));
-    tcp.y.push_back(toUs(tcpSweep.latencySeconds[i]));
-    omx.x.push_back(static_cast<double>(sizes[i]));
-    omx.y.push_back(toUs(omxSweep.latencySeconds[i]));
-  }
-  std::cout << table.render();
-  ChartOptions opts;
-  opts.title = panel.name + ": latency (us) vs message size (B)";
-  opts.height = 12;
-  std::cout << renderChart({tcp, omx}, opts) << '\n';
-}
-
-void bandwidthPanel(const Panel& panel) {
-  std::cout << "-- " << panel.name << " bandwidth --\n";
-  const auto sizes = core::bandwidthMessageSizes();
-  TextTable table({"bytes", "TCP/IP MB/s", "Open-MX MB/s"});
-  Series tcp{"TCP/IP", {}, {}}, omx{"Open-MX", {}, {}};
-  const auto tcpSweep = core::pingPongSweep(panel.platform,
-                                            net::Protocol::TcpIp,
-                                            panel.frequencyHz, sizes);
-  const auto omxSweep = core::pingPongSweep(panel.platform,
-                                            net::Protocol::OpenMx,
-                                            panel.frequencyHz, sizes);
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    table.addRow({std::to_string(sizes[i]),
-                  fmt(tcpSweep.bandwidthBytesPerS[i] / 1e6, 1),
-                  fmt(omxSweep.bandwidthBytesPerS[i] / 1e6, 1)});
-    tcp.x.push_back(static_cast<double>(sizes[i]));
-    tcp.y.push_back(tcpSweep.bandwidthBytesPerS[i] / 1e6);
-    omx.x.push_back(static_cast<double>(sizes[i]));
-    omx.y.push_back(omxSweep.bandwidthBytesPerS[i] / 1e6);
-  }
-  std::cout << table.render();
-  ChartOptions opts;
-  opts.title = panel.name + ": bandwidth (MB/s) vs message size (log x)";
-  opts.logX = true;
-  opts.height = 12;
-  std::cout << renderChart({tcp, omx}, opts) << '\n';
-}
-
-}  // namespace
-
-int main() {
-  benchutil::heading("Figure 7", "interconnect latency and bandwidth");
-
-  const Panel panels[] = {
-      {"(a/d) Tegra 2 @ 1.0 GHz", arch::PlatformRegistry::tegra2(),
-       ghz(1.0)},
-      {"(b/e) Exynos 5 @ 1.0 GHz", arch::PlatformRegistry::exynos5250(),
-       ghz(1.0)},
-      {"(c/f) Exynos 5 @ 1.4 GHz", arch::PlatformRegistry::exynos5250(),
-       ghz(1.4)},
-  };
-  for (const auto& panel : panels) latencyPanel(panel);
-  for (const auto& panel : panels) bandwidthPanel(panel);
-
-  std::cout << "-- End-to-end cross-check (simMPI over the fabric model) --\n";
-  TextTable check({"config", "analytic us", "simulated us"});
-  for (const auto& panel : panels) {
-    for (net::Protocol proto :
-         {net::Protocol::TcpIp, net::Protocol::OpenMx}) {
-      const double analytic =
-          net::ProtocolModel(proto, panel.platform, panel.frequencyHz)
-              .pingPongLatency(64);
-      const double simulated = core::simulatedPingPongLatency(
-          panel.platform, proto, panel.frequencyHz, 64);
-      check.addRow({panel.name + " " + net::toString(proto),
-                    fmt(toUs(analytic), 1), fmt(toUs(simulated), 1)});
-    }
-  }
-  std::cout << check.render() << '\n';
-
-  benchutil::note(
-      "paper anchors: Tegra2 ~100 us TCP / ~65 us Open-MX, 65 / 117 MB/s; "
-      "Exynos5 ~125 / ~93 us at 1 GHz, ~10 % lower at 1.4 GHz; Open-MX "
-      "bandwidth 69 MB/s (1.0 GHz) and 75 MB/s (1.4 GHz), USB-limited.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig07", argc, argv);
 }

@@ -1,35 +1,8 @@
-// Figure 8: the software stack deployed on the ARM-based clusters, plus
-// the Section 5 readiness assessment (what worked out of the box, what the
-// team had to port, what was still experimental in 2013).
+// Compat wrapper: equivalent to `socbench run fig08 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/cluster/software_stack.hpp"
-#include "tibsim/common/table.hpp"
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("Figure 8", "software stack deployed on the clusters");
-
-  for (auto layer : {cluster::StackLayer::Compiler,
-                     cluster::StackLayer::RuntimeLibrary,
-                     cluster::StackLayer::ScientificLibrary,
-                     cluster::StackLayer::PerformanceTool,
-                     cluster::StackLayer::Debugger,
-                     cluster::StackLayer::ClusterManagement,
-                     cluster::StackLayer::OperatingSystem}) {
-    std::cout << "-- " << toString(layer) << " --\n";
-    TextTable table({"component", "ARM status", "notes"});
-    for (const auto& c : cluster::componentsAt(layer))
-      table.addRow({c.name, toString(c.support), c.notes});
-    std::cout << table.render() << '\n';
-  }
-
-  std::cout << "Out-of-the-box ARM support: "
-            << fmt(100 * cluster::fullSupportFraction(), 0)
-            << "% of the stack; the rest needed team porting (hardfp "
-               "images, ATLAS patches) or was an experimental vendor "
-               "preview (CUDA, Mali OpenCL).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("fig08", argc, argv);
 }

@@ -1,41 +1,8 @@
-// Section 4 headline numbers: HPL weak scaling on Tibidabo up to 96 nodes —
-// ~97 GFLOPS, ~51 % efficiency, ~120 MFLOPS/W (Green500 metric) — plus the
-// comparison points the paper quotes.
+// Compat wrapper: equivalent to `socbench run hpl_green500 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/apps/hpl.hpp"
-#include "tibsim/cluster/cluster.hpp"
-#include "tibsim/common/table.hpp"
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("HPL / Green500",
-                     "weak-scaling Linpack on Tibidabo (Section 4)");
-
-  cluster::ClusterSimulation sim(cluster::ClusterSpec::tibidabo());
-  TextTable table({"nodes", "N", "wallclock s", "GFLOPS", "efficiency",
-                   "avg power W", "MFLOPS/W"});
-  for (int nodes : {4, 8, 16, 32, 64, 96}) {
-    const std::size_t n =
-        apps::HplBenchmark::problemSizeForNodes(sim.spec(), nodes);
-    const auto result = apps::HplBenchmark::run(sim, nodes);
-    table.addRow({std::to_string(nodes), std::to_string(n),
-                  fmt(result.wallClockSeconds, 0), fmt(result.gflops, 1),
-                  fmt(result.efficiency() * 100, 0) + "%",
-                  fmt(result.averagePowerW, 0),
-                  fmt(result.mflopsPerWatt, 0)});
-    std::cout << "  completed " << nodes << " nodes\n";
-  }
-  std::cout << '\n' << table.render() << '\n';
-
-  std::cout
-      << "Paper anchors at 96 nodes: ~97 GFLOPS, 51 % efficiency, "
-         "~120 MFLOPS/W.\n"
-         "Context from the June 2013 Green500 (paper Section 4):\n"
-         "  BlueGene/Q (best homogeneous):      ~2,300 MFLOPS/W (19x)\n"
-         "  Eurora (Xeon + K20 GPUs, #1):       ~3,200 MFLOPS/W (27x)\n"
-         "  AMD Opteron / Xeon E5660 clusters:  comparable to Tibidabo\n";
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("hpl_green500", argc, argv);
 }

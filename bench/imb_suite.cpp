@@ -1,83 +1,8 @@
-// The full IMB-style interconnect characterisation of a Tibidabo node pair
-// and partition — the measurement suite behind Figure 7, extended to the
-// patterns a deployment would run: PingPong, PingPing, Exchange,
-// Allreduce, Bcast, Barrier, with per-rank trace breakdown.
+// Compat wrapper: equivalent to `socbench run imb_suite --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/mpi/imb.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("IMB suite",
-                     "Intel-MPI-Benchmarks-style characterisation of the "
-                     "Tibidabo interconnect");
-
-  mpi::WorldConfig cfg = mpi::WorldConfig::tibidaboNode();
-  cfg.ranksPerNode = 1;  // one rank per node: pure network measurement
-
-  const std::vector<std::size_t> sizes = {0,    64,    1024,
-                                          16384, 262144, 1 << 20};
-
-  std::cout << "-- two nodes --\n";
-  TextTable p2p({"bytes", "PingPong us", "PingPong MB/s", "PingPing us",
-                 "PingPing MB/s"});
-  const auto pong = mpi::imb::pingPong(cfg, sizes);
-  const auto ping = mpi::imb::pingPing(cfg, sizes);
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    p2p.addRow({std::to_string(sizes[i]), fmt(toUs(pong[i].seconds), 1),
-                fmt(pong[i].bandwidthBytesPerS / 1e6, 1),
-                fmt(toUs(ping[i].seconds), 1),
-                fmt(ping[i].bandwidthBytesPerS / 1e6, 1)});
-  }
-  std::cout << p2p.render() << '\n';
-
-  std::cout << "-- 32-node partition --\n";
-  const std::vector<std::size_t> collSizes = {8, 1024, 65536};
-  TextTable coll({"bytes", "Exchange us", "Allreduce us", "Bcast us"});
-  const auto ex = mpi::imb::exchange(cfg, 32, collSizes);
-  const auto ar = mpi::imb::allreduce(cfg, 32, collSizes);
-  const auto bc = mpi::imb::bcast(cfg, 32, collSizes);
-  for (std::size_t i = 0; i < collSizes.size(); ++i) {
-    coll.addRow({std::to_string(collSizes[i]), fmt(toUs(ex[i].seconds), 1),
-                 fmt(toUs(ar[i].seconds), 1), fmt(toUs(bc[i].seconds), 1)});
-  }
-  std::cout << coll.render() << '\n';
-
-  TextTable barrier({"ranks", "Barrier us"});
-  for (int ranks : {2, 8, 32, 128}) {
-    barrier.addRow({std::to_string(ranks),
-                    fmt(toUs(mpi::imb::barrier(cfg, ranks).seconds), 1)});
-  }
-  std::cout << barrier.render() << '\n';
-
-  // Trace-based breakdown of one Exchange run (the Paraver view).
-  std::cout << "-- post-mortem trace: 8-rank Exchange, 64 KiB halos --\n";
-  mpi::MpiWorld world(cfg, 8);
-  world.enableTracing();
-  const auto stats = world.run([](mpi::MpiContext& ctx) {
-    for (int i = 0; i < 4; ++i) {
-      ctx.computeSeconds(1e-3);
-      ctx.neighborExchange(65536, 4);
-    }
-  });
-  TextTable trace({"rank", "compute ms", "send ms", "recv ms", "wait ms"});
-  for (const auto& s :
-       world.tracer().summarize(8, stats.wallClockSeconds)) {
-    trace.addRow({std::to_string(s.rank), fmt(toMs(s.computeSeconds), 2),
-                  fmt(toMs(s.sendSeconds), 2), fmt(toMs(s.recvSeconds), 2),
-                  fmt(toMs(s.waitSeconds), 2)});
-  }
-  std::cout << trace.render() << '\n';
-  std::cout << "non-compute fraction: "
-            << fmt(100 * world.tracer().nonComputeFraction(
-                             8, stats.wallClockSeconds),
-                   1)
-            << "%  (" << world.tracer().spans().size()
-            << " spans recorded; exportCsv() feeds a trace viewer)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("imb_suite", argc, argv);
 }

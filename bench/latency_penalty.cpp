@@ -1,66 +1,8 @@
-// Section 4.1's latency-penalty estimate: a total communication latency of
-// 100 us costs ~+90 % execution time on a Sandy Bridge-class core (EEE
-// study, geometric mean over nine MPI applications at 64-256 nodes); a
-// core that computes k times slower sees the relative penalty shrink.
+// Compat wrapper: equivalent to `socbench run latency_penalty --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/arch/registry.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-#include "tibsim/net/protocol.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-  benchutil::heading("Latency penalty",
-                     "estimated execution-time inflation from interconnect "
-                     "latency (Section 4.1)");
-
-  // Relative single-core performance vs the Sandy Bridge reference, from
-  // the Figure 3 results. The paper quotes "~50 % and 40 %" for the Arndale
-  // at 100 us and 65 us; its first-order scaling uses a performance ratio
-  // of roughly 0.55 rather than the stricter 1/3 suite geomean.
-  const struct {
-    const char* core;
-    double relativePerf;
-  } cores[] = {
-      {"Sandy Bridge-class", 1.0},
-      {"Arndale (Cortex-A15), paper scaling", 0.55},
-      {"Arndale (Cortex-A15), suite geomean", 1.0 / 3.0},
-      {"Tegra 2 (Cortex-A9)", 1.0 / 7.0},
-  };
-
-  TextTable table({"core", "latency us", "est. execution-time penalty"});
-  for (const auto& core : cores) {
-    for (double latency : {65e-6, 100e-6}) {
-      table.addRow({core.core, fmt(toUs(latency), 0),
-                    "+" + fmt(100.0 * net::latencyExecutionTimePenalty(
-                                          latency, core.relativePerf),
-                              0) +
-                        "%"});
-    }
-  }
-  std::cout << table.render() << '\n';
-
-  // And the measured protocol latencies feeding that estimate:
-  TextTable measured({"platform / protocol", "small-message latency us"});
-  const auto tegra2 = arch::PlatformRegistry::tegra2();
-  measured.addRow({"Tegra2 TCP/IP",
-                   fmt(toUs(net::ProtocolModel(net::Protocol::TcpIp, tegra2,
-                                               ghz(1.0))
-                                .pingPongLatency(1)),
-                       0)});
-  measured.addRow({"Tegra2 Open-MX",
-                   fmt(toUs(net::ProtocolModel(net::Protocol::OpenMx, tegra2,
-                                               ghz(1.0))
-                                .pingPongLatency(1)),
-                       0)});
-  std::cout << measured.render() << '\n';
-
-  benchutil::note(
-      "paper: 100 us => ~+90 % (Sandy Bridge); first-order estimate "
-      "~+50 % / ~+40 % on the Arndale for 100 us / 65 us.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("latency_penalty", argc, argv);
 }

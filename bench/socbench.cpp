@@ -1,0 +1,10 @@
+// socbench: the registry-driven campaign driver. `socbench list` shows
+// every registered experiment; `socbench run <glob>` executes a selection
+// with optional JSON/CSV artefacts and parallel scheduling. See
+// tibsim/core/campaign.hpp for the full interface.
+
+#include "tibsim/core/campaign.hpp"
+
+int main(int argc, char** argv) {
+  return tibsim::core::socbenchMain(argc, argv);
+}

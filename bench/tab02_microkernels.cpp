@@ -1,52 +1,8 @@
-// Table 2: the micro-kernel suite used for platform evaluation — printed
-// from the live registry, with every kernel executed natively (serial and
-// parallel) and verified, plus its machine-independent work profile.
+// Compat wrapper: equivalent to `socbench run tab02 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/thread_pool.hpp"
-#include "tibsim/kernels/microkernel.hpp"
-#include "tibsim/kernels/suite.hpp"
-
-namespace {
-std::size_t verifySize(const std::string& tag) {
-  if (tag == "dmmm") return 48;
-  if (tag == "3dstc") return 16;
-  if (tag == "2dcon") return 64;
-  if (tag == "fft") return 1024;
-  if (tag == "nbody") return 96;
-  if (tag == "amcd") return 50000;
-  if (tag == "spvm") return 200;
-  return 5000;
-}
-}  // namespace
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("Table 2", "micro-kernels used for platform evaluation");
-
-  ThreadPool pool(2);
-  TextTable table({"tag", "full name", "properties", "MFLOP/iter",
-                   "MB/iter", "pattern", "verified"});
-  for (const auto& tag : kernels::suiteTags()) {
-    auto kernel = kernels::makeKernel(tag);
-    kernel->setup(verifySize(tag), 7);
-    kernel->runSerial();
-    const bool serialOk = kernel->verify();
-    kernel->runParallel(pool);
-    const bool parallelOk = kernel->verify();
-    const auto profile = kernel->referenceProfile();
-    table.addRow({tag, kernel->fullName(), kernel->properties(),
-                  fmt(profile.flops / 1e6, 0), fmt(profile.bytes / 1e6, 0),
-                  toString(profile.pattern),
-                  serialOk && parallelOk ? "yes" : "NO"});
-  }
-  std::cout << table.render() << '\n';
-  benchutil::note(
-      "profiles are the Section-3 evaluation sizes; the native runs above "
-      "execute the real implementations at test sizes and verify their "
-      "output (see bench/kernels_native for host-machine timings).");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("tab02", argc, argv);
 }

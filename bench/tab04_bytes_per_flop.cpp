@@ -1,30 +1,8 @@
-// Table 4: network bytes/FLOPS ratios (FP64, excluding GPU) for 1 GbE,
-// 10 GbE and 40 Gb InfiniBand on each evaluated platform.
+// Compat wrapper: equivalent to `socbench run tab04 --compat`. The
+// experiment body lives in the registry (src/core/experiments_*.cpp).
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "bench_util.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/core/experiments.hpp"
-
-int main() {
-  using namespace tibsim;
-  benchutil::heading("Table 4", "network bytes per FLOP");
-
-  TextTable table({"platform", "1GbE", "10GbE", "40Gb InfiniBand"});
-  for (const auto& row : core::bytesPerFlopTable()) {
-    table.addRow({row.platform, fmt(row.gbe1, 2), fmt(row.gbe10, 2),
-                  fmt(row.ib40, 2)});
-  }
-  std::cout << table.render() << '\n';
-  std::cout << "Paper values:\n"
-               "  Tegra 2        0.06  0.63  2.50\n"
-               "  Tegra 3        0.02  0.24  0.96\n"
-               "  Exynos 5250    0.02  0.18  0.74\n"
-               "  Sandy Bridge   0.00  0.02  0.07\n\n";
-  benchutil::note(
-      "a plain 1 GbE NIC gives a Tegra 3 / Exynos 5250 a bytes-per-FLOP "
-      "ratio close to a dual-socket Sandy Bridge with 40 Gb InfiniBand — "
-      "the balance argument of Section 4.1.");
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("tab04", argc, argv);
 }

@@ -1,80 +1,10 @@
-// Run a week-in-the-life batch campaign on the simulated Tibidabo: a mix
-// of the paper's applications submitted through the SLURM-style scheduler
-// (Section 5 / Figure 8), with per-job runtimes measured by the cluster
-// simulation and machine-level utilisation and energy reported.
+// Run a week-in-the-life batch campaign on the simulated Tibidabo. The
+// study now lives in the experiment registry as "campaign"
+// (src/core/experiments_cluster.cpp); this example drives it the same way
+// `socbench run campaign --compat` would.
 
-#include <iostream>
+#include "tibsim/core/campaign.hpp"
 
-#include "tibsim/apps/hpl.hpp"
-#include "tibsim/apps/hydro.hpp"
-#include "tibsim/apps/specfem.hpp"
-#include "tibsim/cluster/cluster.hpp"
-#include "tibsim/cluster/slurm.hpp"
-#include "tibsim/common/table.hpp"
-#include "tibsim/common/units.hpp"
-
-int main() {
-  using namespace tibsim;
-  using namespace tibsim::units;
-
-  const cluster::ClusterSpec spec = cluster::ClusterSpec::tibidabo();
-  cluster::ClusterSimulation sim(spec);
-  std::cout << "Measuring job runtimes on " << spec.name << "...\n";
-
-  // Measure each job type once through the cluster simulation; the
-  // scheduler then works with realistic durations.
-  apps::HydroBenchmark::Params hydro;
-  hydro.steps = 50;
-  const double hydroOn16 =
-      sim.runJob(16, apps::HydroBenchmark::rankBody(hydro)).wallClockSeconds;
-  apps::SpecfemBenchmark::Params specfem;
-  specfem.steps = 100;
-  const double specfemOn32 =
-      sim.runJob(32, apps::SpecfemBenchmark::rankBody(specfem))
-          .wallClockSeconds;
-  const double hplOn64 =
-      apps::HplBenchmark::run(sim, 64, 0.2).wallClockSeconds;
-
-  // A morning's submissions: users over-request wall time, as users do.
-  cluster::SlurmScheduler slurm(spec.nodes);
-  auto submit = [&](const std::string& name, int nodes, double duration,
-                    double submitAt) {
-    cluster::BatchJob job;
-    job.name = name;
-    job.nodes = nodes;
-    job.durationSeconds = duration;
-    job.requestedSeconds = duration * 1.8;
-    job.submitSeconds = submitAt;
-    slurm.submit(job);
-  };
-  submit("hpl-64", 64, hplOn64, 0.0);
-  submit("hydro-16-a", 16, hydroOn16, 10.0);
-  submit("specfem-32", 32, specfemOn32, 20.0);
-  submit("hpl-192", 192, hplOn64 * 1.4, 30.0);  // full-machine job queues
-  submit("hydro-16-b", 16, hydroOn16, 40.0);
-  submit("hydro-16-c", 16, hydroOn16, 41.0);
-  submit("specfem-32-b", 32, specfemOn32, 60.0);
-
-  const auto result = slurm.schedule();
-
-  TextTable table({"job", "nodes", "submit s", "start s", "end s",
-                   "wait s"});
-  for (const auto& s : result.jobs) {
-    table.addRow({s.job.name, std::to_string(s.job.nodes),
-                  fmt(s.job.submitSeconds, 0), fmt(s.startSeconds, 1),
-                  fmt(s.endSeconds, 1), fmt(s.waitSeconds(), 1)});
-  }
-  std::cout << '\n' << table.render() << '\n';
-
-  const double energy =
-      cluster::SlurmScheduler::estimateEnergyJ(result, spec, spec.nodes);
-  TextTable summary({"metric", "value"});
-  summary.addRow({"makespan", fmt(result.makespanSeconds / 60.0, 1) + " min"});
-  summary.addRow({"node utilisation",
-                  fmt(100 * result.nodeUtilization, 1) + " %"});
-  summary.addRow({"backfilled jobs", std::to_string(result.backfilledJobs)});
-  summary.addRow({"average wait", fmt(result.averageWaitSeconds, 1) + " s"});
-  summary.addRow({"campaign energy", fmt(energy / 1e6, 2) + " MJ"});
-  std::cout << summary.render() << '\n';
-  return 0;
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("campaign", argc, argv);
 }

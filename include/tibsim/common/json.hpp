@@ -1,0 +1,105 @@
+#pragma once
+// Minimal JSON document model for the socbench result emitters: an ordered
+// object (insertion order is preserved so emitted documents are byte-stable
+// across runs and job counts), arrays, strings, numbers, booleans and null.
+// Numbers serialise via std::to_chars shortest-round-trip so parse(dump(v))
+// reproduces v exactly.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tibsim::json {
+
+class Value;
+
+/// Thrown by Value::parse on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Type { Null, Boolean, Number, String, Array, Object };
+
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Boolean), bool_(b) {}
+  Value(double n) : type_(Type::Number), number_(n) {}
+  Value(int n) : type_(Type::Number), number_(n) {}
+  Value(unsigned n) : type_(Type::Number), number_(n) {}
+  Value(long long n) : type_(Type::Number), number_(static_cast<double>(n)) {}
+  Value(unsigned long n)
+      : type_(Type::Number), number_(static_cast<double>(n)) {}
+  Value(unsigned long long n)
+      : type_(Type::Number), number_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::Null; }
+  bool isBool() const { return type_ == Type::Boolean; }
+  bool isNumber() const { return type_ == Type::Number; }
+  bool isString() const { return type_ == Type::String; }
+  bool isArray() const { return type_ == Type::Array; }
+  bool isObject() const { return type_ == Type::Object; }
+
+  bool asBool() const;
+  double asDouble() const;
+  const std::string& asString() const;
+
+  // --- array access ---------------------------------------------------------
+  std::size_t size() const;
+  /// Append to an array (a null value becomes an array first).
+  Value& push(Value element);
+  const Value& at(std::size_t index) const;
+  const Array& items() const;
+
+  // --- object access --------------------------------------------------------
+  /// Insert-or-fetch a member (a null value becomes an object first).
+  Value& operator[](const std::string& key);
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  const Object& members() const;
+
+  /// Serialise. indent < 0 yields the compact single-line form; otherwise
+  /// nested containers are broken across lines with `indent` spaces/level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  static Value parse(const std::string& text);
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Shortest round-trip decimal representation of a finite double
+/// ("42", "0.1", "1e+20"); the socbench JSON number format.
+std::string formatNumber(double value);
+
+}  // namespace tibsim::json

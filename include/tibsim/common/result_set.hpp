@@ -1,0 +1,98 @@
+#pragma once
+// ResultSet: the structured result model every socbench experiment returns —
+// named tables, named charts (series + axis options), scalar metrics and
+// free-text notes — with deterministic JSON/CSV emitters next to the
+// existing TextTable/ASCII-chart renderers. The JSON form is byte-stable
+// for a given ResultSet, so campaign output can be diffed across runs and
+// job counts.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tibsim/common/chart.hpp"
+#include "tibsim/common/json.hpp"
+#include "tibsim/common/table.hpp"
+
+namespace tibsim {
+
+struct ResultTable {
+  std::string name;
+  TextTable table;
+};
+
+struct ResultChart {
+  std::string name;
+  std::vector<Series> series;
+  ChartOptions options;
+};
+
+struct ResultMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  ///< free-form: "GFLOPS", "x", "%", "" for plain counts
+};
+
+class ResultSet {
+ public:
+  void addTable(std::string name, TextTable table) {
+    tables_.push_back({std::move(name), std::move(table)});
+  }
+  void addChart(std::string name, std::vector<Series> series,
+                ChartOptions options) {
+    charts_.push_back({std::move(name), std::move(series),
+                       std::move(options)});
+  }
+  void addMetric(std::string name, double value, std::string unit = "") {
+    metrics_.push_back({std::move(name), value, std::move(unit)});
+  }
+  void addNote(std::string text) { notes_.push_back(std::move(text)); }
+
+  /// Append every artefact of `other`, keeping insertion order. Lets an
+  /// experiment build independent panels in parallel cells and stitch the
+  /// report together deterministically afterwards.
+  void merge(ResultSet other) {
+    for (auto& t : other.tables_) tables_.push_back(std::move(t));
+    for (auto& c : other.charts_) charts_.push_back(std::move(c));
+    for (auto& m : other.metrics_) metrics_.push_back(std::move(m));
+    for (auto& n : other.notes_) notes_.push_back(std::move(n));
+  }
+
+  const std::vector<ResultTable>& tables() const { return tables_; }
+  const std::vector<ResultChart>& charts() const { return charts_; }
+  const std::vector<ResultMetric>& metrics() const { return metrics_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  bool empty() const {
+    return tables_.empty() && charts_.empty() && metrics_.empty() &&
+           notes_.empty();
+  }
+
+  friend bool operator==(const ResultSet& a, const ResultSet& b) {
+    return toJson(a) == toJson(b);
+  }
+
+  /// Structured form: {"tables": [...], "charts": [...], "metrics": [...],
+  /// "notes": [...]}; containers keep insertion order.
+  static json::Value toJson(const ResultSet& results);
+
+  /// Inverse of toJson; throws json::ParseError / ContractError on
+  /// documents that do not describe a ResultSet.
+  static ResultSet fromJson(const json::Value& document);
+
+  /// Tables and charts as (file-stem, csv-content) pairs: tables export
+  /// their cells, charts export x plus one column per series.
+  std::vector<std::pair<std::string, std::string>> toCsvFiles() const;
+
+  /// Terminal rendering: tables, ASCII charts, metrics, then notes — the
+  /// format the standalone figure binaries print.
+  std::string renderText() const;
+
+ private:
+  std::vector<ResultTable> tables_;
+  std::vector<ResultChart> charts_;
+  std::vector<ResultMetric> metrics_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace tibsim

@@ -20,6 +20,8 @@ class TextTable {
 
   std::size_t rowCount() const { return rows_.size(); }
   std::size_t columnCount() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Render with 2-space gutters, headers underlined with dashes.
   std::string render() const;

@@ -1,0 +1,68 @@
+#pragma once
+// The socbench campaign driver: selects experiments from the registry by
+// glob, schedules them (and their inner sweep cells) on a shared TaskPool,
+// emits per-experiment JSON/CSV artefacts, and prints the run summary with
+// per-experiment wall-clock and cell-count instrumentation. The emitted
+// JSON contains no timings, so campaign output is byte-identical across
+// runs and job counts.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tibsim/common/result_set.hpp"
+#include "tibsim/core/experiment.hpp"
+
+namespace tibsim::core {
+
+struct CampaignOptions {
+  std::vector<std::string> patterns;  ///< globs over names; empty = all
+  int jobs = 1;                       ///< <1 means hardware concurrency
+  std::uint64_t seed = 42;
+  std::string jsonDir;  ///< write <dir>/<name>.json when non-empty
+  std::string csvDir;   ///< write <dir>/<name>__<artefact>.csv when non-empty
+  bool compat = false;  ///< render each experiment's full text report
+  bool summary = true;  ///< print the campaign run summary
+};
+
+struct ExperimentRun {
+  std::string name;
+  std::string paperRef;
+  std::string title;
+  double wallSeconds = 0.0;  ///< instrumentation only; never serialised
+  std::size_t cells = 0;     ///< sweep cells executed via ctx.parallelFor
+  ResultSet results;
+  std::string json;  ///< the deterministic result document
+};
+
+struct CampaignResult {
+  std::vector<ExperimentRun> runs;  ///< in selection (sorted-name) order
+  double wallSeconds = 0.0;
+  int jobs = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Run every experiment matching options.patterns. Reports go to `out`;
+/// throws ContractError when a pattern matches nothing.
+CampaignResult runCampaign(const CampaignOptions& options, std::ostream& out);
+
+/// The deterministic per-experiment JSON document (schema
+/// "socbench-result-v1"): name, paper reference, title, seed, results.
+std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
+                           const ResultSet& results);
+
+/// The `socbench` CLI:
+///   socbench list [glob...]
+///   socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N] [--seed S]
+///                [--compat] [--no-summary]
+/// Returns the process exit code.
+int socbenchMain(int argc, const char* const* argv);
+
+/// Entry point for the legacy single-figure binaries: behaves like
+/// `socbench run <pattern> --compat` with any extra argv flags appended
+/// (so `fig03_singlecore --json out/` still works).
+int runCompatBinary(const std::string& pattern, int argc,
+                    const char* const* argv);
+
+}  // namespace tibsim::core

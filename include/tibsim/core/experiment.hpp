@@ -1,0 +1,137 @@
+#pragma once
+// The socbench experiment framework: every reproduced figure, table and
+// ablation study is an Experiment registered in the ExperimentRegistry and
+// run through one campaign driver (bench/socbench) instead of a standalone
+// main(). An experiment receives an ExperimentContext — deterministic seed,
+// shared TaskPool for independent sweep cells, cell accounting — and
+// returns a ResultSet.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tibsim/common/result_set.hpp"
+#include "tibsim/common/rng.hpp"
+#include "tibsim/common/thread_pool.hpp"
+
+namespace tibsim::core {
+
+/// Per-run services handed to Experiment::run. Results must not depend on
+/// the number of worker threads: parallelFor cells write into pre-sized
+/// slots and every stochastic component seeds from rng()/seed().
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(std::uint64_t seed, TaskPool* pool = nullptr)
+      : seed_(seed), pool_(pool) {}
+
+  /// The experiment's own deterministic seed (campaign seed mixed with the
+  /// experiment name, so experiments never share RNG streams).
+  std::uint64_t seed() const { return seed_; }
+
+  /// An independent RNG stream for this experiment; distinct `stream`
+  /// values give uncorrelated generators within one experiment.
+  Rng rng(std::uint64_t stream = 0) const {
+    return Rng(seed_ ^ (0x6a09e667f3bcc909ULL * (stream + 1)));
+  }
+
+  /// Run fn(i) for i in [0, n): the parallel-sweep primitive for
+  /// independent cells (platform x DVFS point, application x node count).
+  /// Runs on the campaign TaskPool when one is attached, serially
+  /// otherwise; either way fn must only write to its own slot i.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const;
+
+  /// Total sweep cells executed through parallelFor, for the run summary.
+  std::size_t cellsExecuted() const { return cells_.load(); }
+
+ private:
+  std::uint64_t seed_;
+  TaskPool* pool_;
+  mutable std::atomic<std::size_t> cells_{0};
+};
+
+/// One reproduced artefact (figure / table / ablation / campaign).
+/// Implementations are stateless: run() may be called concurrently on
+/// distinct contexts.
+class Experiment {
+ public:
+  virtual ~Experiment() = default;
+
+  /// Registry id, e.g. "fig03" — what `socbench run <glob>` matches.
+  virtual std::string name() const = 0;
+  /// Where in the paper this artefact lives, e.g. "Figure 3".
+  virtual std::string paperRef() const = 0;
+  /// One-line human description for `socbench list` and report headings.
+  virtual std::string title() const = 0;
+
+  virtual ResultSet run(ExperimentContext& ctx) const = 0;
+};
+
+/// Name-indexed collection of experiments. global() returns the process
+/// registry with all built-in experiments registered (lazily, so static
+/// library link order cannot drop registrations).
+class ExperimentRegistry {
+ public:
+  ExperimentRegistry() = default;
+
+  ExperimentRegistry(const ExperimentRegistry&) = delete;
+  ExperimentRegistry& operator=(const ExperimentRegistry&) = delete;
+
+  static ExperimentRegistry& global();
+
+  /// Register an experiment; duplicate names are a contract violation.
+  void add(std::unique_ptr<Experiment> experiment);
+
+  std::size_t size() const { return experiments_.size(); }
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+  /// nullptr when no experiment has that exact name.
+  const Experiment* find(const std::string& name) const;
+  /// Experiments whose name matches any of the glob patterns ('*'/'?'),
+  /// in sorted name order, each at most once. An empty pattern list
+  /// matches everything.
+  std::vector<const Experiment*> match(
+      const std::vector<std::string>& patterns) const;
+
+  /// Glob match with '*' (any run) and '?' (any one char).
+  static bool globMatch(const std::string& pattern, const std::string& text);
+
+ private:
+  std::map<std::string, std::unique_ptr<Experiment>> experiments_;
+};
+
+/// Convenience base: experiments built from three strings and a run
+/// function, the form every built-in registration uses.
+class LambdaExperiment final : public Experiment {
+ public:
+  using RunFn = std::function<ResultSet(ExperimentContext&)>;
+
+  LambdaExperiment(std::string name, std::string paperRef, std::string title,
+                   RunFn run)
+      : name_(std::move(name)),
+        paperRef_(std::move(paperRef)),
+        title_(std::move(title)),
+        run_(std::move(run)) {}
+
+  std::string name() const override { return name_; }
+  std::string paperRef() const override { return paperRef_; }
+  std::string title() const override { return title_; }
+  ResultSet run(ExperimentContext& ctx) const override { return run_(ctx); }
+
+ private:
+  std::string name_;
+  std::string paperRef_;
+  std::string title_;
+  RunFn run_;
+};
+
+/// Mix a campaign-level seed with an experiment name into the
+/// experiment-level seed (FNV-1a over the name, xor-folded with the seed).
+std::uint64_t experimentSeed(std::uint64_t campaignSeed,
+                             const std::string& name);
+
+}  // namespace tibsim::core

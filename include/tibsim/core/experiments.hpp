@@ -7,6 +7,7 @@
 // into the exact measurement procedure the paper describes, and returns
 // plain data series the bench binaries print/chart.
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "tibsim/net/protocol.hpp"
 
 namespace tibsim::core {
+
+class ExperimentContext;  // experiment.hpp; sweeps only need parallelFor
 
 // ---------------------------------------------------------------------------
 // Figures 3 & 4: micro-kernel suite, frequency sweep
@@ -51,7 +54,12 @@ class MicroKernelExperiment {
 
   explicit MicroKernelExperiment(Mode mode) : mode_(mode) {}
 
+  /// Serial sweep over every (platform, DVFS point) cell.
   std::vector<PlatformSweep> run() const;
+
+  /// Same sweep with independent cells scheduled through
+  /// ctx.parallelFor; results are identical to the serial run.
+  std::vector<PlatformSweep> run(const ExperimentContext& ctx) const;
 
   /// Per-kernel modelled measurements on one configuration.
   static std::vector<KernelMeasurement> measureSuite(
@@ -69,10 +77,18 @@ class MicroKernelExperiment {
 // ---------------------------------------------------------------------------
 
 struct StreamRow {
+  /// Index into the per-operation bandwidth arrays, in STREAM's canonical
+  /// reporting order (the order Figure 5's panels list them).
+  enum Op : std::size_t { Copy = 0, Scale = 1, Add = 2, Triad = 3 };
+  static constexpr std::size_t kOps = 4;
+
   std::string platform;
-  double singleCoreBytesPerS[4] = {};  ///< copy, scale, add, triad
-  double multiCoreBytesPerS[4] = {};
+  std::array<double, kOps> singleCoreBytesPerS{};
+  std::array<double, kOps> multiCoreBytesPerS{};
   double efficiencyVsPeak = 0.0;  ///< multicore triad / datasheet peak
+
+  static const char* opName(std::size_t op);          ///< "Copy".."Triad"
+  static kernels::StreamOp streamOp(std::size_t op);  ///< kernel-level op
 };
 
 std::vector<StreamRow> streamExperiment();
@@ -123,8 +139,14 @@ struct ScalingCurve {
 
 /// Run the five applications of Table 3 on the given cluster at the given
 /// node counts (infeasible points are skipped, as on the real machine).
+/// With a context, independent (application, node count) cells run through
+/// ctx.parallelFor, each on its own ClusterSimulation; the curves are
+/// assembled in deterministic order afterwards.
 std::vector<ScalingCurve> scalabilityExperiment(
     const cluster::ClusterSpec& spec, const std::vector<int>& nodeCounts);
+std::vector<ScalingCurve> scalabilityExperiment(
+    const cluster::ClusterSpec& spec, const std::vector<int>& nodeCounts,
+    const ExperimentContext& ctx);
 
 // ---------------------------------------------------------------------------
 // Table 4: network bytes per FLOP

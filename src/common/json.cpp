@@ -1,0 +1,425 @@
+#include "tibsim/common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim::json {
+
+std::string formatNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  TIB_ASSERT(result.ec == std::errc{});
+  return std::string(buffer, result.ptr);
+}
+
+bool Value::asBool() const {
+  TIB_REQUIRE_MSG(isBool(), "json value is not a boolean");
+  return bool_;
+}
+
+double Value::asDouble() const {
+  TIB_REQUIRE_MSG(isNumber(), "json value is not a number");
+  return number_;
+}
+
+const std::string& Value::asString() const {
+  TIB_REQUIRE_MSG(isString(), "json value is not a string");
+  return string_;
+}
+
+std::size_t Value::size() const {
+  if (isArray()) return array_.size();
+  if (isObject()) return object_.size();
+  return 0;
+}
+
+Value& Value::push(Value element) {
+  if (isNull()) type_ = Type::Array;
+  TIB_REQUIRE_MSG(isArray(), "json push target is not an array");
+  array_.push_back(std::move(element));
+  return array_.back();
+}
+
+const Value& Value::at(std::size_t index) const {
+  TIB_REQUIRE_MSG(isArray() && index < array_.size(),
+                  "json array index out of range");
+  return array_[index];
+}
+
+const Value::Array& Value::items() const {
+  TIB_REQUIRE_MSG(isArray(), "json value is not an array");
+  return array_;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (isNull()) type_ = Type::Object;
+  TIB_REQUIRE_MSG(isObject(), "json subscript target is not an object");
+  for (auto& [name, value] : object_)
+    if (name == key) return value;
+  object_.emplace_back(key, Value());
+  return object_.back().second;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!isObject()) return nullptr;
+  for (const auto& [name, value] : object_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const Value::Object& Value::members() const {
+  TIB_REQUIRE_MSG(isObject(), "json value is not an object");
+  return object_;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Value::Type::Null:
+      return true;
+    case Value::Type::Boolean:
+      return a.bool_ == b.bool_;
+    case Value::Type::Number:
+      return a.number_ == b.number_;
+    case Value::Type::String:
+      return a.string_ == b.string_;
+    case Value::Type::Array:
+      return a.array_ == b.array_;
+    case Value::Type::Object:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpTo(const Value& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent) *
+                               static_cast<std::size_t>(depth + 1),
+                           ' ')
+             : std::string();
+  const std::string closePad =
+      pretty ? std::string(static_cast<std::size_t>(indent) *
+                               static_cast<std::size_t>(depth),
+                           ' ')
+             : std::string();
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  switch (v.type()) {
+    case Value::Type::Null:
+      out += "null";
+      break;
+    case Value::Type::Boolean:
+      out += v.asBool() ? "true" : "false";
+      break;
+    case Value::Type::Number:
+      out += formatNumber(v.asDouble());
+      break;
+    case Value::Type::String:
+      appendEscaped(out, v.asString());
+      break;
+    case Value::Type::Array: {
+      if (v.items().empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        out += nl;
+        out += pad;
+        dumpTo(item, out, indent, depth + 1);
+      }
+      out += nl;
+      out += closePad;
+      out += ']';
+      break;
+    }
+    case Value::Type::Object: {
+      if (v.members().empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += nl;
+        out += pad;
+        appendEscaped(out, key);
+        out += colon;
+        dumpTo(value, out, indent, depth + 1);
+      }
+      out += nl;
+      out += closePad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dumpTo(*this, out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parseDocument() {
+    Value v = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("json parse error at offset " + std::to_string(pos_) +
+                     ": " + what);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWhitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Value parseValue() {
+    switch (peek()) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return Value(parseString());
+      case 't':
+        if (consumeLiteral("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return Value();
+        fail("invalid literal");
+      default:
+        return parseNumber();
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    Value v = Value::object();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parseString();
+      expect(':');
+      v[key] = parseValue();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Value v = Value::array();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push(parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("invalid \\u escape");
+          }
+          // The emitter only produces \u00xx control escapes; encode the
+          // code point as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    skipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{} || result.ptr != text_.data() + pos_)
+      fail("invalid number");
+    return Value(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+}  // namespace tibsim::json

@@ -1,0 +1,234 @@
+#include "tibsim/common/result_set.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "tibsim/common/assert.hpp"
+
+namespace tibsim {
+
+namespace {
+
+json::Value seriesToJson(const Series& series) {
+  json::Value v = json::Value::object();
+  v["name"] = series.name;
+  json::Value xs = json::Value::array();
+  for (const double x : series.x) xs.push(x);
+  json::Value ys = json::Value::array();
+  for (const double y : series.y) ys.push(y);
+  v["x"] = std::move(xs);
+  v["y"] = std::move(ys);
+  return v;
+}
+
+Series seriesFromJson(const json::Value& v) {
+  Series series;
+  const json::Value* name = v.find("name");
+  TIB_REQUIRE_MSG(name != nullptr, "series is missing \"name\"");
+  series.name = name->asString();
+  const json::Value* xs = v.find("x");
+  const json::Value* ys = v.find("y");
+  TIB_REQUIRE_MSG(xs != nullptr && ys != nullptr,
+                  "series is missing \"x\"/\"y\"");
+  for (const auto& x : xs->items()) series.x.push_back(x.asDouble());
+  for (const auto& y : ys->items()) series.y.push_back(y.asDouble());
+  return series;
+}
+
+std::string csvQuote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// File-system-safe stem from a table/chart name.
+std::string slug(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!out.empty() && out.back() != '_')
+      out += '_';
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? "unnamed" : out;
+}
+
+}  // namespace
+
+json::Value ResultSet::toJson(const ResultSet& results) {
+  json::Value doc = json::Value::object();
+
+  json::Value tables = json::Value::array();
+  for (const ResultTable& t : results.tables_) {
+    json::Value table = json::Value::object();
+    table["name"] = t.name;
+    json::Value headers = json::Value::array();
+    for (const auto& h : t.table.headers()) headers.push(h);
+    table["headers"] = std::move(headers);
+    json::Value rows = json::Value::array();
+    for (const auto& row : t.table.rows()) {
+      json::Value cells = json::Value::array();
+      for (const auto& cell : row) cells.push(cell);
+      rows.push(std::move(cells));
+    }
+    table["rows"] = std::move(rows);
+    tables.push(std::move(table));
+  }
+  doc["tables"] = std::move(tables);
+
+  json::Value charts = json::Value::array();
+  for (const ResultChart& c : results.charts_) {
+    json::Value chart = json::Value::object();
+    chart["name"] = c.name;
+    chart["logX"] = c.options.logX;
+    chart["logY"] = c.options.logY;
+    chart["xLabel"] = c.options.xLabel;
+    chart["yLabel"] = c.options.yLabel;
+    json::Value series = json::Value::array();
+    for (const Series& s : c.series) series.push(seriesToJson(s));
+    chart["series"] = std::move(series);
+    charts.push(std::move(chart));
+  }
+  doc["charts"] = std::move(charts);
+
+  json::Value metrics = json::Value::array();
+  for (const ResultMetric& m : results.metrics_) {
+    json::Value metric = json::Value::object();
+    metric["name"] = m.name;
+    metric["value"] = m.value;
+    metric["unit"] = m.unit;
+    metrics.push(std::move(metric));
+  }
+  doc["metrics"] = std::move(metrics);
+
+  json::Value notes = json::Value::array();
+  for (const std::string& note : results.notes_) notes.push(note);
+  doc["notes"] = std::move(notes);
+
+  return doc;
+}
+
+ResultSet ResultSet::fromJson(const json::Value& document) {
+  ResultSet results;
+  if (const json::Value* tables = document.find("tables")) {
+    for (const auto& t : tables->items()) {
+      const json::Value* headers = t.find("headers");
+      TIB_REQUIRE_MSG(headers != nullptr, "table is missing \"headers\"");
+      std::vector<std::string> headerCells;
+      for (const auto& h : headers->items())
+        headerCells.push_back(h.asString());
+      TextTable table(headerCells);
+      if (const json::Value* rows = t.find("rows")) {
+        for (const auto& row : rows->items()) {
+          std::vector<std::string> cells;
+          for (const auto& cell : row.items())
+            cells.push_back(cell.asString());
+          table.addRow(std::move(cells));
+        }
+      }
+      const json::Value* name = t.find("name");
+      TIB_REQUIRE_MSG(name != nullptr, "table is missing \"name\"");
+      results.addTable(name->asString(), std::move(table));
+    }
+  }
+  if (const json::Value* charts = document.find("charts")) {
+    for (const auto& c : charts->items()) {
+      ChartOptions options;
+      if (const json::Value* v = c.find("logX")) options.logX = v->asBool();
+      if (const json::Value* v = c.find("logY")) options.logY = v->asBool();
+      if (const json::Value* v = c.find("xLabel"))
+        options.xLabel = v->asString();
+      if (const json::Value* v = c.find("yLabel"))
+        options.yLabel = v->asString();
+      const json::Value* name = c.find("name");
+      TIB_REQUIRE_MSG(name != nullptr, "chart is missing \"name\"");
+      options.title = name->asString();
+      std::vector<Series> series;
+      if (const json::Value* list = c.find("series"))
+        for (const auto& s : list->items())
+          series.push_back(seriesFromJson(s));
+      results.addChart(name->asString(), std::move(series),
+                       std::move(options));
+    }
+  }
+  if (const json::Value* metrics = document.find("metrics")) {
+    for (const auto& m : metrics->items()) {
+      const json::Value* name = m.find("name");
+      const json::Value* value = m.find("value");
+      TIB_REQUIRE_MSG(name != nullptr && value != nullptr,
+                      "metric is missing \"name\"/\"value\"");
+      const json::Value* unit = m.find("unit");
+      results.addMetric(name->asString(), value->asDouble(),
+                        unit != nullptr ? unit->asString() : "");
+    }
+  }
+  if (const json::Value* notes = document.find("notes"))
+    for (const auto& note : notes->items())
+      results.addNote(note.asString());
+  return results;
+}
+
+std::vector<std::pair<std::string, std::string>> ResultSet::toCsvFiles()
+    const {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const ResultTable& t : tables_)
+    files.emplace_back(slug(t.name), t.table.toCsv());
+  for (const ResultChart& c : charts_) {
+    // Charts flatten to long form: series,x,y — series may have distinct
+    // x grids, so a wide table is not generally possible.
+    std::string csv = "series,x,y\n";
+    for (const Series& s : c.series) {
+      TIB_REQUIRE(s.x.size() == s.y.size());
+      for (std::size_t i = 0; i < s.x.size(); ++i) {
+        csv += csvQuote(s.name);
+        csv += ',';
+        csv += json::formatNumber(s.x[i]);
+        csv += ',';
+        csv += json::formatNumber(s.y[i]);
+        csv += '\n';
+      }
+    }
+    files.emplace_back(slug(c.name), std::move(csv));
+  }
+  if (!metrics_.empty()) {
+    std::string csv = "metric,value,unit\n";
+    for (const ResultMetric& m : metrics_) {
+      csv += csvQuote(m.name);
+      csv += ',';
+      csv += json::formatNumber(m.value);
+      csv += ',';
+      csv += csvQuote(m.unit);
+      csv += '\n';
+    }
+    files.emplace_back("metrics", std::move(csv));
+  }
+  return files;
+}
+
+std::string ResultSet::renderText() const {
+  std::ostringstream out;
+  for (const ResultTable& t : tables_) {
+    out << "-- " << t.name << " --\n" << t.table.render() << '\n';
+  }
+  for (const ResultChart& c : charts_) {
+    ChartOptions options = c.options;
+    if (options.title.empty()) options.title = c.name;
+    out << renderChart(c.series, options) << '\n';
+  }
+  if (!metrics_.empty()) {
+    TextTable table({"metric", "value", "unit"});
+    for (const ResultMetric& m : metrics_)
+      table.addRow({m.name, fmt(m.value, 3), m.unit});
+    out << "-- metrics --\n" << table.render() << '\n';
+  }
+  for (const std::string& note : notes_) out << "  NOTE: " << note << "\n";
+  return out.str();
+}
+
+}  // namespace tibsim

@@ -82,4 +82,76 @@ void ThreadPool::workerLoop(std::size_t index) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// TaskPool
+// ---------------------------------------------------------------------------
+
+TaskPool::TaskPool(std::size_t threads) {
+  std::size_t total = threads;
+  if (total == 0)
+    total = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(total - 1);
+  for (std::size_t i = 1; i < total; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool TaskPool::runOneIndex(std::unique_lock<std::mutex>& lock,
+                          const std::shared_ptr<Batch>& batch) {
+  if (batch->next >= batch->n) return false;
+  const std::size_t index = batch->next++;
+  if (batch->next == batch->n) {
+    // Batch exhausted: stop offering it to workers.
+    std::erase(open_, batch);
+  }
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    (*batch->fn)(index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error && !batch->error) batch->error = error;
+  ++batch->done;
+  if (batch->done == batch->n) done_.notify_all();
+  return true;
+}
+
+void TaskPool::parallelFor(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+
+  std::unique_lock lock(mutex_);
+  open_.push_back(batch);
+  if (n > 1) wake_.notify_all();
+  // Help run this batch; in-flight indices claimed by workers may still be
+  // running after the last claim, so wait for the completion count.
+  while (runOneIndex(lock, batch)) {
+  }
+  done_.wait(lock, [&batch] { return batch->done == batch->n; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void TaskPool::workerLoop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    wake_.wait(lock, [this] { return stop_ || !open_.empty(); });
+    if (stop_) return;
+    const std::shared_ptr<Batch> batch = open_.front();
+    runOneIndex(lock, batch);
+  }
+}
+
 }  // namespace tibsim

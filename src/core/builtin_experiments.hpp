@@ -1,0 +1,25 @@
+#pragma once
+// Private registration index for the built-in experiments (one function per
+// src/core/experiments_*.cpp). Called lazily by ExperimentRegistry::global()
+// so registrations survive static-library linking without self-registration
+// tricks.
+
+namespace tibsim::core {
+
+class ExperimentRegistry;
+
+void registerTrendExperiments(ExperimentRegistry& registry);
+void registerMicroKernelExperiments(ExperimentRegistry& registry);
+void registerClusterExperiments(ExperimentRegistry& registry);
+void registerNetworkExperiments(ExperimentRegistry& registry);
+void registerOpsExperiments(ExperimentRegistry& registry);
+
+inline void registerBuiltinExperiments(ExperimentRegistry& registry) {
+  registerTrendExperiments(registry);
+  registerMicroKernelExperiments(registry);
+  registerClusterExperiments(registry);
+  registerNetworkExperiments(registry);
+  registerOpsExperiments(registry);
+}
+
+}  // namespace tibsim::core

@@ -1,0 +1,241 @@
+#include "tibsim/core/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/table.hpp"
+
+namespace tibsim::core {
+
+namespace {
+
+constexpr const char* kPaperLine =
+    "(reproduction of \"Supercomputing with Commodity CPUs: Are Mobile SoCs "
+    "Ready for HPC?\", SC'13)";
+
+void writeFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  TIB_REQUIRE_MSG(out.good(), "cannot open " + path.string());
+  out << text;
+  TIB_REQUIRE_MSG(out.good(), "cannot write " + path.string());
+}
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
+                           const ResultSet& results) {
+  json::Value doc = json::Value::object();
+  doc["schema"] = "socbench-result-v1";
+  doc["experiment"] = experiment.name();
+  doc["paperRef"] = experiment.paperRef();
+  doc["title"] = experiment.title();
+  doc["seed"] = static_cast<double>(seed);
+  doc["results"] = ResultSet::toJson(results);
+  return doc.dump(2) + "\n";
+}
+
+CampaignResult runCampaign(const CampaignOptions& options,
+                           std::ostream& out) {
+  const ExperimentRegistry& registry = ExperimentRegistry::global();
+  const std::vector<const Experiment*> selected =
+      registry.match(options.patterns);
+  std::string patternText;
+  for (const std::string& p : options.patterns)
+    patternText += (patternText.empty() ? "" : " ") + p;
+  TIB_REQUIRE_MSG(!selected.empty(),
+                  "no experiment matches: " + patternText);
+
+  int jobs = options.jobs;
+  if (jobs < 1)
+    jobs = static_cast<int>(
+        std::max<unsigned>(1, std::thread::hardware_concurrency()));
+
+  CampaignResult campaign;
+  campaign.jobs = jobs;
+  campaign.seed = options.seed;
+  campaign.runs.resize(selected.size());
+
+  if (options.summary) {
+    out << "=== socbench: " << selected.size() << " experiment"
+        << (selected.size() == 1 ? "" : "s") << ", jobs=" << jobs
+        << ", seed=" << options.seed << " ===\n"
+        << kPaperLine << "\n\n";
+  }
+
+  // One pool shared by the campaign level and every experiment's inner
+  // sweep; TaskPool::parallelFor is nested-safe. jobs == 1 runs serial.
+  TaskPool pool(static_cast<std::size_t>(jobs));
+  const auto campaignStart = std::chrono::steady_clock::now();
+  pool.parallelFor(selected.size(), [&](std::size_t i) {
+    const Experiment& experiment = *selected[i];
+    ExperimentRun& run = campaign.runs[i];
+    run.name = experiment.name();
+    run.paperRef = experiment.paperRef();
+    run.title = experiment.title();
+    const std::uint64_t seed = experimentSeed(options.seed, run.name);
+    ExperimentContext ctx(seed, jobs > 1 ? &pool : nullptr);
+    const auto start = std::chrono::steady_clock::now();
+    run.results = experiment.run(ctx);
+    run.wallSeconds = secondsSince(start);
+    run.cells = ctx.cellsExecuted();
+    run.json = resultDocument(experiment, seed, run.results);
+  });
+  campaign.wallSeconds = secondsSince(campaignStart);
+
+  if (!options.jsonDir.empty()) {
+    const std::filesystem::path dir(options.jsonDir);
+    std::filesystem::create_directories(dir);
+    for (const ExperimentRun& run : campaign.runs)
+      writeFile(dir / (run.name + ".json"), run.json);
+  }
+  if (!options.csvDir.empty()) {
+    const std::filesystem::path dir(options.csvDir);
+    std::filesystem::create_directories(dir);
+    for (const ExperimentRun& run : campaign.runs)
+      for (const auto& [stem, csv] : run.results.toCsvFiles())
+        writeFile(dir / (run.name + "__" + stem + ".csv"), csv);
+  }
+
+  if (options.compat) {
+    for (const ExperimentRun& run : campaign.runs) {
+      out << "=== " << run.paperRef << ": " << run.title << " ===\n"
+          << kPaperLine << "\n\n"
+          << run.results.renderText() << '\n';
+    }
+  }
+
+  if (options.summary) {
+    TextTable table({"experiment", "paper ref", "wall s", "cells", "tables",
+                     "charts", "metrics"});
+    for (const ExperimentRun& run : campaign.runs) {
+      table.addRow({run.name, run.paperRef, fmt(run.wallSeconds, 2),
+                    std::to_string(run.cells),
+                    std::to_string(run.results.tables().size()),
+                    std::to_string(run.results.charts().size()),
+                    std::to_string(run.results.metrics().size())});
+    }
+    out << "-- run summary --\n"
+        << table.render() << '\n'
+        << "campaign wall-clock: " << fmt(campaign.wallSeconds, 2)
+        << " s with " << jobs << " job" << (jobs == 1 ? "" : "s") << '\n';
+    if (!options.jsonDir.empty())
+      out << "JSON written to " << options.jsonDir << "/\n";
+    if (!options.csvDir.empty())
+      out << "CSV written to " << options.csvDir << "/\n";
+  }
+  return campaign;
+}
+
+namespace {
+
+int listCommand(const std::vector<std::string>& patterns, std::ostream& out) {
+  const std::vector<const Experiment*> selected =
+      ExperimentRegistry::global().match(patterns);
+  TextTable table({"name", "paper ref", "title"});
+  for (const Experiment* experiment : selected)
+    table.addRow(
+        {experiment->name(), experiment->paperRef(), experiment->title()});
+  out << table.render() << selected.size() << " experiment"
+      << (selected.size() == 1 ? "" : "s") << " registered\n";
+  return selected.empty() ? 1 : 0;
+}
+
+void printUsage(std::ostream& out) {
+  out << "socbench — registry-driven campaign driver for the tibsim "
+         "evaluation suite\n\n"
+         "usage:\n"
+         "  socbench list [glob...]\n"
+         "  socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N]\n"
+         "               [--seed S] [--compat] [--no-summary]\n\n"
+         "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
+         "selects every experiment.\n";
+}
+
+}  // namespace
+
+int socbenchMain(int argc, const char* const* argv) {
+  // argv[0] is the program name, as main() receives it; skip it.
+  std::vector<std::string> args(argv + std::min(argc, 1), argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    printUsage(std::cout);
+    return args.empty() ? 2 : 0;
+  }
+
+  const std::string command = args[0];
+  CampaignOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto flagValue = [&](const char* flag) -> const std::string* {
+      if (arg != flag) return nullptr;
+      if (++i >= args.size()) {
+        std::cerr << "socbench: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return &args[i];
+    };
+    if (arg == "--compat") {
+      options.compat = true;
+      options.summary = false;
+    } else if (arg == "--no-summary") {
+      options.summary = false;
+    } else if (arg == "--json") {
+      const std::string* v = flagValue("--json");
+      if (v == nullptr) return 2;
+      options.jsonDir = *v;
+    } else if (arg == "--csv") {
+      const std::string* v = flagValue("--csv");
+      if (v == nullptr) return 2;
+      options.csvDir = *v;
+    } else if (arg == "--jobs") {
+      const std::string* v = flagValue("--jobs");
+      if (v == nullptr) return 2;
+      options.jobs = std::stoi(*v);
+    } else if (arg == "--seed") {
+      const std::string* v = flagValue("--seed");
+      if (v == nullptr) return 2;
+      options.seed = std::stoull(*v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "socbench: unknown flag " << arg << "\n";
+      printUsage(std::cerr);
+      return 2;
+    } else {
+      options.patterns.push_back(arg);
+    }
+  }
+
+  if (command == "list") return listCommand(options.patterns, std::cout);
+  if (command != "run") {
+    std::cerr << "socbench: unknown command \"" << command << "\"\n";
+    printUsage(std::cerr);
+    return 2;
+  }
+
+  try {
+    runCampaign(options, std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "socbench: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int runCompatBinary(const std::string& pattern, int argc,
+                    const char* const* argv) {
+  std::vector<const char*> args = {"socbench", "run", pattern.c_str(),
+                                   "--compat"};
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  return socbenchMain(static_cast<int>(args.size()), args.data());
+}
+
+}  // namespace tibsim::core

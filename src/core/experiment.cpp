@@ -1,0 +1,100 @@
+#include "tibsim/core/experiment.hpp"
+
+#include <mutex>
+
+#include "tibsim/common/assert.hpp"
+#include "builtin_experiments.hpp"
+
+namespace tibsim::core {
+
+void ExperimentContext::parallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  cells_ += n;
+  if (pool_ != nullptr && pool_->threadCount() > 1) {
+    pool_->parallelFor(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+ExperimentRegistry& ExperimentRegistry::global() {
+  static ExperimentRegistry registry;
+  static std::once_flag once;
+  std::call_once(once, [] { registerBuiltinExperiments(registry); });
+  return registry;
+}
+
+void ExperimentRegistry::add(std::unique_ptr<Experiment> experiment) {
+  TIB_REQUIRE(experiment != nullptr);
+  const std::string name = experiment->name();
+  TIB_REQUIRE_MSG(!name.empty(), "experiment name must not be empty");
+  const auto [it, inserted] =
+      experiments_.emplace(name, std::move(experiment));
+  TIB_REQUIRE_MSG(inserted, "duplicate experiment name: " + name);
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const auto& [name, experiment] : experiments_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+const Experiment* ExperimentRegistry::find(const std::string& name) const {
+  const auto it = experiments_.find(name);
+  return it == experiments_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Experiment*> ExperimentRegistry::match(
+    const std::vector<std::string>& patterns) const {
+  std::vector<const Experiment*> out;
+  for (const auto& [name, experiment] : experiments_) {
+    if (patterns.empty()) {
+      out.push_back(experiment.get());
+      continue;
+    }
+    for (const std::string& pattern : patterns) {
+      if (globMatch(pattern, name)) {
+        out.push_back(experiment.get());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool ExperimentRegistry::globMatch(const std::string& pattern,
+                                   const std::string& text) {
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t starP = std::string::npos, starT = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      starP = p++;
+      starT = t;
+    } else if (starP != std::string::npos) {
+      p = starP + 1;
+      t = ++starT;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::uint64_t experimentSeed(std::uint64_t campaignSeed,
+                             const std::string& name) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return campaignSeed ^ hash;
+}
+
+}  // namespace tibsim::core

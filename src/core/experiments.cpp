@@ -15,6 +15,7 @@
 #include "tibsim/common/table.hpp"
 #include "tibsim/common/statistics.hpp"
 #include "tibsim/common/units.hpp"
+#include "tibsim/core/experiment.hpp"
 #include "tibsim/kernels/microkernel.hpp"
 #include "tibsim/mpi/simmpi.hpp"
 #include "tibsim/perfmodel/execution_model.hpp"
@@ -91,27 +92,46 @@ double geomeanSpeedup(const std::vector<KernelMeasurement>& base,
 }  // namespace
 
 std::vector<PlatformSweep> MicroKernelExperiment::run() const {
+  const ExperimentContext serial(0);
+  return run(serial);
+}
+
+std::vector<PlatformSweep> MicroKernelExperiment::run(
+    const ExperimentContext& ctx) const {
   const auto base = baseline();
   const double baseEnergy = meteredSuiteEnergy(base);
+  const auto platforms = arch::PlatformRegistry::evaluated();
 
-  std::vector<PlatformSweep> sweeps;
-  for (const arch::Platform& platform :
-       arch::PlatformRegistry::evaluated()) {
-    PlatformSweep sweep;
-    sweep.platform = platform.shortName;
-    const int cores = mode_ == Mode::MultiCore ? platform.soc.cores : 1;
-    for (const arch::OperatingPoint& op : platform.soc.dvfs) {
-      SweepPoint point;
-      point.frequencyHz = op.frequencyHz;
-      point.kernels = measureSuite(platform, op.frequencyHz, cores);
-      point.suiteSeconds = suiteSeconds(point.kernels);
-      point.suiteEnergyJ = meteredSuiteEnergy(point.kernels);
-      point.speedupVsBaseline = geomeanSpeedup(base, point.kernels);
-      point.energyVsBaseline = point.suiteEnergyJ / baseEnergy;
-      sweep.points.push_back(std::move(point));
-    }
-    sweeps.push_back(std::move(sweep));
+  // Pre-size the sweep structure, then fill independent (platform, DVFS
+  // point) cells in parallel: each cell writes only its own slot, so the
+  // result is identical for any job count.
+  struct Cell {
+    std::size_t platform;
+    std::size_t point;
+  };
+  std::vector<Cell> cells;
+  std::vector<PlatformSweep> sweeps(platforms.size());
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    sweeps[p].platform = platforms[p].shortName;
+    sweeps[p].points.resize(platforms[p].soc.dvfs.size());
+    for (std::size_t i = 0; i < platforms[p].soc.dvfs.size(); ++i)
+      cells.push_back({p, i});
   }
+
+  ctx.parallelFor(cells.size(), [&](std::size_t c) {
+    const auto [p, i] = cells[c];
+    const arch::Platform& platform = platforms[p];
+    const int cores = mode_ == Mode::MultiCore ? platform.soc.cores : 1;
+    const arch::OperatingPoint& op = platform.soc.dvfs[i];
+    SweepPoint point;
+    point.frequencyHz = op.frequencyHz;
+    point.kernels = measureSuite(platform, op.frequencyHz, cores);
+    point.suiteSeconds = suiteSeconds(point.kernels);
+    point.suiteEnergyJ = meteredSuiteEnergy(point.kernels);
+    point.speedupVsBaseline = geomeanSpeedup(base, point.kernels);
+    point.energyVsBaseline = point.suiteEnergyJ / baseEnergy;
+    sweeps[p].points[i] = std::move(point);
+  });
   return sweeps;
 }
 
@@ -119,25 +139,37 @@ std::vector<PlatformSweep> MicroKernelExperiment::run() const {
 // Figure 5
 // ---------------------------------------------------------------------------
 
+const char* StreamRow::opName(std::size_t op) {
+  static constexpr const char* kNames[kOps] = {"Copy", "Scale", "Add",
+                                               "Triad"};
+  TIB_REQUIRE(op < kOps);
+  return kNames[op];
+}
+
+kernels::StreamOp StreamRow::streamOp(std::size_t op) {
+  static constexpr kernels::StreamOp kStreamOps[kOps] = {
+      kernels::StreamOp::Copy, kernels::StreamOp::Scale,
+      kernels::StreamOp::Add, kernels::StreamOp::Triad};
+  TIB_REQUIRE(op < kOps);
+  return kStreamOps[op];
+}
+
 std::vector<StreamRow> streamExperiment() {
   using kernels::StreamBenchmark;
-  using kernels::StreamOp;
-  constexpr StreamOp kOps[4] = {StreamOp::Copy, StreamOp::Scale,
-                                StreamOp::Add, StreamOp::Triad};
   std::vector<StreamRow> rows;
   for (const arch::Platform& platform :
        arch::PlatformRegistry::evaluated()) {
     StreamRow row;
     row.platform = platform.shortName;
     const double f = platform.maxFrequencyHz();
-    for (int i = 0; i < 4; ++i) {
-      row.singleCoreBytesPerS[i] =
-          StreamBenchmark::modeledBandwidth(platform, kOps[i], 1, f);
+    for (std::size_t i = 0; i < StreamRow::kOps; ++i) {
+      row.singleCoreBytesPerS[i] = StreamBenchmark::modeledBandwidth(
+          platform, StreamRow::streamOp(i), 1, f);
       row.multiCoreBytesPerS[i] = StreamBenchmark::modeledBandwidth(
-          platform, kOps[i], platform.soc.cores, f);
+          platform, StreamRow::streamOp(i), platform.soc.cores, f);
     }
-    row.efficiencyVsPeak =
-        row.multiCoreBytesPerS[3] / platform.soc.memory.peakBandwidthBytesPerS;
+    row.efficiencyVsPeak = row.multiCoreBytesPerS[StreamRow::Triad] /
+                           platform.soc.memory.peakBandwidthBytesPerS;
     rows.push_back(row);
   }
   return rows;
@@ -208,8 +240,13 @@ double simulatedPingPongLatency(const arch::Platform& platform,
 
 std::vector<ScalingCurve> scalabilityExperiment(
     const cluster::ClusterSpec& spec, const std::vector<int>& nodeCounts) {
-  cluster::ClusterSimulation sim(spec);
+  const ExperimentContext serial(0);
+  return scalabilityExperiment(spec, nodeCounts, serial);
+}
 
+std::vector<ScalingCurve> scalabilityExperiment(
+    const cluster::ClusterSpec& spec, const std::vector<int>& nodeCounts,
+    const ExperimentContext& ctx) {
   struct App {
     std::string name;
     int minNodes;
@@ -240,31 +277,52 @@ std::vector<ScalingCurve> scalabilityExperiment(
        [md](int) { return apps::MdBenchmark::rankBody(md); }, false},
   };
 
+  // Every feasible (application, node count) cell is an independent
+  // cluster-simulation run; fan them out, then assemble the curves (whose
+  // speedup normalisation is sequential per application) afterwards.
+  struct Cell {
+    std::size_t app;
+    int nodes;
+    cluster::JobResult result;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t a = 0; a < appList.size(); ++a)
+    for (int nodes : nodeCounts)
+      if (nodes >= appList[a].minNodes && nodes <= spec.nodes)
+        cells.push_back({a, nodes, {}});
+
+  ctx.parallelFor(cells.size(), [&](std::size_t c) {
+    const App& app = appList[cells[c].app];
+    cluster::ClusterSimulation sim(spec);
+    if (app.weakScaling) {
+      cells[c].result = apps::HplBenchmark::run(sim, cells[c].nodes);
+    } else {
+      cells[c].result = sim.runJob(
+          cells[c].nodes, app.make(cells[c].nodes * spec.ranksPerNode));
+    }
+  });
+
   std::vector<ScalingCurve> curves;
-  for (const App& app : appList) {
+  std::size_t cell = 0;
+  for (std::size_t a = 0; a < appList.size(); ++a) {
+    const App& app = appList[a];
     ScalingCurve curve;
     curve.application = app.name;
     curve.baseNodes = app.minNodes;
     double baseTime = 0.0;
     double baseGflops = 0.0;
 
-    for (int nodes : nodeCounts) {
-      if (nodes < app.minNodes || nodes > spec.nodes) continue;
-      cluster::JobResult result;
-      if (app.weakScaling) {
-        result = apps::HplBenchmark::run(sim, nodes);
-      } else {
-        result = sim.runJob(nodes, app.make(nodes * spec.ranksPerNode));
-      }
+    for (; cell < cells.size() && cells[cell].app == a; ++cell) {
+      const cluster::JobResult& result = cells[cell].result;
       ScalingPoint point;
-      point.nodes = nodes;
+      point.nodes = cells[cell].nodes;
       point.wallClockSeconds = result.wallClockSeconds;
       if (baseTime == 0.0) {
         baseTime = result.wallClockSeconds;
         baseGflops = result.gflops;
         // Linear-scaling assumption below the smallest feasible node count
         // (the paper's method for PEPC and GROMACS).
-        point.speedup = static_cast<double>(nodes);
+        point.speedup = static_cast<double>(point.nodes);
       } else if (app.weakScaling) {
         // Weak scaling: speedup tracks the achieved rate.
         point.speedup =

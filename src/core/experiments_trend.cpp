@@ -1,0 +1,133 @@
+// Built-in experiments over the historical-trend datasets: Figure 1
+// (TOP500 architecture transitions) and Figure 2 (peak FP64 trends).
+// Ported from the former standalone bench mains into registry entries.
+
+#include <memory>
+
+#include "builtin_experiments.hpp"
+#include "tibsim/core/experiment.hpp"
+#include "tibsim/trend/trend.hpp"
+
+namespace tibsim::core {
+
+namespace {
+
+ResultSet runFig01(ExperimentContext&) {
+  const auto& data = trend::top500ArchitectureShare();
+
+  Series x86{"x86", {}, {}};
+  Series risc{"RISC", {}, {}};
+  Series vec{"Vector/SIMD", {}, {}};
+  TextTable table({"year", "x86", "RISC", "Vector/SIMD"});
+  for (const auto& e : data) {
+    x86.x.push_back(e.year);
+    x86.y.push_back(e.x86);
+    risc.x.push_back(e.year);
+    risc.y.push_back(e.risc);
+    vec.x.push_back(e.year);
+    vec.y.push_back(e.vectorSimd);
+    table.addRow({fmt(e.year, 1), std::to_string(e.x86),
+                  std::to_string(e.risc), std::to_string(e.vectorSimd)});
+  }
+
+  ResultSet results;
+  results.addTable("systems per architecture class", std::move(table));
+  ChartOptions opts;
+  opts.title = "Number of systems in TOP500";
+  opts.xLabel = "year";
+  opts.yLabel = "systems";
+  results.addChart("TOP500 share", {x86, risc, vec}, opts);
+  results.addMetric("RISC overtakes Vector/SIMD",
+                    trend::yearRiscOvertakesVector(), "year");
+  results.addMetric("x86 overtakes RISC", trend::yearX86OvertakesRisc(),
+                    "year");
+  results.addMetric("x86 systems, June 2013 list", data.back().x86,
+                    "systems");
+  results.addNote(
+      "paper narrative: RISC overtakes vector mid-1990s, x86 overtakes "
+      "RISC mid-2000s, the June 2013 list is \"still dominated by x86\"");
+  return results;
+}
+
+Series classSeries(trend::ProcessorClass cls, const std::string& name) {
+  Series s{name, {}, {}};
+  for (const auto& p : trend::processorPoints(cls)) {
+    s.x.push_back(p.year);
+    s.y.push_back(p.peakMflops);
+  }
+  return s;
+}
+
+void addClassTable(ResultSet& results, trend::ProcessorClass cls,
+                   const std::string& name) {
+  TextTable table({"processor", "year", "peak MFLOPS"});
+  for (const auto& p : trend::processorPoints(cls))
+    table.addRow({p.name, fmt(p.year, 0), fmt(p.peakMflops, 0)});
+  results.addTable(name, std::move(table));
+  const ExponentialFit fit = trend::fitClass(cls);
+  results.addMetric(name + ": growth per year", fit.growthPerUnit(), "x");
+  results.addMetric(name + ": doubling time", fit.doublingTime(), "years");
+  results.addMetric(name + ": fit r^2", fit.r2, "");
+}
+
+ResultSet runFig02(ExperimentContext&) {
+  using trend::ProcessorClass;
+  ResultSet results;
+
+  addClassTable(results, ProcessorClass::Vector, "HPC vector processors");
+  addClassTable(results, ProcessorClass::Commodity,
+                "commodity microprocessors");
+  ChartOptions optsA;
+  optsA.title = "Figure 2(a): MFLOPS vs year (log y)";
+  optsA.logY = true;
+  optsA.xLabel = "year";
+  optsA.yLabel = "MFLOPS";
+  results.addChart("Figure 2(a): vector vs commodity",
+                   {classSeries(ProcessorClass::Vector, "vector"),
+                    classSeries(ProcessorClass::Commodity, "commodity")},
+                   optsA);
+
+  addClassTable(results, ProcessorClass::Server, "server processors");
+  addClassTable(results, ProcessorClass::Mobile, "mobile SoCs");
+  ChartOptions optsB;
+  optsB.title = "Figure 2(b): MFLOPS vs year (log y)";
+  optsB.logY = true;
+  optsB.xLabel = "year";
+  optsB.yLabel = "MFLOPS";
+  results.addChart("Figure 2(b): server vs mobile",
+                   {classSeries(ProcessorClass::Server, "server"),
+                    classSeries(ProcessorClass::Mobile, "mobile")},
+                   optsB);
+
+  results.addMetric(
+      "vector / commodity gap, 1995",
+      trend::gapAt(ProcessorClass::Vector, ProcessorClass::Commodity,
+                   1995.0),
+      "x");
+  results.addMetric(
+      "server / mobile gap, 2013",
+      trend::gapAt(ProcessorClass::Server, ProcessorClass::Mobile, 2013.0),
+      "x");
+  results.addMetric("projected crossover (mobile matches server)",
+                    trend::projectedCrossover(ProcessorClass::Mobile,
+                                              ProcessorClass::Server),
+                    "year");
+  results.addNote(
+      "paper: commodity was \"around ten times slower\" than vector in "
+      "1995; mobile is \"still ten times slower, but the gap is quickly "
+      "being closed\" in 2013");
+  return results;
+}
+
+}  // namespace
+
+void registerTrendExperiments(ExperimentRegistry& registry) {
+  registry.add(std::make_unique<LambdaExperiment>(
+      "fig01", "Figure 1", "TOP500 architecture transitions", runFig01));
+  registry.add(std::make_unique<LambdaExperiment>(
+      "fig02", "Figure 2",
+      "peak FP64 performance: vector vs commodity (a), server vs mobile (b)",
+      runFig02));
+}
+
+}  // namespace tibsim::core
