@@ -1,0 +1,101 @@
+// Microbenchmark: cost per simulated context switch, fiber vs thread
+// execution backend. Two probes:
+//
+//  * raw engine: one process delay()ing in a tight loop — each iteration is
+//    one scheduler->process switch, one process->scheduler yield and one
+//    event dispatch, i.e. the engine's floor;
+//  * simMPI ping-pong: the Section 4.1 two-rank 64-byte ping-pong through
+//    the full protocol stack — what a rank-level context switch costs in
+//    situ.
+//
+// Host timings are inherently machine-dependent, so this is a standalone
+// binary (like kernels_native) and never part of the deterministic
+// campaign artefacts. Numbers are recorded in EXPERIMENTS.md.
+
+#include <chrono>
+#include <cstdio>
+
+#include "tibsim/mpi/simmpi.hpp"
+#include "tibsim/sim/execution_context.hpp"
+#include "tibsim/sim/simulation.hpp"
+
+namespace {
+
+using tibsim::sim::ExecBackend;
+
+struct Probe {
+  double seconds = 0.0;
+  std::uint64_t switches = 0;
+  double nsPerSwitch() const {
+    return switches > 0 ? seconds * 1e9 / static_cast<double>(switches) : 0.0;
+  }
+};
+
+Probe rawEngineProbe(ExecBackend backend, int iterations) {
+  tibsim::sim::Simulation sim(backend);
+  sim.spawn("spinner", [iterations](tibsim::sim::Process& p) {
+    for (int i = 0; i < iterations; ++i) p.delay(1e-6);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  sim.run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {seconds, sim.engineStats().contextSwitches};
+}
+
+Probe pingPongProbe(ExecBackend backend, int repetitions) {
+  tibsim::mpi::WorldConfig cfg = tibsim::mpi::WorldConfig::tibidaboNode();
+  cfg.simBackend = backend;
+  tibsim::mpi::MpiWorld world(cfg, 2);
+  const auto start = std::chrono::steady_clock::now();
+  const tibsim::mpi::WorldStats stats =
+      world.run([repetitions](tibsim::mpi::MpiContext& ctx) {
+        for (int i = 0; i < repetitions; ++i) {
+          if (ctx.rank() == 0) {
+            ctx.send(1, 7, 64);
+            ctx.recv(1, 8);
+          } else {
+            ctx.recv(0, 7);
+            ctx.send(0, 8, 64);
+          }
+        }
+      });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {seconds, stats.engine.contextSwitches};
+}
+
+void report(const char* name, const Probe& fiber, const Probe& thread) {
+  std::printf("%-16s %12llu switches   fiber %8.1f ns/switch   thread "
+              "%8.1f ns/switch   ratio %.1fx\n",
+              name, static_cast<unsigned long long>(fiber.switches),
+              fiber.nsPerSwitch(), thread.nsPerSwitch(),
+              fiber.nsPerSwitch() > 0.0
+                  ? thread.nsPerSwitch() / fiber.nsPerSwitch()
+                  : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRawIterations = 200000;
+  constexpr int kPingPongReps = 50000;
+
+  // Warm both paths once so first-touch page faults don't skew either side.
+  rawEngineProbe(ExecBackend::Fiber, 1000);
+  rawEngineProbe(ExecBackend::Thread, 1000);
+
+  std::printf("sim backend microbenchmark (cost per simulated context "
+              "switch)\n\n");
+  report("raw engine", rawEngineProbe(ExecBackend::Fiber, kRawIterations),
+         rawEngineProbe(ExecBackend::Thread, kRawIterations));
+  report("simMPI ping-pong", pingPongProbe(ExecBackend::Fiber, kPingPongReps),
+         pingPongProbe(ExecBackend::Thread, kPingPongReps));
+  std::printf(
+      "\nfiber = user-space swapcontext on owned stacks; thread = one OS "
+      "thread per process with a mutex/condvar baton (two kernel wake-ups "
+      "per switch).\n");
+  return 0;
+}

@@ -32,6 +32,13 @@ struct ClusterSpec {
   /// Variant with Open-MX instead of TCP/IP (the Section 4.1 ablation).
   static ClusterSpec tibidaboOpenMx();
 
+  /// A Tibidabo-style machine scaled to `nodes` (same Tegra 2 boards, same
+  /// switched tree recipe, bisection grown proportionally with the leaf
+  /// count so the fabric keeps the prototype's oversubscription ratio).
+  /// The paper's own arguments assume such machines — §6.3's ECC estimate
+  /// uses 1,500 nodes — so this is the spec behind `scale_bigcluster`.
+  static ClusterSpec tibidaboScaled(int nodes);
+
   /// Hypothetical Exynos 5250 cluster (Arndale boards, USB-attached GbE).
   static ClusterSpec arndaleCluster(int nodes);
 

@@ -24,6 +24,9 @@ struct CampaignOptions {
   std::string csvDir;   ///< write <dir>/<name>__<artefact>.csv when non-empty
   bool compat = false;  ///< render each experiment's full text report
   bool summary = true;  ///< print the campaign run summary
+  /// Execution backend for simulation processes: "" keeps the process-wide
+  /// default (fiber, or TIBSIM_SIM_BACKEND), else "fiber"/"thread".
+  std::string simBackend;
 };
 
 struct ExperimentRun {
@@ -32,6 +35,7 @@ struct ExperimentRun {
   std::string title;
   double wallSeconds = 0.0;  ///< instrumentation only; never serialised
   std::size_t cells = 0;     ///< sweep cells executed via ctx.parallelFor
+  sim::EngineStats engine;   ///< engine counters over the experiment's sims
   ResultSet results;
   std::string json;  ///< the deterministic result document
 };
@@ -48,14 +52,17 @@ struct CampaignResult {
 CampaignResult runCampaign(const CampaignOptions& options, std::ostream& out);
 
 /// The deterministic per-experiment JSON document (schema
-/// "socbench-result-v1"): name, paper reference, title, seed, results.
+/// "socbench-result-v1"): name, paper reference, title, seed, results, and
+/// — when `engine` is non-null (the experiment ran simulations) — the
+/// deterministic engine counters (hostSeconds is deliberately excluded).
 std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
-                           const ResultSet& results);
+                           const ResultSet& results,
+                           const sim::EngineStats* engine = nullptr);
 
 /// The `socbench` CLI:
 ///   socbench list [glob...]
 ///   socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N] [--seed S]
-///                [--compat] [--no-summary]
+///                [--sim-backend fiber|thread] [--compat] [--no-summary]
 /// Returns the process exit code.
 int socbenchMain(int argc, const char* const* argv);
 

@@ -11,12 +11,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "tibsim/common/result_set.hpp"
 #include "tibsim/common/rng.hpp"
 #include "tibsim/common/thread_pool.hpp"
+#include "tibsim/sim/engine_stats.hpp"
 
 namespace tibsim::core {
 
@@ -48,10 +50,22 @@ class ExperimentContext {
   /// Total sweep cells executed through parallelFor, for the run summary.
   std::size_t cellsExecuted() const { return cells_.load(); }
 
+  /// Fold a simulation's engine counters into this experiment's totals.
+  /// Call once per Simulation/MpiWorld run (typically from a parallelFor
+  /// cell with `result.stats.engine`). Thread-safe, and totals do not
+  /// depend on --jobs: records are re-sorted into a canonical order before
+  /// the (rounding-sensitive) double sums are taken.
+  void recordEngineStats(const sim::EngineStats& stats) const;
+
+  /// Engine counters accumulated so far across every recorded simulation.
+  sim::EngineStats engineStats() const;
+
  private:
   std::uint64_t seed_;
   TaskPool* pool_;
   mutable std::atomic<std::size_t> cells_{0};
+  mutable std::mutex engineMutex_;
+  mutable std::vector<sim::EngineStats> engineRecords_;
 };
 
 /// One reproduced artefact (figure / table / ablation / campaign).

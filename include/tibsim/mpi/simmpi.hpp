@@ -42,6 +42,10 @@ struct WorldConfig {
   net::Protocol protocol = net::Protocol::TcpIp;
   int ranksPerNode = 1;
   net::TopologySpec topology;  ///< .nodes is derived from the rank count
+  /// Execution backend for the rank processes (fiber by default; see
+  /// sim/execution_context.hpp). Snapshot of the process-wide default at
+  /// config construction so a campaign-level override flows through.
+  sim::ExecBackend simBackend = sim::defaultExecBackend();
 
   static WorldConfig tibidaboNode();  ///< Tegra2 node, 1 GbE, TCP/IP
 };
@@ -58,6 +62,7 @@ struct WorldStats {
   double wireBytes = 0.0;
   double fabricQueueingSeconds = 0.0;
   int nodes = 0;
+  sim::EngineStats engine;  ///< discrete-event engine counters for the run
 
   double achievedFlopsPerSecond() const {
     return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;

@@ -1,0 +1,47 @@
+#pragma once
+// Observability counters for the discrete-event engine.
+//
+// Every Simulation tracks how much machinery it turned over: events
+// dispatched, process context switches, peak concurrently-live processes,
+// the event-queue high-water mark, and how much host wall-clock each
+// simulated second cost. The counters are backend-independent (fiber and
+// thread backends dispatch the identical event sequence), so everything
+// except `hostSeconds` is deterministic and safe to serialise into campaign
+// artefacts. `hostSeconds` is a host measurement and must stay out of the
+// byte-identical JSON; it only feeds the human-facing run summary.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace tibsim::sim {
+
+struct EngineStats {
+  std::uint64_t eventsDispatched = 0;
+  std::uint64_t contextSwitches = 0;
+  std::uint64_t processesSpawned = 0;
+  std::size_t peakLiveProcesses = 0;
+  std::size_t queueHighWater = 0;
+  double simSeconds = 0.0;
+  double hostSeconds = 0.0;  // wall-clock; nondeterministic, never serialised
+
+  /// Fold another simulation's stats into this one. Order-independent
+  /// (sums and maxes only) so accumulation across parallelFor cells yields
+  /// the same totals for any --jobs value.
+  void accumulate(const EngineStats& other) {
+    eventsDispatched += other.eventsDispatched;
+    contextSwitches += other.contextSwitches;
+    processesSpawned += other.processesSpawned;
+    peakLiveProcesses = std::max(peakLiveProcesses, other.peakLiveProcesses);
+    queueHighWater = std::max(queueHighWater, other.queueHighWater);
+    simSeconds += other.simSeconds;
+    hostSeconds += other.hostSeconds;
+  }
+
+  /// Host wall-clock cost per simulated second (0 when nothing simulated).
+  double hostSecondsPerSimSecond() const {
+    return simSeconds > 0.0 ? hostSeconds / simSeconds : 0.0;
+  }
+};
+
+}  // namespace tibsim::sim

@@ -1,0 +1,101 @@
+#pragma once
+// Pluggable execution backends for cooperative simulation processes.
+//
+// A Process needs exactly three transfers of control: host -> process
+// (switchIn), process -> host (yieldToHost), and the initial entry into the
+// process body (start + first switchIn). ExecutionContext abstracts how
+// those transfers happen:
+//
+//  * ExecBackend::Fiber — stackful user-space fibers (ucontext/swapcontext)
+//    with an owned, configurable-size stack per process. A switch is two
+//    register-file swaps in user space; no kernel wake-up, no OS thread per
+//    process. This is the default: it makes 1024-node (2048-rank) cluster
+//    runs feasible.
+//  * ExecBackend::Thread — the original one-OS-thread-per-process baton
+//    handoff through a mutex/condition-variable pair. Portable to platforms
+//    without a usable <ucontext.h> and the only backend ThreadSanitizer can
+//    reason about; kept as a fallback and as a differential oracle.
+//
+// Both backends uphold the same contract: exactly one party (host or
+// process) runs at any moment, transfers are synchronous, and the entry
+// function runs to completion before the context is destroyed (Process
+// guarantees this by unwinding via ProcessKilled on teardown).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace tibsim::sim {
+
+enum class ExecBackend {
+  Fiber,   // user-space stackful fibers (default)
+  Thread,  // one OS thread per process, condvar baton (portable fallback)
+};
+
+/// "fiber" or "thread".
+const char* toString(ExecBackend backend);
+
+/// Parse "fiber"/"thread" (case-sensitive). Throws ContractError otherwise.
+ExecBackend parseExecBackend(const std::string& name);
+
+/// Process-wide default backend used by Simulation() and WorldConfig.
+/// Initialised once from the TIBSIM_SIM_BACKEND environment variable
+/// ("fiber" or "thread"); Fiber when unset or unrecognised.
+ExecBackend defaultExecBackend();
+void setDefaultExecBackend(ExecBackend backend);
+
+/// RAII override of the process-wide default backend (tests, campaigns).
+class ScopedExecBackend {
+ public:
+  explicit ScopedExecBackend(ExecBackend backend)
+      : previous_(defaultExecBackend()) {
+    setDefaultExecBackend(backend);
+  }
+  ~ScopedExecBackend() { setDefaultExecBackend(previous_); }
+  ScopedExecBackend(const ScopedExecBackend&) = delete;
+  ScopedExecBackend& operator=(const ScopedExecBackend&) = delete;
+
+ private:
+  ExecBackend previous_;
+};
+
+/// One cooperative execution context (the "how" of a Process). Not
+/// thread-safe: the host side drives start/switchIn from one thread.
+class ExecutionContext {
+ public:
+  using Entry = std::function<void()>;
+
+  virtual ~ExecutionContext() = default;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Arm the context with its entry function. The entry does not run until
+  /// the first switchIn(). Must be called exactly once, before switchIn().
+  virtual void start(Entry entry) = 0;
+
+  /// Host -> context. Runs the context until it yields or its entry
+  /// returns; blocks the host for the duration.
+  virtual void switchIn() = 0;
+
+  /// Context -> host. Callable only from inside the running entry.
+  virtual void yieldToHost() = 0;
+
+  /// Which backend actually services this context. May differ from the
+  /// requested one (Fiber falls back to Thread under ThreadSanitizer,
+  /// which cannot follow swapcontext).
+  virtual ExecBackend backend() const = 0;
+
+  /// Fiber stack size: TIBSIM_FIBER_STACK_KB (KiB) when set, else 256 KiB.
+  static std::size_t defaultStackBytes();
+
+  /// Build a context for `backend`. stackBytes == 0 means
+  /// defaultStackBytes(); only the fiber backend uses it.
+  static std::unique_ptr<ExecutionContext> create(ExecBackend backend,
+                                                  std::size_t stackBytes = 0);
+
+ protected:
+  ExecutionContext() = default;
+};
+
+}  // namespace tibsim::sim

@@ -3,24 +3,26 @@
 //
 // tibsim runs distributed applications (real control flow, modelled costs)
 // against simulated hardware. Application code executes inside cooperative
-// `Process`es: each process is backed by a dedicated OS thread, but exactly
-// one thread — either the scheduler or a single process — runs at any moment,
-// with the baton handed over under a per-process mutex. This gives
-// deterministic, data-race-free simulation while letting application code be
-// written as straight-line code (SimGrid-style) instead of event callbacks.
+// `Process`es scheduled one-at-a-time by the event loop; the mechanics of a
+// context switch live behind the pluggable ExecutionContext interface
+// (user-space fibers by default, one-OS-thread-per-process as a portable
+// fallback — see execution_context.hpp). Either way exactly one party — the
+// scheduler or a single process — runs at any moment, giving deterministic,
+// data-race-free simulation while letting application code be written as
+// straight-line code (SimGrid-style) instead of event callbacks.
 //
 // Time is a double in seconds. Events with equal timestamps fire in the
 // order they were scheduled (FIFO tie-break via a sequence number).
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
+
+#include "tibsim/sim/engine_stats.hpp"
+#include "tibsim/sim/execution_context.hpp"
 
 namespace tibsim::sim {
 
@@ -67,10 +69,10 @@ class Process {
   friend class Simulation;
   Process(Simulation& sim, std::uint64_t id, std::string name, Body body);
 
-  void start();
+  void start(ExecBackend backend);
   void switchIn();      // scheduler -> process; blocks scheduler until yield
   void yieldToHost();   // process -> scheduler
-  void kill();          // request unwind and join
+  void kill();          // request ProcessKilled unwind and run it to the end
   std::uint64_t beginSuspend();  // mark suspended, mint a suspension id
 
   Simulation& sim_;
@@ -78,10 +80,7 @@ class Process {
   std::string name_;
   Body body_;
 
-  std::thread thread_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool batonWithProcess_ = false;
+  std::unique_ptr<ExecutionContext> context_;
   bool finished_ = false;
   std::exception_ptr exception_;
   bool killRequested_ = false;
@@ -93,13 +92,17 @@ class Process {
 /// processes. Not thread-safe: drive it from a single thread.
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation() : Simulation(defaultExecBackend()) {}
+  explicit Simulation(ExecBackend backend) : backend_(backend) {}
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   double now() const { return now_; }
+
+  /// Execution backend new processes are created on.
+  ExecBackend backend() const { return backend_; }
 
   /// Schedule a callback at absolute time t (>= now()).
   void scheduleAt(double t, std::function<void()> fn);
@@ -123,27 +126,55 @@ class Simulation {
   /// Run until the event queue drains or time would exceed `deadline`.
   double runUntil(double deadline);
 
+  /// Pre-size the event queue (e.g. to ~4x the expected process count).
+  void reserveEvents(std::size_t n) { queue_.reserve(n); }
+
   std::size_t liveProcessCount() const;
-  std::uint64_t processedEvents() const { return processedEvents_; }
+  std::uint64_t processedEvents() const { return stats_.eventsDispatched; }
+
+  /// Engine observability counters accumulated so far (simSeconds = now()).
+  EngineStats engineStats() const;
 
  private:
+  friend class Process;
+
   struct Event {
     double t;
     std::uint64_t seq;
     std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      if (t != other.t) return t > other.t;
-      return seq > other.seq;
+  };
+
+  /// Explicit binary min-heap over a reserved vector, ordered by (t, seq).
+  /// Unlike std::priority_queue it hands out the popped element by value
+  /// (no const_cast of top()) and exposes its size for high-water tracking.
+  class EventQueue {
+   public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    void reserve(std::size_t n) { heap_.reserve(n); }
+    const Event& top() const { return heap_.front(); }
+    void push(Event ev);
+    Event pop();
+
+   private:
+    static bool before(const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
     }
+    std::vector<Event> heap_;
   };
 
   void dispatch(Event& ev);
+  void noteContextSwitch() { ++stats_.contextSwitches; }
+  void noteProcessFinished();
 
   double now_ = 0.0;
+  ExecBackend backend_;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t nextProcessId_ = 0;
-  std::uint64_t processedEvents_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::size_t liveNow_ = 0;
+  EngineStats stats_;
+  EventQueue queue_;
   std::vector<std::unique_ptr<Process>> processes_;
 };
 

@@ -33,6 +33,19 @@ ClusterSpec ClusterSpec::tibidaboOpenMx() {
   return spec;
 }
 
+ClusterSpec ClusterSpec::tibidaboScaled(int nodes) {
+  TIB_REQUIRE(nodes >= 1);
+  ClusterSpec spec = tibidabo();
+  spec.name = "Tibidabo x" + std::to_string(nodes);
+  spec.nodes = nodes;
+  // Keep the prototype's oversubscription: 8 Gb/s of bisection per 192
+  // nodes (a fatter spine for a bigger tree, never thinner than the real
+  // machine's).
+  spec.topology.bisectionBytesPerS =
+      std::max(gbps(8.0), gbps(8.0 * static_cast<double>(nodes) / 192.0));
+  return spec;
+}
+
 ClusterSpec ClusterSpec::arndaleCluster(int nodes) {
   ClusterSpec spec;
   spec.name = "Arndale cluster";

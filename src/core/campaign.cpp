@@ -5,10 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/table.hpp"
+#include "tibsim/sim/execution_context.hpp"
 
 namespace tibsim::core {
 
@@ -34,13 +36,27 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
-                           const ResultSet& results) {
+                           const ResultSet& results,
+                           const sim::EngineStats* engine) {
   json::Value doc = json::Value::object();
   doc["schema"] = "socbench-result-v1";
   doc["experiment"] = experiment.name();
   doc["paperRef"] = experiment.paperRef();
   doc["title"] = experiment.title();
   doc["seed"] = static_cast<double>(seed);
+  if (engine != nullptr) {
+    // Deterministic counters only: hostSeconds is a wall-clock measurement
+    // and would break byte-identical output across runs/backends/--jobs.
+    json::Value stats = json::Value::object();
+    stats["eventsDispatched"] = static_cast<double>(engine->eventsDispatched);
+    stats["contextSwitches"] = static_cast<double>(engine->contextSwitches);
+    stats["processesSpawned"] = static_cast<double>(engine->processesSpawned);
+    stats["peakLiveProcesses"] =
+        static_cast<double>(engine->peakLiveProcesses);
+    stats["queueHighWater"] = static_cast<double>(engine->queueHighWater);
+    stats["simSeconds"] = engine->simSeconds;
+    doc["engine"] = std::move(stats);
+  }
   doc["results"] = ResultSet::toJson(results);
   return doc.dump(2) + "\n";
 }
@@ -61,6 +77,12 @@ CampaignResult runCampaign(const CampaignOptions& options,
     jobs = static_cast<int>(
         std::max<unsigned>(1, std::thread::hardware_concurrency()));
 
+  // Backend override for the whole campaign (restored on return). The
+  // WorldConfig of every simulation built below snapshots this default.
+  std::optional<sim::ScopedExecBackend> backendOverride;
+  if (!options.simBackend.empty())
+    backendOverride.emplace(sim::parseExecBackend(options.simBackend));
+
   CampaignResult campaign;
   campaign.jobs = jobs;
   campaign.seed = options.seed;
@@ -69,7 +91,9 @@ CampaignResult runCampaign(const CampaignOptions& options,
   if (options.summary) {
     out << "=== socbench: " << selected.size() << " experiment"
         << (selected.size() == 1 ? "" : "s") << ", jobs=" << jobs
-        << ", seed=" << options.seed << " ===\n"
+        << ", seed=" << options.seed
+        << ", sim-backend=" << sim::toString(sim::defaultExecBackend())
+        << " ===\n"
         << kPaperLine << "\n\n";
   }
 
@@ -89,7 +113,10 @@ CampaignResult runCampaign(const CampaignOptions& options,
     run.results = experiment.run(ctx);
     run.wallSeconds = secondsSince(start);
     run.cells = ctx.cellsExecuted();
-    run.json = resultDocument(experiment, seed, run.results);
+    run.engine = ctx.engineStats();
+    run.json = resultDocument(
+        experiment, seed, run.results,
+        run.engine.eventsDispatched > 0 ? &run.engine : nullptr);
   });
   campaign.wallSeconds = secondsSince(campaignStart);
 
@@ -102,9 +129,23 @@ CampaignResult runCampaign(const CampaignOptions& options,
   if (!options.csvDir.empty()) {
     const std::filesystem::path dir(options.csvDir);
     std::filesystem::create_directories(dir);
-    for (const ExperimentRun& run : campaign.runs)
+    for (const ExperimentRun& run : campaign.runs) {
       for (const auto& [stem, csv] : run.results.toCsvFiles())
         writeFile(dir / (run.name + "__" + stem + ".csv"), csv);
+      if (run.engine.eventsDispatched > 0) {
+        // Deterministic counters only — no hostSeconds (see resultDocument).
+        std::ostringstream csv;
+        csv << "eventsDispatched,contextSwitches,processesSpawned,"
+               "peakLiveProcesses,queueHighWater,simSeconds\n"
+            << run.engine.eventsDispatched << ','
+            << run.engine.contextSwitches << ','
+            << run.engine.processesSpawned << ','
+            << run.engine.peakLiveProcesses << ','
+            << run.engine.queueHighWater << ',' << run.engine.simSeconds
+            << '\n';
+        writeFile(dir / (run.name + "__engine.csv"), csv.str());
+      }
+    }
   }
 
   if (options.compat) {
@@ -129,6 +170,26 @@ CampaignResult runCampaign(const CampaignOptions& options,
         << table.render() << '\n'
         << "campaign wall-clock: " << fmt(campaign.wallSeconds, 2)
         << " s with " << jobs << " job" << (jobs == 1 ? "" : "s") << '\n';
+    // Engine block: only experiments that ran discrete-event simulations.
+    bool anyEngine = false;
+    TextTable engineTable({"experiment", "events", "switches", "peak procs",
+                           "queue hwm", "sim s", "host s/sim s"});
+    for (const ExperimentRun& run : campaign.runs) {
+      if (run.engine.eventsDispatched == 0) continue;
+      anyEngine = true;
+      engineTable.addRow({run.name,
+                          std::to_string(run.engine.eventsDispatched),
+                          std::to_string(run.engine.contextSwitches),
+                          std::to_string(run.engine.peakLiveProcesses),
+                          std::to_string(run.engine.queueHighWater),
+                          fmt(run.engine.simSeconds, 2),
+                          fmt(run.engine.hostSecondsPerSimSecond(), 4)});
+    }
+    if (anyEngine) {
+      out << "-- engine (sim-backend="
+          << sim::toString(sim::defaultExecBackend()) << ") --\n"
+          << engineTable.render() << '\n';
+    }
     if (!options.jsonDir.empty())
       out << "JSON written to " << options.jsonDir << "/\n";
     if (!options.csvDir.empty())
@@ -157,9 +218,14 @@ void printUsage(std::ostream& out) {
          "usage:\n"
          "  socbench list [glob...]\n"
          "  socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N]\n"
-         "               [--seed S] [--compat] [--no-summary]\n\n"
+         "               [--seed S] [--sim-backend fiber|thread] [--compat]\n"
+         "               [--no-summary]\n\n"
          "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
-         "selects every experiment.\n";
+         "selects every experiment.\n"
+         "--sim-backend picks the cooperative-process implementation "
+         "(user-space fibers by default; 'thread' is the portable\n"
+         "one-OS-thread-per-rank fallback). TIBSIM_SIM_BACKEND sets the "
+         "same default from the environment.\n";
 }
 
 }  // namespace
@@ -205,6 +271,10 @@ int socbenchMain(int argc, const char* const* argv) {
       const std::string* v = flagValue("--seed");
       if (v == nullptr) return 2;
       options.seed = std::stoull(*v);
+    } else if (arg == "--sim-backend") {
+      const std::string* v = flagValue("--sim-backend");
+      if (v == nullptr) return 2;
+      options.simBackend = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "socbench: unknown flag " << arg << "\n";
       printUsage(std::cerr);

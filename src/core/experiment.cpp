@@ -1,6 +1,8 @@
 #include "tibsim/core/experiment.hpp"
 
+#include <algorithm>
 #include <mutex>
+#include <tuple>
 
 #include "tibsim/common/assert.hpp"
 #include "builtin_experiments.hpp"
@@ -15,6 +17,34 @@ void ExperimentContext::parallelFor(
   } else {
     for (std::size_t i = 0; i < n; ++i) fn(i);
   }
+}
+
+void ExperimentContext::recordEngineStats(const sim::EngineStats& stats) const {
+  std::lock_guard lock(engineMutex_);
+  engineRecords_.push_back(stats);
+}
+
+sim::EngineStats ExperimentContext::engineStats() const {
+  std::vector<sim::EngineStats> records;
+  {
+    std::lock_guard lock(engineMutex_);
+    records = engineRecords_;
+  }
+  // parallelFor cells record in completion order, which depends on --jobs;
+  // double addition is not associative, so fold in a canonical order to
+  // keep simSeconds (serialised into campaign JSON) byte-deterministic.
+  std::sort(records.begin(), records.end(),
+            [](const sim::EngineStats& a, const sim::EngineStats& b) {
+              return std::tie(a.eventsDispatched, a.contextSwitches,
+                              a.processesSpawned, a.simSeconds,
+                              a.queueHighWater) <
+                     std::tie(b.eventsDispatched, b.contextSwitches,
+                              b.processesSpawned, b.simSeconds,
+                              b.queueHighWater);
+            });
+  sim::EngineStats total;
+  for (const sim::EngineStats& r : records) total.accumulate(r);
+  return total;
 }
 
 ExperimentRegistry& ExperimentRegistry::global() {

@@ -300,6 +300,7 @@ std::vector<ScalingCurve> scalabilityExperiment(
       cells[c].result = sim.runJob(
           cells[c].nodes, app.make(cells[c].nodes * spec.ranksPerNode));
     }
+    ctx.recordEngineStats(cells[c].result.stats.engine);
   });
 
   std::vector<ScalingCurve> curves;

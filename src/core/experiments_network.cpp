@@ -130,7 +130,7 @@ ResultSet runFig07(ExperimentContext& ctx) {
   return results;
 }
 
-ResultSet runImbSuite(ExperimentContext&) {
+ResultSet runImbSuite(ExperimentContext& ctx) {
   mpi::WorldConfig cfg = mpi::WorldConfig::tibidaboNode();
   cfg.ranksPerNode = 1;  // one rank per node: pure network measurement
 
@@ -177,6 +177,7 @@ ResultSet runImbSuite(ExperimentContext&) {
       mpiCtx.neighborExchange(65536, 4);
     }
   });
+  ctx.recordEngineStats(stats.engine);
   TextTable trace({"rank", "compute ms", "send ms", "recv ms", "wait ms"});
   for (const auto& s :
        world.tracer().summarize(8, stats.wallClockSeconds)) {

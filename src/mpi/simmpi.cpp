@@ -302,7 +302,9 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
 }
 
 WorldStats MpiWorld::run(const RankBody& body) {
-  sim_ = std::make_unique<sim::Simulation>();
+  sim_ = std::make_unique<sim::Simulation>(config_.simBackend);
+  // Roughly eager-send + wake-up per rank in flight at any moment.
+  sim_->reserveEvents(static_cast<std::size_t>(ranks_) * 4);
   net::TopologySpec topo = config_.topology;
   topo.nodes = nodes_;
   fabric_ = std::make_unique<net::Fabric>(topo);
@@ -331,6 +333,7 @@ WorldStats MpiWorld::run(const RankBody& body) {
   }
 
   sim_->run();
+  stats_.engine = sim_->engineStats();
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

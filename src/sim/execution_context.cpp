@@ -1,0 +1,319 @@
+#include "tibsim/sim/execution_context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "tibsim/common/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <setjmp.h>
+#include <ucontext.h>
+#define TIBSIM_HAVE_UCONTEXT 1
+#else
+#define TIBSIM_HAVE_UCONTEXT 0
+#endif
+
+// ThreadSanitizer cannot follow swapcontext (it loses the shadow stack and
+// reports false races), so fiber requests are serviced by the thread backend
+// in TSan builds. AddressSanitizer *can* follow fibers, but only if every
+// switch is announced through the fiber annotations below.
+#if defined(__SANITIZE_THREAD__)
+#define TIBSIM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TIBSIM_TSAN 1
+#endif
+#endif
+#ifndef TIBSIM_TSAN
+#define TIBSIM_TSAN 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TIBSIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TIBSIM_ASAN 1
+#endif
+#endif
+#ifndef TIBSIM_ASAN
+#define TIBSIM_ASAN 0
+#endif
+
+#if TIBSIM_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace tibsim::sim {
+
+namespace {
+
+#if TIBSIM_ASAN
+void asanStartSwitch(void** fakeStackSave, const void* bottom,
+                     std::size_t size) {
+  __sanitizer_start_switch_fiber(fakeStackSave, bottom, size);
+}
+void asanFinishSwitch(void* fakeStackSave, const void** bottomOld,
+                      std::size_t* sizeOld) {
+  __sanitizer_finish_switch_fiber(fakeStackSave, bottomOld, sizeOld);
+}
+#else
+// Unused in TSan builds, where FiberContext is compiled out entirely.
+[[maybe_unused]] void asanStartSwitch(void**, const void*, std::size_t) {}
+[[maybe_unused]] void asanFinishSwitch(void*, const void**, std::size_t*) {}
+#endif
+
+// ---------------------------------------------------------------------------
+// ThreadContext — the original baton handoff, verbatim semantics: one OS
+// thread per context, parked on a condition variable whenever the host side
+// holds the baton. Two kernel wake-ups per simulated context switch.
+// ---------------------------------------------------------------------------
+
+class ThreadContext final : public ExecutionContext {
+ public:
+  ThreadContext() = default;
+
+  ~ThreadContext() override {
+    // Process guarantees the entry has returned (normally or by ProcessKilled
+    // unwinding) before destroying the context, so join() only reaps.
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void start(Entry entry) override {
+    TIB_ASSERT(!thread_.joinable());
+    entry_ = std::move(entry);
+    thread_ = std::thread([this] {
+      {
+        // Wait for the host to hand over the baton the first time.
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return batonWithContext_; });
+      }
+      entry_();
+      std::lock_guard lock(mutex_);
+      done_ = true;
+      batonWithContext_ = false;
+      cv_.notify_all();
+    });
+  }
+
+  void switchIn() override {
+    {
+      std::lock_guard lock(mutex_);
+      TIB_ASSERT(!done_);
+      batonWithContext_ = true;
+    }
+    cv_.notify_all();
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !batonWithContext_; });
+  }
+
+  void yieldToHost() override {
+    std::unique_lock lock(mutex_);
+    batonWithContext_ = false;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return batonWithContext_; });
+  }
+
+  ExecBackend backend() const override { return ExecBackend::Thread; }
+
+ private:
+  Entry entry_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool batonWithContext_ = false;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// FiberContext — stackful user-space fiber on an owned heap stack; no OS
+// thread is created. ucontext (getcontext/makecontext) builds the initial
+// stack frame and performs the first entry; steady-state switches use
+// _setjmp/_longjmp, which save and restore only the register file — glibc's
+// swapcontext issues a rt_sigprocmask syscall on every call, and that
+// syscall is the bulk of its cost (the libtask/libaco technique).
+//
+// Under AddressSanitizer every switch goes through swapcontext instead and
+// is announced with the ASan fiber annotations: ASan intercepts longjmp and
+// rejects a jump onto a different stack, while the annotated swapcontext
+// path is the documented way to switch stacks under ASan. The perf budget
+// does not apply to sanitizer builds.
+// ---------------------------------------------------------------------------
+
+#if TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
+
+constexpr std::size_t kMinFiberStackBytes = 64 * 1024;
+
+class FiberContext final : public ExecutionContext {
+ public:
+  explicit FiberContext(std::size_t stackBytes)
+      : stackBytes_(std::max(stackBytes, kMinFiberStackBytes)),
+        stack_(new char[stackBytes_]) {}
+
+  // Process guarantees the entry has returned before destruction, so the
+  // stack is quiescent here and delete[] is all that is needed.
+  ~FiberContext() override = default;
+
+  void start(Entry entry) override {
+    TIB_ASSERT(!armed_);
+    entry_ = std::move(entry);
+    TIB_REQUIRE(getcontext(&fiberCtx_) == 0);
+    fiberCtx_.uc_stack.ss_sp = stack_.get();
+    fiberCtx_.uc_stack.ss_size = stackBytes_;
+    fiberCtx_.uc_link = nullptr;  // exit is an explicit transfer in run()
+    // makecontext passes ints only; smuggle `this` as two 32-bit halves.
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&fiberCtx_, reinterpret_cast<void (*)()>(&FiberContext::run),
+                2, static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+    armed_ = true;
+  }
+
+#if TIBSIM_ASAN
+
+  void switchIn() override {
+    TIB_ASSERT(armed_ && !done_);
+    void* fakeStack = nullptr;
+    asanStartSwitch(&fakeStack, stack_.get(), stackBytes_);
+    TIB_REQUIRE(swapcontext(&hostCtx_, &fiberCtx_) == 0);
+    // Back on the host stack; tell ASan and remember where the host stack
+    // lives so yieldToHost() can announce the reverse switch.
+    asanFinishSwitch(fakeStack, &hostStackBottom_, &hostStackSize_);
+  }
+
+  void yieldToHost() override {
+    void* fakeStack = nullptr;
+    asanStartSwitch(&fakeStack, hostStackBottom_, hostStackSize_);
+    TIB_REQUIRE(swapcontext(&fiberCtx_, &hostCtx_) == 0);
+    asanFinishSwitch(fakeStack, &hostStackBottom_, &hostStackSize_);
+  }
+
+#else  // !TIBSIM_ASAN
+
+  void switchIn() override {
+    TIB_ASSERT(armed_ && !done_);
+    if (_setjmp(hostJmp_) == 0) {
+      if (!entered_) {
+        // First entry: only makecontext can start a frame on the new
+        // stack. Control returns via _longjmp(hostJmp_), never through
+        // this swapcontext call.
+        entered_ = true;
+        TIB_REQUIRE(swapcontext(&hostCtx_, &fiberCtx_) == 0);
+      } else {
+        _longjmp(fiberJmp_, 1);
+      }
+    }
+  }
+
+  void yieldToHost() override {
+    if (_setjmp(fiberJmp_) == 0) _longjmp(hostJmp_, 1);
+  }
+
+#endif  // TIBSIM_ASAN
+
+  ExecBackend backend() const override { return ExecBackend::Fiber; }
+
+ private:
+  static void run(unsigned selfHi, unsigned selfLo) {
+    auto* self = reinterpret_cast<FiberContext*>(
+        (static_cast<std::uintptr_t>(selfHi) << 32) |
+        static_cast<std::uintptr_t>(selfLo));
+    // First time on the fiber stack: complete the switch the host started.
+    asanFinishSwitch(nullptr, &self->hostStackBottom_, &self->hostStackSize_);
+    self->entry_();
+    self->done_ = true;
+#if TIBSIM_ASAN
+    // Final exit: a nullptr fake-stack save tells ASan this fiber is dying.
+    asanStartSwitch(nullptr, self->hostStackBottom_, self->hostStackSize_);
+    swapcontext(&self->fiberCtx_, &self->hostCtx_);
+#else
+    _longjmp(self->hostJmp_, 1);
+#endif
+    TIB_ASSERT(false && "resumed a finished fiber");
+  }
+
+  Entry entry_;
+  std::size_t stackBytes_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t fiberCtx_{};
+  ucontext_t hostCtx_{};
+#if !TIBSIM_ASAN
+  jmp_buf hostJmp_{};
+  jmp_buf fiberJmp_{};
+  bool entered_ = false;
+#endif
+  const void* hostStackBottom_ = nullptr;
+  std::size_t hostStackSize_ = 0;
+  bool armed_ = false;
+  bool done_ = false;
+};
+
+#endif  // TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
+
+ExecBackend readBackendFromEnv() {
+  const char* env = std::getenv("TIBSIM_SIM_BACKEND");
+  if (env != nullptr) {
+    const std::string name(env);
+    if (name == "thread") return ExecBackend::Thread;
+    if (name == "fiber") return ExecBackend::Fiber;
+  }
+  return ExecBackend::Fiber;
+}
+
+std::atomic<ExecBackend>& defaultBackendSlot() {
+  static std::atomic<ExecBackend> slot{readBackendFromEnv()};
+  return slot;
+}
+
+}  // namespace
+
+const char* toString(ExecBackend backend) {
+  return backend == ExecBackend::Fiber ? "fiber" : "thread";
+}
+
+ExecBackend parseExecBackend(const std::string& name) {
+  if (name == "fiber") return ExecBackend::Fiber;
+  if (name == "thread") return ExecBackend::Thread;
+  TIB_REQUIRE_MSG(false, "unknown sim backend '" + name +
+                             "' (expected 'fiber' or 'thread')");
+  return ExecBackend::Fiber;  // unreachable
+}
+
+ExecBackend defaultExecBackend() {
+  return defaultBackendSlot().load(std::memory_order_relaxed);
+}
+
+void setDefaultExecBackend(ExecBackend backend) {
+  defaultBackendSlot().store(backend, std::memory_order_relaxed);
+}
+
+std::size_t ExecutionContext::defaultStackBytes() {
+  static const std::size_t bytes = [] {
+    if (const char* env = std::getenv("TIBSIM_FIBER_STACK_KB")) {
+      const long kb = std::strtol(env, nullptr, 10);
+      if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+    }
+    return static_cast<std::size_t>(256) * 1024;
+  }();
+  return bytes;
+}
+
+std::unique_ptr<ExecutionContext> ExecutionContext::create(
+    ExecBackend backend, std::size_t stackBytes) {
+#if TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
+  if (backend == ExecBackend::Fiber) {
+    return std::make_unique<FiberContext>(
+        stackBytes != 0 ? stackBytes : defaultStackBytes());
+  }
+#else
+  (void)stackBytes;  // fiber unavailable: serviced by the thread backend
+#endif
+  (void)backend;
+  return std::make_unique<ThreadContext>();
+}
+
+}  // namespace tibsim::sim

@@ -1,8 +1,18 @@
 #include "tibsim/sim/simulation.hpp"
 
+#include <chrono>
+
 #include "tibsim/common/assert.hpp"
 
 namespace tibsim::sim {
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Process
@@ -14,13 +24,9 @@ Process::Process(Simulation& sim, std::uint64_t id, std::string name,
 
 Process::~Process() { kill(); }
 
-void Process::start() {
-  thread_ = std::thread([this] {
-    {
-      // Wait for the scheduler to hand over the baton the first time.
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return batonWithProcess_; });
-    }
+void Process::start(ExecBackend backend) {
+  context_ = ExecutionContext::create(backend);
+  context_->start([this] {
     if (!killRequested_) {
       try {
         body_(*this);
@@ -32,29 +38,19 @@ void Process::start() {
         exception_ = std::current_exception();
       }
     }
-    std::lock_guard lock(mutex_);
     finished_ = true;
-    batonWithProcess_ = false;
-    cv_.notify_all();
   });
 }
 
 void Process::switchIn() {
-  {
-    std::lock_guard lock(mutex_);
-    TIB_ASSERT(!finished_);
-    batonWithProcess_ = true;
-  }
-  cv_.notify_all();
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return !batonWithProcess_; });
+  TIB_ASSERT(context_ != nullptr && !finished_);
+  sim_.noteContextSwitch();
+  context_->switchIn();
+  if (finished_) sim_.noteProcessFinished();
 }
 
 void Process::yieldToHost() {
-  std::unique_lock lock(mutex_);
-  batonWithProcess_ = false;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return batonWithProcess_; });
+  context_->yieldToHost();
   if (killRequested_) throw ProcessKilled{};
 }
 
@@ -78,14 +74,49 @@ void Process::suspend() {
 double Process::now() const { return sim_.now(); }
 
 void Process::kill() {
-  if (!thread_.joinable()) return;
-  {
-    std::lock_guard lock(mutex_);
-    killRequested_ = true;
-    batonWithProcess_ = true;
+  if (context_ == nullptr || finished_) return;
+  killRequested_ = true;
+  // Run the context until the body has unwound (yieldToHost rethrows the
+  // kill as ProcessKilled). A body that swallows ProcessKilled and keeps
+  // blocking would loop here — the same hang the thread backend always had.
+  while (!finished_) switchIn();
+}
+
+// ---------------------------------------------------------------------------
+// Simulation::EventQueue
+// ---------------------------------------------------------------------------
+
+void Simulation::EventQueue::push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
-  cv_.notify_all();
-  thread_.join();
+}
+
+Simulation::Event Simulation::EventQueue::pop() {
+  TIB_ASSERT(!heap_.empty());
+  Event out = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the former tail down from the root without intermediate swaps.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], last)) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(last);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -101,6 +132,7 @@ Simulation::~Simulation() {
 void Simulation::scheduleAt(double t, std::function<void()> fn) {
   TIB_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
   queue_.push(Event{t, nextSeq_++, std::move(fn)});
+  stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
 }
 
 void Simulation::scheduleIn(double dt, std::function<void()> fn) {
@@ -112,8 +144,11 @@ Process& Simulation::spawn(std::string name, Process::Body body) {
   auto process = std::unique_ptr<Process>(
       new Process(*this, nextProcessId_++, std::move(name), std::move(body)));
   Process& ref = *process;
-  ref.start();
+  ref.start(backend_);
   processes_.push_back(std::move(process));
+  ++stats_.processesSpawned;
+  ++liveNow_;
+  stats_.peakLiveProcesses = std::max(stats_.peakLiveProcesses, liveNow_);
   scheduleAt(now_, [&ref] {
     if (!ref.finished()) ref.switchIn();
   });
@@ -137,29 +172,36 @@ void Simulation::resumeAt(double t, Process& p) {
 void Simulation::resume(Process& p) { resumeAt(now_, p); }
 
 double Simulation::run() {
+  const auto start = std::chrono::steady_clock::now();
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop();
     dispatch(ev);
   }
+  stats_.hostSeconds += secondsSince(start);
   return now_;
 }
 
 double Simulation::runUntil(double deadline) {
+  const auto start = std::chrono::steady_clock::now();
   while (!queue_.empty() && queue_.top().t <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = queue_.pop();
     dispatch(ev);
   }
   if (now_ < deadline && queue_.empty()) now_ = deadline;
+  stats_.hostSeconds += secondsSince(start);
   return now_;
 }
 
 void Simulation::dispatch(Event& ev) {
   TIB_ASSERT(ev.t >= now_);
   now_ = ev.t;
-  ++processedEvents_;
+  ++stats_.eventsDispatched;
   ev.fn();
+}
+
+void Simulation::noteProcessFinished() {
+  TIB_ASSERT(liveNow_ > 0);
+  --liveNow_;
 }
 
 std::size_t Simulation::liveProcessCount() const {
@@ -167,6 +209,12 @@ std::size_t Simulation::liveProcessCount() const {
   for (const auto& p : processes_)
     if (!p->finished()) ++live;
   return live;
+}
+
+EngineStats Simulation::engineStats() const {
+  EngineStats out = stats_;
+  out.simSeconds = now_;
+  return out;
 }
 
 }  // namespace tibsim::sim

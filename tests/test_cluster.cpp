@@ -24,6 +24,24 @@ TEST(ClusterSpec, TibidaboMatchesPaper) {
   EXPECT_DOUBLE_EQ(spec.topology.bisectionBytesPerS, gbps(8.0));
 }
 
+TEST(ClusterSpec, TibidaboScaledKeepsNodeAndGrowsBisection) {
+  const ClusterSpec base = ClusterSpec::tibidabo();
+  const ClusterSpec big = ClusterSpec::tibidaboScaled(1024);
+  EXPECT_EQ(big.nodes, 1024);
+  EXPECT_EQ(big.ranksPerNode, base.ranksPerNode);
+  EXPECT_EQ(big.nodePlatform.shortName, base.nodePlatform.shortName);
+  EXPECT_DOUBLE_EQ(big.topology.linkRateBytesPerS,
+                   base.topology.linkRateBytesPerS);
+  // Bisection scales with node count so oversubscription stays at the
+  // prototype's ratio rather than collapsing at 1024 nodes.
+  EXPECT_DOUBLE_EQ(big.topology.bisectionBytesPerS,
+                   gbps(8.0 * 1024.0 / 192.0));
+  // At or below the prototype size the spec matches the real machine.
+  EXPECT_DOUBLE_EQ(ClusterSpec::tibidaboScaled(128).topology.bisectionBytesPerS,
+                   gbps(8.0));
+  EXPECT_EQ(ClusterSpec::tibidaboScaled(128).nodes, 128);
+}
+
 TEST(ClusterSpec, OpenMxVariantDiffersOnlyInProtocol) {
   const ClusterSpec a = ClusterSpec::tibidabo();
   const ClusterSpec b = ClusterSpec::tibidaboOpenMx();

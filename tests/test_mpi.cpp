@@ -1,15 +1,19 @@
 // Tests for simMPI: point-to-point semantics, payload integrity, tag
 // matching, rendezvous, collectives, deadlock detection, accounting.
+// Every suite runs under both ExecutionContext backends — simMPI semantics
+// are backend-independent by contract.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <numeric>
+#include <tuple>
 
 #include "tibsim/arch/registry.hpp"
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/units.hpp"
 #include "tibsim/mpi/simmpi.hpp"
+#include "tibsim/sim/execution_context.hpp"
 
 namespace tibsim::mpi {
 namespace {
@@ -26,7 +30,30 @@ WorldConfig testConfig(int ranksPerNode = 1,
   return cfg;
 }
 
-TEST(SimMpi, RankAndSizeVisible) {
+// WorldConfig snapshots the process-wide default backend at construction;
+// pinning the default per test keeps every MpiWorld below on the requested
+// backend without touching the test bodies.
+class SimMpiTest : public ::testing::TestWithParam<sim::ExecBackend> {
+ protected:
+  sim::ScopedExecBackend scoped_{GetParam()};
+};
+
+#define TIBSIM_INSTANTIATE_BACKENDS(fixture)                          \
+  INSTANTIATE_TEST_SUITE_P(Backends, fixture,                         \
+                           ::testing::Values(sim::ExecBackend::Fiber, \
+                                             sim::ExecBackend::Thread), \
+                           [](const auto& paramInfo) {                \
+                             return std::string(                      \
+                                 sim::toString(paramInfo.param));     \
+                           })
+
+class SimMpiNonblockingTest : public SimMpiTest {};
+class SimMpiCollectivesTest : public SimMpiTest {};
+TIBSIM_INSTANTIATE_BACKENDS(SimMpiTest);
+TIBSIM_INSTANTIATE_BACKENDS(SimMpiNonblockingTest);
+TIBSIM_INSTANTIATE_BACKENDS(SimMpiCollectivesTest);
+
+TEST_P(SimMpiTest, RankAndSizeVisible) {
   MpiWorld world(testConfig(), 4);
   std::vector<int> seen(4, -1);
   world.run([&](MpiContext& ctx) {
@@ -35,7 +62,7 @@ TEST(SimMpi, RankAndSizeVisible) {
   for (int s : seen) EXPECT_EQ(s, 4);
 }
 
-TEST(SimMpi, NodePlacementFollowsRanksPerNode) {
+TEST_P(SimMpiTest, NodePlacementFollowsRanksPerNode) {
   MpiWorld world(testConfig(2), 6);
   EXPECT_EQ(world.nodes(), 3);
   std::vector<int> nodeOf(6, -1);
@@ -45,7 +72,7 @@ TEST(SimMpi, NodePlacementFollowsRanksPerNode) {
   EXPECT_EQ(nodeOf, (std::vector<int>{0, 0, 1, 1, 2, 2}));
 }
 
-TEST(SimMpi, PayloadRoundTrips) {
+TEST_P(SimMpiTest, PayloadRoundTrips) {
   MpiWorld world(testConfig(), 2);
   std::vector<double> received;
   world.run([&](MpiContext& ctx) {
@@ -59,7 +86,7 @@ TEST(SimMpi, PayloadRoundTrips) {
   EXPECT_EQ(received, (std::vector<double>{1.5, -2.25, 3.75}));
 }
 
-TEST(SimMpi, SizeOnlyMessagesReportBytes) {
+TEST_P(SimMpiTest, SizeOnlyMessagesReportBytes) {
   MpiWorld world(testConfig(), 2);
   std::size_t got = 0;
   world.run([&](MpiContext& ctx) {
@@ -73,7 +100,7 @@ TEST(SimMpi, SizeOnlyMessagesReportBytes) {
   EXPECT_EQ(got, 123456u);
 }
 
-TEST(SimMpi, TagMatchingSelectsCorrectMessage) {
+TEST_P(SimMpiTest, TagMatchingSelectsCorrectMessage) {
   MpiWorld world(testConfig(), 2);
   std::vector<double> first, second;
   world.run([&](MpiContext& ctx) {
@@ -90,7 +117,7 @@ TEST(SimMpi, TagMatchingSelectsCorrectMessage) {
   EXPECT_EQ(second, std::vector<double>{8.0});
 }
 
-TEST(SimMpi, FifoPerSourceAndTag) {
+TEST_P(SimMpiTest, FifoPerSourceAndTag) {
   MpiWorld world(testConfig(), 2);
   std::vector<double> order;
   world.run([&](MpiContext& ctx) {
@@ -105,7 +132,7 @@ TEST(SimMpi, FifoPerSourceAndTag) {
   EXPECT_EQ(order, (std::vector<double>{0, 1, 2, 3, 4}));
 }
 
-TEST(SimMpi, MessagesTakeSimulatedTime) {
+TEST_P(SimMpiTest, MessagesTakeSimulatedTime) {
   MpiWorld world(testConfig(), 2);
   double recvDone = 0.0;
   const auto stats = world.run([&](MpiContext& ctx) {
@@ -122,7 +149,7 @@ TEST(SimMpi, MessagesTakeSimulatedTime) {
   EXPECT_EQ(stats.messageCount, 1u);
 }
 
-TEST(SimMpi, RendezvousLargeMessageCompletes) {
+TEST_P(SimMpiTest, RendezvousLargeMessageCompletes) {
   MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
   const std::size_t big = 256 * 1024;  // > 32 KiB threshold
   std::size_t got = 0;
@@ -143,7 +170,7 @@ TEST(SimMpi, RendezvousLargeMessageCompletes) {
   EXPECT_GT(receiverDone, senderDone * 0.5);
 }
 
-TEST(SimMpi, RendezvousBothDirectionsViaSendrecv) {
+TEST_P(SimMpiTest, RendezvousBothDirectionsViaSendrecv) {
   MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
   const std::size_t big = 128 * 1024;
   world.run([&](MpiContext& ctx) {
@@ -153,7 +180,7 @@ TEST(SimMpi, RendezvousBothDirectionsViaSendrecv) {
   SUCCEED();  // completing without deadlock is the assertion
 }
 
-TEST(SimMpi, SameNodeMessagesAreFast) {
+TEST_P(SimMpiTest, SameNodeMessagesAreFast) {
   MpiWorld world(testConfig(2), 2);  // both ranks on node 0
   double elapsed = 0.0;
   world.run([&](MpiContext& ctx) {
@@ -167,7 +194,7 @@ TEST(SimMpi, SameNodeMessagesAreFast) {
   EXPECT_LT(elapsed, 20e-6);  // shared memory, no NIC
 }
 
-TEST(SimMpi, DeadlockIsDetected) {
+TEST_P(SimMpiTest, DeadlockIsDetected) {
   MpiWorld world(testConfig(), 2);
   EXPECT_THROW(world.run([](MpiContext& ctx) {
     // Both ranks receive first: classic deadlock.
@@ -176,7 +203,7 @@ TEST(SimMpi, DeadlockIsDetected) {
                ContractError);
 }
 
-TEST(SimMpi, RankExceptionsPropagate) {
+TEST_P(SimMpiTest, RankExceptionsPropagate) {
   MpiWorld world(testConfig(), 2);
   EXPECT_THROW(world.run([](MpiContext& ctx) {
     if (ctx.rank() == 1) throw std::runtime_error("rank failure");
@@ -185,7 +212,7 @@ TEST(SimMpi, RankExceptionsPropagate) {
                std::runtime_error);
 }
 
-TEST(SimMpi, ComputeAdvancesClockAndAccounts) {
+TEST_P(SimMpiTest, ComputeAdvancesClockAndAccounts) {
   MpiWorld world(testConfig(), 1);
   const auto stats = world.run([&](MpiContext& ctx) {
     ctx.compute(perfmodel::WorkProfile{1e9, 0.0,
@@ -199,10 +226,15 @@ TEST(SimMpi, ComputeAdvancesClockAndAccounts) {
 
 // ---- Collectives -----------------------------------------------------------
 
-class CollectiveSizes : public ::testing::TestWithParam<int> {};
+class CollectiveSizes
+    : public ::testing::TestWithParam<std::tuple<int, sim::ExecBackend>> {
+ protected:
+  int ranks() const { return std::get<0>(GetParam()); }
+  sim::ScopedExecBackend scoped_{std::get<1>(GetParam())};
+};
 
 TEST_P(CollectiveSizes, BarrierSynchronises) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   std::vector<double> after(static_cast<std::size_t>(n), 0.0);
   world.run([&](MpiContext& ctx) {
@@ -217,7 +249,7 @@ TEST_P(CollectiveSizes, BarrierSynchronises) {
 }
 
 TEST_P(CollectiveSizes, BcastDeliversRootData) {
-  const int n = GetParam();
+  const int n = ranks();
   const int root = n > 2 ? 2 : 0;
   MpiWorld world(testConfig(), n);
   std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
@@ -232,7 +264,7 @@ TEST_P(CollectiveSizes, BcastDeliversRootData) {
 }
 
 TEST_P(CollectiveSizes, ReduceSumsContributions) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   std::vector<double> rootResult;
   world.run([&](MpiContext& ctx) {
@@ -247,7 +279,7 @@ TEST_P(CollectiveSizes, ReduceSumsContributions) {
 }
 
 TEST_P(CollectiveSizes, AllreduceGivesEveryoneTheSum) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   std::vector<double> sums(static_cast<std::size_t>(n), 0.0);
   world.run([&](MpiContext& ctx) {
@@ -258,7 +290,7 @@ TEST_P(CollectiveSizes, AllreduceGivesEveryoneTheSum) {
 }
 
 TEST_P(CollectiveSizes, AllreduceMaxFindsGlobalMax) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   std::vector<double> maxes(static_cast<std::size_t>(n), 0.0);
   world.run([&](MpiContext& ctx) {
@@ -271,7 +303,7 @@ TEST_P(CollectiveSizes, AllreduceMaxFindsGlobalMax) {
 }
 
 TEST_P(CollectiveSizes, GatherCollectsInRankOrder) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   std::vector<double> gathered;
   world.run([&](MpiContext& ctx) {
@@ -284,7 +316,7 @@ TEST_P(CollectiveSizes, GatherCollectsInRankOrder) {
 }
 
 TEST_P(CollectiveSizes, AllgatherEveryoneSeesAll) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
   world.run([&](MpiContext& ctx) {
@@ -299,7 +331,7 @@ TEST_P(CollectiveSizes, AllgatherEveryoneSeesAll) {
 }
 
 TEST_P(CollectiveSizes, AlltoallCompletes) {
-  const int n = GetParam();
+  const int n = ranks();
   MpiWorld world(testConfig(), n);
   const auto stats = world.run([&](MpiContext& ctx) {
     ctx.alltoallBytes(4096);
@@ -308,10 +340,17 @@ TEST_P(CollectiveSizes, AlltoallCompletes) {
   EXPECT_EQ(stats.messageCount, static_cast<std::uint64_t>(n) * (n - 1));
 }
 
-INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSizes,
-                         ::testing::Values(2, 3, 4, 5, 8, 13, 16));
+INSTANTIATE_TEST_SUITE_P(
+    RankCounts, CollectiveSizes,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 8, 13, 16),
+                       ::testing::Values(sim::ExecBackend::Fiber,
+                                         sim::ExecBackend::Thread)),
+    [](const auto& paramInfo) {
+      return std::to_string(std::get<0>(paramInfo.param)) + "_" +
+             sim::toString(std::get<1>(paramInfo.param));
+    });
 
-TEST(SimMpiNonblocking, IrecvOverlapsComputeWithArrival) {
+TEST_P(SimMpiNonblockingTest, IrecvOverlapsComputeWithArrival) {
   // Rank 1 posts irecv, computes 10 ms while the message flies, then
   // waits: total time ~= max(compute, message), not the sum.
   MpiWorld world(testConfig(), 2);
@@ -330,7 +369,7 @@ TEST(SimMpiNonblocking, IrecvOverlapsComputeWithArrival) {
   EXPECT_GT(finish, 10e-3);
 }
 
-TEST(SimMpiNonblocking, IsendDoesNotBlockEvenAboveRendezvousThreshold) {
+TEST_P(SimMpiNonblockingTest, IsendDoesNotBlockEvenAboveRendezvousThreshold) {
   MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
   double sendDone = 0.0;
   world.run([&](MpiContext& ctx) {
@@ -347,7 +386,7 @@ TEST(SimMpiNonblocking, IsendDoesNotBlockEvenAboveRendezvousThreshold) {
   EXPECT_LT(sendDone, 0.1);
 }
 
-TEST(SimMpiNonblocking, PayloadDeliveredThroughWait) {
+TEST_P(SimMpiNonblockingTest, PayloadDeliveredThroughWait) {
   MpiWorld world(testConfig(), 2);
   std::vector<double> got;
   world.run([&](MpiContext& ctx) {
@@ -365,7 +404,7 @@ TEST(SimMpiNonblocking, PayloadDeliveredThroughWait) {
   EXPECT_EQ(got, (std::vector<double>{2.5, 7.5}));
 }
 
-TEST(SimMpiNonblocking, WaitallCompletesManyRequests) {
+TEST_P(SimMpiNonblockingTest, WaitallCompletesManyRequests) {
   MpiWorld world(testConfig(), 4);
   int completed = 0;
   world.run([&](MpiContext& ctx) {
@@ -381,7 +420,7 @@ TEST(SimMpiNonblocking, WaitallCompletesManyRequests) {
   EXPECT_EQ(completed, 3);
 }
 
-TEST(SimMpiNonblocking, DoubleWaitThrows) {
+TEST_P(SimMpiNonblockingTest, DoubleWaitThrows) {
   MpiWorld world(testConfig(), 2);
   EXPECT_THROW(world.run([&](MpiContext& ctx) {
     if (ctx.rank() == 0) {
@@ -395,7 +434,7 @@ TEST(SimMpiNonblocking, DoubleWaitThrows) {
                ContractError);
 }
 
-TEST(SimMpiCollectives, NeighborExchangeHasNoChainSerialisation) {
+TEST_P(SimMpiCollectivesTest, NeighborExchangeHasNoChainSerialisation) {
   // With the red-black schedule the halo exchange completes in O(1)
   // message times regardless of rank count.
   auto haloTime = [](int ranks) {
@@ -410,7 +449,7 @@ TEST(SimMpiCollectives, NeighborExchangeHasNoChainSerialisation) {
   EXPECT_LT(large, 2.5 * small);
 }
 
-TEST(SimMpiCollectives, NeighborExchangeWorksForOddRankCounts) {
+TEST_P(SimMpiCollectivesTest, NeighborExchangeWorksForOddRankCounts) {
   for (int ranks : {2, 3, 5, 7}) {
     MpiWorld world(testConfig(), ranks);
     const auto stats = world.run([](MpiContext& ctx) {
@@ -423,7 +462,7 @@ TEST(SimMpiCollectives, NeighborExchangeWorksForOddRankCounts) {
   }
 }
 
-TEST(SimMpiCollectives, PipelinedBcastFasterThanBinomialForBigPayloads) {
+TEST_P(SimMpiCollectivesTest, PipelinedBcastFasterThanBinomialForBigPayloads) {
   const std::size_t bytes = 8 << 20;
   auto run = [&](bool pipelined) {
     MpiWorld world(testConfig(), 16);
@@ -439,7 +478,7 @@ TEST(SimMpiCollectives, PipelinedBcastFasterThanBinomialForBigPayloads) {
   EXPECT_LT(run(true), run(false));
 }
 
-TEST(SimMpiCollectives, PipelinedBcastCausality) {
+TEST_P(SimMpiCollectivesTest, PipelinedBcastCausality) {
   // No rank may finish the broadcast before the root produced the data.
   MpiWorld world(testConfig(), 8);
   std::vector<double> finish(8, 0.0);
@@ -451,7 +490,7 @@ TEST(SimMpiCollectives, PipelinedBcastCausality) {
   for (double t : finish) EXPECT_GT(t, 0.05);
 }
 
-TEST(SimMpi, DeterministicAcrossRuns) {
+TEST_P(SimMpiTest, DeterministicAcrossRuns) {
   auto once = [] {
     MpiWorld world(testConfig(2, net::Protocol::OpenMx), 8);
     const auto stats = world.run([](MpiContext& ctx) {

@@ -1,8 +1,11 @@
 // Tests for the discrete-event engine: ordering, process semantics,
-// determinism, teardown, exception capture.
+// determinism, teardown, exception capture, engine stats. The whole suite
+// is parameterised over both ExecutionContext backends — every behaviour
+// here is backend-independent by contract.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -12,7 +15,21 @@
 namespace tibsim::sim {
 namespace {
 
-TEST(Simulation, EventsFireInTimeOrder) {
+class SimulationTest : public ::testing::TestWithParam<ExecBackend> {
+ protected:
+  // Simulation() and WorldConfig pick up the process-wide default; pinning
+  // it per test keeps the bodies identical to non-parameterised code.
+  ScopedExecBackend scoped_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, SimulationTest,
+                         ::testing::Values(ExecBackend::Fiber,
+                                           ExecBackend::Thread),
+                         [](const auto& paramInfo) {
+                           return std::string(toString(paramInfo.param));
+                         });
+
+TEST_P(SimulationTest, EventsFireInTimeOrder) {
   Simulation sim;
   std::vector<int> order;
   sim.scheduleAt(3.0, [&] { order.push_back(3); });
@@ -23,7 +40,7 @@ TEST(Simulation, EventsFireInTimeOrder) {
   EXPECT_DOUBLE_EQ(sim.now(), 3.0);
 }
 
-TEST(Simulation, EqualTimestampsFifo) {
+TEST_P(SimulationTest, EqualTimestampsFifo) {
   Simulation sim;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i)
@@ -32,14 +49,14 @@ TEST(Simulation, EqualTimestampsFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
-TEST(Simulation, SchedulingInThePastThrows) {
+TEST_P(SimulationTest, SchedulingInThePastThrows) {
   Simulation sim;
   sim.scheduleAt(5.0, [] {});
   sim.run();
   EXPECT_THROW(sim.scheduleAt(1.0, [] {}), ContractError);
 }
 
-TEST(Simulation, EventsCanScheduleMoreEvents) {
+TEST_P(SimulationTest, EventsCanScheduleMoreEvents) {
   Simulation sim;
   int fired = 0;
   sim.scheduleAt(1.0, [&] {
@@ -51,7 +68,7 @@ TEST(Simulation, EventsCanScheduleMoreEvents) {
   EXPECT_DOUBLE_EQ(sim.now(), 2.0);
 }
 
-TEST(Simulation, RunUntilStopsAtDeadline) {
+TEST_P(SimulationTest, RunUntilStopsAtDeadline) {
   Simulation sim;
   int fired = 0;
   sim.scheduleAt(1.0, [&] { ++fired; });
@@ -62,7 +79,14 @@ TEST(Simulation, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
-TEST(Process, DelayAdvancesSimTime) {
+TEST_P(SimulationTest, BackendIsTheRequestedOne) {
+  Simulation sim;
+  EXPECT_EQ(sim.backend(), GetParam());
+  Simulation explicitSim(GetParam());
+  EXPECT_EQ(explicitSim.backend(), GetParam());
+}
+
+TEST_P(SimulationTest, DelayAdvancesSimTime) {
   Simulation sim;
   double observed = -1.0;
   sim.spawn("p", [&](Process& p) {
@@ -74,7 +98,7 @@ TEST(Process, DelayAdvancesSimTime) {
   EXPECT_EQ(sim.liveProcessCount(), 0u);
 }
 
-TEST(Process, MultipleProcessesInterleaveByTime) {
+TEST_P(SimulationTest, MultipleProcessesInterleaveByTime) {
   Simulation sim;
   std::vector<std::string> log;
   sim.spawn("a", [&](Process& p) {
@@ -91,7 +115,7 @@ TEST(Process, MultipleProcessesInterleaveByTime) {
   EXPECT_EQ(log, (std::vector<std::string>{"a1", "b2", "a3"}));
 }
 
-TEST(Process, SuspendResumeHandshake) {
+TEST_P(SimulationTest, SuspendResumeHandshake) {
   Simulation sim;
   std::vector<std::string> log;
   Process* waiterPtr = nullptr;
@@ -110,7 +134,7 @@ TEST(Process, SuspendResumeHandshake) {
   EXPECT_EQ(log[1], "woken at 5");
 }
 
-TEST(Process, StaleWakeupsAreDropped) {
+TEST_P(SimulationTest, StaleWakeupsAreDropped) {
   // Two resumes target the same suspended process; the second must not
   // disturb it after it has moved on into a delay.
   Simulation sim;
@@ -128,7 +152,7 @@ TEST(Process, StaleWakeupsAreDropped) {
   EXPECT_DOUBLE_EQ(finishTime, 11.0);
 }
 
-TEST(Process, NegativeDelayThrows) {
+TEST_P(SimulationTest, NegativeDelayThrows) {
   Simulation sim;
   sim.spawn("p", [&](Process& p) { p.delay(-1.0); });
   sim.run();
@@ -139,7 +163,7 @@ TEST(Process, NegativeDelayThrows) {
   (void)withException;
 }
 
-TEST(Process, ExceptionsAreCaptured) {
+TEST_P(SimulationTest, ExceptionsAreCaptured) {
   Simulation sim;
   auto& p = sim.spawn("thrower", [](Process&) {
     throw std::runtime_error("boom");
@@ -149,7 +173,7 @@ TEST(Process, ExceptionsAreCaptured) {
   EXPECT_THROW(std::rethrow_exception(p.exception()), std::runtime_error);
 }
 
-TEST(Process, TeardownWithBlockedProcessesDoesNotHang) {
+TEST_P(SimulationTest, TeardownWithBlockedProcessesDoesNotHang) {
   auto sim = std::make_unique<Simulation>();
   sim->spawn("stuck", [](Process& p) { p.suspend(); });
   sim->run();  // drains with the process still suspended
@@ -158,7 +182,87 @@ TEST(Process, TeardownWithBlockedProcessesDoesNotHang) {
   SUCCEED();
 }
 
-TEST(Simulation, DeterministicAcrossRuns) {
+// Satellite regression: destroying a Simulation while a process is blocked
+// in delay() must unwind the process stack via ProcessKilled so that local
+// destructors run (the body's frames own real resources: payload buffers,
+// trace spans, RAII guards).
+TEST_P(SimulationTest, KillRunsDestructorsWhileBlockedInDelay) {
+  struct Sentinel {
+    int* counter;
+    explicit Sentinel(int* c) : counter(c) {}
+    ~Sentinel() { ++*counter; }
+  };
+  int destroyed = 0;
+  auto sim = std::make_unique<Simulation>();
+  sim->spawn("blocked-in-delay", [&](Process& p) {
+    Sentinel outer(&destroyed);
+    {
+      Sentinel inner(&destroyed);
+      p.delay(100.0);  // the wake-up event is beyond the runUntil deadline
+    }
+    ADD_FAILURE() << "body must not resume after teardown";
+  });
+  sim->runUntil(1.0);  // starts the body, which parks inside delay(100)
+  ASSERT_EQ(destroyed, 0);
+  ASSERT_EQ(sim->liveProcessCount(), 1u);
+  sim.reset();  // ProcessKilled unwinds both frames
+  EXPECT_EQ(destroyed, 2);
+}
+
+// Same teardown contract for a recv-style suspension (suspend() with no
+// resume scheduled at all — the shape of a rank blocked in MPI recv).
+TEST_P(SimulationTest, KillRunsDestructorsWhileSuspended) {
+  struct Sentinel {
+    int* counter;
+    explicit Sentinel(int* c) : counter(c) {}
+    ~Sentinel() { ++*counter; }
+  };
+  int destroyed = 0;
+  auto sim = std::make_unique<Simulation>();
+  sim->spawn("blocked-in-recv", [&](Process& p) {
+    Sentinel s(&destroyed);
+    p.suspend();
+    ADD_FAILURE() << "body must not resume after teardown";
+  });
+  sim->run();
+  ASSERT_EQ(destroyed, 0);
+  sim.reset();
+  EXPECT_EQ(destroyed, 1);
+}
+
+// A process exception recorded during the run must survive the teardown of
+// other still-blocked processes and be rethrowable on the host thread.
+TEST_P(SimulationTest, ExceptionRethrowsOnHostAfterTeardown) {
+  std::exception_ptr captured;
+  {
+    Simulation sim;
+    auto& thrower = sim.spawn("thrower", [](Process& p) {
+      p.delay(0.5);
+      throw std::runtime_error("boom at t=0.5");
+    });
+    sim.spawn("stuck", [](Process& p) { p.suspend(); });
+    sim.run();
+    ASSERT_NE(thrower.exception(), nullptr);
+    captured = thrower.exception();
+    EXPECT_EQ(sim.liveProcessCount(), 1u);
+  }  // teardown kills "stuck" while captured is still alive
+  ASSERT_NE(captured, nullptr);
+  EXPECT_THROW(std::rethrow_exception(captured), std::runtime_error);
+}
+
+// A process spawned but never started (its start event still queued) must
+// tear down cleanly: the kill must not run the body.
+TEST_P(SimulationTest, TeardownBeforeFirstDispatchSkipsBody) {
+  bool bodyRan = false;
+  {
+    Simulation sim;
+    sim.spawn("never-started", [&](Process&) { bodyRan = true; });
+    // No run(): the start event never fires.
+  }
+  EXPECT_FALSE(bodyRan);
+}
+
+TEST_P(SimulationTest, DeterministicAcrossRuns) {
   auto runOnce = [] {
     Simulation sim;
     std::vector<double> times;
@@ -176,7 +280,7 @@ TEST(Simulation, DeterministicAcrossRuns) {
   EXPECT_EQ(runOnce(), runOnce());
 }
 
-TEST(Simulation, ManyProcessesComplete) {
+TEST_P(SimulationTest, ManyProcessesComplete) {
   Simulation sim;
   int done = 0;
   for (int i = 0; i < 200; ++i) {
@@ -188,6 +292,78 @@ TEST(Simulation, ManyProcessesComplete) {
   sim.run();
   EXPECT_EQ(done, 200);
   EXPECT_GE(sim.processedEvents(), 400u);
+}
+
+TEST_P(SimulationTest, EngineStatsCountTheMachinery) {
+  Simulation sim;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("p" + std::to_string(i), [](Process& p) {
+      p.delay(1.0);
+      p.delay(1.0);
+    });
+  }
+  sim.run();
+  const EngineStats stats = sim.engineStats();
+  // 3 start events + 3 x 2 delay wake-ups.
+  EXPECT_EQ(stats.eventsDispatched, 9u);
+  // Each dispatched event switches into exactly one process here.
+  EXPECT_EQ(stats.contextSwitches, 9u);
+  EXPECT_EQ(stats.processesSpawned, 3u);
+  EXPECT_EQ(stats.peakLiveProcesses, 3u);
+  EXPECT_GE(stats.queueHighWater, 3u);
+  EXPECT_DOUBLE_EQ(stats.simSeconds, 2.0);
+  EXPECT_EQ(sim.processedEvents(), stats.eventsDispatched);
+}
+
+// The engine counters are part of the campaign artefacts, so they must be
+// identical across backends, not merely "both plausible".
+TEST(ExecutionContexts, BackendsProduceIdenticalStatsAndTimes) {
+  auto runOnce = [](ExecBackend backend) {
+    ScopedExecBackend scoped(backend);
+    Simulation sim;
+    std::vector<double> times;
+    for (int i = 0; i < 8; ++i) {
+      sim.spawn("p" + std::to_string(i), [&times, i](Process& p) {
+        p.delay(0.01 * (i + 1));
+        times.push_back(p.now());
+        p.delay(0.02);
+        times.push_back(p.now());
+      });
+    }
+    sim.run();
+    return std::make_pair(times, sim.engineStats());
+  };
+  const auto [fiberTimes, fiberStats] = runOnce(ExecBackend::Fiber);
+  const auto [threadTimes, threadStats] = runOnce(ExecBackend::Thread);
+  EXPECT_EQ(fiberTimes, threadTimes);
+  EXPECT_EQ(fiberStats.eventsDispatched, threadStats.eventsDispatched);
+  EXPECT_EQ(fiberStats.contextSwitches, threadStats.contextSwitches);
+  EXPECT_EQ(fiberStats.processesSpawned, threadStats.processesSpawned);
+  EXPECT_EQ(fiberStats.peakLiveProcesses, threadStats.peakLiveProcesses);
+  EXPECT_EQ(fiberStats.queueHighWater, threadStats.queueHighWater);
+  EXPECT_DOUBLE_EQ(fiberStats.simSeconds, threadStats.simSeconds);
+}
+
+TEST(ExecutionContexts, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(parseExecBackend("fiber"), ExecBackend::Fiber);
+  EXPECT_EQ(parseExecBackend("thread"), ExecBackend::Thread);
+  EXPECT_STREQ(toString(ExecBackend::Fiber), "fiber");
+  EXPECT_STREQ(toString(ExecBackend::Thread), "thread");
+  EXPECT_THROW(parseExecBackend("green-threads"), ContractError);
+}
+
+TEST(ExecutionContexts, ScopedOverrideRestoresPrevious) {
+  const ExecBackend before = defaultExecBackend();
+  {
+    ScopedExecBackend scoped(ExecBackend::Thread);
+    EXPECT_EQ(defaultExecBackend(), ExecBackend::Thread);
+    {
+      ScopedExecBackend nested(ExecBackend::Fiber);
+      EXPECT_EQ(defaultExecBackend(), ExecBackend::Fiber);
+    }
+    EXPECT_EQ(defaultExecBackend(), ExecBackend::Thread);
+  }
+  EXPECT_EQ(defaultExecBackend(), before);
 }
 
 }  // namespace

@@ -189,13 +189,14 @@ TEST(ExperimentRegistry, MatchDeduplicatesAndSorts) {
 
 TEST(ExperimentRegistry, GlobalHasAllBuiltinExperiments) {
   const auto& registry = ExperimentRegistry::global();
-  EXPECT_GE(registry.size(), 21u);
+  EXPECT_GE(registry.size(), 22u);
   for (const char* name :
        {"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
         "fig08", "tab01", "tab02", "tab04", "hpl_green500",
         "energy_to_solution", "imb_suite", "latency_penalty",
         "ecc_reliability", "ablation_interconnect", "ablation_armv8",
-        "ablation_dvfs", "ablation_eee", "campaign"}) {
+        "ablation_dvfs", "ablation_eee", "campaign",
+        "scale_bigcluster"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
@@ -304,6 +305,56 @@ TEST(Campaign, ThrowsWhenNothingMatches) {
   options.patterns = {"no_such_experiment"};
   std::ostringstream sink;
   EXPECT_THROW(core::runCampaign(options, sink), ContractError);
+}
+
+core::CampaignResult backendCampaign(const std::string& backend,
+                                     const std::string& pattern) {
+  core::CampaignOptions options;
+  options.patterns = {pattern};
+  options.summary = false;
+  options.simBackend = backend;
+  std::ostringstream sink;
+  return core::runCampaign(options, sink);
+}
+
+TEST(Campaign, JsonIsByteIdenticalAcrossSimBackends) {
+  // imb_suite drives full simMPI worlds, so the simulated clocks and
+  // engine counters both cross the backend boundary. The artefacts must not
+  // depend on which ExecutionContext ran the ranks.
+  const auto fiber = backendCampaign("fiber", "imb_suite");
+  const auto thread = backendCampaign("thread", "imb_suite");
+  ASSERT_EQ(fiber.runs.size(), 1u);
+  ASSERT_EQ(thread.runs.size(), 1u);
+  EXPECT_FALSE(fiber.runs[0].json.empty());
+  EXPECT_EQ(fiber.runs[0].json, thread.runs[0].json);
+}
+
+TEST(Campaign, EngineStatsLandInResultDocument) {
+  const auto campaign = backendCampaign("fiber", "imb_suite");
+  const json::Value doc = json::Value::parse(campaign.runs[0].json);
+  const json::Value* engine = doc.find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GT(engine->find("eventsDispatched")->asDouble(), 0.0);
+  EXPECT_GT(engine->find("contextSwitches")->asDouble(), 0.0);
+  EXPECT_GT(engine->find("processesSpawned")->asDouble(), 0.0);
+  EXPECT_GT(engine->find("peakLiveProcesses")->asDouble(), 0.0);
+  EXPECT_GT(engine->find("queueHighWater")->asDouble(), 0.0);
+  EXPECT_GT(engine->find("simSeconds")->asDouble(), 0.0);
+  // Wall-clock time is machine-dependent and must never reach the artefact.
+  EXPECT_EQ(engine->find("hostSeconds"), nullptr);
+  // Run-level stats mirror the document.
+  EXPECT_GT(campaign.runs[0].engine.eventsDispatched, 0u);
+}
+
+TEST(Campaign, ExperimentsWithoutSimulationsOmitEngineBlock) {
+  // fig03 replays measured single-core numbers; no simMPI world is built.
+  const auto campaign = quietCampaign(1);
+  const json::Value doc = json::Value::parse(campaign.runs[0].json);
+  EXPECT_EQ(doc.find("engine"), nullptr);
+}
+
+TEST(Campaign, RejectsUnknownSimBackend) {
+  EXPECT_THROW(backendCampaign("green-threads", "fig03"), ContractError);
 }
 
 }  // namespace
