@@ -3,6 +3,9 @@
 // and a switched Ethernet tree, with whole-cluster energy integration.
 // ClusterSpec::tibidabo() reproduces the paper's 192-node Tegra 2 machine.
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "tibsim/arch/platform.hpp"
@@ -64,12 +67,30 @@ struct JobResult {
   }
 };
 
+/// Per-job observability knobs for ClusterSimulation::runJob. The world a
+/// job runs on is built and torn down inside runJob, so anything that must
+/// inspect it (the tracer, above all) goes through the observer callback.
+struct JobOptions {
+  /// Record spans during the job; the recording mode comes from the
+  /// process-wide default (obs::defaultTraceMode / --trace-mode).
+  bool enableTracing = false;
+  std::uint64_t traceSeed = 0;      ///< sampled-mode reservoir seed
+  std::size_t fiberStackBytes = 0;  ///< per-rank stack override (0 = default)
+  /// Called once, after the run, while the world (and its tracer) is still
+  /// alive.
+  std::function<void(const mpi::MpiWorld&, const JobResult&)> observer;
+};
+
 class ClusterSimulation {
  public:
   explicit ClusterSimulation(ClusterSpec spec);
 
   /// Run `body` on `nodesUsed` nodes (ranks = nodesUsed * ranksPerNode).
   JobResult runJob(int nodesUsed, const mpi::MpiWorld::RankBody& body);
+
+  /// As above, with tracing/stack-telemetry options.
+  JobResult runJob(int nodesUsed, const mpi::MpiWorld::RankBody& body,
+                   const JobOptions& options);
 
   const ClusterSpec& spec() const { return spec_; }
   double frequencyHz() const;

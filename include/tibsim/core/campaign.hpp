@@ -27,6 +27,10 @@ struct CampaignOptions {
   /// Execution backend for simulation processes: "" keeps the process-wide
   /// default (fiber, or TIBSIM_SIM_BACKEND), else "fiber"/"thread".
   std::string simBackend;
+  /// Trace recording mode for traced worlds: "" keeps the process-wide
+  /// default (full, or TIBSIM_TRACE_MODE), else "full"/"sampled"/
+  /// "aggregate".
+  std::string traceMode;
 };
 
 struct ExperimentRun {
@@ -36,6 +40,7 @@ struct ExperimentRun {
   double wallSeconds = 0.0;  ///< instrumentation only; never serialised
   std::size_t cells = 0;     ///< sweep cells executed via ctx.parallelFor
   sim::EngineStats engine;   ///< engine counters over the experiment's sims
+  obs::RunCounters counters;  ///< world traffic/trace accounting
   ResultSet results;
   std::string json;  ///< the deterministic result document
 };
@@ -53,16 +58,21 @@ CampaignResult runCampaign(const CampaignOptions& options, std::ostream& out);
 
 /// The deterministic per-experiment JSON document (schema
 /// "socbench-result-v1"): name, paper reference, title, seed, results, and
-/// — when `engine` is non-null (the experiment ran simulations) — the
-/// deterministic engine counters (hostSeconds is deliberately excluded).
+/// — when the pointers are non-null — the deterministic engine counters
+/// (hostSeconds and the host-dependent stack high-water marks are
+/// deliberately excluded) and the world traffic/trace accounting.
 std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
                            const ResultSet& results,
-                           const sim::EngineStats* engine = nullptr);
+                           const sim::EngineStats* engine = nullptr,
+                           const obs::RunCounters* counters = nullptr);
 
 /// The `socbench` CLI:
 ///   socbench list [glob...]
 ///   socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N] [--seed S]
-///                [--sim-backend fiber|thread] [--compat] [--no-summary]
+///                [--sim-backend fiber|thread]
+///                [--trace-mode full|sampled|aggregate] [--compat]
+///                [--no-summary]
+/// Flags accept both "--flag value" and "--flag=value".
 /// Returns the process exit code.
 int socbenchMain(int argc, const char* const* argv);
 

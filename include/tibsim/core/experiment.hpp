@@ -18,6 +18,7 @@
 #include "tibsim/common/result_set.hpp"
 #include "tibsim/common/rng.hpp"
 #include "tibsim/common/thread_pool.hpp"
+#include "tibsim/obs/run_counters.hpp"
 #include "tibsim/sim/engine_stats.hpp"
 
 namespace tibsim::core {
@@ -60,12 +61,38 @@ class ExperimentContext {
   /// Engine counters accumulated so far across every recorded simulation.
   sim::EngineStats engineStats() const;
 
+  /// Fold one world's traffic/trace accounting into this experiment's
+  /// totals. Thread-safe; totals are --jobs-independent (canonical-order
+  /// folding, like recordEngineStats).
+  void recordRunCounters(const obs::RunCounters& counters) const;
+
+  /// Traffic/trace accounting accumulated across every recorded world.
+  obs::RunCounters runCounters() const;
+
+  /// Record a full mpi::WorldStats in one call: engine counters plus the
+  /// message/trace accounting. Templated so core/ needs no mpi/ dependency;
+  /// any type with the WorldStats field set works.
+  template <typename WorldStatsT>
+  void recordWorldStats(const WorldStatsT& stats) const {
+    recordEngineStats(stats.engine);
+    obs::RunCounters counters;
+    counters.worlds = 1;
+    counters.messages = stats.messageCount;
+    counters.payloadBytes = stats.payloadBytes;
+    counters.wireBytes = stats.wireBytes;
+    counters.spansRecorded = stats.traceSpansRecorded;
+    counters.spansRetained = stats.traceSpansRetained;
+    counters.traceMemoryPeakBytes = stats.traceMemoryBytes;
+    recordRunCounters(counters);
+  }
+
  private:
   std::uint64_t seed_;
   TaskPool* pool_;
   mutable std::atomic<std::size_t> cells_{0};
   mutable std::mutex engineMutex_;
   mutable std::vector<sim::EngineStats> engineRecords_;
+  mutable std::vector<obs::RunCounters> counterRecords_;
 };
 
 /// One reproduced artefact (figure / table / ablation / campaign).

@@ -6,11 +6,18 @@
 // can be characterised the way a real deployment would be.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "tibsim/mpi/simmpi.hpp"
 
 namespace tibsim::mpi::imb {
+
+/// Observer invoked with every MpiWorld's WorldStats as a benchmark sweeps
+/// its message sizes. Lets callers (the imb_suite experiment) account for
+/// engine counters and message traffic that the per-operation Result
+/// timings would otherwise discard.
+using StatsHook = std::function<void(const WorldStats&)>;
 
 struct Result {
   std::size_t bytes = 0;
@@ -24,31 +31,37 @@ std::vector<std::size_t> messageSizes(std::size_t maxBytes = 1 << 22);
 /// PingPong between ranks 0 and 1: reported time is half the round trip.
 std::vector<Result> pingPong(const WorldConfig& config,
                              const std::vector<std::size_t>& sizes,
-                             int repetitions = 8);
+                             int repetitions = 8,
+                             const StatsHook& hook = {});
 
 /// PingPing: both ranks send simultaneously, stressing the full-duplex
 /// path; reported time is the per-message completion time.
 std::vector<Result> pingPing(const WorldConfig& config,
                              const std::vector<std::size_t>& sizes,
-                             int repetitions = 8);
+                             int repetitions = 8,
+                             const StatsHook& hook = {});
 
 /// Exchange: every rank exchanges with both chain neighbours per
 /// iteration (the halo pattern); 4 messages per rank per iteration.
 std::vector<Result> exchange(const WorldConfig& config, int ranks,
                              const std::vector<std::size_t>& sizes,
-                             int repetitions = 4);
+                             int repetitions = 4,
+                             const StatsHook& hook = {});
 
 /// Allreduce on a vector of doubles across `ranks` ranks.
 std::vector<Result> allreduce(const WorldConfig& config, int ranks,
                               const std::vector<std::size_t>& sizes,
-                              int repetitions = 4);
+                              int repetitions = 4,
+                              const StatsHook& hook = {});
 
 /// Bcast from rank 0 across `ranks` ranks.
 std::vector<Result> bcast(const WorldConfig& config, int ranks,
                           const std::vector<std::size_t>& sizes,
-                          int repetitions = 4);
+                          int repetitions = 4,
+                          const StatsHook& hook = {});
 
 /// Barrier across `ranks` ranks; a single Result (bytes = 0).
-Result barrier(const WorldConfig& config, int ranks, int repetitions = 16);
+Result barrier(const WorldConfig& config, int ranks, int repetitions = 16,
+               const StatsHook& hook = {});
 
 }  // namespace tibsim::mpi::imb

@@ -46,6 +46,16 @@ struct WorldConfig {
   /// sim/execution_context.hpp). Snapshot of the process-wide default at
   /// config construction so a campaign-level override flows through.
   sim::ExecBackend simBackend = sim::defaultExecBackend();
+  /// How a traced run records spans (obs layer sink: full / sampled /
+  /// aggregate). Snapshot of the process-wide default so --trace-mode and
+  /// TIBSIM_TRACE_MODE flow through. Tracing itself stays opt-in via
+  /// MpiWorld::enableTracing().
+  obs::TraceMode traceMode = obs::defaultTraceMode();
+  std::size_t traceReservoirPerRank = 512;  ///< sampled mode: spans kept/rank
+  std::uint64_t traceSeed = 0;              ///< sampled mode reservoir seed
+  /// Per-rank fiber stack size; 0 = engine default (TIBSIM_FIBER_STACK_KB
+  /// or 256 KiB). The thread backend ignores it.
+  std::size_t fiberStackBytes = 0;
 
   static WorldConfig tibidaboNode();  ///< Tegra2 node, 1 GbE, TCP/IP
 };
@@ -63,6 +73,11 @@ struct WorldStats {
   double fabricQueueingSeconds = 0.0;
   int nodes = 0;
   sim::EngineStats engine;  ///< discrete-event engine counters for the run
+  // Trace accounting (zero when tracing was not enabled). Recorded counts
+  // are mode-independent; retained/memory reflect the sink's bound.
+  std::uint64_t traceSpansRecorded = 0;
+  std::uint64_t traceSpansRetained = 0;
+  std::size_t traceMemoryBytes = 0;
 
   double achievedFlopsPerSecond() const {
     return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;
@@ -189,8 +204,14 @@ class MpiWorld {
   const net::ProtocolModel& protocolModel() const { return *protocol_; }
 
   /// Record per-rank compute/send/recv/wait spans during run() — the
-  /// Paraver-style post-mortem view. Off by default (spans cost memory).
-  void enableTracing() { tracing_ = true; }
+  /// Paraver-style post-mortem view. Off by default. The sink is rebuilt
+  /// from the config's trace mode, so call before run(); memory cost is
+  /// bounded in sampled/aggregate modes.
+  void enableTracing() {
+    tracing_ = true;
+    tracer_.configure({config_.traceMode, config_.traceReservoirPerRank,
+                       config_.traceSeed});
+  }
   const Tracer& tracer() const { return tracer_; }
   int nodes() const { return nodes_; }
   const WorldConfig& config() const { return config_; }

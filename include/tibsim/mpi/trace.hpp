@@ -6,65 +6,92 @@
 // (Figure 8). This module provides the equivalent for simulated runs: each
 // rank's timeline is recorded as typed spans (compute, protocol CPU, wait)
 // and summarised into the per-rank breakdowns that make a scalability
-// bottleneck visible — plus a CSV export a real trace viewer could ingest.
+// bottleneck visible.
+//
+// Storage and exporters live in the obs layer (tibsim/obs/): Tracer is a
+// thin facade over a pluggable obs::TraceSink, so the recording cost can be
+// bounded (sampled reservoir, streaming aggregates) without the simMPI
+// runtime knowing the difference. The span vocabulary is aliased back into
+// tibsim::mpi for source compatibility.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "tibsim/obs/exporters.hpp"
+#include "tibsim/obs/trace_sink.hpp"
+
 namespace tibsim::mpi {
 
-enum class SpanKind {
-  Compute,  ///< application work charged via compute()
-  Send,     ///< sender-side protocol CPU time
-  Recv,     ///< receiver-side protocol CPU time
-  Wait,     ///< blocked in recv with no matching message
-};
-
-std::string toString(SpanKind kind);
-
-struct TraceSpan {
-  int rank = 0;
-  SpanKind kind = SpanKind::Compute;
-  double begin = 0.0;
-  double end = 0.0;
-  int peer = -1;           ///< other rank for Send/Recv, -1 otherwise
-  std::size_t bytes = 0;   ///< message size for Send/Recv
-
-  double duration() const { return end - begin; }
-};
+using SpanKind = obs::SpanKind;
+using TraceSpan = obs::TraceSpan;
+using obs::toString;
 
 class Tracer {
  public:
-  void record(TraceSpan span);
-  void clear();
+  using RankSummary = obs::RankSummary;
 
-  const std::vector<TraceSpan>& spans() const { return spans_; }
-  bool empty() const { return spans_.empty(); }
+  /// Default: full-fidelity recording (every span retained).
+  Tracer() : sink_(obs::TraceSink::create({})) {}
 
-  /// Per-rank time breakdown over [0, wallClock].
-  struct RankSummary {
-    int rank = 0;
-    double computeSeconds = 0.0;
-    double sendSeconds = 0.0;
-    double recvSeconds = 0.0;
-    double waitSeconds = 0.0;
-    double otherSeconds = 0.0;  ///< wallclock not covered by spans
+  /// Swap the sink for one built from `config`. Discards anything already
+  /// recorded — call before the traced run, not during.
+  void configure(const obs::SinkConfig& config) {
+    sink_ = obs::TraceSink::create(config);
+  }
 
-    double commSeconds() const { return sendSeconds + recvSeconds; }
-  };
+  void record(TraceSpan span) { sink_->record(span); }
+  void clear() { sink_->clear(); }
 
-  std::vector<RankSummary> summarize(int ranks, double wallClock) const;
+  obs::TraceMode mode() const { return sink_->mode(); }
+
+  /// Spans retained for timeline export. Everything in full mode, the
+  /// per-rank reservoirs in sampled mode, empty in aggregate mode.
+  std::vector<TraceSpan> retainedSpans() const {
+    return sink_->retainedSpans();
+  }
+
+  /// Total spans ever recorded — identical across modes.
+  std::uint64_t spansRecorded() const { return sink_->spansRecorded(); }
+  std::size_t spansRetained() const { return sink_->spansRetained(); }
+  bool empty() const { return sink_->spansRecorded() == 0; }
+
+  /// Approximate resident bytes held by the sink (deterministic).
+  std::size_t memoryBytes() const { return sink_->memoryBytes(); }
+
+  /// Per-rank time breakdown over [0, wallClock] — exact in every mode.
+  std::vector<RankSummary> summarize(int ranks, double wallClock) const {
+    return sink_->summarize(ranks, wallClock);
+  }
 
   /// Fraction of total rank-time spent outside compute — the first number
-  /// a scalability post-mortem looks at.
-  double nonComputeFraction(int ranks, double wallClock) const;
+  /// a scalability post-mortem looks at. Exact in every mode.
+  double nonComputeFraction(int ranks, double wallClock) const {
+    return sink_->nonComputeFraction(ranks, wallClock);
+  }
 
-  /// One line per span: rank,kind,begin,end,peer,bytes (Paraver-convertible).
-  std::string exportCsv() const;
+  /// Per-(rank, kind) duration histogram; nullptr outside aggregate mode.
+  const obs::DurationHistogram* histogram(int rank, SpanKind kind) const {
+    return sink_->histogram(rank, kind);
+  }
+
+  /// One line per span: rank,kind,begin,end,peer,bytes (header included).
+  std::string exportCsv() const { return obs::exportCsv(retainedSpans()); }
+
+  /// Chrome trace_event JSON (chrome://tracing, Perfetto).
+  std::string exportChromeJson() const {
+    return obs::exportChromeJson(retainedSpans());
+  }
+
+  /// Paraver .prv state records over the retained spans.
+  std::string exportPrv(int ranks, double wallClockSeconds) const {
+    return obs::exportPrv(retainedSpans(), ranks, wallClockSeconds);
+  }
 
  private:
-  std::vector<TraceSpan> spans_;
+  std::unique_ptr<obs::TraceSink> sink_;
 };
 
 }  // namespace tibsim::mpi

@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic per-world accounting rolled up across an experiment. Every
+// simMPI world a campaign builds — traced or not — contributes one
+// RunCounters record, so campaign artefacts account for all message traffic
+// and trace memory, not just the worlds an experiment chose to showcase
+// (the imb_suite under-reporting the ROADMAP called out).
+//
+// All fields are functions of the simulated run only (no host clocks, no
+// allocator introspection), so they are safe to serialise into the
+// byte-identical campaign JSON/CSV.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tibsim::obs {
+
+struct RunCounters {
+  std::uint64_t worlds = 0;  ///< simMPI worlds accounted
+  std::uint64_t messages = 0;
+  double payloadBytes = 0.0;
+  double wireBytes = 0.0;
+  std::uint64_t spansRecorded = 0;  ///< spans seen by trace sinks
+  std::uint64_t spansRetained = 0;  ///< spans still resident after the runs
+  std::uint64_t traceMemoryPeakBytes = 0;  ///< largest single-world sink
+
+  /// Fold another record into this one. Sums and maxes only, so the total
+  /// is order-independent up to floating-point rounding; accumulate in a
+  /// canonical order (ExperimentContext does) for byte-determinism.
+  void accumulate(const RunCounters& other) {
+    worlds += other.worlds;
+    messages += other.messages;
+    payloadBytes += other.payloadBytes;
+    wireBytes += other.wireBytes;
+    spansRecorded += other.spansRecorded;
+    spansRetained += other.spansRetained;
+    traceMemoryPeakBytes =
+        std::max(traceMemoryPeakBytes, other.traceMemoryPeakBytes);
+  }
+};
+
+}  // namespace tibsim::obs

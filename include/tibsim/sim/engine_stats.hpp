@@ -24,6 +24,14 @@ struct EngineStats {
   std::size_t queueHighWater = 0;
   double simSeconds = 0.0;
   double hostSeconds = 0.0;  // wall-clock; nondeterministic, never serialised
+  /// Largest per-process stack configured on the fiber backend (0 on the
+  /// thread backend, whose stacks belong to the OS).
+  std::size_t fiberStackBytes = 0;
+  /// Deepest fiber stack use observed across all finished processes
+  /// (pattern-scan high-water mark). Depends on compiler frame layout, so —
+  /// like hostSeconds — it feeds the run summary, never the serialised
+  /// artefacts.
+  std::size_t stackHighWaterBytes = 0;
 
   /// Fold another simulation's stats into this one. Order-independent
   /// (sums and maxes only) so accumulation across parallelFor cells yields
@@ -36,6 +44,9 @@ struct EngineStats {
     queueHighWater = std::max(queueHighWater, other.queueHighWater);
     simSeconds += other.simSeconds;
     hostSeconds += other.hostSeconds;
+    fiberStackBytes = std::max(fiberStackBytes, other.fiberStackBytes);
+    stackHighWaterBytes =
+        std::max(stackHighWaterBytes, other.stackHighWaterBytes);
   }
 
   /// Host wall-clock cost per simulated second (0 when nothing simulated).

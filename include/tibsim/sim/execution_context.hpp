@@ -86,6 +86,16 @@ class ExecutionContext {
   /// which cannot follow swapcontext).
   virtual ExecBackend backend() const = 0;
 
+  /// Size of the owned stack, or 0 for backends whose stacks belong to the
+  /// OS (thread backend).
+  virtual std::size_t stackBytes() const { return 0; }
+
+  /// Deepest observed use of the owned stack, measured by scanning for the
+  /// first overwritten fill byte (obs::scanStackHighWater). 0 when the
+  /// backend cannot measure it. A value equal to stackBytes() means the
+  /// whole stack was scribbled — treat the stack as undersized.
+  virtual std::size_t stackHighWaterBytes() const { return 0; }
+
   /// Fiber stack size: TIBSIM_FIBER_STACK_KB (KiB) when set, else 256 KiB.
   static std::size_t defaultStackBytes();
 

@@ -69,7 +69,7 @@ class Process {
   friend class Simulation;
   Process(Simulation& sim, std::uint64_t id, std::string name, Body body);
 
-  void start(ExecBackend backend);
+  void start(ExecBackend backend, std::size_t stackBytes);
   void switchIn();      // scheduler -> process; blocks scheduler until yield
   void yieldToHost();   // process -> scheduler
   void kill();          // request ProcessKilled unwind and run it to the end
@@ -93,7 +93,10 @@ class Process {
 class Simulation {
  public:
   Simulation() : Simulation(defaultExecBackend()) {}
-  explicit Simulation(ExecBackend backend) : backend_(backend) {}
+  /// `stackBytes` sizes each process's fiber stack; 0 means the engine
+  /// default (TIBSIM_FIBER_STACK_KB or 256 KiB). Thread backend ignores it.
+  explicit Simulation(ExecBackend backend, std::size_t stackBytes = 0)
+      : backend_(backend), stackBytes_(stackBytes) {}
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -103,6 +106,9 @@ class Simulation {
 
   /// Execution backend new processes are created on.
   ExecBackend backend() const { return backend_; }
+
+  /// Configured per-process stack size (0 = engine default).
+  std::size_t stackBytes() const { return stackBytes_; }
 
   /// Schedule a callback at absolute time t (>= now()).
   void scheduleAt(double t, std::function<void()> fn);
@@ -166,10 +172,11 @@ class Simulation {
 
   void dispatch(Event& ev);
   void noteContextSwitch() { ++stats_.contextSwitches; }
-  void noteProcessFinished();
+  void noteProcessFinished(Process& p);
 
   double now_ = 0.0;
   ExecBackend backend_;
+  std::size_t stackBytes_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t nextProcessId_ = 0;
   std::size_t liveNow_ = 0;

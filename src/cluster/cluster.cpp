@@ -72,6 +72,12 @@ double ClusterSimulation::frequencyHz() const {
 
 JobResult ClusterSimulation::runJob(int nodesUsed,
                                     const mpi::MpiWorld::RankBody& body) {
+  return runJob(nodesUsed, body, JobOptions{});
+}
+
+JobResult ClusterSimulation::runJob(int nodesUsed,
+                                    const mpi::MpiWorld::RankBody& body,
+                                    const JobOptions& options) {
   TIB_REQUIRE(nodesUsed >= 1 && nodesUsed <= spec_.nodes);
 
   mpi::WorldConfig cfg;
@@ -80,9 +86,12 @@ JobResult ClusterSimulation::runJob(int nodesUsed,
   cfg.protocol = spec_.protocol;
   cfg.ranksPerNode = spec_.ranksPerNode;
   cfg.topology = spec_.topology;
+  cfg.traceSeed = options.traceSeed;
+  cfg.fiberStackBytes = options.fiberStackBytes;
 
   const int ranks = nodesUsed * spec_.ranksPerNode;
   mpi::MpiWorld world(cfg, ranks);
+  if (options.enableTracing) world.enableTracing();
   JobResult result;
   result.stats = world.run(body);
   result.nodes = nodesUsed;
@@ -119,6 +128,7 @@ JobResult ClusterSimulation::runJob(int nodesUsed,
         result.stats.totalFlops, result.wallClockSeconds,
         result.averagePowerW);
   }
+  if (options.observer) options.observer(world, result);
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/table.hpp"
+#include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/execution_context.hpp"
 
 namespace tibsim::core {
@@ -37,7 +38,8 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 
 std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
                            const ResultSet& results,
-                           const sim::EngineStats* engine) {
+                           const sim::EngineStats* engine,
+                           const obs::RunCounters* counters) {
   json::Value doc = json::Value::object();
   doc["schema"] = "socbench-result-v1";
   doc["experiment"] = experiment.name();
@@ -56,6 +58,23 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
     stats["queueHighWater"] = static_cast<double>(engine->queueHighWater);
     stats["simSeconds"] = engine->simSeconds;
     doc["engine"] = std::move(stats);
+  }
+  if (counters != nullptr) {
+    // World traffic + trace accounting. Everything here is a function of
+    // the simulated runs (counts, modelled bytes, sink bookkeeping), so it
+    // stays byte-identical across runs/backends/--jobs.
+    json::Value worlds = json::Value::object();
+    worlds["worlds"] = static_cast<double>(counters->worlds);
+    worlds["messages"] = static_cast<double>(counters->messages);
+    worlds["payloadBytes"] = counters->payloadBytes;
+    worlds["wireBytes"] = counters->wireBytes;
+    worlds["traceSpansRecorded"] =
+        static_cast<double>(counters->spansRecorded);
+    worlds["traceSpansRetained"] =
+        static_cast<double>(counters->spansRetained);
+    worlds["traceMemoryPeakBytes"] =
+        static_cast<double>(counters->traceMemoryPeakBytes);
+    doc["worlds"] = std::move(worlds);
   }
   doc["results"] = ResultSet::toJson(results);
   return doc.dump(2) + "\n";
@@ -83,6 +102,12 @@ CampaignResult runCampaign(const CampaignOptions& options,
   if (!options.simBackend.empty())
     backendOverride.emplace(sim::parseExecBackend(options.simBackend));
 
+  // Trace-mode override, same snapshot pattern: every WorldConfig built
+  // below captures the default trace mode at construction.
+  std::optional<obs::ScopedTraceMode> traceOverride;
+  if (!options.traceMode.empty())
+    traceOverride.emplace(obs::parseTraceMode(options.traceMode));
+
   CampaignResult campaign;
   campaign.jobs = jobs;
   campaign.seed = options.seed;
@@ -93,6 +118,7 @@ CampaignResult runCampaign(const CampaignOptions& options,
         << (selected.size() == 1 ? "" : "s") << ", jobs=" << jobs
         << ", seed=" << options.seed
         << ", sim-backend=" << sim::toString(sim::defaultExecBackend())
+        << ", trace-mode=" << obs::toString(obs::defaultTraceMode())
         << " ===\n"
         << kPaperLine << "\n\n";
   }
@@ -114,9 +140,11 @@ CampaignResult runCampaign(const CampaignOptions& options,
     run.wallSeconds = secondsSince(start);
     run.cells = ctx.cellsExecuted();
     run.engine = ctx.engineStats();
+    run.counters = ctx.runCounters();
     run.json = resultDocument(
         experiment, seed, run.results,
-        run.engine.eventsDispatched > 0 ? &run.engine : nullptr);
+        run.engine.eventsDispatched > 0 ? &run.engine : nullptr,
+        run.counters.worlds > 0 ? &run.counters : nullptr);
   });
   campaign.wallSeconds = secondsSince(campaignStart);
 
@@ -144,6 +172,17 @@ CampaignResult runCampaign(const CampaignOptions& options,
             << run.engine.queueHighWater << ',' << run.engine.simSeconds
             << '\n';
         writeFile(dir / (run.name + "__engine.csv"), csv.str());
+      }
+      if (run.counters.worlds > 0) {
+        std::ostringstream csv;
+        csv << "worlds,messages,payloadBytes,wireBytes,traceSpansRecorded,"
+               "traceSpansRetained,traceMemoryPeakBytes\n"
+            << run.counters.worlds << ',' << run.counters.messages << ','
+            << run.counters.payloadBytes << ',' << run.counters.wireBytes
+            << ',' << run.counters.spansRecorded << ','
+            << run.counters.spansRetained << ','
+            << run.counters.traceMemoryPeakBytes << '\n';
+        writeFile(dir / (run.name + "__worlds.csv"), csv.str());
       }
     }
   }
@@ -190,6 +229,33 @@ CampaignResult runCampaign(const CampaignOptions& options,
           << sim::toString(sim::defaultExecBackend()) << ") --\n"
           << engineTable.render() << '\n';
     }
+    // Worlds block: message traffic and trace accounting, plus the fiber
+    // stack high-water marks (host-dependent, so summary-only — never in
+    // the serialised artefacts).
+    bool anyWorlds = false;
+    TextTable worldsTable({"experiment", "worlds", "messages", "spans rec",
+                           "spans kept", "trace KiB", "stack KiB",
+                           "stack hwm KiB"});
+    for (const ExperimentRun& run : campaign.runs) {
+      if (run.counters.worlds == 0) continue;
+      anyWorlds = true;
+      const auto toKiB = [](std::size_t bytes) {
+        return fmt(static_cast<double>(bytes) / 1024.0, 1);
+      };
+      worldsTable.addRow(
+          {run.name, std::to_string(run.counters.worlds),
+           std::to_string(run.counters.messages),
+           std::to_string(run.counters.spansRecorded),
+           std::to_string(run.counters.spansRetained),
+           toKiB(run.counters.traceMemoryPeakBytes),
+           toKiB(run.engine.fiberStackBytes),
+           toKiB(run.engine.stackHighWaterBytes)});
+    }
+    if (anyWorlds) {
+      out << "-- worlds (trace-mode="
+          << obs::toString(obs::defaultTraceMode()) << ") --\n"
+          << worldsTable.render() << '\n';
+    }
     if (!options.jsonDir.empty())
       out << "JSON written to " << options.jsonDir << "/\n";
     if (!options.csvDir.empty())
@@ -218,21 +284,39 @@ void printUsage(std::ostream& out) {
          "usage:\n"
          "  socbench list [glob...]\n"
          "  socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N]\n"
-         "               [--seed S] [--sim-backend fiber|thread] [--compat]\n"
+         "               [--seed S] [--sim-backend fiber|thread]\n"
+         "               [--trace-mode full|sampled|aggregate] [--compat]\n"
          "               [--no-summary]\n\n"
          "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
          "selects every experiment.\n"
+         "Flags accept both '--flag value' and '--flag=value'.\n"
          "--sim-backend picks the cooperative-process implementation "
          "(user-space fibers by default; 'thread' is the portable\n"
          "one-OS-thread-per-rank fallback). TIBSIM_SIM_BACKEND sets the "
-         "same default from the environment.\n";
+         "same default from the environment.\n"
+         "--trace-mode bounds traced worlds' span memory: 'full' keeps "
+         "every span, 'sampled' a deterministic per-rank reservoir,\n"
+         "'aggregate' streaming per-rank histograms only (O(ranks), the "
+         "choice at scale). TIBSIM_TRACE_MODE sets the same default.\n";
 }
 
 }  // namespace
 
 int socbenchMain(int argc, const char* const* argv) {
-  // argv[0] is the program name, as main() receives it; skip it.
-  std::vector<std::string> args(argv + std::min(argc, 1), argv + argc);
+  // argv[0] is the program name, as main() receives it; skip it. Split
+  // "--flag=value" into "--flag value" so both spellings parse the same.
+  std::vector<std::string> args;
+  for (int i = std::min(argc, 1); i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-' &&
+        eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
   if (args.empty() || args[0] == "--help" || args[0] == "-h") {
     printUsage(std::cout);
     return args.empty() ? 2 : 0;
@@ -275,6 +359,10 @@ int socbenchMain(int argc, const char* const* argv) {
       const std::string* v = flagValue("--sim-backend");
       if (v == nullptr) return 2;
       options.simBackend = *v;
+    } else if (arg == "--trace-mode") {
+      const std::string* v = flagValue("--trace-mode");
+      if (v == nullptr) return 2;
+      options.traceMode = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "socbench: unknown flag " << arg << "\n";
       printUsage(std::cerr);

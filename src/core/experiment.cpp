@@ -47,6 +47,32 @@ sim::EngineStats ExperimentContext::engineStats() const {
   return total;
 }
 
+void ExperimentContext::recordRunCounters(
+    const obs::RunCounters& counters) const {
+  std::lock_guard lock(engineMutex_);
+  counterRecords_.push_back(counters);
+}
+
+obs::RunCounters ExperimentContext::runCounters() const {
+  std::vector<obs::RunCounters> records;
+  {
+    std::lock_guard lock(engineMutex_);
+    records = counterRecords_;
+  }
+  // Same canonical-order fold as engineStats(): payloadBytes/wireBytes are
+  // double sums and land in the serialised campaign artefacts.
+  std::sort(records.begin(), records.end(),
+            [](const obs::RunCounters& a, const obs::RunCounters& b) {
+              return std::tie(a.messages, a.spansRecorded, a.payloadBytes,
+                              a.wireBytes, a.spansRetained) <
+                     std::tie(b.messages, b.spansRecorded, b.payloadBytes,
+                              b.wireBytes, b.spansRetained);
+            });
+  obs::RunCounters total;
+  for (const obs::RunCounters& r : records) total.accumulate(r);
+  return total;
+}
+
 ExperimentRegistry& ExperimentRegistry::global() {
   static ExperimentRegistry registry;
   static std::once_flag once;

@@ -300,7 +300,7 @@ std::vector<ScalingCurve> scalabilityExperiment(
       cells[c].result = sim.runJob(
           cells[c].nodes, app.make(cells[c].nodes * spec.ranksPerNode));
     }
-    ctx.recordEngineStats(cells[c].result.stats.engine);
+    ctx.recordWorldStats(cells[c].result.stats);
   });
 
   std::vector<ScalingCurve> curves;

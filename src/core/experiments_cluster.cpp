@@ -20,6 +20,7 @@
 #include "tibsim/common/units.hpp"
 #include "tibsim/core/experiment.hpp"
 #include "tibsim/core/experiments.hpp"
+#include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/reliability/dram_errors.hpp"
 
 namespace tibsim::core {
@@ -108,7 +109,7 @@ ResultSet runHplGreen500(ExperimentContext& ctx) {
     cells[i].n =
         apps::HplBenchmark::problemSizeForNodes(sim.spec(), nodeCounts[i]);
     cells[i].result = apps::HplBenchmark::run(sim, nodeCounts[i]);
-    ctx.recordEngineStats(cells[i].result.stats.engine);
+    ctx.recordWorldStats(cells[i].result.stats);
   });
 
   ResultSet results;
@@ -196,7 +197,7 @@ ResultSet runEnergyToSolution(ExperimentContext& ctx) {
                                        ? cluster::ClusterSpec::tibidabo()
                                        : nehalemCluster(jobs[i].nodes));
     runs[i] = sim.runJob(jobs[i].nodes, jobs[i].body);
-    ctx.recordEngineStats(runs[i].stats.engine);
+    ctx.recordWorldStats(runs[i].stats);
   });
 
   ResultSet results;
@@ -273,9 +274,9 @@ ResultSet runCampaignExperiment(ExperimentContext& ctx) {
   const double specfemOn32 = specfemJob.wallClockSeconds;
   const cluster::JobResult hplJob = apps::HplBenchmark::run(sim, 64, 0.2);
   const double hplOn64 = hplJob.wallClockSeconds;
-  ctx.recordEngineStats(hydroJob.stats.engine);
-  ctx.recordEngineStats(specfemJob.stats.engine);
-  ctx.recordEngineStats(hplJob.stats.engine);
+  ctx.recordWorldStats(hydroJob.stats);
+  ctx.recordWorldStats(specfemJob.stats);
+  ctx.recordWorldStats(hplJob.stats);
 
   // A morning's submissions: users over-request wall time, as users do.
   cluster::SlurmScheduler slurm(spec.nodes);
@@ -358,7 +359,7 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
       cell.result =
           sim.runJob(cell.nodes, apps::HydroBenchmark::rankBody(hydro));
     }
-    ctx.recordEngineStats(cell.result.stats.engine);
+    ctx.recordWorldStats(cell.result.stats);
   });
 
   ResultSet results;
@@ -411,6 +412,51 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
       static_cast<double>(hplTop.result.stats.engine.peakLiveProcesses),
       "processes");
 
+  // Paraver-style per-rank breakdown at 2048 ranks (1024 nodes x 2
+  // ranks/node, HYDRO) — the campaign-scale payoff of the bounded trace
+  // sinks. Only emitted in the bounded modes: full mode would retain every
+  // span (the very memory cliff the sinks exist to avoid), and full-mode
+  // artefacts must stay identical to earlier releases.
+  const obs::TraceMode traceMode = obs::defaultTraceMode();
+  if (traceMode != obs::TraceMode::Full) {
+    cluster::ClusterSimulation tracedSim(
+        cluster::ClusterSpec::tibidaboScaled(1024));
+    cluster::JobOptions options;
+    options.enableTracing = true;
+    options.traceSeed = ctx.rng(2048).nextU64();
+    TextTable breakdown(
+        {"rank", "compute s", "send s", "recv s", "wait s", "other s"});
+    options.observer = [&breakdown](const mpi::MpiWorld& world,
+                                    const cluster::JobResult& r) {
+      for (const auto& s :
+           world.tracer().summarize(r.ranks, r.wallClockSeconds)) {
+        breakdown.addRow({std::to_string(s.rank), fmt(s.computeSeconds, 6),
+                          fmt(s.sendSeconds, 6), fmt(s.recvSeconds, 6),
+                          fmt(s.waitSeconds, 6), fmt(s.otherSeconds, 6)});
+      }
+    };
+    const cluster::JobResult traced = tracedSim.runJob(
+        1024, apps::HydroBenchmark::rankBody(hydro), options);
+    ctx.recordWorldStats(traced.stats);
+    results.addTable(std::string("2048-rank breakdown (") +
+                         obs::toString(traceMode) + ")",
+                     std::move(breakdown));
+    results.addMetric("2048-rank trace spans recorded",
+                      static_cast<double>(traced.stats.traceSpansRecorded),
+                      "spans");
+    results.addMetric("2048-rank trace spans retained",
+                      static_cast<double>(traced.stats.traceSpansRetained),
+                      "spans");
+    results.addMetric("2048-rank trace memory",
+                      static_cast<double>(traced.stats.traceMemoryBytes) /
+                          1024.0,
+                      "KiB");
+    results.addNote(
+        "per-rank compute/send/recv/wait over the full HYDRO run; exact "
+        "totals in every mode (the sink keeps O(ranks) duration "
+        "accumulators even when spans are sampled or histogrammed)");
+  }
+
   // Consistency check against ecc_reliability: run a real (short) job on
   // the 1,500-node machine §6.3 reasons about, then confirm the DRAM-error
   // model reproduces the paper's headline probability for that same size.
@@ -420,7 +466,7 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
         mctx.barrier();
         mctx.allreduceSum(static_cast<double>(mctx.rank()));
       });
-  ctx.recordEngineStats(relJob.stats.engine);
+  ctx.recordWorldStats(relJob.stats);
   const reliability::DramErrorModel model;
   const double pDaily = 100 * model.systemDailyErrorProbability(1500);
   TextTable rel({"check", "value"});

@@ -138,10 +138,16 @@ ResultSet runImbSuite(ExperimentContext& ctx) {
                                           16384, 262144, 1 << 20};
 
   ResultSet results;
+  // Every benchmark world reports its WorldStats through this hook, so the
+  // campaign accounts for the whole suite's engine work and message
+  // traffic, not just the showcase Exchange run below.
+  const auto record = [&ctx](const mpi::WorldStats& s) {
+    ctx.recordWorldStats(s);
+  };
   TextTable p2p({"bytes", "PingPong us", "PingPong MB/s", "PingPing us",
                  "PingPing MB/s"});
-  const auto pong = mpi::imb::pingPong(cfg, sizes);
-  const auto ping = mpi::imb::pingPing(cfg, sizes);
+  const auto pong = mpi::imb::pingPong(cfg, sizes, 8, record);
+  const auto ping = mpi::imb::pingPing(cfg, sizes, 8, record);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     p2p.addRow({std::to_string(sizes[i]), fmt(toUs(pong[i].seconds), 1),
                 fmt(pong[i].bandwidthBytesPerS / 1e6, 1),
@@ -152,9 +158,9 @@ ResultSet runImbSuite(ExperimentContext& ctx) {
 
   const std::vector<std::size_t> collSizes = {8, 1024, 65536};
   TextTable coll({"bytes", "Exchange us", "Allreduce us", "Bcast us"});
-  const auto ex = mpi::imb::exchange(cfg, 32, collSizes);
-  const auto ar = mpi::imb::allreduce(cfg, 32, collSizes);
-  const auto bc = mpi::imb::bcast(cfg, 32, collSizes);
+  const auto ex = mpi::imb::exchange(cfg, 32, collSizes, 4, record);
+  const auto ar = mpi::imb::allreduce(cfg, 32, collSizes, 4, record);
+  const auto bc = mpi::imb::bcast(cfg, 32, collSizes, 4, record);
   for (std::size_t i = 0; i < collSizes.size(); ++i) {
     coll.addRow({std::to_string(collSizes[i]), fmt(toUs(ex[i].seconds), 1),
                  fmt(toUs(ar[i].seconds), 1), fmt(toUs(bc[i].seconds), 1)});
@@ -163,8 +169,9 @@ ResultSet runImbSuite(ExperimentContext& ctx) {
 
   TextTable barrier({"ranks", "Barrier us"});
   for (int ranks : {2, 8, 32, 128}) {
-    barrier.addRow({std::to_string(ranks),
-                    fmt(toUs(mpi::imb::barrier(cfg, ranks).seconds), 1)});
+    barrier.addRow(
+        {std::to_string(ranks),
+         fmt(toUs(mpi::imb::barrier(cfg, ranks, 16, record).seconds), 1)});
   }
   results.addTable("barrier", std::move(barrier));
 
@@ -177,7 +184,7 @@ ResultSet runImbSuite(ExperimentContext& ctx) {
       mpiCtx.neighborExchange(65536, 4);
     }
   });
-  ctx.recordEngineStats(stats.engine);
+  ctx.recordWorldStats(stats);
   TextTable trace({"rank", "compute ms", "send ms", "recv ms", "wait ms"});
   for (const auto& s :
        world.tracer().summarize(8, stats.wallClockSeconds)) {
@@ -192,7 +199,7 @@ ResultSet runImbSuite(ExperimentContext& ctx) {
                               8, stats.wallClockSeconds),
                     "%");
   results.addMetric("trace spans recorded",
-                    static_cast<double>(world.tracer().spans().size()),
+                    static_cast<double>(world.tracer().spansRecorded()),
                     "spans");
   results.addNote("exportCsv() feeds a trace viewer");
   return results;

@@ -23,7 +23,7 @@ std::vector<std::size_t> messageSizes(std::size_t maxBytes) {
 
 std::vector<Result> pingPong(const WorldConfig& config,
                              const std::vector<std::size_t>& sizes,
-                             int repetitions) {
+                             int repetitions, const StatsHook& hook) {
   TIB_REQUIRE(repetitions >= 1);
   std::vector<Result> results;
   for (std::size_t bytes : sizes) {
@@ -40,6 +40,7 @@ std::vector<Result> pingPong(const WorldConfig& config,
             }
           }
         });
+    if (hook) hook(stats);
     results.push_back(makeResult(
         bytes, stats.wallClockSeconds / (2.0 * repetitions)));
   }
@@ -48,7 +49,7 @@ std::vector<Result> pingPong(const WorldConfig& config,
 
 std::vector<Result> pingPing(const WorldConfig& config,
                              const std::vector<std::size_t>& sizes,
-                             int repetitions) {
+                             int repetitions, const StatsHook& hook) {
   TIB_REQUIRE(repetitions >= 1);
   std::vector<Result> results;
   for (std::size_t bytes : sizes) {
@@ -63,6 +64,7 @@ std::vector<Result> pingPing(const WorldConfig& config,
             ctx.wait(req);
           }
         });
+    if (hook) hook(stats);
     results.push_back(
         makeResult(bytes, stats.wallClockSeconds / repetitions));
   }
@@ -71,7 +73,7 @@ std::vector<Result> pingPing(const WorldConfig& config,
 
 std::vector<Result> exchange(const WorldConfig& config, int ranks,
                              const std::vector<std::size_t>& sizes,
-                             int repetitions) {
+                             int repetitions, const StatsHook& hook) {
   TIB_REQUIRE(ranks >= 2 && repetitions >= 1);
   std::vector<Result> results;
   for (std::size_t bytes : sizes) {
@@ -81,6 +83,7 @@ std::vector<Result> exchange(const WorldConfig& config, int ranks,
           for (int i = 0; i < repetitions; ++i)
             ctx.neighborExchange(bytes, 4);
         });
+    if (hook) hook(stats);
     results.push_back(
         makeResult(bytes, stats.wallClockSeconds / repetitions));
   }
@@ -89,7 +92,7 @@ std::vector<Result> exchange(const WorldConfig& config, int ranks,
 
 std::vector<Result> allreduce(const WorldConfig& config, int ranks,
                               const std::vector<std::size_t>& sizes,
-                              int repetitions) {
+                              int repetitions, const StatsHook& hook) {
   TIB_REQUIRE(ranks >= 2 && repetitions >= 1);
   std::vector<Result> results;
   for (std::size_t bytes : sizes) {
@@ -100,6 +103,7 @@ std::vector<Result> allreduce(const WorldConfig& config, int ranks,
           const std::vector<double> values(elements, 1.0);
           for (int i = 0; i < repetitions; ++i) ctx.allreduceSum(values);
         });
+    if (hook) hook(stats);
     results.push_back(
         makeResult(elements * 8, stats.wallClockSeconds / repetitions));
   }
@@ -108,7 +112,7 @@ std::vector<Result> allreduce(const WorldConfig& config, int ranks,
 
 std::vector<Result> bcast(const WorldConfig& config, int ranks,
                           const std::vector<std::size_t>& sizes,
-                          int repetitions) {
+                          int repetitions, const StatsHook& hook) {
   TIB_REQUIRE(ranks >= 2 && repetitions >= 1);
   std::vector<Result> results;
   for (std::size_t bytes : sizes) {
@@ -117,18 +121,21 @@ std::vector<Result> bcast(const WorldConfig& config, int ranks,
         world.run([bytes, repetitions](MpiContext& ctx) {
           for (int i = 0; i < repetitions; ++i) ctx.bcastBytes(bytes, 0);
         });
+    if (hook) hook(stats);
     results.push_back(
         makeResult(bytes, stats.wallClockSeconds / repetitions));
   }
   return results;
 }
 
-Result barrier(const WorldConfig& config, int ranks, int repetitions) {
+Result barrier(const WorldConfig& config, int ranks, int repetitions,
+               const StatsHook& hook) {
   TIB_REQUIRE(ranks >= 2 && repetitions >= 1);
   MpiWorld world(config, ranks);
   const WorldStats stats = world.run([repetitions](MpiContext& ctx) {
     for (int i = 0; i < repetitions; ++i) ctx.barrier();
   });
+  if (hook) hook(stats);
   return makeResult(0, stats.wallClockSeconds / repetitions);
 }
 

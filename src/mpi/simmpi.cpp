@@ -302,7 +302,8 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
 }
 
 WorldStats MpiWorld::run(const RankBody& body) {
-  sim_ = std::make_unique<sim::Simulation>(config_.simBackend);
+  sim_ = std::make_unique<sim::Simulation>(config_.simBackend,
+                                           config_.fiberStackBytes);
   // Roughly eager-send + wake-up per rank in flight at any moment.
   sim_->reserveEvents(static_cast<std::size_t>(ranks_) * 4);
   net::TopologySpec topo = config_.topology;
@@ -334,6 +335,9 @@ WorldStats MpiWorld::run(const RankBody& body) {
 
   sim_->run();
   stats_.engine = sim_->engineStats();
+  stats_.traceSpansRecorded = tracer_.spansRecorded();
+  stats_.traceSpansRetained = tracer_.spansRetained();
+  stats_.traceMemoryBytes = tracer_.memoryBytes();
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

@@ -1,0 +1,93 @@
+#include "tibsim/obs/exporters.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tibsim::obs {
+
+namespace {
+
+/// Simulated seconds -> integer nanoseconds for Paraver records.
+std::uint64_t toNanos(double seconds) {
+  return seconds <= 0.0
+             ? 0
+             : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+int prvState(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Compute: return 1;  // Running
+    case SpanKind::Wait: return 3;     // Waiting a message
+    case SpanKind::Send: return 4;     // Blocking send
+    case SpanKind::Recv: return 5;     // Immediate receive
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string exportCsv(std::span<const TraceSpan> spans) {
+  std::ostringstream out;
+  out << "rank,kind,begin,end,peer,bytes\n";
+  for (const TraceSpan& span : spans) {
+    out << span.rank << ',' << toString(span.kind) << ',' << span.begin
+        << ',' << span.end << ',' << span.peer << ',' << span.bytes << '\n';
+  }
+  return out.str();
+}
+
+std::string exportChromeJson(std::span<const TraceSpan> spans) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << toString(span.kind)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.rank
+        << ",\"ts\":" << span.begin * 1e6 << ",\"dur\":" << span.duration() * 1e6;
+    if (span.peer >= 0) {
+      out << ",\"args\":{\"peer\":" << span.peer << ",\"bytes\":" << span.bytes
+          << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string exportPrv(std::span<const TraceSpan> spans, int ranks,
+                      double wallClockSeconds) {
+  // Header: #Paraver (date):duration:nodes(cpus):apps:app_list
+  // Dates are banned (byte-determinism), so the date field is left blank the
+  // way wxparaver tolerates.
+  std::ostringstream out;
+  const std::uint64_t duration = toNanos(wallClockSeconds);
+  out << "#Paraver ():" << duration << "_ns:1(" << ranks << "):1:" << ranks
+      << '(';
+  for (int r = 0; r < ranks; ++r) {
+    if (r > 0) out << ',';
+    out << "1:1";
+  }
+  out << ")\n";
+  // State records: 1:cpu:appl:task:thread:begin:end:state
+  for (const TraceSpan& span : spans) {
+    out << "1:" << span.rank + 1 << ":1:" << span.rank + 1 << ":1:"
+        << toNanos(span.begin) << ':' << toNanos(span.end) << ':'
+        << prvState(span.kind) << '\n';
+  }
+  return out.str();
+}
+
+std::string exportBreakdownCsv(const std::vector<RankSummary>& summaries) {
+  std::ostringstream out;
+  out << "rank,compute_s,send_s,recv_s,wait_s,other_s\n";
+  for (const RankSummary& s : summaries) {
+    out << s.rank << ',' << s.computeSeconds << ',' << s.sendSeconds << ','
+        << s.recvSeconds << ',' << s.waitSeconds << ',' << s.otherSeconds
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tibsim::obs

@@ -1,0 +1,21 @@
+#include "tibsim/obs/stack_telemetry.hpp"
+
+#include <cstring>
+
+namespace tibsim::obs {
+
+void patternFillStack(void* base, std::size_t bytes) {
+  std::memset(base, kStackFillByte, bytes);
+}
+
+std::size_t scanStackHighWater(const void* base, std::size_t bytes) {
+  // The stack grows down from base + bytes, so the deepest touched byte is
+  // the lowest non-pattern byte. Scan up from the low end; the first
+  // mismatch marks the high-water line.
+  const auto* p = static_cast<const unsigned char*>(base);
+  std::size_t untouched = 0;
+  while (untouched < bytes && p[untouched] == kStackFillByte) ++untouched;
+  return bytes - untouched;
+}
+
+}  // namespace tibsim::obs

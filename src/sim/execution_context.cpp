@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "tibsim/common/assert.hpp"
+#include "tibsim/obs/stack_telemetry.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <setjmp.h>
@@ -146,13 +147,20 @@ class ThreadContext final : public ExecutionContext {
 
 #if TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
 
-constexpr std::size_t kMinFiberStackBytes = 64 * 1024;
+// Floor low enough that stack-sizing experiments guided by the high-water
+// telemetry can actually go below the old 64 KiB default; high enough that
+// the entry thunk itself always fits.
+constexpr std::size_t kMinFiberStackBytes = 16 * 1024;
 
 class FiberContext final : public ExecutionContext {
  public:
   explicit FiberContext(std::size_t stackBytes)
       : stackBytes_(std::max(stackBytes, kMinFiberStackBytes)),
-        stack_(new char[stackBytes_]) {}
+        stack_(new char[stackBytes_]) {
+    // Pattern-fill before makecontext arms the stack so the high-water scan
+    // can tell touched bytes from untouched ones.
+    obs::patternFillStack(stack_.get(), stackBytes_);
+  }
 
   // Process guarantees the entry has returned before destruction, so the
   // stack is quiescent here and delete[] is all that is needed.
@@ -216,6 +224,12 @@ class FiberContext final : public ExecutionContext {
 #endif  // TIBSIM_ASAN
 
   ExecBackend backend() const override { return ExecBackend::Fiber; }
+
+  std::size_t stackBytes() const override { return stackBytes_; }
+
+  std::size_t stackHighWaterBytes() const override {
+    return obs::scanStackHighWater(stack_.get(), stackBytes_);
+  }
 
  private:
   static void run(unsigned selfHi, unsigned selfLo) {

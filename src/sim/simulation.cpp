@@ -24,8 +24,8 @@ Process::Process(Simulation& sim, std::uint64_t id, std::string name,
 
 Process::~Process() { kill(); }
 
-void Process::start(ExecBackend backend) {
-  context_ = ExecutionContext::create(backend);
+void Process::start(ExecBackend backend, std::size_t stackBytes) {
+  context_ = ExecutionContext::create(backend, stackBytes);
   context_->start([this] {
     if (!killRequested_) {
       try {
@@ -46,7 +46,7 @@ void Process::switchIn() {
   TIB_ASSERT(context_ != nullptr && !finished_);
   sim_.noteContextSwitch();
   context_->switchIn();
-  if (finished_) sim_.noteProcessFinished();
+  if (finished_) sim_.noteProcessFinished(*this);
 }
 
 void Process::yieldToHost() {
@@ -144,7 +144,7 @@ Process& Simulation::spawn(std::string name, Process::Body body) {
   auto process = std::unique_ptr<Process>(
       new Process(*this, nextProcessId_++, std::move(name), std::move(body)));
   Process& ref = *process;
-  ref.start(backend_);
+  ref.start(backend_, stackBytes_);
   processes_.push_back(std::move(process));
   ++stats_.processesSpawned;
   ++liveNow_;
@@ -199,9 +199,15 @@ void Simulation::dispatch(Event& ev) {
   ev.fn();
 }
 
-void Simulation::noteProcessFinished() {
+void Simulation::noteProcessFinished(Process& p) {
   TIB_ASSERT(liveNow_ > 0);
   --liveNow_;
+  // Harvest stack telemetry while the context is still alive: the fiber
+  // stack is quiescent once the body has unwound, so the scan is exact.
+  stats_.fiberStackBytes =
+      std::max(stats_.fiberStackBytes, p.context_->stackBytes());
+  stats_.stackHighWaterBytes =
+      std::max(stats_.stackHighWaterBytes, p.context_->stackHighWaterBytes());
 }
 
 std::size_t Simulation::liveProcessCount() const {

@@ -357,4 +357,56 @@ TEST(Campaign, RejectsUnknownSimBackend) {
   EXPECT_THROW(backendCampaign("green-threads", "fig03"), ContractError);
 }
 
+core::CampaignResult traceModeCampaign(const std::string& mode, int jobs) {
+  core::CampaignOptions options;
+  options.patterns = {"imb_suite"};
+  options.jobs = jobs;
+  options.summary = false;
+  options.traceMode = mode;
+  std::ostringstream sink;
+  return core::runCampaign(options, sink);
+}
+
+TEST(Campaign, WorldStatsLandInResultDocument) {
+  const auto campaign = traceModeCampaign("aggregate", 1);
+  const json::Value doc = json::Value::parse(campaign.runs[0].json);
+  const json::Value* worlds = doc.find("worlds");
+  ASSERT_NE(worlds, nullptr);
+  EXPECT_GT(worlds->find("worlds")->asDouble(), 0.0);
+  EXPECT_GT(worlds->find("messages")->asDouble(), 0.0);
+  EXPECT_GT(worlds->find("payloadBytes")->asDouble(), 0.0);
+  EXPECT_GT(worlds->find("traceSpansRecorded")->asDouble(), 0.0);
+  // Aggregate mode retains no spans for the traced Exchange world.
+  EXPECT_EQ(worlds->find("traceSpansRetained")->asDouble(), 0.0);
+  EXPECT_GT(worlds->find("traceMemoryPeakBytes")->asDouble(), 0.0);
+  // Run-level counters mirror the document.
+  EXPECT_GT(campaign.runs[0].counters.worlds, 0u);
+}
+
+TEST(Campaign, JsonIsByteIdenticalAcrossJobsInEveryTraceMode) {
+  for (const char* mode : {"full", "sampled", "aggregate"}) {
+    const auto serial = traceModeCampaign(mode, 1);
+    const auto parallel = traceModeCampaign(mode, 8);
+    EXPECT_FALSE(serial.runs[0].json.empty());
+    EXPECT_EQ(serial.runs[0].json, parallel.runs[0].json) << mode;
+  }
+}
+
+TEST(Campaign, ExplicitFullModeMatchesDefault) {
+  // --trace-mode full must be a no-op relative to the built-in default, so
+  // existing full-mode artefacts stay unchanged.
+  const auto implicit = quietCampaign(1);
+  core::CampaignOptions options;
+  options.patterns = {"fig03"};
+  options.summary = false;
+  options.traceMode = "full";
+  std::ostringstream sink;
+  const auto explicitMode = core::runCampaign(options, sink);
+  EXPECT_EQ(implicit.runs[0].json, explicitMode.runs[0].json);
+}
+
+TEST(Campaign, RejectsUnknownTraceMode) {
+  EXPECT_THROW(traceModeCampaign("firehose", 1), ContractError);
+}
+
 }  // namespace

@@ -59,7 +59,7 @@ TEST(Tracer, MessageProducesSendRecvAndWaitSpans) {
   EXPECT_GT(summaries[1].waitSeconds, 0.0);  // receiver entered recv first
   // Span kinds carry peer and byte information.
   bool foundSend = false;
-  for (const auto& span : world.tracer().spans()) {
+  for (const auto& span : world.tracer().retainedSpans()) {
     if (span.kind == SpanKind::Send) {
       foundSend = true;
       EXPECT_EQ(span.rank, 0);
