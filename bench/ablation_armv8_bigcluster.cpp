@@ -1,0 +1,10 @@
+// Compat wrapper: equivalent to `socbench run ablation_armv8_bigcluster
+// --compat`. The experiment body lives in the registry
+// (src/core/experiments_*.cpp).
+
+#include "tibsim/core/campaign.hpp"
+
+int main(int argc, char** argv) {
+  return tibsim::core::runCompatBinary("ablation_armv8_bigcluster", argc,
+                                       argv);
+}

@@ -1,20 +1,29 @@
 // Microbenchmark: cost per simulated context switch, fiber vs thread
-// execution backend. Two probes:
+// execution backend. Probes:
 //
 //  * raw engine: one process delay()ing in a tight loop — each iteration is
 //    one scheduler->process switch, one process->scheduler yield and one
 //    event dispatch, i.e. the engine's floor;
-//  * simMPI ping-pong: the Section 4.1 two-rank 64-byte ping-pong through
-//    the full protocol stack — what a rank-level context switch costs in
-//    situ.
+//  * simMPI ping-pong: the Section 4.1 two-rank ping-pong through the full
+//    protocol stack — what a rank-level context switch costs in situ. Run
+//    size-only (pure engine + protocol overhead), with the paper's 64-byte
+//    payload (inline small-message storage), and with a 4 KiB payload
+//    (pool-backed buffer, recycled by every recv).
 //
 // Host timings are inherently machine-dependent, so this is a standalone
 // binary (like kernels_native) and never part of the deterministic
-// campaign artefacts. Numbers are recorded in EXPERIMENTS.md.
+// campaign artefacts. `--json OUT` writes the numbers to a
+// machine-readable file (BENCH_sim.json in-repo) so successive PRs have a
+// perf trajectory to compare against; headline numbers also land in
+// EXPERIMENTS.md.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
+#include "tibsim/common/json.hpp"
 #include "tibsim/mpi/simmpi.hpp"
 #include "tibsim/sim/execution_context.hpp"
 #include "tibsim/sim/simulation.hpp"
@@ -26,8 +35,12 @@ using tibsim::sim::ExecBackend;
 struct Probe {
   double seconds = 0.0;
   std::uint64_t switches = 0;
+  int reps = 0;  ///< ping-pong round trips (0 for the raw engine probe)
   double nsPerSwitch() const {
     return switches > 0 ? seconds * 1e9 / static_cast<double>(switches) : 0.0;
+  }
+  double nsPerRep() const {
+    return reps > 0 ? seconds * 1e9 / static_cast<double>(reps) : 0.0;
   }
 };
 
@@ -44,42 +57,70 @@ Probe rawEngineProbe(ExecBackend backend, int iterations) {
   return {seconds, sim.engineStats().contextSwitches};
 }
 
-Probe pingPongProbe(ExecBackend backend, int repetitions) {
+/// Two ranks on one node exchanging `bytes`-sized messages. payloadBytes
+/// controls how much real data rides along: 0 = size-only, <= 64 exercises
+/// the inline small-message path, larger sizes the payload pool.
+Probe pingPongProbe(ExecBackend backend, int repetitions,
+                    std::size_t payloadBytes) {
   tibsim::mpi::WorldConfig cfg = tibsim::mpi::WorldConfig::tibidaboNode();
   cfg.simBackend = backend;
   tibsim::mpi::MpiWorld world(cfg, 2);
+  std::vector<std::byte> payload(payloadBytes, std::byte{0x5a});
+  const std::size_t bytes = payloadBytes > 0 ? payloadBytes : 64;
   const auto start = std::chrono::steady_clock::now();
-  const tibsim::mpi::WorldStats stats =
-      world.run([repetitions](tibsim::mpi::MpiContext& ctx) {
+  const tibsim::mpi::WorldStats stats = world.run(
+      [repetitions, bytes, &payload](tibsim::mpi::MpiContext& ctx) {
         for (int i = 0; i < repetitions; ++i) {
           if (ctx.rank() == 0) {
-            ctx.send(1, 7, 64);
+            ctx.send(1, 7, bytes, payload);
             ctx.recv(1, 8);
           } else {
             ctx.recv(0, 7);
-            ctx.send(0, 8, 64);
+            ctx.send(0, 8, bytes, payload);
           }
         }
       });
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return {seconds, stats.engine.contextSwitches};
+  return {seconds, stats.engine.contextSwitches, repetitions};
 }
 
 void report(const char* name, const Probe& fiber, const Probe& thread) {
-  std::printf("%-16s %12llu switches   fiber %8.1f ns/switch   thread "
-              "%8.1f ns/switch   ratio %.1fx\n",
+  std::printf("%-22s %12llu switches   fiber %8.1f ns/switch   thread "
+              "%8.1f ns/switch   ratio %.1fx",
               name, static_cast<unsigned long long>(fiber.switches),
               fiber.nsPerSwitch(), thread.nsPerSwitch(),
               fiber.nsPerSwitch() > 0.0
                   ? thread.nsPerSwitch() / fiber.nsPerSwitch()
                   : 0.0);
+  if (fiber.reps > 0)
+    std::printf("   fiber %8.1f ns/round-trip", fiber.nsPerRep());
+  std::printf("\n");
+}
+
+tibsim::json::Value probeJson(const Probe& fiber, const Probe& thread) {
+  tibsim::json::Value v = tibsim::json::Value::object();
+  v["switches"] = static_cast<double>(fiber.switches);
+  v["fiberNsPerSwitch"] = fiber.nsPerSwitch();
+  v["threadNsPerSwitch"] = thread.nsPerSwitch();
+  if (fiber.reps > 0) v["fiberNsPerRoundTrip"] = fiber.nsPerRep();
+  return v;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json OUT]\n", argv[0]);
+      return 2;
+    }
+  }
+
   constexpr int kRawIterations = 200000;
   constexpr int kPingPongReps = 50000;
 
@@ -89,13 +130,40 @@ int main() {
 
   std::printf("sim backend microbenchmark (cost per simulated context "
               "switch)\n\n");
-  report("raw engine", rawEngineProbe(ExecBackend::Fiber, kRawIterations),
-         rawEngineProbe(ExecBackend::Thread, kRawIterations));
-  report("simMPI ping-pong", pingPongProbe(ExecBackend::Fiber, kPingPongReps),
-         pingPongProbe(ExecBackend::Thread, kPingPongReps));
+  const Probe rawFiber = rawEngineProbe(ExecBackend::Fiber, kRawIterations);
+  const Probe rawThread = rawEngineProbe(ExecBackend::Thread, kRawIterations);
+  report("raw engine", rawFiber, rawThread);
+  const Probe ppFiber = pingPongProbe(ExecBackend::Fiber, kPingPongReps, 0);
+  const Probe ppThread = pingPongProbe(ExecBackend::Thread, kPingPongReps, 0);
+  report("ping-pong size-only", ppFiber, ppThread);
+  const Probe pp64Fiber = pingPongProbe(ExecBackend::Fiber, kPingPongReps, 64);
+  const Probe pp64Thread =
+      pingPongProbe(ExecBackend::Thread, kPingPongReps, 64);
+  report("ping-pong 64 B inline", pp64Fiber, pp64Thread);
+  const Probe pp4kFiber =
+      pingPongProbe(ExecBackend::Fiber, kPingPongReps, 4096);
+  const Probe pp4kThread =
+      pingPongProbe(ExecBackend::Thread, kPingPongReps, 4096);
+  report("ping-pong 4 KiB pooled", pp4kFiber, pp4kThread);
   std::printf(
       "\nfiber = user-space swapcontext on owned stacks; thread = one OS "
       "thread per process with a mutex/condvar baton (two kernel wake-ups "
       "per switch).\n");
+
+  if (!jsonPath.empty()) {
+    tibsim::json::Value doc = tibsim::json::Value::object();
+    doc["schema"] = "tibsim-bench-sim-v1";
+    doc["rawEngine"] = probeJson(rawFiber, rawThread);
+    doc["pingPongSizeOnly"] = probeJson(ppFiber, ppThread);
+    doc["pingPong64BInline"] = probeJson(pp64Fiber, pp64Thread);
+    doc["pingPong4KiBPooled"] = probeJson(pp4kFiber, pp4kThread);
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+  }
   return 0;
 }

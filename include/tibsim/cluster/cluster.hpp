@@ -99,4 +99,18 @@ class ClusterSimulation {
   ClusterSpec spec_;
 };
 
+/// Probe-then-sweep stack auto-sizing: run `body` once on a `probeNodes`
+/// slice of `spec`, read the execution backend's stack high-water
+/// telemetry, and return sim::recommendedStackBytes(hwm) — the value to
+/// put in JobOptions::fiberStackBytes for the full-scale sweep. Returns 0
+/// (keep the backend default) when the backend reports no telemetry (the
+/// thread backend does not). The result depends on the host ABI and
+/// backend, so use it only for runtime sizing — never serialise it into
+/// campaign artefacts. When `probeResult` is non-null the probe job's
+/// JobResult is copied out so callers can fold its (deterministic) world
+/// accounting into their experiment totals.
+std::size_t autoFiberStackBytes(const ClusterSpec& spec, int probeNodes,
+                                const mpi::MpiWorld::RankBody& body,
+                                JobResult* probeResult = nullptr);
+
 }  // namespace tibsim::cluster

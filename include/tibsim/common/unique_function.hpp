@@ -1,0 +1,112 @@
+#pragma once
+// Move-only callable wrapper with a larger inline buffer than std::function.
+//
+// The discrete-event engine schedules millions of closures per run, and the
+// hot ones (message delivery, process wake-ups) capture a handful of words.
+// libstdc++'s std::function only stores trivially-copyable captures of up to
+// 16 bytes inline, so a 24-byte [this, dst, id] capture — or anything
+// holding a move-only payload handle — costs a heap allocation per event.
+// UniqueFunction stores any nothrow-move-constructible callable of up to 32
+// bytes inline — covering every engine hot-path capture — and falls back to
+// the heap above that. With the two dispatch pointers that makes the whole
+// wrapper 48 bytes, so a queued Event (t, seq, fn) stays within one cache
+// line; a bigger buffer measurably slows the binary-heap sift, which moves
+// Events by value. Being move-only it also accepts captures std::function
+// rejects outright.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tibsim {
+
+class UniqueFunction {
+ public:
+  static constexpr std::size_t kInlineBytes = 32;
+
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      manage_ = [](Op op, UniqueFunction* self, UniqueFunction* to) {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(self->storage_));
+        if (op == Op::MoveTo)
+          ::new (static_cast<void*>(to->storage_)) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      // Heap fallback: the storage holds a single owning pointer.
+      auto* heap = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) Fn*(heap);
+      invoke_ = [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); };
+      manage_ = [](Op op, UniqueFunction* self, UniqueFunction* to) {
+        Fn** slot = std::launder(reinterpret_cast<Fn**>(self->storage_));
+        if (op == Op::MoveTo) {
+          ::new (static_cast<void*>(to->storage_)) Fn*(*slot);
+          *slot = nullptr;
+        } else {
+          delete *slot;
+        }
+      };
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { moveFrom(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::Destroy, this, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op : unsigned char { MoveTo, Destroy };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, UniqueFunction*, UniqueFunction*);
+
+  void moveFrom(UniqueFunction& other) noexcept {
+    if (other.manage_ != nullptr) {
+      // MoveTo transfers the callable into our storage and destroys the
+      // source object (for the heap case it just moves the pointer).
+      other.manage_(Op::MoveTo, &other, this);
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace tibsim

@@ -22,6 +22,11 @@ struct CampaignOptions {
   std::uint64_t seed = 42;
   std::string jsonDir;  ///< write <dir>/<name>.json when non-empty
   std::string csvDir;   ///< write <dir>/<name>__<artefact>.csv when non-empty
+  /// Export trace timelines from traced jobs (--trace-export): experiments
+  /// that run traced worlds write Chrome-JSON / Paraver .prv / breakdown
+  /// CSV artefacts into this directory via ExperimentContext::
+  /// exportArtefact. Empty disables export (the default).
+  std::string traceExportDir;
   bool compat = false;  ///< render each experiment's full text report
   bool summary = true;  ///< print the campaign run summary
   /// Execution backend for simulation processes: "" keeps the process-wide
@@ -70,8 +75,8 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
 ///   socbench list [glob...]
 ///   socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N] [--seed S]
 ///                [--sim-backend fiber|thread]
-///                [--trace-mode full|sampled|aggregate] [--compat]
-///                [--no-summary]
+///                [--trace-mode full|sampled|aggregate]
+///                [--trace-export DIR] [--compat] [--no-summary]
 /// Flags accept both "--flag value" and "--flag=value".
 /// Returns the process exit code.
 int socbenchMain(int argc, const char* const* argv);

@@ -69,6 +69,20 @@ class ExperimentContext {
   /// Traffic/trace accounting accumulated across every recorded world.
   obs::RunCounters runCounters() const;
 
+  /// Directory for exported trace artefacts (--trace-export). Empty means
+  /// export is disabled; experiments should skip rendering exports then.
+  void setTraceExportDir(std::string dir) { traceExportDir_ = std::move(dir); }
+  const std::string& traceExportDir() const { return traceExportDir_; }
+  bool traceExportEnabled() const { return !traceExportDir_.empty(); }
+
+  /// Write one exported trace artefact (Chrome JSON, Paraver .prv,
+  /// breakdown CSV, ...) to <traceExportDir>/<filename>. Creates the
+  /// directory on first use; thread-safe, so traced-job observers inside
+  /// parallelFor cells can call it directly. Returns false (and writes
+  /// nothing) when export is disabled.
+  bool exportArtefact(const std::string& filename,
+                      const std::string& content) const;
+
   /// Record a full mpi::WorldStats in one call: engine counters plus the
   /// message/trace accounting. Templated so core/ needs no mpi/ dependency;
   /// any type with the WorldStats field set works.
@@ -83,16 +97,23 @@ class ExperimentContext {
     counters.spansRecorded = stats.traceSpansRecorded;
     counters.spansRetained = stats.traceSpansRetained;
     counters.traceMemoryPeakBytes = stats.traceMemoryBytes;
+    counters.payloadInlineMessages = stats.payloadInlineMessages;
+    counters.payloadPooledMessages = stats.payloadPooledMessages;
+    counters.payloadPoolReuses = stats.payloadPoolReuses;
+    counters.payloadPoolAllocations = stats.payloadPoolAllocations;
+    counters.payloadPoolReturns = stats.payloadPoolReturns;
     recordRunCounters(counters);
   }
 
  private:
   std::uint64_t seed_;
   TaskPool* pool_;
+  std::string traceExportDir_;
   mutable std::atomic<std::size_t> cells_{0};
   mutable std::mutex engineMutex_;
   mutable std::vector<sim::EngineStats> engineRecords_;
   mutable std::vector<obs::RunCounters> counterRecords_;
+  mutable std::mutex exportMutex_;
 };
 
 /// One reproduced artefact (figure / table / ablation / campaign).

@@ -1,0 +1,121 @@
+#pragma once
+// Message payload memory for the simMPI hot path.
+//
+// Every send used to construct a fresh std::vector<std::byte> for its
+// payload and every receive freed it — one allocator round-trip per message,
+// millions of times per big-cluster sweep. Two layers remove that:
+//
+//  * MessagePayload stores payloads of up to kInlineCapacity (64) bytes
+//    inline in the Message itself — covering the control traffic (doubles,
+//    counters, CTS-sized frames) that dominates message counts — and backs
+//    larger payloads with a buffer acquired from the world's PayloadPool.
+//  * PayloadPool is a LIFO free-list of byte buffers owned by one MpiWorld.
+//    doRecv()/wait() return each pooled buffer after copying the bytes out,
+//    so steady-state sends reuse warm buffers and perform zero heap
+//    allocations (the pool-stats counters in WorldStats prove it per run).
+//
+// Single-threaded by design: a world's sends and receives all run on the
+// simulation thread, like the mailboxes.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace tibsim::mpi {
+
+/// Free-list of payload buffers. Buffers keep their capacity while parked,
+/// so a steady-state acquire is a pop + memcpy with no allocator traffic.
+class PayloadPool {
+ public:
+  /// Deterministic accounting (functions of the simulated run only, safe to
+  /// serialise): how payload storage was obtained and returned.
+  struct Stats {
+    std::uint64_t inlineMessages = 0;  ///< payloads stored in the Message
+    std::uint64_t pooledMessages = 0;  ///< payloads backed by a pool buffer
+    std::uint64_t reuses = 0;        ///< acquires served without allocating
+    std::uint64_t allocations = 0;   ///< acquires that hit the allocator
+    std::uint64_t returns = 0;       ///< buffers recycled into the free list
+  };
+
+  /// A buffer holding a copy of `data`. Reuses a parked buffer when one
+  /// with enough capacity is available; Stats record which case happened.
+  std::vector<std::byte> acquire(std::span<const std::byte> data);
+
+  /// Park a buffer for reuse. Contents are discarded, capacity is kept.
+  void release(std::vector<std::byte>&& buffer);
+
+  const Stats& stats() const { return stats_; }
+  void resetStats() { stats_ = Stats{}; }
+
+  std::size_t freeBuffers() const { return free_.size(); }
+
+ private:
+  friend class MessagePayload;
+  std::vector<std::vector<std::byte>> free_;
+  Stats stats_;
+};
+
+/// Payload storage for one in-flight message: empty, inline (<= 64 bytes,
+/// no separate storage), or pooled (buffer borrowed from a PayloadPool).
+/// Move-only so a pooled buffer has exactly one owner; the receive path
+/// must call intoVector() to hand the bytes to the application and give the
+/// buffer back to the pool it came from.
+class MessagePayload {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  MessagePayload() = default;
+
+  /// Copy `data` into inline storage or a pool buffer (counted in Stats).
+  MessagePayload(std::span<const std::byte> data, PayloadPool& pool);
+
+  // Moves reset the source to the empty state (a defaulted move would leave
+  // its size_/pooled_ behind, making the moved-from payload look live).
+  // Only the live prefix of the inline array is copied: a Message is moved
+  // several times between send and receive (in-flight slab, mailbox), and
+  // size-only traffic would otherwise pay for 64 bytes it never wrote.
+  MessagePayload(MessagePayload&& other) noexcept
+      : size_(std::exchange(other.size_, 0)),
+        pooled_(std::exchange(other.pooled_, false)),
+        buffer_(std::move(other.buffer_)) {
+    if (!pooled_ && size_ > 0)
+      std::memcpy(inline_.data(), other.inline_.data(), size_);
+  }
+  MessagePayload& operator=(MessagePayload&& other) noexcept {
+    size_ = std::exchange(other.size_, 0);
+    pooled_ = std::exchange(other.pooled_, false);
+    buffer_ = std::move(other.buffer_);
+    if (!pooled_ && size_ > 0)
+      std::memcpy(inline_.data(), other.inline_.data(), size_);
+    return *this;
+  }
+  MessagePayload(const MessagePayload&) = delete;
+  MessagePayload& operator=(const MessagePayload&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool pooled() const { return pooled_; }
+
+  std::span<const std::byte> view() const {
+    return pooled_ ? std::span<const std::byte>(buffer_.data(), size_)
+                   : std::span<const std::byte>(inline_.data(), size_);
+  }
+
+  /// The application-facing copy: a fresh vector with the bytes, with any
+  /// pooled buffer returned to `pool` for the next send to reuse.
+  std::vector<std::byte> intoVector(PayloadPool& pool);
+
+ private:
+  std::size_t size_ = 0;
+  bool pooled_ = false;
+  // Deliberately not zero-initialised: only the first size_ bytes are ever
+  // written (ctor) and read (view/moves), and zeroing 64 bytes per Message
+  // construction is measurable on the ping-pong hot path.
+  std::array<std::byte, kInlineCapacity> inline_;
+  std::vector<std::byte> buffer_;
+};
+
+}  // namespace tibsim::mpi

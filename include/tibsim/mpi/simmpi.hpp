@@ -19,7 +19,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -28,6 +27,7 @@
 
 #include "tibsim/arch/platform.hpp"
 #include "tibsim/net/fabric.hpp"
+#include "tibsim/mpi/payload_pool.hpp"
 #include "tibsim/mpi/trace.hpp"
 #include "tibsim/net/protocol.hpp"
 #include "tibsim/perfmodel/execution_model.hpp"
@@ -78,6 +78,14 @@ struct WorldStats {
   std::uint64_t traceSpansRecorded = 0;
   std::uint64_t traceSpansRetained = 0;
   std::size_t traceMemoryBytes = 0;
+  // Payload memory accounting (see payload_pool.hpp). Steady-state sends
+  // are zero-allocation when poolAllocations stays flat against
+  // pooledMessages; all five are deterministic and serialisable.
+  std::uint64_t payloadInlineMessages = 0;  ///< stored in the Message itself
+  std::uint64_t payloadPooledMessages = 0;  ///< backed by a pool buffer
+  std::uint64_t payloadPoolReuses = 0;      ///< pooled sends with no alloc
+  std::uint64_t payloadPoolAllocations = 0; ///< pooled sends that allocated
+  std::uint64_t payloadPoolReturns = 0;     ///< buffers recycled by recv/wait
 
   double achievedFlopsPerSecond() const {
     return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;
@@ -173,6 +181,7 @@ class MpiContext {
   MpiContext(MpiWorld& world, sim::Process& process, int rank, int node);
 
   struct PendingOp {
+    Request request = 0;
     bool isRecv = false;
     int peer = 0;
     int tag = 0;
@@ -183,7 +192,10 @@ class MpiContext {
   int rank_;
   int node_;
   std::uint64_t nextRequest_ = 1;
-  std::unordered_map<Request, PendingOp> pending_;
+  // Flat vector, not a hash map: a rank has a handful of requests in
+  // flight, and wait() usually completes them in issue order, so the linear
+  // scan is cheaper than hashing and never allocates at steady state.
+  std::vector<PendingOp> pending_;
 };
 
 class MpiWorld {
@@ -227,15 +239,28 @@ class MpiWorld {
     int src = 0;
     int tag = 0;
     std::size_t bytes = 0;
-    std::vector<std::byte> payload;
+    MessagePayload payload;  ///< inline or pooled; see payload_pool.hpp
     Stage stage = Stage::Delivered;
     double receiverCost = 0.0;
     sim::Process* sender = nullptr;  ///< for rendezvous CTS wake-up
     std::uint64_t id = 0;
+    /// True when delivery already charged receiverCost and folded it into
+    /// the wake-up time, so doRecv must not delay again (see deliver()).
+    bool receiverCharged = false;
   };
 
   struct Mailbox {
-    std::deque<Message> messages;
+    Mailbox() = default;
+    // Explicitly noexcept moves: libstdc++'s deque move is not noexcept,
+    // so vector growth would otherwise copy every mailbox.
+    Mailbox(Mailbox&&) noexcept = default;
+    Mailbox& operator=(Mailbox&&) noexcept = default;
+
+    /// In-flight slab slots of messages delivered to this rank but not yet
+    /// consumed, in delivery order. Queueing slot indices (not Messages)
+    /// keeps mailbox traffic move-free, and slots stay valid across slab
+    /// growth where references would not.
+    std::deque<std::uint32_t> messages;
     // A rank blocked in recv(src, tag):
     bool waiting = false;
     int waitSrc = 0;
@@ -250,7 +275,14 @@ class MpiWorld {
               bool allowRendezvous = true);
   std::vector<std::byte> doRecv(MpiContext& ctx, int src, int tag,
                                 std::size_t* receivedBytes);
-  void deliver(int dstRank, Message message);
+  void deliver(int dstRank, std::uint32_t slot);
+  // In-flight message slab: a scheduled delivery captures [this, dst, slot]
+  // (16 bytes, inline in the event closure) instead of the Message itself,
+  // so scheduling never heap-allocates. A message lives in its slot from
+  // send to consumption; slots are recycled LIFO by consumeSlot().
+  std::uint32_t stashInflight(Message&& message);
+  /// Hand the slot's payload to the application and recycle the slot.
+  std::vector<std::byte> consumeSlot(std::uint32_t slot);
   void chargeCpu(int node, double seconds);
   void traceSpan(int rank, SpanKind kind, double begin, double end,
                  int peer = -1, std::size_t bytes = 0);
@@ -261,6 +293,7 @@ class MpiWorld {
   double frequencyHz_;
   perfmodel::ExecutionModel execModel_;
   std::unique_ptr<net::ProtocolModel> protocol_;
+  double sameNodeCopyBandwidth_ = 0.0;  ///< bytes/s, constant per world
 
   // Rebuilt for every run():
   std::unique_ptr<sim::Simulation> sim_;
@@ -271,6 +304,11 @@ class MpiWorld {
   std::uint64_t nextMessageId_ = 0;
   bool tracing_ = false;
   Tracer tracer_;
+  // Payload buffers survive across run() calls (stats are reset per run),
+  // so repeated runs on one world start with a warm pool.
+  PayloadPool pool_;
+  std::vector<Message> inflight_;
+  std::vector<std::uint32_t> freeSlots_;
 };
 
 }  // namespace tibsim::mpi

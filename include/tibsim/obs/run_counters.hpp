@@ -22,6 +22,14 @@ struct RunCounters {
   std::uint64_t spansRecorded = 0;  ///< spans seen by trace sinks
   std::uint64_t spansRetained = 0;  ///< spans still resident after the runs
   std::uint64_t traceMemoryPeakBytes = 0;  ///< largest single-world sink
+  // Payload memory behaviour (see mpi/payload_pool.hpp): how many messages
+  // carried real bytes inline vs in a pooled buffer, and whether the pool
+  // served sends from warm buffers (reuses) or had to allocate.
+  std::uint64_t payloadInlineMessages = 0;
+  std::uint64_t payloadPooledMessages = 0;
+  std::uint64_t payloadPoolReuses = 0;
+  std::uint64_t payloadPoolAllocations = 0;
+  std::uint64_t payloadPoolReturns = 0;
 
   /// Fold another record into this one. Sums and maxes only, so the total
   /// is order-independent up to floating-point rounding; accumulate in a
@@ -35,6 +43,11 @@ struct RunCounters {
     spansRetained += other.spansRetained;
     traceMemoryPeakBytes =
         std::max(traceMemoryPeakBytes, other.traceMemoryPeakBytes);
+    payloadInlineMessages += other.payloadInlineMessages;
+    payloadPooledMessages += other.payloadPooledMessages;
+    payloadPoolReuses += other.payloadPoolReuses;
+    payloadPoolAllocations += other.payloadPoolAllocations;
+    payloadPoolReturns += other.payloadPoolReturns;
   }
 };
 

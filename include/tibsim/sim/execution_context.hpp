@@ -33,6 +33,21 @@ enum class ExecBackend {
   Thread,  // one OS thread per process, condvar baton (portable fallback)
 };
 
+/// Smallest usable fiber stack. Low enough that stack-sizing experiments
+/// guided by the high-water telemetry can go well below the 256 KiB engine
+/// default; high enough that the entry thunk itself always fits.
+inline constexpr std::size_t kMinFiberStackBytes = 16 * 1024;
+
+/// The host's VM page size (sysconf(_SC_PAGESIZE); 4096 when unavailable).
+/// Fiber stacks and their guard pages are page-granular.
+std::size_t pageBytes();
+
+/// Stack size to use for a sweep whose probe run measured
+/// `highWaterBytes` of peak stack use: 2x headroom, rounded up to a whole
+/// page, floored at kMinFiberStackBytes. Returns 0 when highWaterBytes is 0
+/// (no telemetry — e.g. the thread backend), meaning "keep the default".
+std::size_t recommendedStackBytes(std::size_t highWaterBytes);
+
 /// "fiber" or "thread".
 const char* toString(ExecBackend backend);
 

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "tibsim/common/unique_function.hpp"
 #include "tibsim/sim/engine_stats.hpp"
 #include "tibsim/sim/execution_context.hpp"
 
@@ -110,11 +111,14 @@ class Simulation {
   /// Configured per-process stack size (0 = engine default).
   std::size_t stackBytes() const { return stackBytes_; }
 
-  /// Schedule a callback at absolute time t (>= now()).
-  void scheduleAt(double t, std::function<void()> fn);
+  /// Schedule a callback at absolute time t (>= now()). The callback type
+  /// is move-only with 48 bytes of inline storage (UniqueFunction), so the
+  /// hot-path closures — message delivery, process wake-ups — never touch
+  /// the heap.
+  void scheduleAt(double t, UniqueFunction fn);
 
   /// Schedule a callback dt seconds from now (dt >= 0).
-  void scheduleIn(double dt, std::function<void()> fn);
+  void scheduleIn(double dt, UniqueFunction fn);
 
   /// Create a process and schedule it to start at the current time.
   Process& spawn(std::string name, Process::Body body);
@@ -133,7 +137,10 @@ class Simulation {
   double runUntil(double deadline);
 
   /// Pre-size the event queue (e.g. to ~4x the expected process count).
-  void reserveEvents(std::size_t n) { queue_.reserve(n); }
+  void reserveEvents(std::size_t n) {
+    queue_.reserve(n);
+    closures_.reserve(n);
+  }
 
   std::size_t liveProcessCount() const;
   std::uint64_t processedEvents() const { return stats_.eventsDispatched; }
@@ -144,10 +151,17 @@ class Simulation {
  private:
   friend class Process;
 
+  /// One queued event, 32 trivially-copyable bytes: the binary-heap sift
+  /// moves entries by value, so keeping closures out of the heap (and the
+  /// entry POD) is what makes push/pop cheap. A process wake-up — the
+  /// dominant event type, one per delay()/resume() — is encoded directly as
+  /// (proc, suspendSeq tag) and never touches a closure; callback events
+  /// set proc to nullptr and point `aux` at a slot in the closure slab.
   struct Event {
     double t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    Process* proc;      ///< non-null: wake this process
+    std::uint64_t aux;  ///< proc ? suspension tag : closure slab slot
   };
 
   /// Explicit binary min-heap over a reserved vector, ordered by (t, seq).
@@ -170,7 +184,8 @@ class Simulation {
     std::vector<Event> heap_;
   };
 
-  void dispatch(Event& ev);
+  void dispatch(const Event& ev);
+  std::uint32_t stashClosure(UniqueFunction fn);
   void noteContextSwitch() { ++stats_.contextSwitches; }
   void noteProcessFinished(Process& p);
 
@@ -182,6 +197,11 @@ class Simulation {
   std::size_t liveNow_ = 0;
   EngineStats stats_;
   EventQueue queue_;
+  // Closure slab for callback events; slots are recycled LIFO, so a steady
+  // stream of scheduleIn() calls reuses the same few slots with no
+  // allocator traffic.
+  std::vector<UniqueFunction> closures_;
+  std::vector<std::uint32_t> freeClosureSlots_;
   std::vector<std::unique_ptr<Process>> processes_;
 };
 

@@ -6,6 +6,7 @@
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/units.hpp"
 #include "tibsim/power/power_model.hpp"
+#include "tibsim/sim/execution_context.hpp"
 
 namespace tibsim::cluster {
 
@@ -130,6 +131,17 @@ JobResult ClusterSimulation::runJob(int nodesUsed,
   }
   if (options.observer) options.observer(world, result);
   return result;
+}
+
+std::size_t autoFiberStackBytes(const ClusterSpec& spec, int probeNodes,
+                                const mpi::MpiWorld::RankBody& body,
+                                JobResult* probeResult) {
+  TIB_REQUIRE(probeNodes >= 1);
+  ClusterSimulation probe(spec);
+  const JobResult result =
+      probe.runJob(std::min(probeNodes, spec.nodes), body);
+  if (probeResult != nullptr) *probeResult = result;
+  return sim::recommendedStackBytes(result.stats.engine.stackHighWaterBytes);
 }
 
 }  // namespace tibsim::cluster

@@ -74,6 +74,16 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
         static_cast<double>(counters->spansRetained);
     worlds["traceMemoryPeakBytes"] =
         static_cast<double>(counters->traceMemoryPeakBytes);
+    worlds["payloadInlineMessages"] =
+        static_cast<double>(counters->payloadInlineMessages);
+    worlds["payloadPooledMessages"] =
+        static_cast<double>(counters->payloadPooledMessages);
+    worlds["payloadPoolReuses"] =
+        static_cast<double>(counters->payloadPoolReuses);
+    worlds["payloadPoolAllocations"] =
+        static_cast<double>(counters->payloadPoolAllocations);
+    worlds["payloadPoolReturns"] =
+        static_cast<double>(counters->payloadPoolReturns);
     doc["worlds"] = std::move(worlds);
   }
   doc["results"] = ResultSet::toJson(results);
@@ -135,6 +145,7 @@ CampaignResult runCampaign(const CampaignOptions& options,
     run.title = experiment.title();
     const std::uint64_t seed = experimentSeed(options.seed, run.name);
     ExperimentContext ctx(seed, jobs > 1 ? &pool : nullptr);
+    ctx.setTraceExportDir(options.traceExportDir);
     const auto start = std::chrono::steady_clock::now();
     run.results = experiment.run(ctx);
     run.wallSeconds = secondsSince(start);
@@ -176,12 +187,19 @@ CampaignResult runCampaign(const CampaignOptions& options,
       if (run.counters.worlds > 0) {
         std::ostringstream csv;
         csv << "worlds,messages,payloadBytes,wireBytes,traceSpansRecorded,"
-               "traceSpansRetained,traceMemoryPeakBytes\n"
+               "traceSpansRetained,traceMemoryPeakBytes,"
+               "payloadInlineMessages,payloadPooledMessages,"
+               "payloadPoolReuses,payloadPoolAllocations,payloadPoolReturns\n"
             << run.counters.worlds << ',' << run.counters.messages << ','
             << run.counters.payloadBytes << ',' << run.counters.wireBytes
             << ',' << run.counters.spansRecorded << ','
             << run.counters.spansRetained << ','
-            << run.counters.traceMemoryPeakBytes << '\n';
+            << run.counters.traceMemoryPeakBytes << ','
+            << run.counters.payloadInlineMessages << ','
+            << run.counters.payloadPooledMessages << ','
+            << run.counters.payloadPoolReuses << ','
+            << run.counters.payloadPoolAllocations << ','
+            << run.counters.payloadPoolReturns << '\n';
         writeFile(dir / (run.name + "__worlds.csv"), csv.str());
       }
     }
@@ -234,8 +252,8 @@ CampaignResult runCampaign(const CampaignOptions& options,
     // the serialised artefacts).
     bool anyWorlds = false;
     TextTable worldsTable({"experiment", "worlds", "messages", "spans rec",
-                           "spans kept", "trace KiB", "stack KiB",
-                           "stack hwm KiB"});
+                           "spans kept", "trace KiB", "pool reuse",
+                           "pool alloc", "stack KiB", "stack hwm KiB"});
     for (const ExperimentRun& run : campaign.runs) {
       if (run.counters.worlds == 0) continue;
       anyWorlds = true;
@@ -248,6 +266,8 @@ CampaignResult runCampaign(const CampaignOptions& options,
            std::to_string(run.counters.spansRecorded),
            std::to_string(run.counters.spansRetained),
            toKiB(run.counters.traceMemoryPeakBytes),
+           std::to_string(run.counters.payloadPoolReuses),
+           std::to_string(run.counters.payloadPoolAllocations),
            toKiB(run.engine.fiberStackBytes),
            toKiB(run.engine.stackHighWaterBytes)});
     }
@@ -260,6 +280,8 @@ CampaignResult runCampaign(const CampaignOptions& options,
       out << "JSON written to " << options.jsonDir << "/\n";
     if (!options.csvDir.empty())
       out << "CSV written to " << options.csvDir << "/\n";
+    if (!options.traceExportDir.empty())
+      out << "trace exports written to " << options.traceExportDir << "/\n";
   }
   return campaign;
 }
@@ -285,8 +307,8 @@ void printUsage(std::ostream& out) {
          "  socbench list [glob...]\n"
          "  socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N]\n"
          "               [--seed S] [--sim-backend fiber|thread]\n"
-         "               [--trace-mode full|sampled|aggregate] [--compat]\n"
-         "               [--no-summary]\n\n"
+         "               [--trace-mode full|sampled|aggregate]\n"
+         "               [--trace-export DIR] [--compat] [--no-summary]\n\n"
          "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
          "selects every experiment.\n"
          "Flags accept both '--flag value' and '--flag=value'.\n"
@@ -297,7 +319,12 @@ void printUsage(std::ostream& out) {
          "--trace-mode bounds traced worlds' span memory: 'full' keeps "
          "every span, 'sampled' a deterministic per-rank reservoir,\n"
          "'aggregate' streaming per-rank histograms only (O(ranks), the "
-         "choice at scale). TIBSIM_TRACE_MODE sets the same default.\n";
+         "choice at scale). TIBSIM_TRACE_MODE sets the same default.\n"
+         "--trace-export DIR writes the traced jobs' timelines as tool-"
+         "ready artefacts (Chrome trace_event JSON for chrome://tracing/\n"
+         "Perfetto, Paraver .prv, per-rank breakdown CSV). Timeline "
+         "formats need retained spans (full/sampled mode); aggregate mode\n"
+         "still exports the exact per-rank breakdown CSV.\n";
 }
 
 }  // namespace
@@ -363,6 +390,10 @@ int socbenchMain(int argc, const char* const* argv) {
       const std::string* v = flagValue("--trace-mode");
       if (v == nullptr) return 2;
       options.traceMode = *v;
+    } else if (arg == "--trace-export") {
+      const std::string* v = flagValue("--trace-export");
+      if (v == nullptr) return 2;
+      options.traceExportDir = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "socbench: unknown flag " << arg << "\n";
       printUsage(std::cerr);

@@ -1,6 +1,8 @@
 #include "tibsim/core/experiment.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <tuple>
 
@@ -17,6 +19,24 @@ void ExperimentContext::parallelFor(
   } else {
     for (std::size_t i = 0; i < n; ++i) fn(i);
   }
+}
+
+bool ExperimentContext::exportArtefact(const std::string& filename,
+                                       const std::string& content) const {
+  if (traceExportDir_.empty()) return false;
+  TIB_REQUIRE_MSG(!filename.empty() &&
+                      filename.find('/') == std::string::npos &&
+                      filename.find("..") == std::string::npos,
+                  "exportArtefact filename must be a plain file name");
+  std::lock_guard lock(exportMutex_);
+  const std::filesystem::path dir(traceExportDir_);
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / filename, std::ios::binary);
+  TIB_REQUIRE_MSG(out.good(),
+                  "cannot open trace export file: " + filename);
+  out << content;
+  TIB_REQUIRE_MSG(out.good(), "failed writing trace export: " + filename);
+  return true;
 }
 
 void ExperimentContext::recordEngineStats(const sim::EngineStats& stats) const {

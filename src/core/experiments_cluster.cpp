@@ -4,6 +4,7 @@
 // (Figure 8) and the SLURM batch campaign. Ported from the former
 // standalone bench/example mains into registry entries.
 
+#include <algorithm>
 #include <memory>
 #include <string_view>
 #include <utility>
@@ -20,6 +21,7 @@
 #include "tibsim/common/units.hpp"
 #include "tibsim/core/experiment.hpp"
 #include "tibsim/core/experiments.hpp"
+#include "tibsim/obs/exporters.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/reliability/dram_errors.hpp"
 
@@ -336,6 +338,32 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
   apps::HydroBenchmark::Params hydro;
   hydro.steps = 5;
 
+  // Probe-then-sweep stack auto-sizing: run each application once on an
+  // 8-node slice, read the fiber stack high-water telemetry, and give
+  // every sweep cell guard-paged stacks sized for the deeper of the two
+  // (2x high-water, page-rounded — see sim::recommendedStackBytes). On
+  // the thread backend the probes report no telemetry and the sweep keeps
+  // the backend's default stacks. The probe worlds are folded into the
+  // experiment's world accounting like any other run.
+  constexpr int kProbeNodes = 8;
+  const cluster::ClusterSpec probeSpec =
+      cluster::ClusterSpec::tibidaboScaled(kProbeNodes);
+  apps::HplBenchmark::Params probeHpl;
+  probeHpl.n = apps::HplBenchmark::problemSizeForNodes(probeSpec, kProbeNodes,
+                                                       kHplMemoryFraction);
+  probeHpl.nb = 512;  // what HplBenchmark::run uses at full scale
+  cluster::JobResult hplProbe, hydroProbe;
+  cluster::JobOptions sized;
+  sized.fiberStackBytes = std::max(
+      cluster::autoFiberStackBytes(
+          probeSpec, kProbeNodes, apps::HplBenchmark::rankBody(probeHpl),
+          &hplProbe),
+      cluster::autoFiberStackBytes(probeSpec, kProbeNodes,
+                                   apps::HydroBenchmark::rankBody(hydro),
+                                   &hydroProbe));
+  ctx.recordWorldStats(hplProbe.stats);
+  ctx.recordWorldStats(hydroProbe.stats);
+
   struct Cell {
     const char* app = "";
     int nodes = 0;
@@ -354,10 +382,10 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
       cell.n = apps::HplBenchmark::problemSizeForNodes(sim.spec(), cell.nodes,
                                                        kHplMemoryFraction);
       cell.result =
-          apps::HplBenchmark::run(sim, cell.nodes, kHplMemoryFraction);
+          apps::HplBenchmark::run(sim, cell.nodes, kHplMemoryFraction, sized);
     } else {
       cell.result =
-          sim.runJob(cell.nodes, apps::HydroBenchmark::rankBody(hydro));
+          sim.runJob(cell.nodes, apps::HydroBenchmark::rankBody(hydro), sized);
     }
     ctx.recordWorldStats(cell.result.stats);
   });
@@ -424,15 +452,30 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
     cluster::JobOptions options;
     options.enableTracing = true;
     options.traceSeed = ctx.rng(2048).nextU64();
+    options.fiberStackBytes = sized.fiberStackBytes;
     TextTable breakdown(
         {"rank", "compute s", "send s", "recv s", "wait s", "other s"});
-    options.observer = [&breakdown](const mpi::MpiWorld& world,
-                                    const cluster::JobResult& r) {
-      for (const auto& s :
-           world.tracer().summarize(r.ranks, r.wallClockSeconds)) {
+    options.observer = [&breakdown, &ctx](const mpi::MpiWorld& world,
+                                          const cluster::JobResult& r) {
+      const auto summaries =
+          world.tracer().summarize(r.ranks, r.wallClockSeconds);
+      for (const auto& s : summaries) {
         breakdown.addRow({std::to_string(s.rank), fmt(s.computeSeconds, 6),
                           fmt(s.sendSeconds, 6), fmt(s.recvSeconds, 6),
                           fmt(s.waitSeconds, 6), fmt(s.otherSeconds, 6)});
+      }
+      if (ctx.traceExportEnabled()) {
+        // The exact per-rank breakdown exists in every mode; timeline
+        // formats only when the sink retained spans (full/sampled).
+        ctx.exportArtefact("scale_bigcluster__hydro1024.breakdown.csv",
+                           obs::exportBreakdownCsv(summaries));
+        if (world.tracer().spansRetained() > 0) {
+          ctx.exportArtefact("scale_bigcluster__hydro1024.trace.json",
+                             world.tracer().exportChromeJson());
+          ctx.exportArtefact(
+              "scale_bigcluster__hydro1024.prv",
+              world.tracer().exportPrv(r.ranks, r.wallClockSeconds));
+        }
       }
     };
     const cluster::JobResult traced = tracedSim.runJob(
@@ -462,10 +505,12 @@ ResultSet runScaleBigCluster(ExperimentContext& ctx) {
   // model reproduces the paper's headline probability for that same size.
   cluster::ClusterSimulation bigSim(cluster::ClusterSpec::tibidaboScaled(1500));
   const cluster::JobResult relJob = bigSim.runJob(
-      1500, [](mpi::MpiContext& mctx) {
+      1500,
+      [](mpi::MpiContext& mctx) {
         mctx.barrier();
         mctx.allreduceSum(static_cast<double>(mctx.rank()));
-      });
+      },
+      sized);
   ctx.recordWorldStats(relJob.stats);
   const reliability::DramErrorModel model;
   const double pDaily = 100 * model.systemDailyErrorProbability(1500);

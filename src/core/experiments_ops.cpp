@@ -3,7 +3,10 @@
 // ARMv8 projection. Ported from the former standalone bench mains into
 // registry entries.
 
+#include <algorithm>
+#include <array>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "builtin_experiments.hpp"
@@ -17,6 +20,8 @@
 #include "tibsim/core/experiments.hpp"
 #include "tibsim/kernels/microkernel.hpp"
 #include "tibsim/kernels/stream.hpp"
+#include "tibsim/obs/exporters.hpp"
+#include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/power/dvfs_governor.hpp"
 #include "tibsim/power/power_model.hpp"
 #include "tibsim/reliability/dram_errors.hpp"
@@ -214,6 +219,236 @@ ResultSet runAblationArmv8(ExperimentContext& ctx) {
   return results;
 }
 
+/// An ARMv8-node variant of the tibidaboScaled tree: same fat-tree recipe,
+/// but every node replaced by the projected quad-core ARMv8 part with its
+/// on-chip 10 GbE NIC, and the spine kept at the 10x-Tibidabo ratio the
+/// 96-node projection used (80 vs 8 Gb/s per 192 nodes).
+cluster::ClusterSpec armv8Scaled(int nodes) {
+  cluster::ClusterSpec spec = cluster::ClusterSpec::tibidaboScaled(nodes);
+  spec.name = "ARMv8 x" + std::to_string(nodes) + " (projected)";
+  spec.nodePlatform = arch::PlatformRegistry::armv8Quad2GHz();
+  spec.frequencyHz = spec.nodePlatform.maxFrequencyHz();
+  spec.protocol = net::Protocol::OpenMx;
+  spec.topology.linkRateBytesPerS = gbps(10.0);
+  spec.topology.bisectionBytesPerS = std::max(
+      gbps(80.0), gbps(80.0 * static_cast<double>(nodes) / 192.0));
+  return spec;
+}
+
+/// The laptop-class reference the paper's Figure 2 compares against: one
+/// Core i7-2760QM node, one rank per core, no network to speak of.
+cluster::ClusterSpec laptopReference() {
+  cluster::ClusterSpec spec;
+  spec.name = "Core i7-2760QM laptop";
+  spec.nodePlatform = arch::PlatformRegistry::corei7_2760qm();
+  spec.nodes = 1;
+  spec.frequencyHz = spec.nodePlatform.maxFrequencyHz();
+  spec.protocol = net::Protocol::TcpIp;
+  spec.ranksPerNode = spec.nodePlatform.soc.cores;
+  spec.topology.nodesPerLeafSwitch = 1;
+  spec.topology.linkRateBytesPerS = gbps(1.0);
+  spec.topology.bisectionBytesPerS = gbps(1.0);
+  return spec;
+}
+
+ResultSet runAblationArmv8BigCluster(ExperimentContext& ctx) {
+  // The Figure-2(b) question at campaign scale: how do thousand-node trees
+  // of today's Tegra 2 nodes and projected ARMv8 nodes compare against a
+  // laptop-class x86 part, and where does the crossover sit? HPL,
+  // weak-scaled at a small memory fraction (the scaling shape needs the
+  // panel/bcast/update structure, not a full-memory matrix), on 2048- and
+  // 4096-node trees — 8,192 ranks at the top, the largest worlds the
+  // campaign builds.
+  const std::vector<int> nodeCounts = {2048, 4096};
+  constexpr double kMemoryFraction = 0.02;
+  constexpr int kProbeNodes = 8;
+
+  struct Tree {
+    const char* label;
+    cluster::ClusterSpec (*spec)(int nodes);
+  };
+  const std::array<Tree, 2> trees = {
+      Tree{"tegra2", [](int n) { return cluster::ClusterSpec::tibidaboScaled(n); }},
+      Tree{"armv8", armv8Scaled}};
+
+  // Probe-then-sweep stack auto-sizing, one probe cell per tree family
+  // (see cluster::autoFiberStackBytes): the 2048/4096-node sweeps below
+  // then run their 4,096-8,192 fibers on guard-paged stacks sized 2x the
+  // probed high-water mark instead of the conservative default.
+  std::array<cluster::JobOptions, 2> sized;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const cluster::ClusterSpec probeSpec = trees[t].spec(kProbeNodes);
+    apps::HplBenchmark::Params probe;
+    probe.n = apps::HplBenchmark::problemSizeForNodes(probeSpec, kProbeNodes,
+                                                      kMemoryFraction);
+    probe.nb = 512;  // what HplBenchmark::run uses at full scale
+    cluster::JobResult probeResult;
+    sized[t].fiberStackBytes = cluster::autoFiberStackBytes(
+        probeSpec, kProbeNodes, apps::HplBenchmark::rankBody(probe),
+        &probeResult);
+    ctx.recordWorldStats(probeResult.stats);
+  }
+
+  struct Cell {
+    std::size_t tree = 0;
+    int nodes = 0;
+    std::size_t n = 0;
+    cluster::JobResult result;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t t = 0; t < trees.size(); ++t)
+    for (int nodes : nodeCounts) cells.push_back({t, nodes, 0, {}});
+
+  cluster::JobResult laptop;
+  ctx.parallelFor(cells.size() + 1, [&](std::size_t i) {
+    if (i == cells.size()) {
+      cluster::ClusterSimulation sim(laptopReference());
+      laptop = apps::HplBenchmark::run(sim, 1, kMemoryFraction);
+      ctx.recordWorldStats(laptop.stats);
+      return;
+    }
+    Cell& cell = cells[i];
+    cluster::ClusterSimulation sim(trees[cell.tree].spec(cell.nodes));
+    cell.n = apps::HplBenchmark::problemSizeForNodes(sim.spec(), cell.nodes,
+                                                     kMemoryFraction);
+    cell.result = apps::HplBenchmark::run(sim, cell.nodes, kMemoryFraction,
+                                          sized[cell.tree]);
+    ctx.recordWorldStats(cell.result.stats);
+  });
+
+  ResultSet results;
+  TextTable table({"cluster", "nodes", "ranks", "n", "wallclock s", "GFLOPS",
+                   "efficiency", "MFLOPS/W"});
+  for (const Cell& cell : cells) {
+    const cluster::JobResult& r = cell.result;
+    table.addRow({trees[cell.tree].spec(cell.nodes).name,
+                  std::to_string(cell.nodes), std::to_string(r.ranks),
+                  std::to_string(cell.n), fmt(r.wallClockSeconds, 1),
+                  fmt(r.gflops, 1), fmt(r.efficiency() * 100, 0) + "%",
+                  fmt(r.mflopsPerWatt, 0)});
+  }
+  results.addTable("HPL weak scaling: Tegra2 trees vs ARMv8 trees",
+                   std::move(table));
+
+  // Crossover vs the laptop-class reference (Figure 2(b) redrawn at
+  // cluster scale): nodes of each tree needed to match one laptop node's
+  // HPL rate (at the 4096-node tree's delivered per-node rate), and the
+  // energy-efficiency ratio that makes the trade worthwhile (or not).
+  const Cell& tegraTop = cells[nodeCounts.size() - 1];
+  const Cell& armv8Top = cells.back();
+  TextTable cross({"reference / tree", "GFLOPS", "per-node GFLOPS",
+                   "nodes per laptop", "MFLOPS/W", "vs laptop"});
+  cross.addRow({laptopReference().name, fmt(laptop.gflops, 2),
+                fmt(laptop.gflops, 2), "1", fmt(laptop.mflopsPerWatt, 0),
+                "1.00x"});
+  auto crossRow = [&](const Cell& cell) {
+    const double perNode =
+        cell.result.gflops / static_cast<double>(cell.nodes);
+    cross.addRow({trees[cell.tree].spec(cell.nodes).name,
+                  fmt(cell.result.gflops, 1), fmt(perNode, 3),
+                  fmt(laptop.gflops / perNode, 1),
+                  fmt(cell.result.mflopsPerWatt, 0),
+                  fmt(cell.result.mflopsPerWatt / laptop.mflopsPerWatt, 2) +
+                      "x"});
+  };
+  crossRow(tegraTop);
+  crossRow(armv8Top);
+  results.addTable("laptop crossover at 4096 nodes (Figure 2(b) projection)",
+                   std::move(cross));
+
+  results.addMetric("ranks simulated at 4096 nodes",
+                    static_cast<double>(
+                        armv8Top.result.stats.engine.peakLiveProcesses),
+                    "processes");
+  results.addMetric("ARMv8 vs Tegra2 HPL speedup at 4096 nodes",
+                    armv8Top.result.gflops / tegraTop.result.gflops, "x");
+  results.addMetric("Tegra2 nodes per laptop-class node",
+                    laptop.gflops * tegraTop.nodes / tegraTop.result.gflops,
+                    "nodes");
+  results.addMetric("ARMv8 nodes per laptop-class node",
+                    laptop.gflops * armv8Top.nodes / armv8Top.result.gflops,
+                    "nodes");
+  results.addMetric("ARMv8 Green500 metric at 4096 nodes",
+                    armv8Top.result.mflopsPerWatt, "MFLOPS/W");
+
+  // 8,192-rank traced comparison — bounded modes only: full mode would
+  // retain every span of an 8,192-rank HPL run, the exact memory cliff
+  // the bounded sinks exist to avoid.
+  const obs::TraceMode traceMode = obs::defaultTraceMode();
+  if (traceMode != obs::TraceMode::Full) {
+    struct Traced {
+      cluster::JobResult result;
+      double computeS = 0.0, sendS = 0.0, recvS = 0.0, waitS = 0.0;
+      double nonCompute = 0.0;
+    };
+    std::array<Traced, 2> traced;
+    ctx.parallelFor(trees.size(), [&](std::size_t t) {
+      cluster::ClusterSimulation sim(trees[t].spec(4096));
+      cluster::JobOptions options = sized[t];
+      options.enableTracing = true;
+      options.traceSeed = ctx.rng(4096 + t).nextU64();
+      options.observer = [&, t](const mpi::MpiWorld& world,
+                                const cluster::JobResult& r) {
+        const auto summaries =
+            world.tracer().summarize(r.ranks, r.wallClockSeconds);
+        for (const auto& s : summaries) {
+          traced[t].computeS += s.computeSeconds;
+          traced[t].sendS += s.sendSeconds;
+          traced[t].recvS += s.recvSeconds;
+          traced[t].waitS += s.waitSeconds;
+        }
+        traced[t].nonCompute =
+            world.tracer().nonComputeFraction(r.ranks, r.wallClockSeconds);
+        if (ctx.traceExportEnabled()) {
+          ctx.exportArtefact(std::string("ablation_armv8_bigcluster__") +
+                                 trees[t].label + "4096.breakdown.csv",
+                             obs::exportBreakdownCsv(summaries));
+        }
+      };
+      apps::HplBenchmark::Params params;
+      params.n = apps::HplBenchmark::problemSizeForNodes(sim.spec(), 4096,
+                                                         kMemoryFraction);
+      params.nb = 512;
+      traced[t].result =
+          sim.runJob(4096, apps::HplBenchmark::rankBody(params), options);
+      ctx.recordWorldStats(traced[t].result.stats);
+    });
+
+    TextTable comm({"cluster", "compute rank-s", "send rank-s",
+                    "recv rank-s", "wait rank-s", "non-compute",
+                    "trace KiB"});
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+      comm.addRow({trees[t].spec(4096).name, fmt(traced[t].computeS, 1),
+                   fmt(traced[t].sendS, 1), fmt(traced[t].recvS, 1),
+                   fmt(traced[t].waitS, 1),
+                   fmt(traced[t].nonCompute * 100, 1) + "%",
+                   fmt(static_cast<double>(
+                           traced[t].result.stats.traceMemoryBytes) /
+                           1024.0,
+                       1)});
+    }
+    results.addTable(std::string("8192-rank communication breakdown (") +
+                         obs::toString(traceMode) + ")",
+                     std::move(comm));
+    results.addMetric(
+        "ARMv8 non-compute fraction at 8192 ranks",
+        traced[1].nonCompute * 100, "%");
+    results.addMetric(
+        "Tegra2 non-compute fraction at 8192 ranks",
+        traced[0].nonCompute * 100, "%");
+    results.addNote(
+        "the projected on-chip 10 GbE NIC and fatter spine cut the "
+        "non-compute fraction relative to the Tegra 2 tree at the same "
+        "scale — the Section 4 scalability post-mortem, projected forward");
+  }
+
+  results.addNote(
+      "weak-scaled HPL at a 2% memory fraction; the ARMv8 node's 4 GiB "
+      "LPDDR4 gives it a larger per-node matrix than the 1 GiB Tegra 2 "
+      "node at the same fraction, as weak scaling intends");
+  return results;
+}
+
 }  // namespace
 
 void registerOpsExperiments(ExperimentRegistry& registry) {
@@ -227,6 +462,10 @@ void registerOpsExperiments(ExperimentRegistry& registry) {
       "ablation_armv8", "Section 3.1.2",
       "ablation / projection: hypothetical quad-core ARMv8 @ 2 GHz",
       runAblationArmv8));
+  registry.add(std::make_unique<LambdaExperiment>(
+      "ablation_armv8_bigcluster", "Section 6 / Figure 2",
+      "projection: 2048/4096-node Tegra2 vs ARMv8 trees, laptop crossover",
+      runAblationArmv8BigCluster));
 }
 
 }  // namespace tibsim::core

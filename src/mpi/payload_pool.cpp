@@ -1,0 +1,55 @@
+#include "tibsim/mpi/payload_pool.hpp"
+
+#include <cstring>
+
+namespace tibsim::mpi {
+
+std::vector<std::byte> PayloadPool::acquire(std::span<const std::byte> data) {
+  std::vector<std::byte> buffer;
+  if (!free_.empty()) {
+    buffer = std::move(free_.back());
+    free_.pop_back();
+    if (buffer.capacity() >= data.size())
+      ++stats_.reuses;
+    else
+      ++stats_.allocations;  // parked buffer too small: insert reallocates
+  } else {
+    ++stats_.allocations;
+  }
+  buffer.clear();
+  buffer.insert(buffer.end(), data.begin(), data.end());
+  return buffer;
+}
+
+void PayloadPool::release(std::vector<std::byte>&& buffer) {
+  if (buffer.capacity() == 0) return;  // nothing worth parking
+  ++stats_.returns;
+  buffer.clear();
+  free_.push_back(std::move(buffer));
+}
+
+MessagePayload::MessagePayload(std::span<const std::byte> data,
+                               PayloadPool& pool) {
+  size_ = data.size();
+  if (data.empty()) return;
+  if (data.size() <= kInlineCapacity) {
+    std::memcpy(inline_.data(), data.data(), data.size());
+    ++pool.stats_.inlineMessages;
+    return;
+  }
+  buffer_ = pool.acquire(data);
+  pooled_ = true;
+  ++pool.stats_.pooledMessages;
+}
+
+std::vector<std::byte> MessagePayload::intoVector(PayloadPool& pool) {
+  std::vector<std::byte> out(view().begin(), view().end());
+  if (pooled_) {
+    pool.release(std::move(buffer_));
+    pooled_ = false;
+  }
+  size_ = 0;
+  return out;
+}
+
+}  // namespace tibsim::mpi

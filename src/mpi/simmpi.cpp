@@ -72,6 +72,9 @@ std::vector<std::byte> MpiContext::recv(int src, int tag,
 
 std::vector<double> MpiContext::recvDoubles(int src, int tag) {
   const std::vector<std::byte> raw = recv(src, tag);
+  TIB_REQUIRE_MSG(raw.size() % sizeof(double) == 0,
+                  "recvDoubles: payload size is not a multiple of "
+                  "sizeof(double) — sender did not use sendDoubles");
   std::vector<double> values(raw.size() / sizeof(double));
   if (!values.empty())
     std::memcpy(values.data(), raw.data(), values.size() * sizeof(double));
@@ -84,22 +87,24 @@ MpiContext::Request MpiContext::isend(int dst, int tag, std::size_t bytes,
   // background; rendezvous is suppressed so the caller never blocks.
   world_.doSend(*this, dst, tag, bytes, payload, /*allowRendezvous=*/false);
   const Request request = nextRequest_++;
-  pending_.emplace(request, PendingOp{false, dst, tag});
+  pending_.push_back(PendingOp{request, false, dst, tag});
   return request;
 }
 
 MpiContext::Request MpiContext::irecv(int src, int tag) {
   const Request request = nextRequest_++;
-  pending_.emplace(request, PendingOp{true, src, tag});
+  pending_.push_back(PendingOp{request, true, src, tag});
   return request;
 }
 
 std::vector<std::byte> MpiContext::wait(Request request,
                                         std::size_t* receivedBytes) {
-  const auto it = pending_.find(request);
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->request != request) ++it;
   TIB_REQUIRE_MSG(it != pending_.end(), "unknown or already-waited request");
-  const PendingOp op = it->second;
-  pending_.erase(it);
+  const PendingOp op = *it;
+  *it = pending_.back();
+  pending_.pop_back();
   if (!op.isRecv) return {};  // isend completed at initiation
   return world_.doRecv(*this, op.peer, op.tag, receivedBytes);
 }
@@ -136,6 +141,11 @@ MpiWorld::MpiWorld(WorldConfig config, int ranks)
                                            : config_.platform.maxFrequencyHz();
   protocol_ = std::make_unique<net::ProtocolModel>(
       config_.protocol, config_.platform, frequencyHz_);
+  // Pure function of per-world constants; hoisted out of the per-send
+  // shared-memory path.
+  sameNodeCopyBandwidth_ = 0.5 * execModel_.achievableBandwidth(
+                                     platform(), AccessPattern::Streaming, 1,
+                                     frequencyHz_);
 }
 
 MpiWorld::~MpiWorld() = default;
@@ -159,28 +169,27 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
   ++stats_.messageCount;
   stats_.payloadBytes += static_cast<double>(bytes);
 
-  std::vector<std::byte> copy(payload.begin(), payload.end());
+  // Small payloads ride inline in the Message; larger ones borrow a warm
+  // buffer from the world's pool (recycled by doRecv/wait), so a
+  // steady-state send performs no heap allocation.
+  MessagePayload copy(payload, pool_);
   const int srcNode = ctx.node();
   const int dstNode = nodeOfRank(dst);
 
   const double sendBegin = sim_->now();
   if (srcNode == dstNode) {
     // Shared-memory path: one copy in, one copy out, no NIC.
-    const double copyBw = 0.5 * execModel_.achievableBandwidth(
-                                    platform(), AccessPattern::Streaming, 1,
-                                    frequencyHz_);
-    const double side = 0.3e-6 + static_cast<double>(bytes) / copyBw;
+    const double side =
+        0.3e-6 + static_cast<double>(bytes) / sameNodeCopyBandwidth_;
     chargeCpu(srcNode, side);
     ctx.process_.delay(side);
     traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst,
               bytes);
-    Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
-                side, nullptr, nextMessageId_++};
-    const int dstRank = dst;
-    auto deliverLocal = [this, dstRank, m = std::move(msg)]() mutable {
-      deliver(dstRank, std::move(m));
-    };
-    sim_->scheduleIn(0.2e-6, std::move(deliverLocal));
+    const std::uint32_t slot =
+        stashInflight(Message{ctx.rank(), tag, bytes, std::move(copy),
+                              Stage::Delivered, side, nullptr,
+                              nextMessageId_++});
+    sim_->scheduleIn(0.2e-6, [this, dst, slot] { deliver(dst, slot); });
     return;
   }
 
@@ -197,11 +206,11 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
         costs.wireSeconds * platform().nicLinkRateBytesPerS;
     const double arrival =
         fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim_->now());
-    Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
-                costs.receiverSeconds, nullptr, nextMessageId_++};
-    sim_->scheduleAt(arrival, [this, dst, m = std::move(msg)]() mutable {
-      deliver(dst, std::move(m));
-    });
+    const std::uint32_t slot =
+        stashInflight(Message{ctx.rank(), tag, bytes, std::move(copy),
+                              Stage::Delivered, costs.receiverSeconds,
+                              nullptr, nextMessageId_++});
+    sim_->scheduleAt(arrival, [this, dst, slot] { deliver(dst, slot); });
     return;
   }
 
@@ -212,12 +221,12 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
   ctx.process_.delay(rts.senderSeconds);
   const double rtsArrival =
       fabric_->scheduleWire(srcNode, dstNode, 84.0, sim_->now());
-  Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::RtsPending,
-              costs.receiverSeconds, &ctx.process_, nextMessageId_++};
-  const std::uint64_t id = msg.id;
-  sim_->scheduleAt(rtsArrival, [this, dst, m = std::move(msg)]() mutable {
-    deliver(dst, std::move(m));
-  });
+  const std::uint64_t id = nextMessageId_++;
+  const std::uint32_t slot =
+      stashInflight(Message{ctx.rank(), tag, bytes, std::move(copy),
+                            Stage::RtsPending, costs.receiverSeconds,
+                            &ctx.process_, id});
+  sim_->scheduleAt(rtsArrival, [this, dst, slot] { deliver(dst, slot); });
   ctx.process_.suspend();  // woken by the receiver's CTS
 
   // CTS received: stream the payload.
@@ -229,26 +238,70 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
   traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst, bytes);
   sim_->scheduleAt(dataArrival, [this, dst, id] {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-    for (auto& m : box.messages) {
-      if (m.id == id) {
-        m.stage = Stage::Delivered;
+    Message* arrived = nullptr;
+    for (const std::uint32_t s : box.messages) {
+      if (inflight_[s].id == id) {
+        arrived = &inflight_[s];
+        arrived->stage = Stage::Delivered;
         break;
       }
     }
-    if (box.waiting) {
-      box.waiting = false;
+    if (!box.waiting) return;
+    box.waiting = false;
+    // Fold the receive cost into the wake-up only when the waiter will
+    // consume exactly this message, i.e. it is the first (src, tag) match
+    // in mailbox order; otherwise a plain wake and the receiver rescans.
+    Message* firstMatch = nullptr;
+    for (const std::uint32_t s : box.messages) {
+      if (inflight_[s].src == box.waitSrc && inflight_[s].tag == box.waitTag) {
+        firstMatch = &inflight_[s];
+        break;
+      }
+    }
+    if (arrived != nullptr && firstMatch == arrived) {
+      chargeCpu(nodeOfRank(dst), arrived->receiverCost);
+      arrived->receiverCharged = true;
+      sim_->resumeAt(sim_->now() + arrived->receiverCost, *box.waiter);
+    } else {
       sim_->resume(*box.waiter);
     }
   });
 }
 
-void MpiWorld::deliver(int dstRank, Message message) {
+std::uint32_t MpiWorld::stashInflight(Message&& message) {
+  if (freeSlots_.empty()) {
+    inflight_.push_back(std::move(message));
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+  }
+  const std::uint32_t slot = freeSlots_.back();
+  freeSlots_.pop_back();
+  inflight_[slot] = std::move(message);
+  return slot;
+}
+
+std::vector<std::byte> MpiWorld::consumeSlot(std::uint32_t slot) {
+  std::vector<std::byte> out = inflight_[slot].payload.intoVector(pool_);
+  freeSlots_.push_back(slot);
+  return out;
+}
+
+void MpiWorld::deliver(int dstRank, std::uint32_t slot) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
-  box.messages.push_back(std::move(message));
-  if (box.waiting && box.messages.back().src == box.waitSrc &&
-      box.messages.back().tag == box.waitTag) {
+  box.messages.push_back(slot);
+  Message& msg = inflight_[slot];
+  if (box.waiting && msg.src == box.waitSrc && msg.tag == box.waitTag) {
     box.waiting = false;
-    sim_->resume(*box.waiter);
+    if (msg.stage == Stage::Delivered) {
+      // The receiver is already blocked on exactly this message, so the
+      // receive-side protocol cost can be charged here and folded into the
+      // wake-up time: one context switch instead of wake + delay. The
+      // receiver resumes at the same simulated instant either way.
+      chargeCpu(nodeOfRank(dstRank), msg.receiverCost);
+      msg.receiverCharged = true;
+      sim_->resumeAt(sim_->now() + msg.receiverCost, *box.waiter);
+    } else {
+      sim_->resume(*box.waiter);
+    }
   }
 }
 
@@ -261,24 +314,45 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
 
   while (true) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-      if (it->src != src || it->tag != tag) continue;
-      if (it->stage == Stage::Delivered) {
-        Message msg = std::move(*it);
+      const std::uint32_t slot = *it;
+      Message& m = inflight_[slot];
+      if (m.src != src || m.tag != tag) continue;
+      if (m.stage == Stage::Delivered) {
+        if (m.receiverCharged) {
+          // Delivery already charged receiverCost and folded it into the
+          // wake-up; reconstruct the span boundary and consume in place.
+          // The clamp covers the rare case where a pre-charged message is
+          // consumed by a later recv call (its cost was absorbed while we
+          // blocked elsewhere).
+          const double cpuBegin =
+              std::max(recvEntry, sim_->now() - m.receiverCost);
+          traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, cpuBegin, src);
+          traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim_->now(), src,
+                    m.bytes);
+          if (receivedBytes != nullptr) *receivedBytes = m.bytes;
+          box.messages.erase(it);
+          return consumeSlot(slot);
+        }
+        // Dequeue before delay(): deliveries during the yield push into
+        // this deque and invalidate iterators, and they can also grow the
+        // slab — so keep the slot index, not the Message reference.
+        const double cost = m.receiverCost;
+        const std::size_t bytes = m.bytes;
         box.messages.erase(it);
         traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim_->now(), src);
         const double cpuBegin = sim_->now();
-        chargeCpu(ctx.node(), msg.receiverCost);
-        ctx.process_.delay(msg.receiverCost);
+        chargeCpu(ctx.node(), cost);
+        ctx.process_.delay(cost);
         traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim_->now(), src,
-                  msg.bytes);
-        if (receivedBytes != nullptr) *receivedBytes = msg.bytes;
-        return std::move(msg.payload);
+                  bytes);
+        if (receivedBytes != nullptr) *receivedBytes = bytes;
+        return consumeSlot(slot);
       }
-      if (it->stage == Stage::RtsPending) {
+      if (m.stage == Stage::RtsPending) {
         // Matched a rendezvous request: return a CTS and wait for the data.
-        it->stage = Stage::AwaitingData;
-        sim::Process* sender = it->sender;  // before delay(): the yield may
-                                            // grow the deque and invalidate it
+        m.stage = Stage::AwaitingData;
+        sim::Process* sender = m.sender;  // before delay(): the yield may
+                                          // grow the slab and move Messages
         const net::MessageCosts cts = protocol_->messageCosts(0);
         chargeCpu(ctx.node(), cts.senderSeconds);
         ctx.process_.delay(cts.senderSeconds);
@@ -309,8 +383,13 @@ WorldStats MpiWorld::run(const RankBody& body) {
   net::TopologySpec topo = config_.topology;
   topo.nodes = nodes_;
   fabric_ = std::make_unique<net::Fabric>(topo);
-  mailboxes_.assign(static_cast<std::size_t>(ranks_), Mailbox{});
+  // clear + resize, not assign: Mailbox holds move-only Messages now.
+  mailboxes_.clear();
+  mailboxes_.resize(static_cast<std::size_t>(ranks_));
   contexts_.clear();
+  inflight_.clear();
+  freeSlots_.clear();
+  pool_.resetStats();  // parked buffers survive: repeat runs start warm
   stats_ = WorldStats{};
   stats_.nodes = nodes_;
   stats_.rankFinishSeconds.assign(static_cast<std::size_t>(ranks_), 0.0);
@@ -338,6 +417,12 @@ WorldStats MpiWorld::run(const RankBody& body) {
   stats_.traceSpansRecorded = tracer_.spansRecorded();
   stats_.traceSpansRetained = tracer_.spansRetained();
   stats_.traceMemoryBytes = tracer_.memoryBytes();
+  const PayloadPool::Stats& poolStats = pool_.stats();
+  stats_.payloadInlineMessages = poolStats.inlineMessages;
+  stats_.payloadPooledMessages = poolStats.pooledMessages;
+  stats_.payloadPoolReuses = poolStats.reuses;
+  stats_.payloadPoolAllocations = poolStats.allocations;
+  stats_.payloadPoolReturns = poolStats.returns;
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

@@ -13,7 +13,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <setjmp.h>
+#include <sys/mman.h>
 #include <ucontext.h>
+#include <unistd.h>
 #define TIBSIM_HAVE_UCONTEXT 1
 #else
 #define TIBSIM_HAVE_UCONTEXT 0
@@ -131,12 +133,16 @@ class ThreadContext final : public ExecutionContext {
 };
 
 // ---------------------------------------------------------------------------
-// FiberContext — stackful user-space fiber on an owned heap stack; no OS
-// thread is created. ucontext (getcontext/makecontext) builds the initial
-// stack frame and performs the first entry; steady-state switches use
-// _setjmp/_longjmp, which save and restore only the register file — glibc's
-// swapcontext issues a rt_sigprocmask syscall on every call, and that
-// syscall is the bulk of its cost (the libtask/libaco technique).
+// FiberContext — stackful user-space fiber on an owned mmap'd stack; no OS
+// thread is created. The mapping carries one PROT_NONE guard page below the
+// stack (stacks grow down), so an overflow faults immediately instead of
+// silently corrupting whatever the allocator placed next door — essential
+// once sweeps auto-size stacks near the measured high-water mark.
+// ucontext (getcontext/makecontext) builds the initial stack frame and
+// performs the first entry; steady-state switches use _setjmp/_longjmp,
+// which save and restore only the register file — glibc's swapcontext
+// issues a rt_sigprocmask syscall on every call, and that syscall is the
+// bulk of its cost (the libtask/libaco technique).
 //
 // Under AddressSanitizer every switch goes through swapcontext instead and
 // is announced with the ASan fiber annotations: ASan intercepts longjmp and
@@ -147,30 +153,34 @@ class ThreadContext final : public ExecutionContext {
 
 #if TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
 
-// Floor low enough that stack-sizing experiments guided by the high-water
-// telemetry can actually go below the old 64 KiB default; high enough that
-// the entry thunk itself always fits.
-constexpr std::size_t kMinFiberStackBytes = 16 * 1024;
-
 class FiberContext final : public ExecutionContext {
  public:
-  explicit FiberContext(std::size_t stackBytes)
-      : stackBytes_(std::max(stackBytes, kMinFiberStackBytes)),
-        stack_(new char[stackBytes_]) {
+  explicit FiberContext(std::size_t stackBytes) {
+    const std::size_t page = pageBytes();
+    stackBytes_ = std::max(stackBytes, kMinFiberStackBytes);
+    stackBytes_ = (stackBytes_ + page - 1) / page * page;
+    mapBytes_ = stackBytes_ + page;  // + guard page below the stack
+    void* map = mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    TIB_REQUIRE_MSG(map != MAP_FAILED, "fiber stack mmap failed");
+    map_ = map;
+    TIB_REQUIRE_MSG(mprotect(map, page, PROT_NONE) == 0,
+                    "fiber stack guard mprotect failed");
+    stack_ = static_cast<char*>(map) + page;
     // Pattern-fill before makecontext arms the stack so the high-water scan
     // can tell touched bytes from untouched ones.
-    obs::patternFillStack(stack_.get(), stackBytes_);
+    obs::patternFillStack(stack_, stackBytes_);
   }
 
   // Process guarantees the entry has returned before destruction, so the
-  // stack is quiescent here and delete[] is all that is needed.
-  ~FiberContext() override = default;
+  // stack is quiescent here and the unmap is all that is needed.
+  ~FiberContext() override { munmap(map_, mapBytes_); }
 
   void start(Entry entry) override {
     TIB_ASSERT(!armed_);
     entry_ = std::move(entry);
     TIB_REQUIRE(getcontext(&fiberCtx_) == 0);
-    fiberCtx_.uc_stack.ss_sp = stack_.get();
+    fiberCtx_.uc_stack.ss_sp = stack_;
     fiberCtx_.uc_stack.ss_size = stackBytes_;
     fiberCtx_.uc_link = nullptr;  // exit is an explicit transfer in run()
     // makecontext passes ints only; smuggle `this` as two 32-bit halves.
@@ -186,7 +196,7 @@ class FiberContext final : public ExecutionContext {
   void switchIn() override {
     TIB_ASSERT(armed_ && !done_);
     void* fakeStack = nullptr;
-    asanStartSwitch(&fakeStack, stack_.get(), stackBytes_);
+    asanStartSwitch(&fakeStack, stack_, stackBytes_);
     TIB_REQUIRE(swapcontext(&hostCtx_, &fiberCtx_) == 0);
     // Back on the host stack; tell ASan and remember where the host stack
     // lives so yieldToHost() can announce the reverse switch.
@@ -228,7 +238,7 @@ class FiberContext final : public ExecutionContext {
   std::size_t stackBytes() const override { return stackBytes_; }
 
   std::size_t stackHighWaterBytes() const override {
-    return obs::scanStackHighWater(stack_.get(), stackBytes_);
+    return obs::scanStackHighWater(stack_, stackBytes_);
   }
 
  private:
@@ -251,8 +261,10 @@ class FiberContext final : public ExecutionContext {
   }
 
   Entry entry_;
-  std::size_t stackBytes_;
-  std::unique_ptr<char[]> stack_;
+  std::size_t stackBytes_ = 0;  ///< usable bytes (excludes the guard page)
+  std::size_t mapBytes_ = 0;
+  void* map_ = nullptr;
+  char* stack_ = nullptr;
   ucontext_t fiberCtx_{};
   ucontext_t hostCtx_{};
 #if !TIBSIM_ASAN
@@ -284,6 +296,26 @@ std::atomic<ExecBackend>& defaultBackendSlot() {
 }
 
 }  // namespace
+
+std::size_t pageBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const std::size_t page = [] {
+    const long v = sysconf(_SC_PAGESIZE);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{4096};
+  }();
+  return page;
+#else
+  return 4096;
+#endif
+}
+
+std::size_t recommendedStackBytes(std::size_t highWaterBytes) {
+  if (highWaterBytes == 0) return 0;  // no telemetry: keep the default
+  const std::size_t page = pageBytes();
+  const std::size_t doubled = 2 * highWaterBytes;
+  const std::size_t rounded = (doubled + page - 1) / page * page;
+  return std::max(rounded, kMinFiberStackBytes);
+}
 
 const char* toString(ExecBackend backend) {
   return backend == ExecBackend::Fiber ? "fiber" : "thread";

@@ -129,13 +129,24 @@ Simulation::~Simulation() {
   for (auto& p : processes_) p->kill();
 }
 
-void Simulation::scheduleAt(double t, std::function<void()> fn) {
+std::uint32_t Simulation::stashClosure(UniqueFunction fn) {
+  if (freeClosureSlots_.empty()) {
+    closures_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(closures_.size() - 1);
+  }
+  const std::uint32_t slot = freeClosureSlots_.back();
+  freeClosureSlots_.pop_back();
+  closures_[slot] = std::move(fn);
+  return slot;
+}
+
+void Simulation::scheduleAt(double t, UniqueFunction fn) {
   TIB_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{t, nextSeq_++, std::move(fn)});
+  queue_.push(Event{t, nextSeq_++, nullptr, stashClosure(std::move(fn))});
   stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
 }
 
-void Simulation::scheduleIn(double dt, std::function<void()> fn) {
+void Simulation::scheduleIn(double dt, UniqueFunction fn) {
   TIB_REQUIRE(dt >= 0.0);
   scheduleAt(now_ + dt, std::move(fn));
 }
@@ -160,13 +171,9 @@ void Simulation::resumeAt(double t, Process& p) {
   // Tag the wake-up with the suspension it belongs to: a resume scheduled
   // against suspension N must not fire into suspension N+1 (e.g. a stale
   // mailbox wake-up arriving while the process already sleeps in delay()).
-  const std::uint64_t id = p.suspendSeq_;
-  scheduleAt(t, [&p, id] {
-    if (!p.finished() && p.suspended_ && p.suspendSeq_ == id) {
-      p.suspended_ = false;
-      p.switchIn();
-    }
-  });
+  // Encoded directly in the event — no closure, no slab slot.
+  queue_.push(Event{t, nextSeq_++, &p, p.suspendSeq_});
+  stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
 }
 
 void Simulation::resume(Process& p) { resumeAt(now_, p); }
@@ -192,11 +199,24 @@ double Simulation::runUntil(double deadline) {
   return now_;
 }
 
-void Simulation::dispatch(Event& ev) {
+void Simulation::dispatch(const Event& ev) {
   TIB_ASSERT(ev.t >= now_);
   now_ = ev.t;
   ++stats_.eventsDispatched;
-  ev.fn();
+  if (ev.proc != nullptr) {
+    Process& p = *ev.proc;
+    if (!p.finished_ && p.suspended_ && p.suspendSeq_ == ev.aux) {
+      p.suspended_ = false;
+      p.switchIn();
+    }
+    return;
+  }
+  // Move the closure out and free its slot before invoking: the callback
+  // may schedule again and immediately reuse the slot.
+  UniqueFunction fn =
+      std::move(closures_[static_cast<std::size_t>(ev.aux)]);
+  freeClosureSlots_.push_back(static_cast<std::uint32_t>(ev.aux));
+  fn();
 }
 
 void Simulation::noteProcessFinished(Process& p) {

@@ -12,6 +12,7 @@
 #include "tibsim/arch/registry.hpp"
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/units.hpp"
+#include "tibsim/mpi/payload_pool.hpp"
 #include "tibsim/mpi/simmpi.hpp"
 #include "tibsim/sim/execution_context.hpp"
 
@@ -488,6 +489,137 @@ TEST_P(SimMpiCollectivesTest, PipelinedBcastCausality) {
     finish[static_cast<std::size_t>(ctx.rank())] = ctx.now();
   });
   for (double t : finish) EXPECT_GT(t, 0.05);
+}
+
+TEST(PayloadPool, AcquireCopiesAndCountsAllocations) {
+  PayloadPool pool;
+  std::vector<std::byte> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i);
+  const std::vector<std::byte> buf = pool.acquire(data);
+  ASSERT_EQ(buf.size(), data.size());
+  EXPECT_EQ(std::memcmp(buf.data(), data.data(), data.size()), 0);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.freeBuffers(), 0u);
+}
+
+TEST(PayloadPool, ReleasedBuffersAreReusedLifoWithoutAllocating) {
+  PayloadPool pool;
+  const std::vector<std::byte> data(1024, std::byte{0x5a});
+  std::vector<std::byte> buf = pool.acquire(data);
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.stats().returns, 1u);
+  EXPECT_EQ(pool.freeBuffers(), 1u);
+  const std::vector<std::byte> again = pool.acquire(data);
+  EXPECT_EQ(pool.stats().allocations, 1u);  // unchanged: served from pool
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.freeBuffers(), 0u);
+  EXPECT_EQ(again.size(), data.size());
+  EXPECT_EQ(std::memcmp(again.data(), data.data(), data.size()), 0);
+}
+
+TEST(PayloadPool, EveryAcquireIsEitherReuseOrAllocation) {
+  PayloadPool pool;
+  const std::vector<std::byte> data(512, std::byte{7});
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::byte> a = pool.acquire(data);
+    std::vector<std::byte> b = pool.acquire(data);
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+  }
+  const PayloadPool::Stats& s = pool.stats();
+  EXPECT_EQ(s.reuses + s.allocations, 10u);
+  EXPECT_EQ(s.allocations, 2u);  // the first round's two buffers
+  EXPECT_EQ(s.returns, 10u);
+  EXPECT_EQ(pool.freeBuffers(), 2u);
+}
+
+TEST(MessagePayloadStorage, InlineUpToCapacityPooledAbove) {
+  PayloadPool pool;
+  const std::vector<std::byte> small(MessagePayload::kInlineCapacity,
+                                     std::byte{1});
+  const std::vector<std::byte> big(MessagePayload::kInlineCapacity + 1,
+                                   std::byte{2});
+  MessagePayload inlined(small, pool);
+  MessagePayload pooled(big, pool);
+  EXPECT_FALSE(inlined.pooled());
+  EXPECT_TRUE(pooled.pooled());
+  EXPECT_EQ(pool.stats().inlineMessages, 1u);
+  EXPECT_EQ(pool.stats().pooledMessages, 1u);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+
+  // Moves hand over the storage and leave the source empty.
+  MessagePayload moved(std::move(pooled));
+  EXPECT_TRUE(moved.pooled());
+  EXPECT_EQ(moved.size(), big.size());
+  EXPECT_EQ(pooled.size(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  // intoVector hands the bytes to the caller and recycles the buffer.
+  const std::vector<std::byte> out = moved.intoVector(pool);
+  EXPECT_EQ(out, big);
+  EXPECT_EQ(pool.stats().returns, 1u);
+  EXPECT_EQ(pool.freeBuffers(), 1u);
+
+  const std::vector<std::byte> outInline = inlined.intoVector(pool);
+  EXPECT_EQ(outInline, small);
+  EXPECT_EQ(pool.stats().returns, 1u);  // inline payloads touch no buffer
+}
+
+TEST_P(SimMpiTest, PayloadRoundTripsAcrossInlineBoundary) {
+  // Byte-exact round trips on both storage paths, straddling the 64-byte
+  // inline capacity (inline below, pooled above).
+  for (const std::size_t bytes :
+       {std::size_t{1}, MessagePayload::kInlineCapacity - 1,
+        MessagePayload::kInlineCapacity, MessagePayload::kInlineCapacity + 1,
+        std::size_t{4096}}) {
+    MpiWorld world(testConfig(), 2);
+    std::vector<std::byte> sent(bytes);
+    for (std::size_t i = 0; i < bytes; ++i)
+      sent[i] = static_cast<std::byte>(i * 37 + 11);
+    std::vector<std::byte> got;
+    const WorldStats stats = world.run([&](MpiContext& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.send(1, 5, sent.size(), sent);
+      } else {
+        got = ctx.recv(0, 5);
+      }
+    });
+    EXPECT_EQ(got, sent) << bytes << " bytes";
+    if (bytes <= MessagePayload::kInlineCapacity) {
+      EXPECT_EQ(stats.payloadInlineMessages, 1u) << bytes << " bytes";
+      EXPECT_EQ(stats.payloadPooledMessages, 0u) << bytes << " bytes";
+    } else {
+      EXPECT_EQ(stats.payloadPooledMessages, 1u) << bytes << " bytes";
+      EXPECT_EQ(stats.payloadPoolReturns, 1u) << bytes << " bytes";
+    }
+  }
+}
+
+TEST_P(SimMpiTest, SteadyStatePooledSendsStopAllocating) {
+  // The tentpole invariant: once the pool is warm, pooled sends are served
+  // from recycled buffers — reuses grow, allocations stay at the warm-up
+  // constant, and every pooled buffer comes back.
+  MpiWorld world(testConfig(), 2);
+  constexpr int kReps = 100;
+  const WorldStats stats = world.run([&](MpiContext& ctx) {
+    std::vector<std::byte> payload(4096, std::byte{0x5a});
+    const int peer = 1 - ctx.rank();
+    const int sendTag = ctx.rank() == 0 ? 7 : 8;
+    const int recvTag = ctx.rank() == 0 ? 8 : 7;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ctx.send(peer, sendTag, payload.size(), payload);
+      ctx.recv(peer, recvTag);
+    }
+  });
+  EXPECT_EQ(stats.payloadPooledMessages, 2u * kReps);
+  EXPECT_EQ(stats.payloadPoolReturns, stats.payloadPooledMessages);
+  EXPECT_EQ(stats.payloadPoolReuses + stats.payloadPoolAllocations,
+            stats.payloadPooledMessages);
+  // Warm-up allocates at most one buffer per in-flight message direction;
+  // everything after that is reuse.
+  EXPECT_LE(stats.payloadPoolAllocations, 4u);
+  EXPECT_GE(stats.payloadPoolReuses, 2u * kReps - 4u);
 }
 
 TEST_P(SimMpiTest, DeterministicAcrossRuns) {

@@ -352,6 +352,92 @@ TEST(ExecutionContexts, ParseAndToStringRoundTrip) {
   EXPECT_THROW(parseExecBackend("green-threads"), ContractError);
 }
 
+TEST(StackAutoSizing, RecommendedStackBytesIsTwiceHwmPageRounded) {
+  const std::size_t page = pageBytes();
+  ASSERT_GT(page, 0u);
+  // No telemetry -> keep the default.
+  EXPECT_EQ(recommendedStackBytes(0), 0u);
+  // Tiny high-water marks floor at the minimum usable stack.
+  EXPECT_EQ(recommendedStackBytes(1), kMinFiberStackBytes);
+  EXPECT_EQ(recommendedStackBytes(kMinFiberStackBytes / 2 - 1),
+            kMinFiberStackBytes);
+  // Above the floor: 2x the high-water mark, rounded up to a whole page.
+  const std::size_t hwm = 5 * page + 123;
+  const std::size_t rec = recommendedStackBytes(hwm);
+  EXPECT_GE(rec, 2 * hwm);
+  EXPECT_LT(rec, 2 * hwm + page);
+  EXPECT_EQ(rec % page, 0u);
+  // An exact page multiple does not get an extra page.
+  EXPECT_EQ(recommendedStackBytes(4 * page), 8 * page);
+}
+
+TEST(StackAutoSizing, ProbeTelemetryFeedsARunnableRecommendation) {
+  // The probe-then-sweep pattern end-to-end at engine level: measure a
+  // workload's stack high-water mark on the fiber backend, then rerun the
+  // same workload on stacks sized from the telemetry.
+  const auto workload = [](Simulation& sim) {
+    for (int i = 0; i < 8; ++i) {
+      sim.spawn("p" + std::to_string(i), [](Process& p) {
+        volatile char frame[2048];
+        frame[0] = 1;
+        frame[sizeof(frame) - 1] = 1;
+        p.delay(1.0);
+      });
+    }
+    sim.run();
+  };
+  Simulation probe(ExecBackend::Fiber);
+  workload(probe);
+  const std::size_t hwm = probe.engineStats().stackHighWaterBytes;
+  if (probe.engineStats().fiberStackBytes == 0)
+    GTEST_SKIP() << "fiber backend unavailable (sanitizer fallback)";
+  ASSERT_GT(hwm, 0u);
+  const std::size_t sized = recommendedStackBytes(hwm);
+  ASSERT_GE(sized, kMinFiberStackBytes);
+  ASSERT_LT(sized, ExecutionContext::defaultStackBytes());
+  Simulation sweep(ExecBackend::Fiber, sized);
+  workload(sweep);
+  EXPECT_EQ(sweep.engineStats().fiberStackBytes, sized);
+  EXPECT_LE(sweep.engineStats().stackHighWaterBytes, sized);
+}
+
+// Guard-page containment: a fiber that overruns its stack must fault on
+// the PROT_NONE guard page (killing the process) instead of silently
+// scribbling over a neighbouring fiber's stack.
+TEST(FiberGuardPageDeathTest, OverflowFaultsOnGuardPage) {
+  {
+    const auto probe = ExecutionContext::create(ExecBackend::Fiber);
+    if (probe->backend() != ExecBackend::Fiber)
+      GTEST_SKIP() << "fiber backend unavailable (sanitizer fallback)";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        struct Overflow {
+          // Non-tail recursion (the frame is read after the recursive call)
+          // so the compiler cannot collapse it into a loop; noinline keeps
+          // each level's 1 KiB frame on the fiber stack.
+          __attribute__((noinline)) static int recurse(int depth) {
+            volatile char frame[1024];
+            frame[0] = static_cast<char>(depth);
+            if (depth <= 0) return frame[0];
+            const int below = recurse(depth - 1);
+            frame[sizeof(frame) - 1] = static_cast<char>(below);
+            return frame[0] + frame[sizeof(frame) - 1];
+          }
+        };
+        Simulation sim(ExecBackend::Fiber, kMinFiberStackBytes);
+        // 64 x 1 KiB frames overrun the 16 KiB minimum stack well before
+        // the recursion bottoms out.
+        sim.spawn("overflow", [](Process&) {
+          volatile int sink = Overflow::recurse(64);
+          (void)sink;
+        });
+        sim.run();
+      },
+      "");
+}
+
 TEST(ExecutionContexts, ScopedOverrideRestoresPrevious) {
   const ExecBackend before = defaultExecBackend();
   {

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -227,6 +229,30 @@ TEST(ExperimentContext, RngStreamsAreIndependent) {
   auto a2 = ctx.rng(0);
   EXPECT_EQ(a.nextU64(), a2.nextU64());
   EXPECT_NE(ctx.rng(0).nextU64(), b.nextU64());
+}
+
+TEST(ExperimentContext, ExportArtefactDisabledWritesNothing) {
+  ExperimentContext ctx(7);
+  EXPECT_FALSE(ctx.traceExportEnabled());
+  EXPECT_FALSE(ctx.exportArtefact("x.csv", "a,b\n"));
+}
+
+TEST(ExperimentContext, ExportArtefactWritesIntoTheConfiguredDir) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tibsim_trace_export_test";
+  std::filesystem::remove_all(dir);
+  ExperimentContext ctx(7);
+  ctx.setTraceExportDir(dir.string());
+  EXPECT_TRUE(ctx.traceExportEnabled());
+  EXPECT_TRUE(ctx.exportArtefact("run.breakdown.csv", "rank,compute_s\n0,1\n"));
+  std::ifstream in(dir / "run.breakdown.csv");
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "rank,compute_s\n0,1\n");
+  // Path traversal out of the export dir is a contract violation.
+  EXPECT_THROW(ctx.exportArtefact("../escape.csv", "x"), ContractError);
+  EXPECT_THROW(ctx.exportArtefact("sub/dir.csv", "x"), ContractError);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(TaskPool, RunsEveryIndexExactlyOnce) {
