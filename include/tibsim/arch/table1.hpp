@@ -1,0 +1,354 @@
+#pragma once
+// Compile-time Table 1.
+//
+// The five platform descriptions (Tegra 2, Tegra 3, Exynos 5250, the Core
+// i7-2760QM laptop reference, and the Section 3.1.2 ARMv8 projection) as
+// constexpr aggregates, with static_asserts pinning the derived figures to
+// the paper's published values:
+//
+//   * peak FP64 FLOPS  = cores x fmax x FLOPs/cycle  (Table 1 column)
+//   * memory bandwidth = the datasheet peak, cross-checked against the
+//     channels x width x DDR-rate product
+//   * DVFS tables      = ascending frequency, monotone non-decreasing voltage
+//
+// A typo in any number — a frequency in MHz where Hz was meant, a voltage
+// step that goes backwards, a bandwidth that the memory geometry cannot
+// deliver — fails the build instead of silently skewing every downstream
+// experiment. The runtime Platform objects (src/arch/registry.cpp) are built
+// from these specs via fromSpec(), so the values the models consume are
+// exactly the values asserted here.
+
+#include <array>
+#include <cstddef>
+
+#include "tibsim/arch/platform.hpp"
+#include "tibsim/common/units.hpp"
+
+namespace tibsim::arch::table1 {
+
+inline constexpr std::size_t kMaxDvfsPoints = 8;
+inline constexpr std::size_t kMaxCacheLevels = 3;
+
+/// Fixed-capacity, constexpr-friendly mirror of SocModel (which needs
+/// std::string/std::vector and therefore cannot be a compile-time constant).
+struct SocSpec {
+  CpuCoreModel core;
+  int cores = 1;
+  int threadsPerCore = 1;
+  std::size_t cacheCount = 0;
+  std::array<CacheLevel, kMaxCacheLevels> caches{};
+  MemorySystemModel memory;
+  bool computeCapableGpu = false;
+  std::size_t dvfsCount = 0;
+  std::array<OperatingPoint, kMaxDvfsPoints> dvfs{};
+};
+
+struct PlatformSpec {
+  const char* name = "";
+  const char* shortName = "";
+  const char* socName = "";
+  SocSpec soc;
+  double dramBytes = 0.0;
+  const char* dramType = "";
+  NicAttachment nicAttachment = NicAttachment::Pcie;
+  double nicLinkRateBytesPerS = 0.0;
+  BoardPowerParams power;
+};
+
+// --- compile-time helpers ---------------------------------------------------
+
+constexpr double cAbs(double v) { return v < 0.0 ? -v : v; }
+
+/// Relative floating-point comparison usable in static_assert: products like
+/// 1.3e9 x 4 are not bit-equal to the literal 5.2e9.
+constexpr bool approxEq(double a, double b, double rel = 1e-9) {
+  const double mag = cAbs(a) > cAbs(b) ? cAbs(a) : cAbs(b);
+  return cAbs(a - b) <= rel * (mag > 1.0 ? mag : 1.0);
+}
+
+constexpr double maxFrequencyHz(const SocSpec& s) {
+  return s.dvfs[s.dvfsCount - 1].frequencyHz;
+}
+
+/// Peak FP64 FLOP/s of the whole SoC at fmax — the Table 1 GFLOPS column.
+constexpr double peakFlops(const SocSpec& s) {
+  return s.core.fp64FlopsPerCycle * static_cast<double>(s.cores) *
+         maxFrequencyHz(s);
+}
+
+/// DVFS table sanity: within capacity, strictly ascending frequencies,
+/// monotone non-decreasing positive voltages.
+constexpr bool dvfsValid(const SocSpec& s) {
+  if (s.dvfsCount == 0 || s.dvfsCount > kMaxDvfsPoints) return false;
+  for (std::size_t i = 0; i < s.dvfsCount; ++i) {
+    if (s.dvfs[i].frequencyHz <= 0.0 || s.dvfs[i].voltage <= 0.0) return false;
+    if (i > 0 && s.dvfs[i].frequencyHz <= s.dvfs[i - 1].frequencyHz)
+      return false;
+    if (i > 0 && s.dvfs[i].voltage < s.dvfs[i - 1].voltage) return false;
+  }
+  return true;
+}
+
+/// Memory system sanity: positive bandwidths, single-core <= aggregate peak,
+/// stream efficiency a fraction, and the quoted peak consistent with what the
+/// DDR geometry can deliver (channels x width x 2 transfers/clock x fmem).
+/// The band is [0.5, 1.05]: controllers never exceed the wire rate, and a
+/// quoted peak under half of it means a units slip somewhere.
+constexpr bool memoryValid(const MemorySystemModel& m) {
+  if (m.channels <= 0 || m.widthBits <= 0 || m.frequencyHz <= 0.0)
+    return false;
+  if (m.peakBandwidthBytesPerS <= 0.0 ||
+      m.singleCoreBandwidthBytesPerS <= 0.0)
+    return false;
+  if (m.singleCoreBandwidthBytesPerS > m.peakBandwidthBytesPerS) return false;
+  if (m.streamEfficiency <= 0.0 || m.streamEfficiency > 1.0) return false;
+  const double wireRate = static_cast<double>(m.channels) *
+                          (static_cast<double>(m.widthBits) / 8.0) * 2.0 *
+                          m.frequencyHz;
+  return m.peakBandwidthBytesPerS >= 0.5 * wireRate &&
+         m.peakBandwidthBytesPerS <= 1.05 * wireRate;
+}
+
+/// Cache hierarchy sanity: within capacity, strictly growing level sizes,
+/// outermost level shared.
+constexpr bool cachesValid(const SocSpec& s) {
+  if (s.cacheCount == 0 || s.cacheCount > kMaxCacheLevels) return false;
+  for (std::size_t i = 0; i < s.cacheCount; ++i) {
+    if (s.caches[i].sizeBytes == 0) return false;
+    if (i > 0 && s.caches[i].sizeBytes <= s.caches[i - 1].sizeBytes)
+      return false;
+  }
+  return s.caches[s.cacheCount - 1].shared;
+}
+
+constexpr bool powerValid(const BoardPowerParams& p) {
+  return p.boardStaticW > 0.0 && p.socStaticW > 0.0 &&
+         p.corePeakDynamicW > 0.0 && p.memDynamicWPerGBs > 0.0 &&
+         p.nicActiveW > 0.0;
+}
+
+constexpr bool platformValid(const PlatformSpec& p) {
+  return p.soc.cores >= 1 && p.soc.threadsPerCore >= 1 &&
+         p.soc.core.fp64FlopsPerCycle > 0.0 && dvfsValid(p.soc) &&
+         memoryValid(p.soc.memory) && cachesValid(p.soc) &&
+         p.dramBytes > 0.0 && p.nicLinkRateBytesPerS > 0.0 &&
+         powerValid(p.power);
+}
+
+// --- the specs --------------------------------------------------------------
+
+namespace detail {
+using units::gbPerS;
+using units::gbps;
+using units::ghz;
+using units::gib;
+using units::mhz;
+}  // namespace detail
+
+inline constexpr PlatformSpec kTegra2{
+    "NVIDIA Tegra 2 (SECO Q7 module + carrier)",
+    "Tegra2",
+    "NVIDIA Tegra 2",
+    SocSpec{
+        CpuCoreModel{Microarch::CortexA9, /*fp64FlopsPerCycle=*/1.0,
+                     /*maxOutstandingMisses=*/4, /*issueWidth=*/2.0,
+                     /*outOfOrder=*/true},
+        /*cores=*/2,
+        /*threadsPerCore=*/1,
+        /*cacheCount=*/2,
+        {{{32 * 1024, false}, {1024 * 1024, true}, {}}},
+        MemorySystemModel{/*channels=*/1, /*widthBits=*/32, detail::mhz(333),
+                          detail::gbPerS(2.6), /*ecc=*/false,
+                          /*streamEfficiency=*/0.62,
+                          /*singleCoreBandwidth=*/detail::gbPerS(1.25)},
+        /*computeCapableGpu=*/false,
+        /*dvfsCount=*/6,
+        {{{detail::mhz(216), 0.77},
+          {detail::mhz(456), 0.85},
+          {detail::mhz(608), 0.91},
+          {detail::mhz(760), 0.98},
+          {detail::mhz(912), 1.03},
+          {detail::ghz(1.0), 1.08},
+          {},
+          {}}},
+    },
+    detail::gib(1.0),
+    "DDR2-667",
+    NicAttachment::Pcie,
+    detail::gbps(1.0),
+    BoardPowerParams{/*boardStaticW=*/5.2, /*socStaticW=*/1.6,
+                     /*corePeakDynamicW=*/0.85, /*memDynamicWPerGBs=*/0.25,
+                     /*nicActiveW=*/0.6},
+};
+
+inline constexpr PlatformSpec kTegra3{
+    "NVIDIA Tegra 3 (SECO CARMA)",
+    "Tegra3",
+    "NVIDIA Tegra 3",
+    SocSpec{
+        CpuCoreModel{Microarch::CortexA9, 1.0, 5, 2.0, true},
+        /*cores=*/4,
+        /*threadsPerCore=*/1,
+        /*cacheCount=*/2,
+        {{{32 * 1024, false}, {1024 * 1024, true}, {}}},
+        MemorySystemModel{1, 32, detail::mhz(750), detail::gbPerS(5.86),
+                          false, 0.27, detail::gbPerS(1.9)},
+        /*computeCapableGpu=*/false,
+        /*dvfsCount=*/7,
+        {{{detail::mhz(204), 0.75},
+          {detail::mhz(475), 0.84},
+          {detail::mhz(640), 0.90},
+          {detail::mhz(860), 0.98},
+          {detail::ghz(1.0), 1.03},
+          {detail::ghz(1.2), 1.11},
+          {detail::ghz(1.3), 1.15},
+          {}}},
+    },
+    detail::gib(2.0),
+    "DDR3L-1600",
+    NicAttachment::Pcie,
+    detail::gbps(1.0),
+    BoardPowerParams{4.6, 1.5, 1.05, 0.22, 0.6},
+};
+
+inline constexpr PlatformSpec kExynos5250{
+    "Samsung Exynos 5250 (Arndale 5)",
+    "Exynos5250",
+    "Samsung Exynos 5 Dual",
+    SocSpec{
+        CpuCoreModel{Microarch::CortexA15, 2.0, 6, 3.0, true},
+        /*cores=*/2,
+        /*threadsPerCore=*/1,
+        /*cacheCount=*/2,
+        {{{32 * 1024, false}, {1024 * 1024, true}, {}}},
+        MemorySystemModel{2, 32, detail::mhz(800), detail::gbPerS(12.8),
+                          false, 0.52, detail::gbPerS(3.4)},
+        /*computeCapableGpu=*/true,  // Mali-T604, experimental OpenCL driver
+        /*dvfsCount=*/8,
+        {{{detail::mhz(200), 0.85},
+          {detail::mhz(400), 0.90},
+          {detail::mhz(600), 0.95},
+          {detail::mhz(800), 1.00},
+          {detail::ghz(1.0), 1.05},
+          {detail::ghz(1.2), 1.11},
+          {detail::ghz(1.4), 1.17},
+          {detail::ghz(1.7), 1.25}}},
+    },
+    detail::gib(2.0),
+    "DDR3L-1600",
+    // The Arndale's GbE is reached through the USB 3.0 stack (Table 1 /
+    // Figure 7); the board itself exposes only 100 Mb Ethernet.
+    NicAttachment::Usb3,
+    detail::gbps(1.0),
+    BoardPowerParams{4.4, 1.8, 1.9, 0.18, 0.7},
+};
+
+inline constexpr PlatformSpec kCorei7_2760qm{
+    "Intel Core i7-2760QM (Dell Latitude E6420)",
+    "Corei7",
+    "Intel Core i7-2760QM",
+    SocSpec{
+        CpuCoreModel{Microarch::SandyBridge, 8.0, 10, 4.0, true},
+        /*cores=*/4,
+        /*threadsPerCore=*/2,
+        /*cacheCount=*/3,
+        {{{32 * 1024, false}, {256 * 1024, false}, {6 * 1024 * 1024, true}}},
+        MemorySystemModel{2, 64, detail::mhz(800), detail::gbPerS(25.6),
+                          false, 0.57, detail::gbPerS(9.5)},
+        /*computeCapableGpu=*/false,  // HD 3000, graphics only
+        /*dvfsCount=*/5,
+        {{{detail::mhz(800), 0.80},
+          {detail::ghz(1.2), 0.88},
+          {detail::ghz(1.6), 0.95},
+          {detail::ghz(2.0), 1.05},
+          {detail::ghz(2.4), 1.15},
+          {},
+          {},
+          {}}},
+    },
+    detail::gib(8.0),
+    "DDR3-1133",
+    NicAttachment::OnChip,
+    detail::gbps(1.0),
+    BoardPowerParams{48.0, 8.0, 9.5, 0.30, 0.8},
+};
+
+inline constexpr PlatformSpec kArmv8Quad2GHz{
+    "Hypothetical 4-core ARMv8 @ 2 GHz",
+    "ARMv8x4",
+    "ARMv8 quad (projection)",
+    SocSpec{
+        // Cortex-A15-class core with FP64 in the NEON SIMD unit: double the
+        // per-cycle FP64 throughput (Section 1).
+        CpuCoreModel{Microarch::CortexA57, 4.0, 8, 3.0, true},
+        /*cores=*/4,
+        /*threadsPerCore=*/1,
+        /*cacheCount=*/2,
+        {{{32 * 1024, false}, {2 * 1024 * 1024, true}, {}}},
+        MemorySystemModel{2, 64, detail::mhz(933), detail::gbPerS(25.6),
+                          false, 0.60, detail::gbPerS(10.0)},
+        /*computeCapableGpu=*/true,
+        /*dvfsCount=*/4,
+        {{{detail::mhz(500), 0.85},
+          {detail::ghz(1.0), 0.95},
+          {detail::ghz(1.5), 1.05},
+          {detail::ghz(2.0), 1.15},
+          {},
+          {},
+          {},
+          {}}},
+    },
+    detail::gib(4.0),
+    "LPDDR4 (projected)",
+    NicAttachment::OnChip,
+    detail::gbps(10.0),
+    BoardPowerParams{4.0, 2.0, 2.2, 0.15, 0.9},
+};
+
+/// The evaluated boards, in Table 1 order, plus the projection — the same
+/// order PlatformRegistry::all() returns.
+inline constexpr std::array<const PlatformSpec*, 5> kAll{
+    &kTegra2, &kTegra3, &kExynos5250, &kCorei7_2760qm, &kArmv8Quad2GHz};
+
+// --- compile-time validation ------------------------------------------------
+
+static_assert(platformValid(kTegra2));
+static_assert(platformValid(kTegra3));
+static_assert(platformValid(kExynos5250));
+static_assert(platformValid(kCorei7_2760qm));
+static_assert(platformValid(kArmv8Quad2GHz));
+
+// Peak FP64 anchors — the Table 1 GFLOPS column (ARMv8 from Section 3.1.2:
+// 4 cores x 2 GHz x 4 FLOPs/cycle = 32 GFLOPS).
+static_assert(approxEq(peakFlops(kTegra2.soc), units::gflops(2.0)));
+static_assert(approxEq(peakFlops(kTegra3.soc), units::gflops(5.2)));
+static_assert(approxEq(peakFlops(kExynos5250.soc), units::gflops(6.8)));
+static_assert(approxEq(peakFlops(kCorei7_2760qm.soc), units::gflops(76.8)));
+static_assert(approxEq(peakFlops(kArmv8Quad2GHz.soc), units::gflops(32.0)));
+
+// Peak memory bandwidth anchors — the Table 1 GB/s column.
+static_assert(approxEq(kTegra2.soc.memory.peakBandwidthBytesPerS,
+                       units::gbPerS(2.6)));
+static_assert(approxEq(kTegra3.soc.memory.peakBandwidthBytesPerS,
+                       units::gbPerS(5.86)));
+static_assert(approxEq(kExynos5250.soc.memory.peakBandwidthBytesPerS,
+                       units::gbPerS(12.8)));
+static_assert(approxEq(kCorei7_2760qm.soc.memory.peakBandwidthBytesPerS,
+                       units::gbPerS(25.6)));
+static_assert(approxEq(kArmv8Quad2GHz.soc.memory.peakBandwidthBytesPerS,
+                       units::gbPerS(25.6)));
+
+// Fmax anchors (Table 1 frequency column).
+static_assert(approxEq(maxFrequencyHz(kTegra2.soc), units::ghz(1.0)));
+static_assert(approxEq(maxFrequencyHz(kTegra3.soc), units::ghz(1.3)));
+static_assert(approxEq(maxFrequencyHz(kExynos5250.soc), units::ghz(1.7)));
+static_assert(approxEq(maxFrequencyHz(kCorei7_2760qm.soc), units::ghz(2.4)));
+static_assert(approxEq(maxFrequencyHz(kArmv8Quad2GHz.soc), units::ghz(2.0)));
+
+// None of the mobile parts supports ECC (Section 6.3's reliability argument
+// depends on this).
+static_assert(!kTegra2.soc.memory.eccCapable &&
+              !kTegra3.soc.memory.eccCapable &&
+              !kExynos5250.soc.memory.eccCapable);
+
+}  // namespace tibsim::arch::table1

@@ -102,6 +102,8 @@ class ExperimentContext {
     counters.payloadPoolReuses = stats.payloadPoolReuses;
     counters.payloadPoolAllocations = stats.payloadPoolAllocations;
     counters.payloadPoolReturns = stats.payloadPoolReturns;
+    counters.payloadPoolTrimmedBuffers = stats.payloadPoolTrimmedBuffers;
+    counters.payloadPoolLiveHighWater = stats.payloadPoolLiveHighWater;
     recordRunCounters(counters);
   }
 

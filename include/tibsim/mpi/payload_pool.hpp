@@ -29,6 +29,14 @@ namespace tibsim::mpi {
 
 /// Free-list of payload buffers. Buffers keep their capacity while parked,
 /// so a steady-state acquire is a pop + memcpy with no allocator traffic.
+///
+/// Sizing policy (ROADMAP "payload pool sizing"): the pool tracks how many
+/// buffers were ever checked out *simultaneously* (the live high-water mark).
+/// trimToHighWater() — called at world-teardown checkpoints — frees parked
+/// buffers beyond that mark, so a burst of large messages early in a run
+/// cannot pin its buffer memory for the rest of the campaign. The trim pops
+/// from the *front* of the free list: the back of the LIFO is the warm end
+/// that steady-state traffic reuses.
 class PayloadPool {
  public:
   /// Deterministic accounting (functions of the simulated run only, safe to
@@ -39,6 +47,8 @@ class PayloadPool {
     std::uint64_t reuses = 0;        ///< acquires served without allocating
     std::uint64_t allocations = 0;   ///< acquires that hit the allocator
     std::uint64_t returns = 0;       ///< buffers recycled into the free list
+    std::uint64_t trimmedBuffers = 0;  ///< parked buffers freed by trims
+    std::uint64_t liveHighWater = 0;   ///< max buffers checked out at once
   };
 
   /// A buffer holding a copy of `data`. Reuses a parked buffer when one
@@ -48,14 +58,26 @@ class PayloadPool {
   /// Park a buffer for reuse. Contents are discarded, capacity is kept.
   void release(std::vector<std::byte>&& buffer);
 
+  /// Free parked buffers beyond what the observed peak demand can use:
+  /// keeps at most (liveHighWater - currently outstanding) buffers parked.
+  /// Returns the number of buffers freed (also accumulated in Stats).
+  std::size_t trimToHighWater();
+
   const Stats& stats() const { return stats_; }
-  void resetStats() { stats_ = Stats{}; }
+  /// Resets counters for the next accounting window. The live high-water
+  /// restarts from the buffers still outstanding now, not from zero.
+  void resetStats() {
+    stats_ = Stats{};
+    stats_.liveHighWater = outstanding_;
+  }
 
   std::size_t freeBuffers() const { return free_.size(); }
+  std::size_t outstandingBuffers() const { return outstanding_; }
 
  private:
   friend class MessagePayload;
   std::vector<std::vector<std::byte>> free_;
+  std::size_t outstanding_ = 0;  ///< buffers acquired and not yet released
   Stats stats_;
 };
 

@@ -86,6 +86,8 @@ struct WorldStats {
   std::uint64_t payloadPoolReuses = 0;      ///< pooled sends with no alloc
   std::uint64_t payloadPoolAllocations = 0; ///< pooled sends that allocated
   std::uint64_t payloadPoolReturns = 0;     ///< buffers recycled by recv/wait
+  std::uint64_t payloadPoolTrimmedBuffers = 0;  ///< freed by teardown trim
+  std::uint64_t payloadPoolLiveHighWater = 0;   ///< peak buffers in use
 
   double achievedFlopsPerSecond() const {
     return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;

@@ -30,6 +30,8 @@ struct RunCounters {
   std::uint64_t payloadPoolReuses = 0;
   std::uint64_t payloadPoolAllocations = 0;
   std::uint64_t payloadPoolReturns = 0;
+  std::uint64_t payloadPoolTrimmedBuffers = 0;  ///< freed at teardown trims
+  std::uint64_t payloadPoolLiveHighWater = 0;   ///< worst single-world peak
 
   /// Fold another record into this one. Sums and maxes only, so the total
   /// is order-independent up to floating-point rounding; accumulate in a
@@ -48,6 +50,9 @@ struct RunCounters {
     payloadPoolReuses += other.payloadPoolReuses;
     payloadPoolAllocations += other.payloadPoolAllocations;
     payloadPoolReturns += other.payloadPoolReturns;
+    payloadPoolTrimmedBuffers += other.payloadPoolTrimmedBuffers;
+    payloadPoolLiveHighWater =
+        std::max(payloadPoolLiveHighWater, other.payloadPoolLiveHighWater);
   }
 };
 

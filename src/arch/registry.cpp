@@ -1,10 +1,8 @@
 #include "tibsim/arch/registry.hpp"
 
-#include "tibsim/common/units.hpp"
+#include "tibsim/arch/table1.hpp"
 
 namespace tibsim::arch {
-
-using namespace tibsim::units;
 
 // Board power parameters are calibrated against the paper's wall-plug energy
 // measurements (Yokogawa WT230, whole platform including power supply):
@@ -12,132 +10,54 @@ using namespace tibsim::units;
 // 19.62 J on Tegra 3, 16.95 J on the Arndale board, and 28.57 J on the Intel
 // laptop; all platforms are dominated by non-SoC power, which is why energy
 // efficiency *improves* as frequency rises (Section 3.1.1).
+//
+// Every number lives in the constexpr specs in tibsim/arch/table1.hpp, where
+// static_asserts pin the derived peak-FLOPS / bandwidth / DVFS figures to the
+// paper's Table 1; this file only inflates those specs into the runtime
+// Platform representation (std::string names, std::vector tables).
 
-Platform PlatformRegistry::tegra2() {
+namespace {
+
+Platform fromSpec(const table1::PlatformSpec& spec) {
   Platform p;
-  p.name = "NVIDIA Tegra 2 (SECO Q7 module + carrier)";
-  p.shortName = "Tegra2";
-  p.soc.name = "NVIDIA Tegra 2";
-  p.soc.core = CpuCoreModel{Microarch::CortexA9,
-                            /*fp64FlopsPerCycle=*/1.0,
-                            /*maxOutstandingMisses=*/4,
-                            /*issueWidth=*/2.0,
-                            /*outOfOrder=*/true};
-  p.soc.cores = 2;
-  p.soc.threadsPerCore = 1;
-  p.soc.caches = {{32 * 1024, false}, {1024 * 1024, true}};
-  p.soc.memory = MemorySystemModel{/*channels=*/1, /*widthBits=*/32,
-                                   mhz(333), gbPerS(2.6), /*ecc=*/false,
-                                   /*streamEfficiency=*/0.62,
-                                   /*singleCoreBandwidth=*/gbPerS(1.25)};
-  p.soc.computeCapableGpu = false;
-  p.soc.dvfs = {{mhz(216), 0.77}, {mhz(456), 0.85}, {mhz(608), 0.91},
-                {mhz(760), 0.98}, {mhz(912), 1.03}, {ghz(1.0), 1.08}};
-  p.dramBytes = static_cast<std::size_t>(gib(1.0));
-  p.dramType = "DDR2-667";
-  p.nicAttachment = NicAttachment::Pcie;
-  p.nicLinkRateBytesPerS = gbps(1.0);
-  p.power = BoardPowerParams{/*boardStaticW=*/5.2, /*socStaticW=*/1.6,
-                             /*corePeakDynamicW=*/0.85,
-                             /*memDynamicWPerGBs=*/0.25,
-                             /*nicActiveW=*/0.6};
+  p.name = spec.name;
+  p.shortName = spec.shortName;
+  p.soc.name = spec.socName;
+  p.soc.core = spec.soc.core;
+  p.soc.cores = spec.soc.cores;
+  p.soc.threadsPerCore = spec.soc.threadsPerCore;
+  p.soc.caches.assign(spec.soc.caches.begin(),
+                      spec.soc.caches.begin() +
+                          static_cast<std::ptrdiff_t>(spec.soc.cacheCount));
+  p.soc.memory = spec.soc.memory;
+  p.soc.computeCapableGpu = spec.soc.computeCapableGpu;
+  p.soc.dvfs.assign(spec.soc.dvfs.begin(),
+                    spec.soc.dvfs.begin() +
+                        static_cast<std::ptrdiff_t>(spec.soc.dvfsCount));
+  p.dramBytes = static_cast<std::size_t>(spec.dramBytes);
+  p.dramType = spec.dramType;
+  p.nicAttachment = spec.nicAttachment;
+  p.nicLinkRateBytesPerS = spec.nicLinkRateBytesPerS;
+  p.power = spec.power;
   return p;
 }
 
-Platform PlatformRegistry::tegra3() {
-  Platform p;
-  p.name = "NVIDIA Tegra 3 (SECO CARMA)";
-  p.shortName = "Tegra3";
-  p.soc.name = "NVIDIA Tegra 3";
-  p.soc.core = CpuCoreModel{Microarch::CortexA9, 1.0, 5, 2.0, true};
-  p.soc.cores = 4;
-  p.soc.threadsPerCore = 1;
-  p.soc.caches = {{32 * 1024, false}, {1024 * 1024, true}};
-  p.soc.memory = MemorySystemModel{1, 32, mhz(750), gbPerS(5.86), false,
-                                   0.27, gbPerS(1.9)};
-  p.soc.computeCapableGpu = false;
-  p.soc.dvfs = {{mhz(204), 0.75}, {mhz(475), 0.84}, {mhz(640), 0.90},
-                {mhz(860), 0.98}, {ghz(1.0), 1.03}, {ghz(1.2), 1.11},
-                {ghz(1.3), 1.15}};
-  p.dramBytes = static_cast<std::size_t>(gib(2.0));
-  p.dramType = "DDR3L-1600";
-  p.nicAttachment = NicAttachment::Pcie;
-  p.nicLinkRateBytesPerS = gbps(1.0);
-  p.power = BoardPowerParams{4.6, 1.5, 1.05, 0.22, 0.6};
-  return p;
-}
+}  // namespace
+
+Platform PlatformRegistry::tegra2() { return fromSpec(table1::kTegra2); }
+
+Platform PlatformRegistry::tegra3() { return fromSpec(table1::kTegra3); }
 
 Platform PlatformRegistry::exynos5250() {
-  Platform p;
-  p.name = "Samsung Exynos 5250 (Arndale 5)";
-  p.shortName = "Exynos5250";
-  p.soc.name = "Samsung Exynos 5 Dual";
-  p.soc.core = CpuCoreModel{Microarch::CortexA15, 2.0, 6, 3.0, true};
-  p.soc.cores = 2;
-  p.soc.threadsPerCore = 1;
-  p.soc.caches = {{32 * 1024, false}, {1024 * 1024, true}};
-  p.soc.memory = MemorySystemModel{2, 32, mhz(800), gbPerS(12.8), false,
-                                   0.52, gbPerS(3.4)};
-  p.soc.computeCapableGpu = true;  // Mali-T604, OpenCL (experimental driver)
-  p.soc.dvfs = {{mhz(200), 0.85}, {mhz(400), 0.90}, {mhz(600), 0.95},
-                {mhz(800), 1.00}, {ghz(1.0), 1.05}, {ghz(1.2), 1.11},
-                {ghz(1.4), 1.17}, {ghz(1.7), 1.25}};
-  p.dramBytes = static_cast<std::size_t>(gib(2.0));
-  p.dramType = "DDR3L-1600";
-  // The Arndale's GbE is reached through USB 3.0; the board itself exposes
-  // only 100 Mb Ethernet (Table 1), and the interconnect study (Fig. 7)
-  // drives a 1 GbE link through the USB stack.
-  p.nicAttachment = NicAttachment::Usb3;
-  p.nicLinkRateBytesPerS = gbps(1.0);
-  p.power = BoardPowerParams{4.4, 1.8, 1.9, 0.18, 0.7};
-  return p;
+  return fromSpec(table1::kExynos5250);
 }
 
 Platform PlatformRegistry::corei7_2760qm() {
-  Platform p;
-  p.name = "Intel Core i7-2760QM (Dell Latitude E6420)";
-  p.shortName = "Corei7";
-  p.soc.name = "Intel Core i7-2760QM";
-  p.soc.core = CpuCoreModel{Microarch::SandyBridge, 8.0, 10, 4.0, true};
-  p.soc.cores = 4;
-  p.soc.threadsPerCore = 2;
-  p.soc.caches = {
-      {32 * 1024, false}, {256 * 1024, false}, {6 * 1024 * 1024, true}};
-  p.soc.memory = MemorySystemModel{2, 64, mhz(800), gbPerS(25.6), false,
-                                   0.57, gbPerS(9.5)};
-  p.soc.computeCapableGpu = false;  // HD 3000, graphics only
-  p.soc.dvfs = {{mhz(800), 0.80}, {ghz(1.2), 0.88}, {ghz(1.6), 0.95},
-                {ghz(2.0), 1.05}, {ghz(2.4), 1.15}};
-  p.dramBytes = static_cast<std::size_t>(gib(8.0));
-  p.dramType = "DDR3-1133";
-  p.nicAttachment = NicAttachment::OnChip;
-  p.nicLinkRateBytesPerS = gbps(1.0);
-  p.power = BoardPowerParams{48.0, 8.0, 9.5, 0.30, 0.8};
-  return p;
+  return fromSpec(table1::kCorei7_2760qm);
 }
 
 Platform PlatformRegistry::armv8Quad2GHz() {
-  Platform p;
-  p.name = "Hypothetical 4-core ARMv8 @ 2 GHz";
-  p.shortName = "ARMv8x4";
-  p.soc.name = "ARMv8 quad (projection)";
-  // Same micro-architecture class as Cortex-A15 but with FP64 in the NEON
-  // SIMD unit: double the per-cycle FP64 throughput (Section 1).
-  p.soc.core = CpuCoreModel{Microarch::CortexA57, 4.0, 8, 3.0, true};
-  p.soc.cores = 4;
-  p.soc.threadsPerCore = 1;
-  p.soc.caches = {{32 * 1024, false}, {2 * 1024 * 1024, true}};
-  p.soc.memory = MemorySystemModel{2, 64, mhz(933), gbPerS(25.6), false,
-                                   0.60, gbPerS(10.0)};
-  p.soc.computeCapableGpu = true;
-  p.soc.dvfs = {{mhz(500), 0.85}, {ghz(1.0), 0.95}, {ghz(1.5), 1.05},
-                {ghz(2.0), 1.15}};
-  p.dramBytes = static_cast<std::size_t>(gib(4.0));
-  p.dramType = "LPDDR4 (projected)";
-  p.nicAttachment = NicAttachment::OnChip;
-  p.nicLinkRateBytesPerS = gbps(10.0);
-  p.power = BoardPowerParams{4.0, 2.0, 2.2, 0.15, 0.9};
-  return p;
+  return fromSpec(table1::kArmv8Quad2GHz);
 }
 
 std::vector<Platform> PlatformRegistry::evaluated() {

@@ -18,14 +18,31 @@ std::vector<std::byte> PayloadPool::acquire(std::span<const std::byte> data) {
   }
   buffer.clear();
   buffer.insert(buffer.end(), data.begin(), data.end());
+  ++outstanding_;
+  if (outstanding_ > stats_.liveHighWater) stats_.liveHighWater = outstanding_;
   return buffer;
 }
 
 void PayloadPool::release(std::vector<std::byte>&& buffer) {
+  if (outstanding_ > 0) --outstanding_;
   if (buffer.capacity() == 0) return;  // nothing worth parking
   ++stats_.returns;
   buffer.clear();
   free_.push_back(std::move(buffer));
+}
+
+std::size_t PayloadPool::trimToHighWater() {
+  // Peak demand was liveHighWater simultaneous buffers; outstanding_ of
+  // those are checked out right now, so any parked surplus beyond the
+  // difference can never be needed at once again.
+  const std::size_t hwm = static_cast<std::size_t>(stats_.liveHighWater);
+  const std::size_t keep = hwm > outstanding_ ? hwm - outstanding_ : 0;
+  if (free_.size() <= keep) return 0;
+  const std::size_t drop = free_.size() - keep;
+  free_.erase(free_.begin(),
+              free_.begin() + static_cast<std::ptrdiff_t>(drop));
+  stats_.trimmedBuffers += drop;
+  return drop;
 }
 
 MessagePayload::MessagePayload(std::span<const std::byte> data,

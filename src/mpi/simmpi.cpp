@@ -417,12 +417,17 @@ WorldStats MpiWorld::run(const RankBody& body) {
   stats_.traceSpansRecorded = tracer_.spansRecorded();
   stats_.traceSpansRetained = tracer_.spansRetained();
   stats_.traceMemoryBytes = tracer_.memoryBytes();
+  // World-teardown checkpoint: drop parked buffers this run's peak demand
+  // could never use at once, then harvest the counters (trim included).
+  pool_.trimToHighWater();
   const PayloadPool::Stats& poolStats = pool_.stats();
   stats_.payloadInlineMessages = poolStats.inlineMessages;
   stats_.payloadPooledMessages = poolStats.pooledMessages;
   stats_.payloadPoolReuses = poolStats.reuses;
   stats_.payloadPoolAllocations = poolStats.allocations;
   stats_.payloadPoolReturns = poolStats.returns;
+  stats_.payloadPoolTrimmedBuffers = poolStats.trimmedBuffers;
+  stats_.payloadPoolLiveHighWater = poolStats.liveHighWater;
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

@@ -1,0 +1,7 @@
+// Fixture: fiber-block rule must fire in sim paths (linted as src/sim/...).
+#include <chrono>
+#include <thread>
+
+void pause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,5 @@
+// Fixture: header whose include guard pragma is absent from the first
+// five lines, so the pragma-once rule must fire.
+#include <cstddef>
+
+inline std::size_t answer() { return 42; }

@@ -1,0 +1,16 @@
+// Fixture: mpi-contract rule must fire on raw double-sized sends and on
+// reinterpret_cast of payload bytes to double.
+#include <cstddef>
+#include <vector>
+
+struct Ctx {
+  unsigned long isend(int, int, std::size_t, const void*);
+};
+
+unsigned long shipRaw(Ctx& ctx, const std::vector<double>& data) {
+  return ctx.isend(1, 9, data.size() * sizeof(double), data.data());
+}
+
+double firstValue(const std::vector<unsigned char>& raw) {
+  return *reinterpret_cast<const double*>(raw.data());
+}

@@ -1,0 +1,5 @@
+// Fixture: pointer-key rule must fire on an address-keyed map.
+#include <map>
+
+struct Node;
+std::map<Node*, int> order;

@@ -1,0 +1,4 @@
+// Fixture: random-source rule must fire on rand().
+#include <cstdlib>
+
+int roll() { return rand() % 6; }

@@ -1,0 +1,4 @@
+// Fixture: thread-local rule must fire in sim paths.
+thread_local int perRankScratch = 0;
+
+int bump() { return ++perRankScratch; }

@@ -1,0 +1,10 @@
+// Fixture: unordered-iter rule must fire on range-for over an unordered map.
+#include <unordered_map>
+
+int total() {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  for (auto it = table.begin(); it != table.end(); ++it) sum += it->second;
+  return sum;
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: using-namespace rule must fire on a header-level directive.
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hi"; }

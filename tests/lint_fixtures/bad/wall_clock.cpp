@@ -1,0 +1,7 @@
+// Fixture: wall-clock rule must fire on an unannotated steady_clock read.
+#include <chrono>
+
+double hostNow() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

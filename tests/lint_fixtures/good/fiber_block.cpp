@@ -1,0 +1,8 @@
+// Fixture: the same blocking call outside a sim path is not the rule's
+// business (linted as src/core/...), so this file must stay silent.
+#include <chrono>
+#include <thread>
+
+void pause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,18 @@
+// Fixture: the compliant form goes through the typed helpers; a deliberate
+// raw path carries a per-line waiver.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+struct Ctx {
+  void sendDoubles(int, int, std::span<const double>);
+  unsigned long isend(int, int, std::size_t, const void*);
+};
+
+void shipTyped(Ctx& ctx, const std::vector<double>& data) {
+  ctx.sendDoubles(1, 9, data);
+}
+
+unsigned long shipWaived(Ctx& ctx, const std::vector<double>& data) {
+  return ctx.isend(1, 9, data.size() * sizeof(double), data.data());  // tibsim-lint: allow(mpi-contract)
+}

@@ -1,0 +1,4 @@
+// Fixture: keying on a stable id is the compliant form.
+#include <map>
+
+std::map<int, int> order;  // rank-keyed: deterministic traversal

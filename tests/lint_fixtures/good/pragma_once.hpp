@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: the compliant header form.
+#include <cstddef>
+
+inline std::size_t answer() { return 42; }

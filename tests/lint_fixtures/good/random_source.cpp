@@ -1,0 +1,7 @@
+// Fixture: a standalone annotation suppresses the next line.
+#include <cstdlib>
+
+int roll() {
+  // tibsim-lint: allow(random-source)
+  return rand() % 6;
+}

@@ -1,0 +1,11 @@
+// Fixture: rule patterns inside comments, string literals and raw strings
+// must never fire — e.g. steady_clock::now() or rand() mentioned here.
+#include <string>
+
+std::string doc() {
+  return "call std::chrono::steady_clock::now() then rand()";
+}
+
+std::string rawDoc() {
+  return R"(thread_local std::unordered_map iteration via table.begin())";
+}

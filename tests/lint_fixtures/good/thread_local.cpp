@@ -1,0 +1,5 @@
+// Fixture: plain function-scope state, no TLS — silent in sim paths.
+int bump() {
+  static int scratch = 0;
+  return ++scratch;
+}

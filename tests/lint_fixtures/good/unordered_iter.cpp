@@ -1,0 +1,10 @@
+// Fixture: a file-scope allowlist silences the rule everywhere.
+// tibsim-lint: allowfile(unordered-iter)
+#include <unordered_map>
+
+int total() {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: "using namespace" in comments or string literals must NOT fire;
+// the checker sees stripped code only.
+#include <string>
+
+inline std::string sample() { return "using namespace std;"; }

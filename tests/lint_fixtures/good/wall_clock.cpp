@@ -1,0 +1,7 @@
+// Fixture: a trailing allow() annotation silences the wall-clock rule.
+#include <chrono>
+
+double hostNow() {
+  const auto t = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

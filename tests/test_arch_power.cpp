@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "tibsim/arch/registry.hpp"
+#include "tibsim/arch/table1.hpp"
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/units.hpp"
 #include "tibsim/power/power_model.hpp"
@@ -73,6 +74,62 @@ TEST(Registry, EvaluatedReturnsPaperOrder) {
   EXPECT_EQ(platforms[1].shortName, "Tegra3");
   EXPECT_EQ(platforms[2].shortName, "Exynos5250");
   EXPECT_EQ(platforms[3].shortName, "Corei7");
+}
+
+// ---- constexpr Table 1 specs (arch/table1.hpp) ----------------------------
+
+TEST(Table1Specs, RuntimePlatformsAreBuiltBitIdenticalFromSpecs) {
+  // Every runtime Platform must carry exactly the numbers the compile-time
+  // layer asserts against the paper — same expressions, bit-identical
+  // doubles, so EXPECT_EQ (not NEAR) throughout.
+  const auto platforms = PlatformRegistry::all();
+  ASSERT_EQ(platforms.size(), arch::table1::kAll.size());
+  for (std::size_t i = 0; i < platforms.size(); ++i) {
+    const Platform& p = platforms[i];
+    const arch::table1::PlatformSpec& s = *arch::table1::kAll[i];
+    SCOPED_TRACE(p.shortName);
+    EXPECT_EQ(p.shortName, s.shortName);
+    EXPECT_EQ(p.soc.cores, s.soc.cores);
+    EXPECT_EQ(p.soc.threadsPerCore, s.soc.threadsPerCore);
+    EXPECT_EQ(p.soc.core.fp64FlopsPerCycle, s.soc.core.fp64FlopsPerCycle);
+    ASSERT_EQ(p.soc.dvfs.size(), s.soc.dvfsCount);
+    for (std::size_t d = 0; d < s.soc.dvfsCount; ++d) {
+      EXPECT_EQ(p.soc.dvfs[d].frequencyHz, s.soc.dvfs[d].frequencyHz);
+      EXPECT_EQ(p.soc.dvfs[d].voltage, s.soc.dvfs[d].voltage);
+    }
+    ASSERT_EQ(p.soc.caches.size(), s.soc.cacheCount);
+    for (std::size_t c = 0; c < s.soc.cacheCount; ++c)
+      EXPECT_EQ(p.soc.caches[c].sizeBytes, s.soc.caches[c].sizeBytes);
+    EXPECT_EQ(p.soc.memory.peakBandwidthBytesPerS,
+              s.soc.memory.peakBandwidthBytesPerS);
+    EXPECT_EQ(p.soc.memory.singleCoreBandwidthBytesPerS,
+              s.soc.memory.singleCoreBandwidthBytesPerS);
+    EXPECT_EQ(p.soc.memory.streamEfficiency, s.soc.memory.streamEfficiency);
+    EXPECT_EQ(p.dramBytes, static_cast<std::size_t>(s.dramBytes));
+    EXPECT_EQ(p.nicAttachment, s.nicAttachment);
+    EXPECT_EQ(p.nicLinkRateBytesPerS, s.nicLinkRateBytesPerS);
+    EXPECT_EQ(p.power.boardStaticW, s.power.boardStaticW);
+    EXPECT_EQ(p.power.corePeakDynamicW, s.power.corePeakDynamicW);
+  }
+}
+
+TEST(Table1Specs, ValidityPredicatesRejectBrokenSpecs) {
+  using namespace arch::table1;
+  // A correct spec passes (sanity for the helpers under test).
+  EXPECT_TRUE(platformValid(kTegra2));
+  // Non-monotone voltage steps are the classic transcription slip.
+  PlatformSpec broken = kTegra2;
+  broken.soc.dvfs[1].voltage = broken.soc.dvfs[0].voltage - 0.1;
+  EXPECT_FALSE(dvfsValid(broken.soc));
+  // A bandwidth the memory geometry cannot deliver (MHz-for-Hz slip).
+  PlatformSpec slipped = kTegra2;
+  slipped.soc.memory.frequencyHz = 333.0;  // meant mhz(333)
+  EXPECT_FALSE(memoryValid(slipped.soc.memory));
+  // Single-core bandwidth above the aggregate peak is inconsistent.
+  PlatformSpec inverted = kTegra2;
+  inverted.soc.memory.singleCoreBandwidthBytesPerS =
+      2.0 * inverted.soc.memory.peakBandwidthBytesPerS;
+  EXPECT_FALSE(memoryValid(inverted.soc.memory));
 }
 
 // ---- SocModel helpers -----------------------------------------------------

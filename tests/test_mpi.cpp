@@ -393,7 +393,9 @@ TEST_P(SimMpiNonblockingTest, PayloadDeliveredThroughWait) {
   world.run([&](MpiContext& ctx) {
     if (ctx.rank() == 0) {
       const std::vector<double> data = {2.5, 7.5};
-      ctx.isend(1, 9, data.size() * sizeof(double),
+      // Deliberate raw-byte round trip of the payload path; production code
+      // should use sendDoubles/recvDoubles instead.
+      ctx.isend(1, 9, data.size() * sizeof(double),  // tibsim-lint: allow(mpi-contract)
                 std::as_bytes(std::span<const double>(data)));
     } else {
       const auto req = ctx.irecv(0, 9);
@@ -533,6 +535,84 @@ TEST(PayloadPool, EveryAcquireIsEitherReuseOrAllocation) {
   EXPECT_EQ(s.allocations, 2u);  // the first round's two buffers
   EXPECT_EQ(s.returns, 10u);
   EXPECT_EQ(pool.freeBuffers(), 2u);
+}
+
+TEST(PayloadPool, LiveHighWaterTracksPeakSimultaneousBuffers) {
+  PayloadPool pool;
+  const std::vector<std::byte> data(256, std::byte{3});
+  std::vector<std::byte> a = pool.acquire(data);
+  std::vector<std::byte> b = pool.acquire(data);
+  std::vector<std::byte> c = pool.acquire(data);
+  EXPECT_EQ(pool.outstandingBuffers(), 3u);
+  EXPECT_EQ(pool.stats().liveHighWater, 3u);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  pool.release(std::move(c));
+  EXPECT_EQ(pool.outstandingBuffers(), 0u);
+  // The mark records the peak, not the current level.
+  EXPECT_EQ(pool.stats().liveHighWater, 3u);
+  // Serial churn afterwards never raises it.
+  for (int i = 0; i < 4; ++i) pool.release(pool.acquire(data));
+  EXPECT_EQ(pool.stats().liveHighWater, 3u);
+}
+
+TEST(PayloadPool, TrimToHighWaterFreesColdSurplus) {
+  PayloadPool pool;
+  const std::vector<std::byte> data(256, std::byte{4});
+  // Burst: five buffers live at once, then all parked.
+  std::vector<std::vector<std::byte>> live;
+  for (int i = 0; i < 5; ++i) live.push_back(pool.acquire(data));
+  for (auto& buf : live) pool.release(std::move(buf));
+  live.clear();
+  EXPECT_EQ(pool.freeBuffers(), 5u);
+  // Peak demand was 5 simultaneous buffers, so nothing is surplus yet.
+  EXPECT_EQ(pool.trimToHighWater(), 0u);
+  EXPECT_EQ(pool.freeBuffers(), 5u);
+  // A new accounting window with only serial traffic: the observed peak
+  // drops to 1, and the next trim frees the four cold buffers.
+  pool.resetStats();
+  pool.release(pool.acquire(data));
+  EXPECT_EQ(pool.stats().liveHighWater, 1u);
+  EXPECT_EQ(pool.trimToHighWater(), 4u);
+  EXPECT_EQ(pool.freeBuffers(), 1u);
+  EXPECT_EQ(pool.stats().trimmedBuffers, 4u);
+  // Idempotent at the mark.
+  EXPECT_EQ(pool.trimToHighWater(), 0u);
+}
+
+TEST(PayloadPool, TrimAccountsForBuffersStillOutstanding) {
+  PayloadPool pool;
+  const std::vector<std::byte> data(128, std::byte{5});
+  std::vector<std::byte> held = pool.acquire(data);
+  std::vector<std::byte> other = pool.acquire(data);
+  pool.release(std::move(other));
+  // Peak 2, one checked out, one parked: parked + outstanding == peak, so
+  // the parked buffer must survive the trim.
+  EXPECT_EQ(pool.trimToHighWater(), 0u);
+  EXPECT_EQ(pool.freeBuffers(), 1u);
+  pool.release(std::move(held));
+}
+
+TEST(PayloadPool, WorldRunReportsTrimAndHighWater) {
+  // A world whose ranks exchange pool-sized payloads must report a nonzero
+  // live high-water mark, and the teardown trim keeps the parked-buffer
+  // count at or below it.
+  MpiWorld world(WorldConfig::tibidaboNode(), 2);
+  const WorldStats stats = world.run([](MpiContext& ctx) {
+    std::vector<double> data(512, 1.5);  // 4 KiB: pooled, not inline
+    if (ctx.rank() == 0)
+      for (int i = 0; i < 8; ++i) ctx.sendDoubles(1, 7, data);
+    else
+      for (int i = 0; i < 8; ++i) (void)ctx.recvDoubles(0, 7);
+  });
+  EXPECT_GT(stats.payloadPooledMessages, 0u);
+  EXPECT_GE(stats.payloadPoolLiveHighWater, 1u);
+  // All payloads are the same size here, so every pool hit is a reuse and
+  // the parked-buffer count is returns - reuses - trimmed; after the
+  // teardown trim it must not exceed the observed peak demand.
+  EXPECT_LE(stats.payloadPoolReturns - stats.payloadPoolReuses -
+                stats.payloadPoolTrimmedBuffers,
+            stats.payloadPoolLiveHighWater);
 }
 
 TEST(MessagePayloadStorage, InlineUpToCapacityPooledAbove) {

@@ -1,0 +1,631 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace tibsim::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: strip comments and literals, parse annotations
+// ---------------------------------------------------------------------------
+
+// Replace comments, string literals and character literals with spaces while
+// preserving line structure, so rule patterns match code only. Handles //,
+// /* */, "..." (with escapes), '...' and raw strings R"delim(...)delim".
+std::string stripCommentsAndLiterals(const std::string& text) {
+  std::string out = text;
+  enum class State { Code, Line, Block, Str, Chr, Raw };
+  State state = State::Code;
+  std::string rawDelim;  // ")delim\"" terminator for raw strings
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::Line;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::Block;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = text.find('(', i + 2);
+          if (open == std::string::npos) break;  // malformed; give up
+          rawDelim = ")" + text.substr(i + 2, open - i - 2) + "\"";
+          for (std::size_t k = i; k <= open; ++k)
+            if (text[k] != '\n') out[k] = ' ';
+          i = open;
+          state = State::Raw;
+        } else if (c == '"') {
+          state = State::Str;
+          out[i] = ' ';
+        } else if (c == '\'' &&
+                   (i == 0 ||
+                    (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
+                     text[i - 1] != '_'))) {
+          // Skip digit separators like 1'000'000 via the preceding-char test.
+          state = State::Chr;
+          out[i] = ' ';
+        }
+        break;
+      case State::Line:
+        if (c == '\n')
+          state = State::Code;
+        else
+          out[i] = ' ';
+        break;
+      case State::Block:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Raw:
+        if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+          for (std::size_t k = 0; k < rawDelim.size(); ++k)
+            if (text[i + k] != '\n') out[i + k] = ' ';
+          i += rawDelim.size() - 1;
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool isBlank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+/// Everything a source-level rule checker needs about one file.
+struct FileContext {
+  std::string path;  ///< normalised with forward slashes
+  bool isHeader = false;
+  bool isSimPath = false;  ///< code that runs inside fiber process bodies
+  std::vector<std::string> raw;   ///< original lines
+  std::vector<std::string> code;  ///< comment/string-stripped lines
+  std::vector<std::set<std::string>> lineAllows;  ///< per-line suppressions
+  std::set<std::string> fileAllows;               ///< allowfile suppressions
+};
+
+// Parse "tibsim-lint: allow(a, b) allowfile(c)" directives out of one raw
+// line into ctx. A standalone annotation (no code left after stripping)
+// also applies to the following line.
+void parseAnnotations(FileContext& ctx, std::size_t lineIdx) {
+  const std::string& line = ctx.raw[lineIdx];
+  const auto marker = line.find("tibsim-lint:");
+  if (marker == std::string::npos) return;
+  static const std::regex kDirective("(allowfile|allow)\\s*\\(([^)]*)\\)");
+  const std::string tail = line.substr(marker);
+  const bool standalone = isBlank(ctx.code[lineIdx]);
+  for (std::sregex_iterator it(tail.begin(), tail.end(), kDirective), end;
+       it != end; ++it) {
+    const bool fileScope = (*it)[1].str() == "allowfile";
+    std::stringstream ids((*it)[2].str());
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      id.erase(std::remove_if(id.begin(), id.end(),
+                              [](unsigned char c) {
+                                return std::isspace(c) != 0;
+                              }),
+               id.end());
+      if (id.empty()) continue;
+      if (fileScope) {
+        ctx.fileAllows.insert(id);
+      } else {
+        ctx.lineAllows[lineIdx].insert(id);
+        if (standalone && lineIdx + 1 < ctx.lineAllows.size())
+          ctx.lineAllows[lineIdx + 1].insert(id);
+      }
+    }
+  }
+}
+
+std::string normalisePath(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  while (path.rfind("./", 0) == 0) path.erase(0, 2);
+  return path;
+}
+
+bool pathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+FileContext makeContext(const std::string& path, const std::string& content) {
+  FileContext ctx;
+  ctx.path = normalisePath(path);
+  ctx.isHeader = ctx.path.size() >= 4 &&
+                 (ctx.path.rfind(".hpp") == ctx.path.size() - 4 ||
+                  ctx.path.rfind(".h") == ctx.path.size() - 2);
+  // Sim paths: everything that executes inside fiber-run rank/process
+  // bodies — the engine, simMPI, the network models they drive and the
+  // MPI applications. cluster/ and core/ orchestrate from the host thread.
+  for (const char* dir :
+       {"src/sim/", "src/mpi/", "src/apps/", "src/net/",
+        "include/tibsim/sim/", "include/tibsim/mpi/", "include/tibsim/apps/",
+        "include/tibsim/net/"}) {
+    if (pathContains(ctx.path, dir)) {
+      ctx.isSimPath = true;
+      break;
+    }
+  }
+  ctx.raw = splitLines(content);
+  ctx.code = splitLines(stripCommentsAndLiterals(content));
+  ctx.lineAllows.resize(ctx.raw.size());
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) parseAnnotations(ctx, i);
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  const char* rationale;
+};
+
+void emit(const FileContext& ctx, std::size_t lineIdx, const Rule& rule,
+          std::string message, std::string suggestion,
+          std::vector<Finding>& out) {
+  if (ctx.fileAllows.count(rule.id) != 0) return;
+  if (ctx.lineAllows[lineIdx].count(rule.id) != 0) return;
+  out.push_back(Finding{ctx.path, static_cast<int>(lineIdx) + 1, rule.id,
+                        std::move(message), std::move(suggestion)});
+}
+
+void checkWallClock(const FileContext& ctx, const Rule& rule,
+                    std::vector<Finding>& out) {
+  // Argless time() would also match innocent `double time() const`
+  // accessors, so the libc form is matched only with its argument.
+  static const std::regex kClock(
+      "steady_clock|system_clock|high_resolution_clock|gettimeofday|"
+      "clock_gettime|\\btime\\s*\\(\\s*(?:0|nullptr|NULL)\\s*\\)|"
+      "std::clock\\b");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kClock)) continue;
+    emit(ctx, i, rule,
+         "wall-clock source in simulation code breaks byte-identical "
+         "reruns; simulated time must come from Simulation::now()",
+         "use simulated time, or mark a host-side measurement that is "
+         "never serialised with // tibsim-lint: allow(wall-clock)",
+         out);
+  }
+}
+
+void checkRandomSource(const FileContext& ctx, const Rule& rule,
+                       std::vector<Finding>& out) {
+  static const std::regex kRandom(
+      "random_device|\\brand\\s*\\(\\s*\\)|\\bsrand\\s*\\(|\\bdrand48\\b|"
+      "\\blrand48\\b|\\bmrand48\\b");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kRandom)) continue;
+    emit(ctx, i, rule,
+         "nondeterministic random source; all randomness must flow from "
+         "the campaign seed",
+         "use common/rng.hpp seeded from ExperimentContext::rng()", out);
+  }
+}
+
+void checkUnorderedIteration(const FileContext& ctx, const Rule& rule,
+                             std::vector<Finding>& out) {
+  // Pass 1: names declared (variables or returning functions) with an
+  // unordered container type in this file. Heuristic: the last identifier
+  // followed by ; = { or ( on a line that mentions the type.
+  static const std::regex kId("([A-Za-z_]\\w*)\\s*[;={(]");
+  std::set<std::string> names;
+  for (const std::string& line : ctx.code) {
+    if (line.find("unordered_map") == std::string::npos &&
+        line.find("unordered_set") == std::string::npos)
+      continue;
+    std::string last;
+    for (std::sregex_iterator it(line.begin(), line.end(), kId), end;
+         it != end; ++it)
+      last = (*it)[1].str();
+    if (!last.empty()) names.insert(last);
+  }
+  if (names.empty()) return;
+  // Pass 2: iteration over any of those names.
+  static const std::regex kRangeFor("for\\s*\\(.*:");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    for (const std::string& name : names) {
+      const std::regex kName("\\b" + name + "\\b");
+      const std::regex kBeginEnd("\\b" + name +
+                                 "\\s*\\.\\s*c?r?(?:begin|end)\\s*\\(");
+      const bool iterates =
+          (std::regex_search(line, kRangeFor) &&
+           std::regex_search(line, kName)) ||
+          std::regex_search(line, kBeginEnd);
+      if (!iterates) continue;
+      emit(ctx, i, rule,
+           "iteration over unordered container '" + name +
+               "' has hash-order traversal; any result emission or trace "
+               "export fed from it is nondeterministic",
+           "iterate a sorted key vector, or switch '" + name +
+               "' to std::map / a sorted std::vector",
+           out);
+      break;  // one finding per line is enough
+    }
+  }
+}
+
+void checkPointerKeyedContainer(const FileContext& ctx, const Rule& rule,
+                                std::vector<Finding>& out) {
+  static const std::regex kPtrKey(
+      "\\b(?:std::)?(?:unordered_)?(?:multi)?(?:map|set)\\s*<\\s*"
+      "[^,<>]*?\\*");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kPtrKey)) continue;
+    emit(ctx, i, rule,
+         "pointer-keyed ordered container: traversal follows allocation "
+         "addresses, which differ run to run, so any serialised output "
+         "keyed on it is nondeterministic",
+         "key on a stable id (rank, name, sequence number) instead of the "
+         "object's address",
+         out);
+  }
+}
+
+void checkFiberBlocking(const FileContext& ctx, const Rule& rule,
+                        std::vector<Finding>& out) {
+  if (!ctx.isSimPath) return;
+  static const std::regex kBlocking(
+      "this_thread::|\\busleep\\s*\\(|\\bnanosleep\\s*\\(|"
+      "\\bsleep\\s*\\(|\\bsystem\\s*\\(");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kBlocking)) continue;
+    emit(ctx, i, rule,
+         "blocking host call inside fiber-run simulation code: a fiber "
+         "that blocks the host thread stalls every other rank in the "
+         "world",
+         "advance simulated time with Process::delay()/suspend() instead "
+         "of blocking the host",
+         out);
+  }
+}
+
+void checkThreadLocal(const FileContext& ctx, const Rule& rule,
+                      std::vector<Finding>& out) {
+  if (!ctx.isSimPath) return;
+  static const std::regex kTls("\\bthread_local\\b");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kTls)) continue;
+    emit(ctx, i, rule,
+         "thread_local inside fiber-run simulation code: all fibers of a "
+         "world share one host thread (and the thread backend uses one "
+         "thread per rank), so the storage is silently shared or silently "
+         "per-rank depending on backend",
+         "keep per-rank state in the rank body or in MpiContext", out);
+  }
+}
+
+void checkPragmaOnce(const FileContext& ctx, const Rule& rule,
+                     std::vector<Finding>& out) {
+  if (!ctx.isHeader) return;
+  const std::size_t limit = std::min<std::size_t>(ctx.raw.size(), 5);
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (ctx.raw[i].find("#pragma once") != std::string::npos) return;
+  }
+  emit(ctx, 0, rule,
+       "header does not start with #pragma once (repo convention: first "
+       "line)",
+       "add #pragma once as the first line", out);
+}
+
+void checkUsingNamespaceHeader(const FileContext& ctx, const Rule& rule,
+                               std::vector<Finding>& out) {
+  if (!ctx.isHeader) return;
+  static const std::regex kUsing("^\\s*using\\s+namespace\\b");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kUsing)) continue;
+    emit(ctx, i, rule,
+         "using namespace in a header leaks into every includer",
+         "qualify names or move the using-directive into a .cpp", out);
+  }
+}
+
+void checkMpiContract(const FileContext& ctx, const Rule& rule,
+                      std::vector<Finding>& out) {
+  static const std::regex kRawDoubleSend("\\bi?send\\s*\\(");
+  static const std::regex kSizeofDouble("sizeof\\s*\\(\\s*double\\s*\\)");
+  static const std::regex kCastDouble(
+      "reinterpret_cast\\s*<\\s*(?:const\\s+)?double");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& line = ctx.code[i];
+    if (std::regex_search(line, kRawDoubleSend) &&
+        std::regex_search(line, kSizeofDouble)) {
+      emit(ctx, i, rule,
+           "raw byte-count send of doubles: recvDoubles' multiple-of-"
+           "sizeof(double) contract is only checked at runtime on this "
+           "path",
+           "use sendDoubles(span<const double>) so the size contract "
+           "holds by construction",
+           out);
+      continue;
+    }
+    if (std::regex_search(line, kCastDouble)) {
+      emit(ctx, i, rule,
+           "reinterpret_cast of a payload to double*: bypasses the "
+           "recvDoubles size/alignment contract",
+           "receive with recvDoubles(), which validates the payload size "
+           "and memcpy-safes the element access",
+           out);
+    }
+  }
+}
+
+// Order is the report order; registry-docs is appended by rules() (it is a
+// tree-level rule with no per-file checker).
+constexpr std::array<Rule, 9> kSourceRules = {{
+    {"wall-clock",
+     "no wall-clock reads (steady_clock/system_clock/time()) outside "
+     "annotated host-side measurement",
+     "campaign artefacts must be byte-identical across reruns, --jobs and "
+     "backends; host clocks differ every run"},
+    {"random-source",
+     "no rand()/std::random_device/drand48 anywhere",
+     "all stochastic components must seed from the campaign seed via "
+     "common/rng.hpp, or reruns diverge"},
+    {"unordered-iter",
+     "no iteration over unordered_map/unordered_set",
+     "hash-order traversal feeding JSON/CSV/trace emitters makes output "
+     "ordering implementation-defined"},
+    {"pointer-key",
+     "no pointer-keyed map/set",
+     "address-based ordering differs run to run, so serialised output "
+     "derived from it is nondeterministic"},
+    {"fiber-block",
+     "no blocking host calls (sleep/this_thread/system) in sim paths",
+     "a fiber that blocks the host thread stalls every rank of the "
+     "world; simulated waiting goes through Process::delay/suspend"},
+    {"thread-local",
+     "no thread_local in sim paths",
+     "fiber and thread backends map ranks to host threads differently, "
+     "so thread_local state silently changes meaning between backends"},
+    {"pragma-once",
+     "headers start with #pragma once",
+     "double inclusion breaks the single-library build; include guards "
+     "are not used in this repo"},
+    {"using-namespace",
+     "no using namespace in headers",
+     "a header-level using-directive leaks into every includer and can "
+     "change overload resolution at a distance"},
+    {"mpi-contract",
+     "double payloads go through sendDoubles/recvDoubles",
+     "the helpers enforce the multiple-of-sizeof(double) payload "
+     "contract; raw send()/reinterpret_cast paths only fail at runtime"},
+}};
+
+constexpr std::array<void (*)(const FileContext&, const Rule&,
+                              std::vector<Finding>&),
+                     9>
+    kCheckers = {{checkWallClock, checkRandomSource, checkUnorderedIteration,
+                  checkPointerKeyedContainer, checkFiberBlocking,
+                  checkThreadLocal, checkPragmaOnce,
+                  checkUsingNamespaceHeader, checkMpiContract}};
+
+bool ruleSelected(const Options& options, const char* id) {
+  if (options.onlyRules.empty()) return true;
+  return std::find(options.onlyRules.begin(), options.onlyRules.end(), id) !=
+         options.onlyRules.end();
+}
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good())
+    throw std::runtime_error("tibsim-lint: cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rules() {
+  std::vector<RuleInfo> out;
+  out.reserve(kSourceRules.size() + 1);
+  for (const Rule& rule : kSourceRules)
+    out.push_back(RuleInfo{rule.id, rule.summary, rule.rationale});
+  out.push_back(RuleInfo{
+      "registry-docs",
+      "every ExperimentRegistry entry has an EXPERIMENTS.md section",
+      "an experiment nobody can find in the docs is an experiment whose "
+      "numbers nobody re-checks against the paper"});
+  return out;
+}
+
+std::vector<Finding> lintSource(const std::string& path,
+                                const std::string& content,
+                                const Options& options) {
+  const FileContext ctx = makeContext(path, content);
+  std::vector<Finding> findings;
+  for (std::size_t r = 0; r < kSourceRules.size(); ++r) {
+    if (!ruleSelected(options, kSourceRules[r].id)) continue;
+    kCheckers[r](ctx, kSourceRules[r], findings);
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lintRegistryDocs(const std::string& root,
+                                      const Options& options) {
+  std::vector<Finding> findings;
+  if (!ruleSelected(options, "registry-docs")) return findings;
+  namespace fs = std::filesystem;
+  const fs::path docPath = fs::path(root) / "EXPERIMENTS.md";
+  const fs::path coreDir = fs::path(root) / "src" / "core";
+  if (!fs::exists(docPath) || !fs::exists(coreDir)) return findings;
+  const std::string doc = readFile(docPath);
+
+  // A registered name counts as documented when EXPERIMENTS.md mentions it
+  // backticked — either exactly (`campaign`) or as the prefix of a compat
+  // binary name (`fig01_top500_transitions` documents fig01).
+  const auto documented = [&doc](const std::string& name) {
+    std::string::size_type pos = 0;
+    const std::string needle = "`" + name;
+    while ((pos = doc.find(needle, pos)) != std::string::npos) {
+      const std::size_t after = pos + needle.size();
+      if (after < doc.size() && (doc[after] == '`' || doc[after] == '_'))
+        return true;
+      pos += 1;
+    }
+    return false;
+  };
+
+  std::vector<fs::path> sources;
+  for (const auto& entry : fs::directory_iterator(coreDir))
+    if (entry.is_regular_file() && entry.path().extension() == ".cpp")
+      sources.push_back(entry.path());
+  std::sort(sources.begin(), sources.end());
+
+  static const std::string kMarker = "make_unique<LambdaExperiment>(";
+  for (const fs::path& source : sources) {
+    const std::string text = readFile(source);
+    std::string::size_type pos = 0;
+    while ((pos = text.find(kMarker, pos)) != std::string::npos) {
+      const auto open = text.find('"', pos);
+      pos += kMarker.size();
+      if (open == std::string::npos) break;
+      const auto close = text.find('"', open + 1);
+      if (close == std::string::npos) break;
+      const std::string name = text.substr(open + 1, close - open - 1);
+      if (name.empty() || documented(name)) continue;
+      const int line = static_cast<int>(
+                           std::count(text.begin(), text.begin() +
+                                          static_cast<std::ptrdiff_t>(open),
+                                      '\n')) +
+                       1;
+      findings.push_back(Finding{
+          normalisePath(fs::relative(source, root).string()), line,
+          "registry-docs",
+          "experiment '" + name +
+              "' is registered but EXPERIMENTS.md has no `" + name +
+              "` section",
+          "document the reproduced artefact (inputs, headline numbers, "
+          "paper deltas) in EXPERIMENTS.md under `" +
+              name + "`"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> lintTree(const std::string& root,
+                              const Options& options) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const char* dir :
+       {"src", "include", "bench", "tests", "tools", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          normalisePath(fs::relative(entry.path(), root).string());
+      // Fixtures are deliberate violations; build trees are not ours.
+      if (rel.find("lint_fixtures") != std::string::npos) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    const std::string rel =
+        normalisePath(fs::relative(file, root).string());
+    std::vector<Finding> local = lintSource(rel, readFile(file), options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(local.begin()),
+                    std::make_move_iterator(local.end()));
+  }
+  std::vector<Finding> docs = lintRegistryDocs(root, options);
+  findings.insert(findings.end(), std::make_move_iterator(docs.begin()),
+                  std::make_move_iterator(docs.end()));
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::string formatFindings(const std::vector<Finding>& findings,
+                           bool fixSuggestions) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+        << '\n';
+    if (fixSuggestions && !f.suggestion.empty())
+      out << "    suggestion: " << f.suggestion << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tibsim::lint

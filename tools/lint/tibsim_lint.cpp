@@ -1,0 +1,124 @@
+// tibsim_lint — CLI driver for the repo's determinism & sim-safety linter.
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error (CI treats 1 and 2 as
+// red). See lint.hpp for the rule model and the suppression grammar.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void printUsage(std::ostream& out) {
+  out << "tibsim_lint — determinism & sim-safety static analysis for the "
+         "tibsim tree\n\n"
+         "usage:\n"
+         "  tibsim_lint [--root DIR] [--rules id,id,...] "
+         "[--fix-suggestions] [file...]\n"
+         "  tibsim_lint --list-rules\n\n"
+         "With no files, walks DIR/{src,include,bench,tests,tools,examples} "
+         "(DIR defaults to the\n"
+         "current directory) and runs the cross-file registry-docs check "
+         "against DIR/EXPERIMENTS.md.\n"
+         "With explicit files, lints just those (registry-docs is skipped).\n"
+         "Suppressions: // tibsim-lint: allow(rule) on or above the line, "
+         "// tibsim-lint: allowfile(rule)\n"
+         "anywhere in a file. --fix-suggestions prints a remediation hint "
+         "under every finding.\n";
+}
+
+int listRules() {
+  for (const tibsim::lint::RuleInfo& rule : tibsim::lint::rules()) {
+    std::cout << rule.id << "\n    " << rule.summary << "\n    why: "
+              << rule.rationale << "\n";
+  }
+  return 0;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string root = ".";
+  bool fixSuggestions = false;
+  tibsim::lint::Options options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") return listRules();
+    if (arg == "--fix-suggestions") {
+      fixSuggestions = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "tibsim_lint: --root needs a value\n";
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--rules") {
+      if (++i >= argc) {
+        std::cerr << "tibsim_lint: --rules needs a value\n";
+        return 2;
+      }
+      std::stringstream ids(argv[i]);
+      std::string id;
+      while (std::getline(ids, id, ','))
+        if (!id.empty()) options.onlyRules.push_back(id);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tibsim_lint: unknown flag " << arg << "\n";
+      printUsage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<tibsim::lint::Finding> findings;
+  std::size_t scanned = 0;
+  if (files.empty()) {
+    findings = tibsim::lint::lintTree(root, options);
+    namespace fs = std::filesystem;
+    for (const char* dir :
+         {"src", "include", "bench", "tests", "tools", "examples"}) {
+      const fs::path base = fs::path(root) / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        const std::string ext = entry.path().extension().string();
+        if (entry.is_regular_file() &&
+            (ext == ".cpp" || ext == ".hpp" || ext == ".h"))
+          ++scanned;
+      }
+    }
+  } else {
+    for (const std::string& file : files) {
+      auto local =
+          tibsim::lint::lintSource(file, readFile(file), options);
+      findings.insert(findings.end(), local.begin(), local.end());
+      ++scanned;
+    }
+  }
+
+  std::cout << tibsim::lint::formatFindings(findings, fixSuggestions);
+  std::cout << "tibsim_lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << " across " << scanned
+            << " file" << (scanned == 1 ? "" : "s") << " scanned\n";
+  return findings.empty() ? 0 : 1;
+} catch (const std::exception& error) {
+  std::cerr << "tibsim_lint: " << error.what() << "\n";
+  return 2;
+}
