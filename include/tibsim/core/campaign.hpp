@@ -36,6 +36,11 @@ struct CampaignOptions {
   /// default (full, or TIBSIM_TRACE_MODE), else "full"/"sampled"/
   /// "aggregate".
   std::string traceMode;
+  /// Event-engine shards per simulated world (--sim-shards): 0 keeps the
+  /// process-wide default (1, or TIBSIM_SIM_SHARDS). Campaign artefacts
+  /// are byte-identical for any value; >1 partitions each world's switch
+  /// tree into conservatively synchronised per-subtree event engines.
+  int simShards = 0;
 };
 
 struct ExperimentRun {

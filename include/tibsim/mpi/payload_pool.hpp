@@ -9,13 +9,31 @@
 //    inline in the Message itself — covering the control traffic (doubles,
 //    counters, CTS-sized frames) that dominates message counts — and backs
 //    larger payloads with a buffer acquired from the world's PayloadPool.
-//  * PayloadPool is a LIFO free-list of byte buffers owned by one MpiWorld.
-//    doRecv()/wait() return each pooled buffer after copying the bytes out,
-//    so steady-state sends reuse warm buffers and perform zero heap
-//    allocations (the pool-stats counters in WorldStats prove it per run).
+//  * PayloadPool parks returned buffers in power-of-two *size classes*
+//    (128 B, 256 B, ... — anything smaller rides inline). An acquire is
+//    served from the request's own class when possible, then from the
+//    smallest larger class (no copy-growth), and only as a last resort from
+//    a smaller class (which reallocates, exactly like the old single free
+//    list did). Apps cycling through many distinct large payload sizes
+//    therefore stop thrashing one LIFO: each size class keeps its warm
+//    buffers. Buffer capacities are rounded up to the class size so parked
+//    buffers stay interchangeable within a class.
+//
+// Accounting: the serialised WorldStats counters (reuses, allocations,
+// returns, trimmedBuffers, liveHighWater) predate the size classes and are
+// part of the byte-identical campaign artefact contract, so they are
+// produced by CompatModel — an exact count/capacity replica of the original
+// single-LIFO pool fed with the same acquire/release sequence. The size
+// classes additionally expose per-class counters (ClassStats) describing
+// what the pool actually did; those are new observability and deliberately
+// stay out of the serialised artefacts.
 //
 // Single-threaded by design: a world's sends and receives all run on the
-// simulation thread, like the mailboxes.
+// simulation thread, like the mailboxes. Sharded worlds give each shard its
+// own pool with the compat model disabled and instead replay the canonical
+// acquire/release order through one world-level CompatModel at the window
+// barriers (see simmpi_sharded.cpp), so the serialised counters stay
+// shard-count-invariant.
 
 #include <array>
 #include <cstddef>
@@ -27,20 +45,12 @@
 
 namespace tibsim::mpi {
 
-/// Free-list of payload buffers. Buffers keep their capacity while parked,
-/// so a steady-state acquire is a pop + memcpy with no allocator traffic.
-///
-/// Sizing policy (ROADMAP "payload pool sizing"): the pool tracks how many
-/// buffers were ever checked out *simultaneously* (the live high-water mark).
-/// trimToHighWater() — called at world-teardown checkpoints — frees parked
-/// buffers beyond that mark, so a burst of large messages early in a run
-/// cannot pin its buffer memory for the rest of the campaign. The trim pops
-/// from the *front* of the free list: the back of the LIFO is the warm end
-/// that steady-state traffic reuses.
+/// Size-classed free lists of payload buffers with legacy-exact accounting.
 class PayloadPool {
  public:
   /// Deterministic accounting (functions of the simulated run only, safe to
-  /// serialise): how payload storage was obtained and returned.
+  /// serialise): how payload storage was obtained and returned, in the
+  /// original single-free-list model (see CompatModel).
   struct Stats {
     std::uint64_t inlineMessages = 0;  ///< payloads stored in the Message
     std::uint64_t pooledMessages = 0;  ///< payloads backed by a pool buffer
@@ -51,41 +61,113 @@ class PayloadPool {
     std::uint64_t liveHighWater = 0;   ///< max buffers checked out at once
   };
 
-  /// A buffer holding a copy of `data`. Reuses a parked buffer when one
-  /// with enough capacity is available; Stats record which case happened.
-  std::vector<std::byte> acquire(std::span<const std::byte> data);
+  /// What the size-classed pool actually did, per power-of-two class.
+  /// New observability — not serialised (the campaign artefact byte-contract
+  /// covers only the legacy Stats fields).
+  struct ClassStats {
+    std::size_t classBytes = 0;      ///< buffer capacity of this class
+    std::uint64_t acquires = 0;      ///< requests that mapped to this class
+    std::uint64_t reuses = 0;        ///< served by a parked buffer (any class)
+    std::uint64_t allocations = 0;   ///< paid an allocation or copy-growth
+    std::uint64_t parked = 0;        ///< buffers returned into this class
+  };
 
-  /// Park a buffer for reuse. Contents are discarded, capacity is kept.
-  void release(std::vector<std::byte>&& buffer);
+  /// Ticket pairing an acquire with its release for the compat model.
+  static constexpr std::uint32_t kNoTicket = 0xffffffffu;
 
-  /// Free parked buffers beyond what the observed peak demand can use:
-  /// keeps at most (liveHighWater - currently outstanding) buffers parked.
-  /// Returns the number of buffers freed (also accumulated in Stats).
-  std::size_t trimToHighWater();
+  /// Exact replica of the pre-size-class pool's accounting: one LIFO of
+  /// buffer capacities, reuse iff the popped capacity fits, trim from the
+  /// cold front. Fed with the same acquire/release sequence it reproduces
+  /// the historical serialised counters bit-for-bit — which is the contract
+  /// that keeps existing campaign artefacts byte-identical.
+  class CompatModel {
+   public:
+    /// Legacy-model capacity of the acquired buffer; the caller keeps it
+    /// per live buffer and hands it back to release().
+    std::size_t acquire(std::size_t bytes);
+    void release(std::size_t capacity);
+    std::size_t trimToHighWater();
+    void resetStats() {
+      stats_ = Stats{};
+      stats_.liveHighWater = outstanding_;
+    }
+    const Stats& stats() const { return stats_; }
+    std::size_t freeCount() const { return freeCaps_.size(); }
+    std::size_t outstandingCount() const { return outstanding_; }
 
-  const Stats& stats() const { return stats_; }
-  /// Resets counters for the next accounting window. The live high-water
-  /// restarts from the buffers still outstanding now, not from zero.
-  void resetStats() {
-    stats_ = Stats{};
-    stats_.liveHighWater = outstanding_;
+   private:
+    friend class PayloadPool;
+    std::vector<std::size_t> freeCaps_;  ///< parked capacities, LIFO back
+    std::size_t outstanding_ = 0;
+    Stats stats_;
+  };
+
+  /// Smallest pooled class: one step above the inline capacity.
+  static constexpr std::size_t kMinClassIndex = 7;  // 128 bytes
+
+  /// Power-of-two class for a payload of `bytes` (>= 65).
+  static std::size_t classIndex(std::size_t bytes);
+  static std::size_t classBytes(std::size_t index) {
+    return std::size_t{1} << index;
   }
 
-  std::size_t freeBuffers() const { return free_.size(); }
+  /// A buffer holding a copy of `data`, with capacity rounded up to the
+  /// class size. `ticket` receives the pairing token for release (kNoTicket
+  /// when the compat model is disabled).
+  std::vector<std::byte> acquire(std::span<const std::byte> data,
+                                 std::uint32_t& ticket);
+
+  /// Park a buffer for reuse. Contents are discarded, capacity is kept.
+  void release(std::vector<std::byte>&& buffer, std::uint32_t ticket);
+
+  /// Free parked buffers beyond what the observed peak demand can use:
+  /// keeps at most (liveHighWater - currently outstanding) buffers parked,
+  /// dropping the smallest classes' coldest buffers first. Returns the
+  /// number of buffers actually freed from the class lists.
+  std::size_t trimToHighWater();
+
+  /// Serialised accounting (legacy model — see CompatModel).
+  const Stats& stats() const { return compat_.stats(); }
+  /// Per-class accounting of what the size-classed pool actually did.
+  const std::vector<ClassStats>& classStats() const { return classStats_; }
+
+  /// Resets counters for the next accounting window. The live high-water
+  /// restarts from the buffers still outstanding now, not from zero.
+  void resetStats();
+
+  /// Per-shard pools in a sharded world: the serialised counters are
+  /// replayed canonically at the world level instead, so the per-pool
+  /// compat model (whose order would be shard-local) is switched off.
+  void disableCompat() { compatEnabled_ = false; }
+
+  std::size_t freeBuffers() const { return freeTotal_; }
   std::size_t outstandingBuffers() const { return outstanding_; }
 
  private:
   friend class MessagePayload;
-  std::vector<std::vector<std::byte>> free_;
+
+  void ensureClass(std::size_t index);
+  std::uint32_t mintTicket(std::size_t compatCap);
+  void noteInlineMessage() { ++compat_.stats_.inlineMessages; }
+  void notePooledMessage() { ++compat_.stats_.pooledMessages; }
+
+  std::vector<std::vector<std::vector<std::byte>>> free_;  ///< by class
+  std::vector<ClassStats> classStats_;
+  std::size_t freeTotal_ = 0;
   std::size_t outstanding_ = 0;  ///< buffers acquired and not yet released
-  Stats stats_;
+  std::size_t liveHighWater_ = 0;
+  bool compatEnabled_ = true;
+  CompatModel compat_;
+  std::vector<std::size_t> ticketCaps_;  ///< ticket -> legacy-model capacity
+  std::vector<std::uint32_t> freeTickets_;
 };
 
 /// Payload storage for one in-flight message: empty, inline (<= 64 bytes,
 /// no separate storage), or pooled (buffer borrowed from a PayloadPool).
 /// Move-only so a pooled buffer has exactly one owner; the receive path
 /// must call intoVector() to hand the bytes to the application and give the
-/// buffer back to the pool it came from.
+/// buffer back to a pool (in a sharded world: the *consuming* shard's pool,
+/// which is how warm buffers migrate toward the ranks that use them).
 class MessagePayload {
  public:
   static constexpr std::size_t kInlineCapacity = 64;
@@ -103,6 +185,7 @@ class MessagePayload {
   MessagePayload(MessagePayload&& other) noexcept
       : size_(std::exchange(other.size_, 0)),
         pooled_(std::exchange(other.pooled_, false)),
+        ticket_(std::exchange(other.ticket_, PayloadPool::kNoTicket)),
         buffer_(std::move(other.buffer_)) {
     if (!pooled_ && size_ > 0)
       std::memcpy(inline_.data(), other.inline_.data(), size_);
@@ -110,6 +193,7 @@ class MessagePayload {
   MessagePayload& operator=(MessagePayload&& other) noexcept {
     size_ = std::exchange(other.size_, 0);
     pooled_ = std::exchange(other.pooled_, false);
+    ticket_ = std::exchange(other.ticket_, PayloadPool::kNoTicket);
     buffer_ = std::move(other.buffer_);
     if (!pooled_ && size_ > 0)
       std::memcpy(inline_.data(), other.inline_.data(), size_);
@@ -133,6 +217,7 @@ class MessagePayload {
  private:
   std::size_t size_ = 0;
   bool pooled_ = false;
+  std::uint32_t ticket_ = PayloadPool::kNoTicket;
   // Deliberately not zero-initialised: only the first size_ bytes are ever
   // written (ctor) and read (view/moves), and zeroing 64 bytes per Message
   // construction is measurable on the ping-pong hot path.

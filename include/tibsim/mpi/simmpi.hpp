@@ -32,6 +32,7 @@
 #include "tibsim/net/protocol.hpp"
 #include "tibsim/perfmodel/execution_model.hpp"
 #include "tibsim/perfmodel/work_profile.hpp"
+#include "tibsim/sim/shard_scheduler.hpp"
 #include "tibsim/sim/simulation.hpp"
 
 namespace tibsim::mpi {
@@ -56,6 +57,13 @@ struct WorldConfig {
   /// Per-rank fiber stack size; 0 = engine default (TIBSIM_FIBER_STACK_KB
   /// or 256 KiB). The thread backend ignores it.
   std::size_t fiberStackBytes = 0;
+  /// Logical-process shards for the event engine (see sim/shard_scheduler).
+  /// Snapshot of the process-wide default (--sim-shards / TIBSIM_SIM_SHARDS)
+  /// so a campaign-level override flows through. The world clamps to the
+  /// leaf-switch count and falls back to the single-queue engine when the
+  /// topology has no lookahead (zero switch latency) or fewer than two leaf
+  /// subtrees. Campaign artefacts are byte-identical for every value.
+  int simShards = sim::defaultSimShards();
 
   static WorldConfig tibidaboNode();  ///< Tegra2 node, 1 GbE, TCP/IP
 };
@@ -88,6 +96,11 @@ struct WorldStats {
   std::uint64_t payloadPoolReturns = 0;     ///< buffers recycled by recv/wait
   std::uint64_t payloadPoolTrimmedBuffers = 0;  ///< freed by teardown trim
   std::uint64_t payloadPoolLiveHighWater = 0;   ///< peak buffers in use
+  /// Per-size-class pool activity (power-of-two classes; index = log2 of
+  /// the class capacity, entries below the smallest class stay zero). New
+  /// observability for the size-classed pool — deliberately not part of the
+  /// serialised campaign artefacts.
+  std::vector<PayloadPool::ClassStats> payloadPoolClassStats;
 
   double achievedFlopsPerSecond() const {
     return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;
@@ -237,6 +250,8 @@ class MpiWorld {
 
   enum class Stage : std::uint8_t { Delivered, RtsPending, AwaitingData };
 
+  static constexpr std::uint64_t kNoPoolTicket = ~0ull;
+
   struct Message {
     int src = 0;
     int tag = 0;
@@ -249,6 +264,10 @@ class MpiWorld {
     /// True when delivery already charged receiverCost and folded it into
     /// the wake-up time, so doRecv must not delay again (see deliver()).
     bool receiverCharged = false;
+    /// Sharded runs: world-level pool-compat ticket pairing this message's
+    /// payload acquire with its release (kNoPoolTicket when inline or when
+    /// running on the single-queue engine). See payload_pool.hpp.
+    std::uint64_t poolTicket = kNoPoolTicket;
   };
 
   struct Mailbox {
@@ -270,7 +289,115 @@ class MpiWorld {
     sim::Process* waiter = nullptr;
   };
 
+  // -- sharded logical-process execution (simShards > 1) -------------------
+  // The world is partitioned into leaf-switch-contiguous shards, each with
+  // its own Simulation (event queue + fiber scheduler), in-flight slab and
+  // payload pool. Shards advance concurrently inside conservative windows
+  // (sim::ShardScheduler); everything whose result depends on *global*
+  // order — fabric occupancy, totalFlops/totalDramBytes folds, trace spans,
+  // the serialised payload-pool counters, and every event pushed into
+  // another shard — is recorded as a DeferredOp / PendingSpan against the
+  // submitting dispatch and replayed serially at the window barrier in
+  // canonical merged dispatch order. That replay is what keeps campaign
+  // artefacts byte-identical for every shard count.
+
+  /// One trace span captured in-window, flushed to the world tracer at the
+  /// barrier in canonical dispatch order (span order and the sink's memory
+  /// evolution are serialised, so they must not depend on shard count).
+  struct PendingSpan {
+    TraceSpan span;
+    std::uint32_t dispatchIndex = 0;
+  };
+
+  /// A side effect deferred from in-window execution to the barrier.
+  struct DeferredOp {
+    enum class Kind : std::uint8_t {
+      Deliver,      ///< fabric transfer + message into dst shard's slab
+      DataArrival,  ///< rendezvous data wire + completion in dst shard
+      CtsResume,    ///< CTS wire + sender wake-up in the sender's shard
+      StatFold,     ///< totalFlops/totalDramBytes accumulation
+      PoolAcquire,  ///< world pool-compat acquire (serialised counters)
+      PoolRelease,  ///< world pool-compat release
+    };
+    Kind kind = Kind::StatFold;
+    std::uint32_t dispatchIndex = 0;  ///< submitting dispatch (this shard)
+    int fromNode = 0;                 ///< fabric source endpoint
+    int toNode = 0;                   ///< fabric destination endpoint
+    int dstRank = 0;                  ///< Deliver / DataArrival target
+    int targetShard = 0;              ///< CtsResume: the sender's shard
+    double wireBytes = 0.0;
+    double submitT = 0.0;       ///< submit-time sim clock: fabric start
+    std::uint32_t pushIdx = 0;  ///< push index within the submitting dispatch
+    std::uint64_t id = 0;  ///< message id (DataArrival) / ticket (Pool*)
+    double flops = 0.0;
+    double dramBytes = 0.0;
+    std::size_t bytes = 0;  ///< PoolAcquire payload size
+    sim::Process* sender = nullptr;  ///< CtsResume wake-up target
+    bool hasMessage = false;
+    Message message;  ///< Deliver: moved here until stashed at the barrier
+  };
+
+  /// Per-shard engine state. The single-queue path keeps using the legacy
+  /// members below; engines_ exists only while sharded_ is true.
+  struct Engine {
+    std::unique_ptr<sim::Simulation> sim;
+    int firstRank = 0;
+    int endRank = 0;  ///< one past the last rank
+    std::vector<Message> inflight;
+    std::vector<std::uint32_t> freeSlots;
+    std::uint64_t nextMessageId = 0;
+    std::uint64_t nextPoolTicket = 0;
+    std::uint64_t messageCount = 0;  ///< order-free partial of stats_
+    double payloadBytes = 0.0;       ///< exact integer-valued partial sum
+    std::vector<DeferredOp> ops;
+    std::vector<PendingSpan> spans;
+    // Barrier merge cursors (reset per window).
+    std::size_t logCursor = 0;
+    std::size_t opCursor = 0;
+    std::size_t spanCursor = 0;
+  };
+
   int nodeOfRank(int rank) const { return rank / config_.ranksPerNode; }
+  int shardOfRank(int rank) const {
+    return sharded_ ? shardOfRank_[static_cast<std::size_t>(rank)] : 0;
+  }
+  sim::Simulation& simFor(int rank) {
+    return sharded_ ? *engines_[static_cast<std::size_t>(shardOfRank(rank))].sim
+                    : *sim_;
+  }
+  Engine& engineOf(int rank) {
+    return engines_[static_cast<std::size_t>(shardOfRank(rank))];
+  }
+  Message& messageAt(int rank, std::uint32_t slot) {
+    return sharded_ ? engineOf(rank).inflight[slot] : inflight_[slot];
+  }
+
+  /// Shard count this world will actually run with (policy: config value
+  /// clamped to the leaf-switch count; 1 when the fabric has no lookahead).
+  int effectiveSimShards() const;
+
+  /// Message id unique within any destination mailbox: the legacy global
+  /// counter, or (shard-first-rank << 40 | per-shard counter) so shards
+  /// mint ids without coordination.
+  std::uint64_t nextLocalMessageId(Engine* eng) {
+    if (eng == nullptr) return nextMessageId_++;
+    return (static_cast<std::uint64_t>(eng->firstRank) << 40) |
+           eng->nextMessageId++;
+  }
+
+  WorldStats runSharded(const RankBody& body, int shards);
+  /// Serial window barrier: merge the shards' dispatch logs in canonical
+  /// key order — assigning each dispatch its global ordinal, i.e. the exact
+  /// legacy dispatch sequence — replay deferred ops and flush trace spans
+  /// in that order, advance the virtual global-queue high-water replay, and
+  /// resolve surviving provisional event keys.
+  void shardBarrier();
+  void executeOp(DeferredOp& op, std::uint64_t g);
+  /// Reserve the op's intra-dispatch push position, then queue it.
+  void submitWireOp(Engine& eng, DeferredOp&& op);
+  void foldCompute(int rank, double flops, double dramBytes);
+  /// Rendezvous data-arrival completion (legacy closure body, shard-safe).
+  void dataArrived(int dstRank, std::uint64_t id);
 
   void doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
               std::span<const std::byte> payload,
@@ -281,10 +408,13 @@ class MpiWorld {
   // In-flight message slab: a scheduled delivery captures [this, dst, slot]
   // (16 bytes, inline in the event closure) instead of the Message itself,
   // so scheduling never heap-allocates. A message lives in its slot from
-  // send to consumption; slots are recycled LIFO by consumeSlot().
+  // send to consumption; slots are recycled LIFO by consumeSlot(). Sharded
+  // runs keep one slab per shard (slots in a rank's mailbox always index
+  // its own shard's slab).
   std::uint32_t stashInflight(Message&& message);
+  std::uint32_t stashFor(int dstRank, Message&& message);
   /// Hand the slot's payload to the application and recycle the slot.
-  std::vector<std::byte> consumeSlot(std::uint32_t slot);
+  std::vector<std::byte> consumeSlot(int rank, std::uint32_t slot);
   void chargeCpu(int node, double seconds);
   void traceSpan(int rank, SpanKind kind, double begin, double end,
                  int peer = -1, std::size_t bytes = 0);
@@ -311,6 +441,37 @@ class MpiWorld {
   PayloadPool pool_;
   std::vector<Message> inflight_;
   std::vector<std::uint32_t> freeSlots_;
+
+  // Sharded execution state (unused while sharded_ is false).
+  bool sharded_ = false;
+  std::vector<Engine> engines_;   // rebuilt per run()
+  std::vector<int> shardOfRank_;  // rank -> shard index
+  std::unique_ptr<sim::ShardScheduler> scheduler_;
+  /// Per-shard payload pools (compat disabled; the canonical counters come
+  /// from worldPoolCompat_). Persistent across runs, like pool_.
+  std::vector<PayloadPool> shardPools_;
+  /// Legacy pool accounting replayed in canonical order at the barriers —
+  /// the source of the serialised pool counters on sharded runs. Persists
+  /// across runs so repeat runs mirror the warm-pool behaviour of pool_.
+  PayloadPool::CompatModel worldPoolCompat_;
+  /// poolTicketCaps_[shard][seq] = legacy-model capacity of that acquire.
+  std::vector<std::vector<std::size_t>> poolTicketCaps_;
+  // Virtual global-queue replay (what the single queue's size would have
+  // been at each merged dispatch) for the serialised queueHighWater.
+  std::uint64_t mergedQueueSize_ = 0;
+  std::uint64_t mergedQueueHighWater_ = 0;
+  /// Next global dispatch ordinal (the barrier merge numbers every dispatch
+  /// in exact legacy order; ordinal 0 is reserved for pre-run spawns).
+  std::uint64_t nextGlobalOrd_ = 1;
+  /// Scratch, per shard: global ordinal of each local dispatch this window.
+  std::vector<std::vector<std::uint64_t>> shardOrdByDispatch_;
+  /// Scratch: shards with unmerged dispatch records this barrier.
+  std::vector<std::size_t> mergeScratch_;
+  /// Submitted Deliver/DataArrival/CtsResume ops not yet replayed. While
+  /// zero, window barriers batch: dispatch logs and order-insensitive ops
+  /// accumulate and one deferred merge replays them, still in exact global
+  /// order (windows are time-partitioned whether or not a merge ran).
+  std::uint64_t pendingChannelOps_ = 0;
 };
 
 }  // namespace tibsim::mpi

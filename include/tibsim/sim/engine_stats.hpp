@@ -32,6 +32,13 @@ struct EngineStats {
   /// like hostSeconds — it feeds the run summary, never the serialised
   /// artefacts.
   std::size_t stackHighWaterBytes = 0;
+  // Sharded-engine counters (1 / 0 / 0 on the single-queue engine). Window
+  // counts depend on how work happened to spread over shards, so — like
+  // hostSeconds — they feed the run summary only, never the serialised
+  // artefacts.
+  std::size_t shardCount = 1;       ///< logical-process shards in the run
+  std::uint64_t shardWindows = 0;   ///< conservative windows executed
+  std::uint64_t shardParallelWindows = 0;  ///< windows with >1 active shard
 
   /// Fold another simulation's stats into this one. Order-independent
   /// (sums and maxes only) so accumulation across parallelFor cells yields
@@ -47,6 +54,9 @@ struct EngineStats {
     fiberStackBytes = std::max(fiberStackBytes, other.fiberStackBytes);
     stackHighWaterBytes =
         std::max(stackHighWaterBytes, other.stackHighWaterBytes);
+    shardCount = std::max(shardCount, other.shardCount);
+    shardWindows += other.shardWindows;
+    shardParallelWindows += other.shardParallelWindows;
   }
 
   /// Host wall-clock cost per simulated second (0 when nothing simulated).

@@ -42,6 +42,14 @@ inline constexpr std::size_t kMinFiberStackBytes = 16 * 1024;
 /// Fiber stacks and their guard pages are page-granular.
 std::size_t pageBytes();
 
+/// Worlds with at least this many ranks lease fiber stacks from the shared
+/// slab arena (2 kernel VMAs per multi-megabyte slab, pattern sentinel page
+/// under each stack, stacks recycled across worlds) instead of mmap'ing a
+/// private guarded stack per fiber (2 VMAs each). A 65,536-rank world needs
+/// ~131k private mappings — past the kernel's default vm.max_map_count of
+/// 65530, so the per-fiber guard mprotect would fail mid-spawn.
+inline constexpr int kPooledStacksMinRanks = 16384;
+
 /// Stack size to use for a sweep whose probe run measured
 /// `highWaterBytes` of peak stack use: 2x headroom, rounded up to a whole
 /// page, floored at kMinFiberStackBytes. Returns 0 when highWaterBytes is 0
@@ -115,9 +123,14 @@ class ExecutionContext {
   static std::size_t defaultStackBytes();
 
   /// Build a context for `backend`. stackBytes == 0 means
-  /// defaultStackBytes(); only the fiber backend uses it.
+  /// defaultStackBytes(); only the fiber backend uses it. When pooledStack
+  /// is true the fiber backend leases its stack from the process-wide slab
+  /// arena (see kPooledStacksMinRanks) instead of owning a private guarded
+  /// mapping; overflow detection moves from an immediate guard-page fault
+  /// to a sentinel-page check when the stack is released.
   static std::unique_ptr<ExecutionContext> create(ExecBackend backend,
-                                                  std::size_t stackBytes = 0);
+                                                  std::size_t stackBytes = 0,
+                                                  bool pooledStack = false);
 
  protected:
   ExecutionContext() = default;

@@ -1,0 +1,144 @@
+#pragma once
+// Conservative (lookahead / null-message) synchronisation for sharded
+// logical-process simulation.
+//
+// A world partitioned at switch-subtree cut points becomes a set of shard
+// Simulations (each with its own event queue and fiber scheduler) plus one
+// ShardScheduler driving them in *windows*: every shard may safely dispatch
+// all events strictly below
+//
+//     windowEnd = min(earliest event over all shards) + lookahead
+//
+// because any event one shard can cause in another is delayed by at least
+// the inter-shard link latency (the lookahead bound, taken from the fabric
+// topology — see net::Fabric::lookaheadSeconds). After each window a serial
+// barrier runs: the world merges the shards' dispatch logs in canonical key
+// order and replays deferred cross-shard side effects (fabric occupancy,
+// message deliveries, stats folds) exactly as the single-queue engine would
+// have interleaved them — which is what keeps campaign artefacts
+// byte-identical for any shard count.
+//
+// Windows are microseconds of simulated time, so the fork-join must cost
+// far less than a thread wake. Shards with work in a window run on a
+// dedicated gang of spin-then-sleep workers owned by the scheduler: the
+// gang spins briefly across the serial barrier (staying hot through
+// communication bursts) and parks on a condition variable through long
+// single-shard phases, where windows run inline on the calling thread
+// instead. On a single-core host the gang is empty and every window runs
+// inline — sharding then costs only the barrier, and the schedule (hence
+// every artefact) is identical either way.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tibsim/common/unique_function.hpp"
+#include "tibsim/sim/simulation.hpp"
+
+namespace tibsim::sim {
+
+/// Process-wide default shard count used by WorldConfig. Initialised once
+/// from the TIBSIM_SIM_SHARDS environment variable; 1 (single-queue legacy
+/// engine) when unset or unparsable. Values are clamped to [1, 1024].
+int defaultSimShards();
+void setDefaultSimShards(int shards);
+
+/// RAII override of the process-wide default shard count (tests, campaigns).
+class ScopedSimShards {
+ public:
+  explicit ScopedSimShards(int shards) : previous_(defaultSimShards()) {
+    setDefaultSimShards(shards);
+  }
+  ~ScopedSimShards() { setDefaultSimShards(previous_); }
+  ScopedSimShards(const ScopedSimShards&) = delete;
+  ScopedSimShards& operator=(const ScopedSimShards&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// The window loop plus the *only* sanctioned channel for putting events
+/// into another shard's queue. Shards are registered non-owning; a shard
+/// that has been torn down (teardownShard) rejects channel traffic with a
+/// contract violation — routing a rank to a dead shard is a bug in the
+/// partitioning policy, never something to paper over.
+class ShardScheduler {
+ public:
+  /// `lookaheadSeconds` must be positive: a zero-latency fabric has no
+  /// conservative window and the world must fall back to one shard.
+  explicit ShardScheduler(double lookaheadSeconds);
+  ~ShardScheduler();
+
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  /// Register a shard; index = registration order. The scheduler does not
+  /// take ownership.
+  std::size_t addShard(Simulation* shard);
+
+  /// Detach a shard (teardown). Channel pushes to it become contract
+  /// violations; the window loop skips it.
+  void teardownShard(std::size_t shard);
+
+  std::size_t shardCount() const { return shards_.size(); }
+  double lookaheadSeconds() const { return lookahead_; }
+  Simulation& shard(std::size_t index);
+
+  /// Cross-shard channel: push a callback event into `dstShard` under the
+  /// final canonical key (`g` = global ordinal of the submitting dispatch,
+  /// `pushIdx` = its notePendingPush() index). Call only from the serial
+  /// window barrier.
+  void channelPush(std::size_t dstShard, double t, std::uint64_t g,
+                   std::uint64_t pushIdx, UniqueFunction fn);
+
+  /// Drive windows until every shard's queue drains and a final barrier
+  /// flushes nothing. `barrier` runs serially on the calling thread after
+  /// every window (merge dispatch logs, replay deferred ops). Returns the
+  /// final simulated time (max over shards).
+  double run(const std::function<void()>& barrier);
+
+  std::uint64_t windowsRun() const { return windowsRun_; }
+  std::uint64_t parallelWindowsRun() const { return parallelWindowsRun_; }
+
+  /// Gang participants for this scheduler (calling thread included):
+  /// min(shards, hardware cores), or the TIBSIM_SHARD_THREADS override
+  /// (clamped to [1, shards] — tests force a multi-threaded gang on
+  /// single-core CI hosts with it).
+  std::size_t gangParticipants() const;
+
+ private:
+  void startGang();
+  void stopGang();
+  void gangLoop();
+  /// Claim and run window shards (shared by workers and the caller).
+  void runClaimedShards();
+
+  double lookahead_;
+  std::vector<Simulation*> shards_;
+  std::vector<std::size_t> active_;  ///< scratch: shards busy this window
+  std::uint64_t windowsRun_ = 0;
+  std::uint64_t parallelWindowsRun_ = 0;
+
+  // Window gang. The caller publishes active_ / windowEnd_, bumps epoch_,
+  // and participates; workers claim shard indices via nextShard_ and report
+  // through doneWorkers_. Workers spin ~tens of µs before parking so that
+  // back-to-back windows never pay a futex wake.
+  std::vector<std::thread> gang_;
+  double windowEnd_ = 0.0;  ///< published before the epoch_ release bump
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> nextShard_{0};
+  std::atomic<std::uint32_t> doneWorkers_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<bool> gangStop_{false};
+  std::mutex gangMutex_;
+  std::condition_variable gangWake_;
+  std::exception_ptr gangError_;  ///< first window exception (gangMutex_)
+};
+
+}  // namespace tibsim::sim

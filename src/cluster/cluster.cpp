@@ -7,6 +7,7 @@
 #include "tibsim/common/units.hpp"
 #include "tibsim/power/power_model.hpp"
 #include "tibsim/sim/execution_context.hpp"
+#include "tibsim/sim/shard_scheduler.hpp"
 
 namespace tibsim::cluster {
 
@@ -137,6 +138,12 @@ std::size_t autoFiberStackBytes(const ClusterSpec& spec, int probeNodes,
                                 const mpi::MpiWorld::RankBody& body,
                                 JobResult* probeResult) {
   TIB_REQUIRE(probeNodes >= 1);
+  // The probe always runs single-shard: a fiber's stack high-water is a
+  // property of the rank body's call depth, not of the event schedule, so
+  // the telemetry (and the probe's deterministic accounting) is identical
+  // under any shard count — while a small probe world would pay the window
+  // barriers without ever amortising them.
+  sim::ScopedSimShards probeShards(1);
   ClusterSimulation probe(spec);
   const JobResult result =
       probe.runJob(std::min(probeNodes, spec.nodes), body);

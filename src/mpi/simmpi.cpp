@@ -38,8 +38,7 @@ double MpiContext::now() const { return process_.now(); }
 void MpiContext::compute(const perfmodel::WorkProfile& work) {
   const double seconds = world_.execModel_.time(
       world_.platform(), work, world_.frequencyHz(), /*cores=*/1);
-  world_.stats_.totalFlops += work.flops;
-  world_.stats_.totalDramBytes += work.bytes;
+  world_.foldCompute(rank_, work.flops, work.bytes);
   world_.stats_.nodeBusySeconds[static_cast<std::size_t>(node_)] += seconds;
   const double begin = now();
   process_.delay(seconds);
@@ -158,7 +157,34 @@ void MpiWorld::chargeCpu(int node, double seconds) {
 void MpiWorld::traceSpan(int rank, SpanKind kind, double begin, double end,
                          int peer, std::size_t bytes) {
   if (!tracing_) return;
-  tracer_.record(TraceSpan{rank, kind, begin, end, peer, bytes});
+  if (!sharded_) {
+    tracer_.record(TraceSpan{rank, kind, begin, end, peer, bytes});
+    return;
+  }
+  // Span order (and the sink's capacity evolution) is serialised, so spans
+  // buffer per shard and flush at the barrier in canonical dispatch order.
+  Engine& eng = engineOf(rank);
+  eng.spans.push_back(PendingSpan{TraceSpan{rank, kind, begin, end, peer,
+                                            bytes},
+                                  eng.sim->currentDispatchIndex()});
+}
+
+void MpiWorld::foldCompute(int rank, double flops, double dramBytes) {
+  if (!sharded_) {
+    stats_.totalFlops += flops;
+    stats_.totalDramBytes += dramBytes;
+    return;
+  }
+  // totalFlops/totalDramBytes accumulate fractional values whose FP sum is
+  // order-dependent (and gflops is serialised), so the fold replays at the
+  // barrier in canonical order.
+  Engine& eng = engineOf(rank);
+  DeferredOp op;
+  op.kind = DeferredOp::Kind::StatFold;
+  op.dispatchIndex = eng.sim->currentDispatchIndex();
+  op.flops = flops;
+  op.dramBytes = dramBytes;
+  eng.ops.push_back(std::move(op));
 }
 
 void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
@@ -166,30 +192,55 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
                       bool allowRendezvous) {
   TIB_REQUIRE(dst >= 0 && dst < ranks_);
   TIB_REQUIRE(dst != ctx.rank());
-  ++stats_.messageCount;
-  stats_.payloadBytes += static_cast<double>(bytes);
+  Engine* eng = sharded_ ? &engineOf(ctx.rank()) : nullptr;
+  if (eng != nullptr) {
+    ++eng->messageCount;
+    eng->payloadBytes += static_cast<double>(bytes);
+  } else {
+    ++stats_.messageCount;
+    stats_.payloadBytes += static_cast<double>(bytes);
+  }
 
   // Small payloads ride inline in the Message; larger ones borrow a warm
-  // buffer from the world's pool (recycled by doRecv/wait), so a
-  // steady-state send performs no heap allocation.
-  MessagePayload copy(payload, pool_);
+  // buffer from the pool (recycled by doRecv/wait), so a steady-state send
+  // performs no heap allocation. Sharded runs use this shard's pool and
+  // additionally record the acquire against the world-level compat model
+  // (replayed canonically at the barrier — see payload_pool.hpp).
+  const int srcShard = shardOfRank(ctx.rank());
+  MessagePayload copy(
+      payload,
+      eng != nullptr ? shardPools_[static_cast<std::size_t>(srcShard)]
+                     : pool_);
+  std::uint64_t poolTicket = kNoPoolTicket;
+  if (eng != nullptr && copy.pooled()) {
+    poolTicket = (static_cast<std::uint64_t>(srcShard) << 32) |
+                 eng->nextPoolTicket++;
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::PoolAcquire;
+    op.dispatchIndex = eng->sim->currentDispatchIndex();
+    op.bytes = payload.size();
+    op.id = poolTicket;
+    eng->ops.push_back(std::move(op));
+  }
   const int srcNode = ctx.node();
   const int dstNode = nodeOfRank(dst);
+  sim::Simulation& sim = simFor(ctx.rank());
 
-  const double sendBegin = sim_->now();
+  const double sendBegin = sim.now();
   if (srcNode == dstNode) {
-    // Shared-memory path: one copy in, one copy out, no NIC.
+    // Shared-memory path: one copy in, one copy out, no NIC. Same node
+    // means same shard, so this path stays fully in-window on sharded runs.
     const double side =
         0.3e-6 + static_cast<double>(bytes) / sameNodeCopyBandwidth_;
     chargeCpu(srcNode, side);
     ctx.process_.delay(side);
-    traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst,
+    traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst,
               bytes);
-    const std::uint32_t slot =
-        stashInflight(Message{ctx.rank(), tag, bytes, std::move(copy),
-                              Stage::Delivered, side, nullptr,
-                              nextMessageId_++});
-    sim_->scheduleIn(0.2e-6, [this, dst, slot] { deliver(dst, slot); });
+    Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
+                side, nullptr, nextLocalMessageId(eng)};
+    msg.poolTicket = poolTicket;
+    const std::uint32_t slot = stashFor(dst, std::move(msg));
+    sim.scheduleIn(0.2e-6, [this, dst, slot] { deliver(dst, slot); });
     return;
   }
 
@@ -200,17 +251,31 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
     // Eager: pay the sender stack, put the bytes on the wire, return.
     chargeCpu(srcNode, costs.senderSeconds);
     ctx.process_.delay(costs.senderSeconds);
-    traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst,
+    traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst,
               bytes);
     const double wireBytes =
         costs.wireSeconds * platform().nicLinkRateBytesPerS;
-    const double arrival =
-        fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim_->now());
-    const std::uint32_t slot =
-        stashInflight(Message{ctx.rank(), tag, bytes, std::move(copy),
-                              Stage::Delivered, costs.receiverSeconds,
-                              nullptr, nextMessageId_++});
-    sim_->scheduleAt(arrival, [this, dst, slot] { deliver(dst, slot); });
+    Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
+                costs.receiverSeconds, nullptr, nextLocalMessageId(eng)};
+    msg.poolTicket = poolTicket;
+    if (eng == nullptr) {
+      const double arrival =
+          fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim.now());
+      const std::uint32_t slot = stashFor(dst, std::move(msg));
+      sim.scheduleAt(arrival, [this, dst, slot] { deliver(dst, slot); });
+    } else {
+      // Fabric occupancy is global state: defer the wire arithmetic and the
+      // delivery push to the barrier, replayed in canonical order.
+      DeferredOp op;
+      op.kind = DeferredOp::Kind::Deliver;
+      op.fromNode = srcNode;
+      op.toNode = dstNode;
+      op.dstRank = dst;
+      op.wireBytes = wireBytes;
+      op.hasMessage = true;
+      op.message = std::move(msg);
+      submitWireOp(*eng, std::move(op));
+    }
     return;
   }
 
@@ -219,53 +284,82 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
   const net::MessageCosts rts = protocol_->messageCosts(0);
   chargeCpu(srcNode, rts.senderSeconds);
   ctx.process_.delay(rts.senderSeconds);
-  const double rtsArrival =
-      fabric_->scheduleWire(srcNode, dstNode, 84.0, sim_->now());
-  const std::uint64_t id = nextMessageId_++;
-  const std::uint32_t slot =
-      stashInflight(Message{ctx.rank(), tag, bytes, std::move(copy),
-                            Stage::RtsPending, costs.receiverSeconds,
-                            &ctx.process_, id});
-  sim_->scheduleAt(rtsArrival, [this, dst, slot] { deliver(dst, slot); });
+  const std::uint64_t id = nextLocalMessageId(eng);
+  Message msg{ctx.rank(), tag,     bytes, std::move(copy),
+              Stage::RtsPending,   costs.receiverSeconds,
+              &ctx.process_,       id};
+  msg.poolTicket = poolTicket;
+  if (eng == nullptr) {
+    const double rtsArrival =
+        fabric_->scheduleWire(srcNode, dstNode, 84.0, sim.now());
+    const std::uint32_t slot = stashFor(dst, std::move(msg));
+    sim.scheduleAt(rtsArrival, [this, dst, slot] { deliver(dst, slot); });
+  } else {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::Deliver;
+    op.fromNode = srcNode;
+    op.toNode = dstNode;
+    op.dstRank = dst;
+    op.wireBytes = 84.0;  // RTS frame
+    op.hasMessage = true;
+    op.message = std::move(msg);
+    submitWireOp(*eng, std::move(op));
+  }
   ctx.process_.suspend();  // woken by the receiver's CTS
 
   // CTS received: stream the payload.
   chargeCpu(srcNode, costs.senderSeconds);
   ctx.process_.delay(costs.senderSeconds);
   const double wireBytes = costs.wireSeconds * platform().nicLinkRateBytesPerS;
-  const double dataArrival =
-      fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim_->now());
-  traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim_->now(), dst, bytes);
-  sim_->scheduleAt(dataArrival, [this, dst, id] {
-    Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-    Message* arrived = nullptr;
-    for (const std::uint32_t s : box.messages) {
-      if (inflight_[s].id == id) {
-        arrived = &inflight_[s];
-        arrived->stage = Stage::Delivered;
-        break;
-      }
+  traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst, bytes);
+  if (eng == nullptr) {
+    const double dataArrival =
+        fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim.now());
+    sim.scheduleAt(dataArrival, [this, dst, id] { dataArrived(dst, id); });
+  } else {
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::DataArrival;
+    op.fromNode = srcNode;
+    op.toNode = dstNode;
+    op.dstRank = dst;
+    op.wireBytes = wireBytes;
+    op.id = id;
+    submitWireOp(*eng, std::move(op));
+  }
+}
+
+void MpiWorld::dataArrived(int dstRank, std::uint64_t id) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
+  Message* arrived = nullptr;
+  for (const std::uint32_t s : box.messages) {
+    Message& m = messageAt(dstRank, s);
+    if (m.id == id) {
+      arrived = &m;
+      arrived->stage = Stage::Delivered;
+      break;
     }
-    if (!box.waiting) return;
-    box.waiting = false;
-    // Fold the receive cost into the wake-up only when the waiter will
-    // consume exactly this message, i.e. it is the first (src, tag) match
-    // in mailbox order; otherwise a plain wake and the receiver rescans.
-    Message* firstMatch = nullptr;
-    for (const std::uint32_t s : box.messages) {
-      if (inflight_[s].src == box.waitSrc && inflight_[s].tag == box.waitTag) {
-        firstMatch = &inflight_[s];
-        break;
-      }
+  }
+  if (!box.waiting) return;
+  box.waiting = false;
+  // Fold the receive cost into the wake-up only when the waiter will
+  // consume exactly this message, i.e. it is the first (src, tag) match
+  // in mailbox order; otherwise a plain wake and the receiver rescans.
+  Message* firstMatch = nullptr;
+  for (const std::uint32_t s : box.messages) {
+    Message& m = messageAt(dstRank, s);
+    if (m.src == box.waitSrc && m.tag == box.waitTag) {
+      firstMatch = &m;
+      break;
     }
-    if (arrived != nullptr && firstMatch == arrived) {
-      chargeCpu(nodeOfRank(dst), arrived->receiverCost);
-      arrived->receiverCharged = true;
-      sim_->resumeAt(sim_->now() + arrived->receiverCost, *box.waiter);
-    } else {
-      sim_->resume(*box.waiter);
-    }
-  });
+  }
+  sim::Simulation& sim = simFor(dstRank);
+  if (arrived != nullptr && firstMatch == arrived) {
+    chargeCpu(nodeOfRank(dstRank), arrived->receiverCost);
+    arrived->receiverCharged = true;
+    sim.resumeAt(sim.now() + arrived->receiverCost, *box.waiter);
+  } else {
+    sim.resume(*box.waiter);
+  }
 }
 
 std::uint32_t MpiWorld::stashInflight(Message&& message) {
@@ -279,16 +373,49 @@ std::uint32_t MpiWorld::stashInflight(Message&& message) {
   return slot;
 }
 
-std::vector<std::byte> MpiWorld::consumeSlot(std::uint32_t slot) {
-  std::vector<std::byte> out = inflight_[slot].payload.intoVector(pool_);
-  freeSlots_.push_back(slot);
+std::uint32_t MpiWorld::stashFor(int dstRank, Message&& message) {
+  if (!sharded_) return stashInflight(std::move(message));
+  // Messages live in the *destination* shard's slab: delivery, matching and
+  // consumption all run there, so only one shard ever touches the slot.
+  Engine& eng = engineOf(dstRank);
+  if (eng.freeSlots.empty()) {
+    eng.inflight.push_back(std::move(message));
+    return static_cast<std::uint32_t>(eng.inflight.size() - 1);
+  }
+  const std::uint32_t slot = eng.freeSlots.back();
+  eng.freeSlots.pop_back();
+  eng.inflight[slot] = std::move(message);
+  return slot;
+}
+
+std::vector<std::byte> MpiWorld::consumeSlot(int rank, std::uint32_t slot) {
+  if (!sharded_) {
+    std::vector<std::byte> out = inflight_[slot].payload.intoVector(pool_);
+    freeSlots_.push_back(slot);
+    return out;
+  }
+  Engine& eng = engineOf(rank);
+  Message& msg = eng.inflight[slot];
+  if (msg.payload.pooled() && msg.poolTicket != kNoPoolTicket) {
+    // Mirror the release into the world compat model in canonical order.
+    DeferredOp op;
+    op.kind = DeferredOp::Kind::PoolRelease;
+    op.dispatchIndex = eng.sim->currentDispatchIndex();
+    op.id = msg.poolTicket;
+    eng.ops.push_back(std::move(op));
+  }
+  // The buffer parks in the *consuming* shard's pool: warm buffers migrate
+  // toward the ranks that actually receive large payloads.
+  std::vector<std::byte> out = msg.payload.intoVector(
+      shardPools_[static_cast<std::size_t>(shardOfRank(rank))]);
+  eng.freeSlots.push_back(slot);
   return out;
 }
 
 void MpiWorld::deliver(int dstRank, std::uint32_t slot) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
   box.messages.push_back(slot);
-  Message& msg = inflight_[slot];
+  Message& msg = messageAt(dstRank, slot);
   if (box.waiting && msg.src == box.waitSrc && msg.tag == box.waitTag) {
     box.waiting = false;
     if (msg.stage == Stage::Delivered) {
@@ -298,9 +425,10 @@ void MpiWorld::deliver(int dstRank, std::uint32_t slot) {
       // receiver resumes at the same simulated instant either way.
       chargeCpu(nodeOfRank(dstRank), msg.receiverCost);
       msg.receiverCharged = true;
-      sim_->resumeAt(sim_->now() + msg.receiverCost, *box.waiter);
+      sim::Simulation& sim = simFor(dstRank);
+      sim.resumeAt(sim.now() + msg.receiverCost, *box.waiter);
     } else {
-      sim_->resume(*box.waiter);
+      simFor(dstRank).resume(*box.waiter);
     }
   }
 }
@@ -310,12 +438,13 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
   TIB_REQUIRE(src >= 0 && src < ranks_);
   TIB_REQUIRE(src != ctx.rank());
   Mailbox& box = mailboxes_[static_cast<std::size_t>(ctx.rank())];
-  const double recvEntry = sim_->now();
+  sim::Simulation& sim = simFor(ctx.rank());
+  const double recvEntry = sim.now();
 
   while (true) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       const std::uint32_t slot = *it;
-      Message& m = inflight_[slot];
+      Message& m = messageAt(ctx.rank(), slot);
       if (m.src != src || m.tag != tag) continue;
       if (m.stage == Stage::Delivered) {
         if (m.receiverCharged) {
@@ -325,13 +454,13 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
           // consumed by a later recv call (its cost was absorbed while we
           // blocked elsewhere).
           const double cpuBegin =
-              std::max(recvEntry, sim_->now() - m.receiverCost);
+              std::max(recvEntry, sim.now() - m.receiverCost);
           traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, cpuBegin, src);
-          traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim_->now(), src,
+          traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), src,
                     m.bytes);
           if (receivedBytes != nullptr) *receivedBytes = m.bytes;
           box.messages.erase(it);
-          return consumeSlot(slot);
+          return consumeSlot(ctx.rank(), slot);
         }
         // Dequeue before delay(): deliveries during the yield push into
         // this deque and invalidate iterators, and they can also grow the
@@ -339,14 +468,14 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
         const double cost = m.receiverCost;
         const std::size_t bytes = m.bytes;
         box.messages.erase(it);
-        traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim_->now(), src);
-        const double cpuBegin = sim_->now();
+        traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim.now(), src);
+        const double cpuBegin = sim.now();
         chargeCpu(ctx.node(), cost);
         ctx.process_.delay(cost);
-        traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim_->now(), src,
+        traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), src,
                   bytes);
         if (receivedBytes != nullptr) *receivedBytes = bytes;
-        return consumeSlot(slot);
+        return consumeSlot(ctx.rank(), slot);
       }
       if (m.stage == Stage::RtsPending) {
         // Matched a rendezvous request: return a CTS and wait for the data.
@@ -356,11 +485,25 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
         const net::MessageCosts cts = protocol_->messageCosts(0);
         chargeCpu(ctx.node(), cts.senderSeconds);
         ctx.process_.delay(cts.senderSeconds);
-        const double ctsArrival = fabric_->scheduleWire(
-            ctx.node(), nodeOfRank(src), 84.0, sim_->now());
-        sim_->scheduleAt(ctsArrival, [this, sender] {
-          sim_->resume(*sender);
-        });
+        if (!sharded_) {
+          const double ctsArrival = fabric_->scheduleWire(
+              ctx.node(), nodeOfRank(src), 84.0, sim.now());
+          sim.scheduleAt(ctsArrival, [this, sender] {
+            sim_->resume(*sender);
+          });
+        } else {
+          // CTS wire + sender wake-up land in the sender's shard; both
+          // defer to the barrier like every other cross-shard effect.
+          Engine& eng = engineOf(ctx.rank());
+          DeferredOp op;
+          op.kind = DeferredOp::Kind::CtsResume;
+          op.fromNode = ctx.node();
+          op.toNode = nodeOfRank(src);
+          op.wireBytes = 84.0;
+          op.targetShard = shardOfRank(src);
+          op.sender = sender;
+          submitWireOp(eng, std::move(op));
+        }
         break;  // fall through to waiting for the data-arrival wake-up
       }
       // AwaitingData: the exchange is in flight; keep waiting.
@@ -376,8 +519,14 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
 }
 
 WorldStats MpiWorld::run(const RankBody& body) {
+  const int shards = effectiveSimShards();
+  if (shards > 1) return runSharded(body, shards);
+  sharded_ = false;
   sim_ = std::make_unique<sim::Simulation>(config_.simBackend,
                                            config_.fiberStackBytes);
+  // Huge worlds lease fiber stacks from the slab arena so the VMA count
+  // stays far below vm.max_map_count (private guarded stacks cost 2 each).
+  sim_->setPooledStacks(ranks_ >= sim::kPooledStacksMinRanks);
   // Roughly eager-send + wake-up per rank in flight at any moment.
   sim_->reserveEvents(static_cast<std::size_t>(ranks_) * 4);
   net::TopologySpec topo = config_.topology;
@@ -428,6 +577,7 @@ WorldStats MpiWorld::run(const RankBody& body) {
   stats_.payloadPoolReturns = poolStats.returns;
   stats_.payloadPoolTrimmedBuffers = poolStats.trimmedBuffers;
   stats_.payloadPoolLiveHighWater = poolStats.liveHighWater;
+  stats_.payloadPoolClassStats = pool_.classStats();
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

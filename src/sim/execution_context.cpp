@@ -5,8 +5,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "tibsim/common/assert.hpp"
 #include "tibsim/obs/stack_telemetry.hpp"
@@ -153,28 +155,127 @@ class ThreadContext final : public ExecutionContext {
 
 #if TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
 
+// ---------------------------------------------------------------------------
+// FiberStackArena — slab-allocated fiber stacks for huge worlds. Each kernel
+// VMA is a protection boundary, so the per-fiber layout (PROT_NONE guard +
+// RW stack) costs 2 VMAs per fiber and a 65,536-rank world blows through
+// vm.max_map_count (default 65530) before the last rank spawns. The arena
+// instead mmaps multi-megabyte slabs of [sentinel page][stack] units behind
+// a single PROT_NONE guard page: uniform RW protection keeps the whole unit
+// run in one VMA, so a slab costs 2 VMAs regardless of how many stacks it
+// carries. The sentinel page below each stack stays pattern-filled; release
+// verifies it, converting a silent overflow into a deterministic contract
+// failure (detection moves from fault-at-write to checked-at-release — the
+// bottom stack of each slab still faults on the slab guard). Released
+// stacks are recycled across worlds and their pages returned to the kernel
+// with MADV_DONTNEED, so campaign RSS tracks the largest live world, not
+// the sum of worlds run.
+// ---------------------------------------------------------------------------
+
+class FiberStackArena {
+ public:
+  struct Lease {
+    char* stack = nullptr;     ///< lowest usable address (stacks grow down)
+    std::size_t bytes = 0;     ///< usable stack bytes (page-rounded)
+    char* sentinel = nullptr;  ///< pattern page directly below the stack
+  };
+
+  static FiberStackArena& instance() {
+    // tibsim-lint: allow(shard-shared) — mutex-guarded process-wide arena
+    static FiberStackArena arena;
+    return arena;
+  }
+
+  Lease acquire(std::size_t stackBytes) {
+    const std::size_t page = pageBytes();
+    std::lock_guard lock(mutex_);
+    auto& free = free_[stackBytes];
+    if (free.empty()) addSlab(stackBytes, page, free);
+    Lease lease = free.back();
+    free.pop_back();
+    return lease;
+  }
+
+  void release(const Lease& lease) {
+    const std::size_t page = pageBytes();
+    TIB_REQUIRE_MSG(
+        obs::scanStackHighWater(lease.sentinel, page) == 0,
+        "fiber stack overflow: the sentinel page below a pooled stack was "
+        "overwritten (raise the stack size or TIBSIM_FIBER_STACK_KB)");
+    // Hand the pages back to the kernel; the next acquire pattern-fills
+    // anyway, so dropping the contents costs nothing but keeps campaign
+    // RSS bounded by the largest concurrently-live world.
+    madvise(lease.stack, lease.bytes, MADV_DONTNEED);
+    std::lock_guard lock(mutex_);
+    free_[lease.bytes].push_back(lease);
+  }
+
+ private:
+  void addSlab(std::size_t stackBytes, std::size_t page,
+               std::vector<Lease>& free) {
+    const std::size_t unit = stackBytes + page;  // sentinel + stack
+    const std::size_t count =
+        std::clamp<std::size_t>(kSlabTargetBytes / unit, 16, 512);
+    const std::size_t mapBytes = page + count * unit;  // + slab guard
+    void* map = mmap(nullptr, mapBytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    TIB_REQUIRE_MSG(map != MAP_FAILED, "fiber stack slab mmap failed");
+    TIB_REQUIRE_MSG(mprotect(map, page, PROT_NONE) == 0,
+                    "fiber stack slab guard mprotect failed");
+    char* base = static_cast<char*>(map) + page;
+    for (std::size_t i = 0; i < count; ++i) {
+      Lease lease;
+      lease.sentinel = base + i * unit;
+      lease.stack = lease.sentinel + page;
+      lease.bytes = stackBytes;
+      obs::patternFillStack(lease.sentinel, page);
+      free.push_back(lease);
+    }
+    // Slabs are never unmapped: leases reference into them for the process
+    // lifetime and MADV_DONTNEED already returns idle pages.
+  }
+
+  static constexpr std::size_t kSlabTargetBytes = std::size_t{4} << 20;
+
+  std::mutex mutex_;
+  std::map<std::size_t, std::vector<Lease>> free_;  ///< keyed by stack size
+};
+
 class FiberContext final : public ExecutionContext {
  public:
-  explicit FiberContext(std::size_t stackBytes) {
+  FiberContext(std::size_t stackBytes, bool pooled) : pooled_(pooled) {
     const std::size_t page = pageBytes();
     stackBytes_ = std::max(stackBytes, kMinFiberStackBytes);
     stackBytes_ = (stackBytes_ + page - 1) / page * page;
-    mapBytes_ = stackBytes_ + page;  // + guard page below the stack
-    void* map = mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    TIB_REQUIRE_MSG(map != MAP_FAILED, "fiber stack mmap failed");
-    map_ = map;
-    TIB_REQUIRE_MSG(mprotect(map, page, PROT_NONE) == 0,
-                    "fiber stack guard mprotect failed");
-    stack_ = static_cast<char*>(map) + page;
+    if (pooled_) {
+      lease_ = FiberStackArena::instance().acquire(stackBytes_);
+      stack_ = lease_.stack;
+    } else {
+      mapBytes_ = stackBytes_ + page;  // + guard page below the stack
+      void* map = mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      TIB_REQUIRE_MSG(map != MAP_FAILED, "fiber stack mmap failed");
+      map_ = map;
+      TIB_REQUIRE_MSG(mprotect(map, page, PROT_NONE) == 0,
+                      "fiber stack guard mprotect failed");
+      stack_ = static_cast<char*>(map) + page;
+    }
     // Pattern-fill before makecontext arms the stack so the high-water scan
-    // can tell touched bytes from untouched ones.
+    // can tell touched bytes from untouched ones (recycled pooled stacks
+    // carry the previous tenant's writes until this refill).
     obs::patternFillStack(stack_, stackBytes_);
   }
 
   // Process guarantees the entry has returned before destruction, so the
-  // stack is quiescent here and the unmap is all that is needed.
-  ~FiberContext() override { munmap(map_, mapBytes_); }
+  // stack is quiescent here: release the lease (which checks the overflow
+  // sentinel) or unmap the private mapping.
+  ~FiberContext() override {
+    if (pooled_) {
+      FiberStackArena::instance().release(lease_);
+    } else {
+      munmap(map_, mapBytes_);
+    }
+  }
 
   void start(Entry entry) override {
     TIB_ASSERT(!armed_);
@@ -262,7 +363,9 @@ class FiberContext final : public ExecutionContext {
 
   Entry entry_;
   std::size_t stackBytes_ = 0;  ///< usable bytes (excludes the guard page)
-  std::size_t mapBytes_ = 0;
+  bool pooled_ = false;         ///< stack leased from FiberStackArena
+  FiberStackArena::Lease lease_;
+  std::size_t mapBytes_ = 0;    ///< private mapping only (pooled_ == false)
   void* map_ = nullptr;
   char* stack_ = nullptr;
   ucontext_t fiberCtx_{};
@@ -349,16 +452,17 @@ std::size_t ExecutionContext::defaultStackBytes() {
 }
 
 std::unique_ptr<ExecutionContext> ExecutionContext::create(
-    ExecBackend backend, std::size_t stackBytes) {
+    ExecBackend backend, std::size_t stackBytes, bool pooledStack) {
 #if TIBSIM_HAVE_UCONTEXT && !TIBSIM_TSAN
   if (backend == ExecBackend::Fiber) {
     return std::make_unique<FiberContext>(
-        stackBytes != 0 ? stackBytes : defaultStackBytes());
+        stackBytes != 0 ? stackBytes : defaultStackBytes(), pooledStack);
   }
 #else
   (void)stackBytes;  // fiber unavailable: serviced by the thread backend
 #endif
   (void)backend;
+  (void)pooledStack;
   return std::make_unique<ThreadContext>();
 }
 

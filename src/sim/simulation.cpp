@@ -28,8 +28,9 @@ Process::Process(Simulation& sim, std::uint64_t id, std::string name,
 
 Process::~Process() { kill(); }
 
-void Process::start(ExecBackend backend, std::size_t stackBytes) {
-  context_ = ExecutionContext::create(backend, stackBytes);
+void Process::start(ExecBackend backend, std::size_t stackBytes,
+                    bool pooledStack) {
+  context_ = ExecutionContext::create(backend, stackBytes, pooledStack);
   context_->start([this] {
     if (!killRequested_) {
       try {
@@ -91,6 +92,7 @@ void Process::kill() {
 // ---------------------------------------------------------------------------
 
 void Simulation::EventQueue::push(Event ev) {
+  if ((ev.ord1 & kProvisionalOrd) != 0) ++provisional_;
   heap_.push_back(std::move(ev));
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
@@ -104,6 +106,7 @@ void Simulation::EventQueue::push(Event ev) {
 Simulation::Event Simulation::EventQueue::pop() {
   TIB_ASSERT(!heap_.empty());
   Event out = std::move(heap_.front());
+  if ((out.ord1 & kProvisionalOrd) != 0) --provisional_;
   Event last = std::move(heap_.back());
   heap_.pop_back();
   if (!heap_.empty()) {
@@ -121,6 +124,33 @@ Simulation::Event Simulation::EventQueue::pop() {
     heap_[i] = std::move(last);
   }
   return out;
+}
+
+void Simulation::EventQueue::finalizeKeys(
+    const std::vector<std::uint64_t>& gByD) {
+  // Most windows leave no provisional survivors (compute phases push and
+  // consume within the window); the counter makes those barriers O(1)
+  // instead of a full heap walk per shard per window.
+  if (provisional_ == 0) return;
+  for (Event& ev : heap_) {
+    if ((ev.ord1 & kProvisionalOrd) == 0) continue;
+    const std::uint64_t d = ev.ord1 & ~kProvisionalOrd;
+    TIB_ASSERT(d < gByD.size());
+    ev.ord1 = gByD[d];
+  }
+  provisional_ = 0;
+  // Final ordinals order provisional entries exactly as their (D, idx)
+  // provisional keys did within this shard, but the sift keeps the heap
+  // valid against channel pushes that interleaved between them.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    std::size_t j = i;
+    while (j > 0) {
+      const std::size_t parent = (j - 1) / 2;
+      if (!before(heap_[j], heap_[parent])) break;
+      std::swap(heap_[j], heap_[parent]);
+      j = parent;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -144,10 +174,72 @@ std::uint32_t Simulation::stashClosure(UniqueFunction fn) {
   return slot;
 }
 
+void Simulation::pushQueue(double t, Process* proc, std::uint64_t aux) {
+  if (!shardMode_) {
+    // Legacy single-queue order: (t, global sequence) — bit-identical to
+    // the historical tie-break.
+    queue_.push(Event{t, nextSeq_++, 0, proc, aux});
+  } else if (inDispatch_) {
+    // Key by pushing dispatch (provisionally, by its local index — the
+    // barrier resolves it to the global ordinal) and push position within
+    // the dispatch: the legacy push-sequence order, reconstructed.
+    const std::uint64_t d = dispatchLog_.size() - 1;
+    queue_.push(Event{t, kProvisionalOrd | d,
+                      dispatchLog_.back().pushes++, proc, aux});
+  } else if (inSpawnPush_) {
+    // Spawn start events sort by process id (= global rank): final key,
+    // ordinal 0 — before every dispatched event's pushes, as in the legacy
+    // engine where all spawns precede the first dispatch.
+    queue_.push(Event{t, 0, spawnOrdHint_, proc, aux});
+  } else {
+    // Other host-context pushes (generic Simulation API use; simMPI never
+    // schedules from the host mid-run). Keyed after all spawn ids.
+    queue_.push(Event{t, 0, (1ull << 40) + hostSeq_++, proc, aux});
+  }
+  stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
+}
+
+void Simulation::enableShardMode(std::uint64_t firstProcessId) {
+  TIB_REQUIRE_MSG(processes_.empty() && queue_.empty(),
+                  "enableShardMode must precede the first spawn/schedule");
+  shardMode_ = true;
+  idBase_ = firstProcessId;
+  nextProcessId_ = firstProcessId;
+}
+
+double Simulation::nextEventTime() const {
+  TIB_ASSERT(!queue_.empty());
+  return queue_.top().t;
+}
+
+std::uint64_t Simulation::runWindow(double windowEnd) {
+  std::uint64_t dispatched = 0;
+  while (!queue_.empty() && queue_.top().t < windowEnd) {
+    Event ev = queue_.pop();
+    dispatch(ev);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void Simulation::scheduleChannel(double t, std::uint64_t g,
+                                 std::uint64_t pushIdx, UniqueFunction fn) {
+  TIB_REQUIRE_MSG(t >= now_,
+                  "cross-shard event would land in this shard's past "
+                  "(lookahead bound violated)");
+  TIB_ASSERT((g & kProvisionalOrd) == 0);
+  queue_.push(Event{t, g, pushIdx, nullptr, stashClosure(std::move(fn))});
+  stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
+}
+
+void Simulation::finalizeWindowKeys(const std::vector<std::uint64_t>& gByD) {
+  queue_.finalizeKeys(gByD);
+  dispatchLog_.clear();
+}
+
 void Simulation::scheduleAt(double t, UniqueFunction fn) {
   TIB_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{t, nextSeq_++, nullptr, stashClosure(std::move(fn))});
-  stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
+  pushQueue(t, nullptr, stashClosure(std::move(fn)));
 }
 
 void Simulation::scheduleIn(double dt, UniqueFunction fn) {
@@ -159,14 +251,19 @@ Process& Simulation::spawn(std::string name, Process::Body body) {
   auto process = std::unique_ptr<Process>(
       new Process(*this, nextProcessId_++, std::move(name), std::move(body)));
   Process& ref = *process;
-  ref.start(backend_, stackBytes_);
+  ref.start(backend_, stackBytes_, pooledStacks_);
   processes_.push_back(std::move(process));
   ++stats_.processesSpawned;
   ++liveNow_;
   stats_.peakLiveProcesses = std::max(stats_.peakLiveProcesses, liveNow_);
+  // The start event is keyed by the new process id in shard mode so start
+  // events across shards merge in spawn (rank) order.
+  inSpawnPush_ = true;
+  spawnOrdHint_ = ref.id_;
   scheduleAt(now_, [&ref] {
     if (!ref.finished()) ref.switchIn();
   });
+  inSpawnPush_ = false;
   return ref;
 }
 
@@ -176,8 +273,7 @@ void Simulation::resumeAt(double t, Process& p) {
   // against suspension N must not fire into suspension N+1 (e.g. a stale
   // mailbox wake-up arriving while the process already sleeps in delay()).
   // Encoded directly in the event — no closure, no slab slot.
-  queue_.push(Event{t, nextSeq_++, &p, p.suspendSeq_});
-  stats_.queueHighWater = std::max(stats_.queueHighWater, queue_.size());
+  pushQueue(t, &p, p.suspendSeq_);
 }
 
 void Simulation::resume(Process& p) { resumeAt(now_, p); }
@@ -207,12 +303,17 @@ void Simulation::dispatch(const Event& ev) {
   TIB_ASSERT(ev.t >= now_);
   now_ = ev.t;
   ++stats_.eventsDispatched;
+  if (shardMode_) {
+    dispatchLog_.push_back(DispatchRecord{ev.t, ev.ord1, ev.ord2, 0});
+    inDispatch_ = true;
+  }
   if (ev.proc != nullptr) {
     Process& p = *ev.proc;
     if (!p.finished_ && p.suspended_ && p.suspendSeq_ == ev.aux) {
       p.suspended_ = false;
       p.switchIn();
     }
+    inDispatch_ = false;
     return;
   }
   // Move the closure out and free its slot before invoking: the callback
@@ -221,6 +322,7 @@ void Simulation::dispatch(const Event& ev) {
       std::move(closures_[static_cast<std::size_t>(ev.aux)]);
   freeClosureSlots_.push_back(static_cast<std::uint32_t>(ev.aux));
   fn();
+  inDispatch_ = false;
 }
 
 void Simulation::noteProcessFinished(Process& p) {

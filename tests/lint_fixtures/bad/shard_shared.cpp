@@ -1,0 +1,10 @@
+// Fixture: shard-shared must flag raw queue pushes and mutable statics
+// outside the engine/channel API.
+void leak(Simulation& sim, double t) {
+  sim.queue_.push(makeEvent(t));
+}
+
+int ticket() {
+  static int next = 0;
+  return ++next;
+}

@@ -1,0 +1,10 @@
+// Fixture: cross-shard work routed through the channel API and immutable
+// statics are fine in shardable simulation code.
+void deliver(ShardScheduler& sched, double t) {
+  sched.channelPush(1, t, 7, 0, noop());
+}
+
+int limit() {
+  static const int kLimit = 64;
+  return kLimit;
+}

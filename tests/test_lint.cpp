@@ -91,6 +91,8 @@ const FixtureCase kFixtureCases[] = {
      "include/tibsim/common/fixture.hpp"},
     {"mpi-contract", "bad/mpi_contract.cpp", "src/apps/fixture.cpp", 11,
      "good/mpi_contract.cpp", "src/apps/fixture.cpp"},
+    {"shard-shared", "bad/shard_shared.cpp", "src/net/fixture.cpp", 4,
+     "good/shard_shared.cpp", "src/net/fixture.cpp"},
 };
 
 TEST(LintFixtures, EveryRuleFiresOnItsBadFixture) {

@@ -493,14 +493,34 @@ TEST_P(SimMpiCollectivesTest, PipelinedBcastCausality) {
   for (double t : finish) EXPECT_GT(t, 0.05);
 }
 
+namespace {
+// The ticket pairs an acquire with its release for the pool's legacy-compat
+// accounting; the tests thread it alongside the buffer like MessagePayload
+// does internally.
+struct PooledBuf {
+  std::vector<std::byte> buf;
+  std::uint32_t ticket = PayloadPool::kNoTicket;
+};
+
+PooledBuf poolAcquire(PayloadPool& pool, std::span<const std::byte> data) {
+  PooledBuf out;
+  out.buf = pool.acquire(data, out.ticket);
+  return out;
+}
+
+void poolRelease(PayloadPool& pool, PooledBuf&& pooled) {
+  pool.release(std::move(pooled.buf), pooled.ticket);
+}
+}  // namespace
+
 TEST(PayloadPool, AcquireCopiesAndCountsAllocations) {
   PayloadPool pool;
   std::vector<std::byte> data(4096);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = static_cast<std::byte>(i);
-  const std::vector<std::byte> buf = pool.acquire(data);
-  ASSERT_EQ(buf.size(), data.size());
-  EXPECT_EQ(std::memcmp(buf.data(), data.data(), data.size()), 0);
+  const PooledBuf buf = poolAcquire(pool, data);
+  ASSERT_EQ(buf.buf.size(), data.size());
+  EXPECT_EQ(std::memcmp(buf.buf.data(), data.data(), data.size()), 0);
   EXPECT_EQ(pool.stats().allocations, 1u);
   EXPECT_EQ(pool.stats().reuses, 0u);
   EXPECT_EQ(pool.freeBuffers(), 0u);
@@ -509,26 +529,26 @@ TEST(PayloadPool, AcquireCopiesAndCountsAllocations) {
 TEST(PayloadPool, ReleasedBuffersAreReusedLifoWithoutAllocating) {
   PayloadPool pool;
   const std::vector<std::byte> data(1024, std::byte{0x5a});
-  std::vector<std::byte> buf = pool.acquire(data);
-  pool.release(std::move(buf));
+  PooledBuf buf = poolAcquire(pool, data);
+  poolRelease(pool, std::move(buf));
   EXPECT_EQ(pool.stats().returns, 1u);
   EXPECT_EQ(pool.freeBuffers(), 1u);
-  const std::vector<std::byte> again = pool.acquire(data);
+  const PooledBuf again = poolAcquire(pool, data);
   EXPECT_EQ(pool.stats().allocations, 1u);  // unchanged: served from pool
   EXPECT_EQ(pool.stats().reuses, 1u);
   EXPECT_EQ(pool.freeBuffers(), 0u);
-  EXPECT_EQ(again.size(), data.size());
-  EXPECT_EQ(std::memcmp(again.data(), data.data(), data.size()), 0);
+  EXPECT_EQ(again.buf.size(), data.size());
+  EXPECT_EQ(std::memcmp(again.buf.data(), data.data(), data.size()), 0);
 }
 
 TEST(PayloadPool, EveryAcquireIsEitherReuseOrAllocation) {
   PayloadPool pool;
   const std::vector<std::byte> data(512, std::byte{7});
   for (int round = 0; round < 5; ++round) {
-    std::vector<std::byte> a = pool.acquire(data);
-    std::vector<std::byte> b = pool.acquire(data);
-    pool.release(std::move(a));
-    pool.release(std::move(b));
+    PooledBuf a = poolAcquire(pool, data);
+    PooledBuf b = poolAcquire(pool, data);
+    poolRelease(pool, std::move(a));
+    poolRelease(pool, std::move(b));
   }
   const PayloadPool::Stats& s = pool.stats();
   EXPECT_EQ(s.reuses + s.allocations, 10u);
@@ -540,19 +560,19 @@ TEST(PayloadPool, EveryAcquireIsEitherReuseOrAllocation) {
 TEST(PayloadPool, LiveHighWaterTracksPeakSimultaneousBuffers) {
   PayloadPool pool;
   const std::vector<std::byte> data(256, std::byte{3});
-  std::vector<std::byte> a = pool.acquire(data);
-  std::vector<std::byte> b = pool.acquire(data);
-  std::vector<std::byte> c = pool.acquire(data);
+  PooledBuf a = poolAcquire(pool, data);
+  PooledBuf b = poolAcquire(pool, data);
+  PooledBuf c = poolAcquire(pool, data);
   EXPECT_EQ(pool.outstandingBuffers(), 3u);
   EXPECT_EQ(pool.stats().liveHighWater, 3u);
-  pool.release(std::move(a));
-  pool.release(std::move(b));
-  pool.release(std::move(c));
+  poolRelease(pool, std::move(a));
+  poolRelease(pool, std::move(b));
+  poolRelease(pool, std::move(c));
   EXPECT_EQ(pool.outstandingBuffers(), 0u);
   // The mark records the peak, not the current level.
   EXPECT_EQ(pool.stats().liveHighWater, 3u);
   // Serial churn afterwards never raises it.
-  for (int i = 0; i < 4; ++i) pool.release(pool.acquire(data));
+  for (int i = 0; i < 4; ++i) poolRelease(pool, poolAcquire(pool, data));
   EXPECT_EQ(pool.stats().liveHighWater, 3u);
 }
 
@@ -560,9 +580,9 @@ TEST(PayloadPool, TrimToHighWaterFreesColdSurplus) {
   PayloadPool pool;
   const std::vector<std::byte> data(256, std::byte{4});
   // Burst: five buffers live at once, then all parked.
-  std::vector<std::vector<std::byte>> live;
-  for (int i = 0; i < 5; ++i) live.push_back(pool.acquire(data));
-  for (auto& buf : live) pool.release(std::move(buf));
+  std::vector<PooledBuf> live;
+  for (int i = 0; i < 5; ++i) live.push_back(poolAcquire(pool, data));
+  for (auto& buf : live) poolRelease(pool, std::move(buf));
   live.clear();
   EXPECT_EQ(pool.freeBuffers(), 5u);
   // Peak demand was 5 simultaneous buffers, so nothing is surplus yet.
@@ -571,7 +591,7 @@ TEST(PayloadPool, TrimToHighWaterFreesColdSurplus) {
   // A new accounting window with only serial traffic: the observed peak
   // drops to 1, and the next trim frees the four cold buffers.
   pool.resetStats();
-  pool.release(pool.acquire(data));
+  poolRelease(pool, poolAcquire(pool, data));
   EXPECT_EQ(pool.stats().liveHighWater, 1u);
   EXPECT_EQ(pool.trimToHighWater(), 4u);
   EXPECT_EQ(pool.freeBuffers(), 1u);
@@ -583,14 +603,83 @@ TEST(PayloadPool, TrimToHighWaterFreesColdSurplus) {
 TEST(PayloadPool, TrimAccountsForBuffersStillOutstanding) {
   PayloadPool pool;
   const std::vector<std::byte> data(128, std::byte{5});
-  std::vector<std::byte> held = pool.acquire(data);
-  std::vector<std::byte> other = pool.acquire(data);
-  pool.release(std::move(other));
+  PooledBuf held = poolAcquire(pool, data);
+  PooledBuf other = poolAcquire(pool, data);
+  poolRelease(pool, std::move(other));
   // Peak 2, one checked out, one parked: parked + outstanding == peak, so
   // the parked buffer must survive the trim.
   EXPECT_EQ(pool.trimToHighWater(), 0u);
   EXPECT_EQ(pool.freeBuffers(), 1u);
-  pool.release(std::move(held));
+  poolRelease(pool, std::move(held));
+}
+
+TEST(PayloadPool, SizeClassesRoundCapacityUpAndKeepWarmBuffersPerClass) {
+  PayloadPool pool;
+  // 100 bytes lands in the 128-byte class, 4000 bytes in the 4096 class.
+  EXPECT_EQ(PayloadPool::classBytes(PayloadPool::classIndex(100)), 128u);
+  EXPECT_EQ(PayloadPool::classBytes(PayloadPool::classIndex(128)), 128u);
+  EXPECT_EQ(PayloadPool::classBytes(PayloadPool::classIndex(129)), 256u);
+  EXPECT_EQ(PayloadPool::classBytes(PayloadPool::classIndex(4000)), 4096u);
+  const std::vector<std::byte> small(100, std::byte{1});
+  const std::vector<std::byte> large(4000, std::byte{2});
+  PooledBuf s = poolAcquire(pool, small);
+  PooledBuf l = poolAcquire(pool, large);
+  EXPECT_EQ(s.buf.capacity(), 128u);
+  EXPECT_EQ(l.buf.capacity(), 4096u);
+  poolRelease(pool, std::move(s));
+  poolRelease(pool, std::move(l));
+  // Each request is served from its own class: the small request must not
+  // consume (and under-size) the large parked buffer or vice versa.
+  PooledBuf s2 = poolAcquire(pool, small);
+  EXPECT_EQ(s2.buf.capacity(), 128u);
+  PooledBuf l2 = poolAcquire(pool, large);
+  EXPECT_EQ(l2.buf.capacity(), 4096u);
+  const auto& cs = pool.classStats();
+  EXPECT_EQ(cs[PayloadPool::classIndex(100)].reuses, 1u);
+  EXPECT_EQ(cs[PayloadPool::classIndex(4000)].reuses, 1u);
+  poolRelease(pool, std::move(s2));
+  poolRelease(pool, std::move(l2));
+}
+
+TEST(PayloadPool, ClassPoolReusesWhereTheLegacyLifoWouldAllocate) {
+  // Release order large-then-small leaves the small capacity on top of the
+  // legacy LIFO, so the old pool would pop it for a large request, find it
+  // too small, and reallocate. The class pool picks the exact class instead.
+  // The serialised (compat) stats must still report the legacy outcome —
+  // that is the byte-identical artefact contract — while the class stats
+  // report the true reuse.
+  PayloadPool pool;
+  const std::vector<std::byte> small(100, std::byte{1});
+  const std::vector<std::byte> large(4000, std::byte{2});
+  PooledBuf l = poolAcquire(pool, large);
+  PooledBuf s = poolAcquire(pool, small);
+  poolRelease(pool, std::move(l));
+  poolRelease(pool, std::move(s));  // small capacity now tops the legacy LIFO
+  PooledBuf l2 = poolAcquire(pool, large);
+  EXPECT_EQ(l2.buf.capacity(), 4096u);          // served from the 4096 class
+  EXPECT_EQ(pool.stats().allocations, 3u);      // legacy model reallocated
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.classStats()[PayloadPool::classIndex(4000)].reuses, 1u);
+  poolRelease(pool, std::move(l2));
+}
+
+TEST(PayloadPool, DisableCompatStopsMintingTickets) {
+  // Per-shard pools in a sharded world run without the compat model (the
+  // world replays the canonical acquire/release order itself), so their
+  // acquires hand back kNoTicket and the legacy counters stay untouched.
+  PayloadPool pool;
+  pool.disableCompat();
+  const std::vector<std::byte> data(1024, std::byte{9});
+  PooledBuf buf = poolAcquire(pool, data);
+  EXPECT_EQ(buf.ticket, PayloadPool::kNoTicket);
+  poolRelease(pool, std::move(buf));
+  EXPECT_EQ(pool.stats().reuses + pool.stats().allocations, 0u);
+  EXPECT_EQ(pool.stats().returns, 0u);
+  // The class pool itself still works normally.
+  EXPECT_EQ(pool.freeBuffers(), 1u);
+  PooledBuf again = poolAcquire(pool, data);
+  EXPECT_EQ(pool.classStats()[PayloadPool::classIndex(1024)].reuses, 1u);
+  poolRelease(pool, std::move(again));
 }
 
 TEST(PayloadPool, WorldRunReportsTrimAndHighWater) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tibsim/common/assert.hpp"
+#include "tibsim/sim/shard_scheduler.hpp"
 #include "tibsim/sim/simulation.hpp"
 
 namespace tibsim::sim {
@@ -436,6 +437,35 @@ TEST(FiberGuardPageDeathTest, OverflowFaultsOnGuardPage) {
         sim.run();
       },
       "");
+}
+
+TEST(ShardScheduler, ChannelPushToTornDownShardIsAContractViolation) {
+  // Routing a rank's cross-shard event to a detached engine is a
+  // partitioning bug; the channel must reject it loudly, not enqueue into
+  // freed state.
+  Simulation a;
+  Simulation b;
+  ShardScheduler sched(1.0e-6);
+  sched.addShard(&a);
+  const std::size_t victim = sched.addShard(&b);
+  sched.channelPush(victim, 0.5e-6, 1, 0, [] {});  // alive: accepted
+  sched.teardownShard(victim);
+  EXPECT_THROW(sched.channelPush(victim, 1.5e-6, 2, 0, [] {}),
+               ContractError);
+}
+
+TEST(ShardScheduler, ScopedSimShardsOverrideRestoresPrevious) {
+  const int before = defaultSimShards();
+  {
+    ScopedSimShards scoped(4);
+    EXPECT_EQ(defaultSimShards(), 4);
+    {
+      ScopedSimShards nested(2);
+      EXPECT_EQ(defaultSimShards(), 2);
+    }
+    EXPECT_EQ(defaultSimShards(), 4);
+  }
+  EXPECT_EQ(defaultSimShards(), before);
 }
 
 TEST(ExecutionContexts, ScopedOverrideRestoresPrevious) {

@@ -355,6 +355,45 @@ TEST(Campaign, JsonIsByteIdenticalAcrossSimBackends) {
   EXPECT_EQ(fiber.runs[0].json, thread.runs[0].json);
 }
 
+core::CampaignResult shardedCampaign(int shards, const std::string& backend,
+                                     const std::string& pattern) {
+  core::CampaignOptions options;
+  options.patterns = {pattern};
+  options.summary = false;
+  options.simShards = shards;
+  options.simBackend = backend;
+  std::ostringstream sink;
+  return core::runCampaign(options, sink);
+}
+
+TEST(Campaign, JsonIsByteIdenticalAcrossShardCounts) {
+  // fig06 runs 64- and 96-node (multi-leaf-switch) worlds, so
+  // --sim-shards > 1 actually partitions the switch tree (8 clamps to the
+  // leaf count). The conservative windows plus the barrier merge must
+  // reconstruct the single-queue dispatch order exactly: the artefact
+  // bytes may not depend on the shard count.
+  const auto one = shardedCampaign(1, "", "fig06");
+  const auto two = shardedCampaign(2, "", "fig06");
+  const auto eight = shardedCampaign(8, "", "fig06");
+  ASSERT_EQ(one.runs.size(), 1u);
+  ASSERT_EQ(two.runs.size(), 1u);
+  ASSERT_EQ(eight.runs.size(), 1u);
+  EXPECT_FALSE(one.runs[0].json.empty());
+  EXPECT_EQ(one.runs[0].json, two.runs[0].json);
+  EXPECT_EQ(one.runs[0].json, eight.runs[0].json);
+}
+
+TEST(Campaign, ShardedJsonIsByteIdenticalAcrossSimBackends) {
+  // Sharding composes with the execution backend: sharded thread-backend
+  // ranks must serialise the same bytes as sharded fibers.
+  const auto fiber = shardedCampaign(8, "fiber", "ablation_interconnect");
+  const auto thread = shardedCampaign(8, "thread", "ablation_interconnect");
+  ASSERT_EQ(fiber.runs.size(), 1u);
+  ASSERT_EQ(thread.runs.size(), 1u);
+  EXPECT_FALSE(fiber.runs[0].json.empty());
+  EXPECT_EQ(fiber.runs[0].json, thread.runs[0].json);
+}
+
 TEST(Campaign, EngineStatsLandInResultDocument) {
   const auto campaign = backendCampaign("fiber", "imb_suite");
   const json::Value doc = json::Value::parse(campaign.runs[0].json);

@@ -362,6 +362,52 @@ void checkThreadLocal(const FileContext& ctx, const Rule& rule,
   }
 }
 
+void checkShardShared(const FileContext& ctx, const Rule& rule,
+                      std::vector<Finding>& out) {
+  if (!ctx.isSimPath) return;
+  // The event loop and the shard scheduler implement the queue and the
+  // cross-shard channel; only they may touch the raw primitives.
+  const bool engineFile =
+      pathContains(ctx.path, "src/sim/simulation.cpp") ||
+      pathContains(ctx.path, "src/sim/shard_scheduler.cpp");
+  // Raw event-queue pushes bypass the canonical (time, ordinal) keying that
+  // keeps shard merges byte-identical to the single-queue schedule.
+  static const std::regex kQueuePush(
+      "\\bqueue_\\s*\\.\\s*push\\s*\\(|\\bEventQueue::push\\b|"
+      "(?:\\.|->)\\s*scheduleChannel\\s*\\(");
+  // Function-local mutable statics are shared by every shard once the gang
+  // runs windows on multiple host threads. Heuristic: a `static` followed
+  // by a declarator that reaches `=` or `;` without an intervening paren
+  // (so function declarations and brace-init-with-call escape; const and
+  // constexpr statics are immutable and fine).
+  static const std::regex kMutableStatic(
+      "\\bstatic\\s+(?!const\\b|constexpr\\b)[^=;()]*[=;]");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!engineFile && std::regex_search(ctx.code[i], kQueuePush)) {
+      emit(ctx, i, rule,
+           "direct event-queue access from shardable simulation code: "
+           "events pushed outside the engine bypass the canonical "
+           "(time, ordinal) keying and the cross-shard channel replay, so "
+           "sharded runs diverge from the single-queue schedule",
+           "route cross-shard work through ShardScheduler::channelPush "
+           "(or Simulation::scheduleAt within a shard)",
+           out);
+    }
+    if (std::regex_search(ctx.code[i], kMutableStatic)) {
+      emit(ctx, i, rule,
+           "mutable static in shardable simulation code: shard gang "
+           "threads run windows concurrently, so function-local static "
+           "state is shared across shards and races (or orders "
+           "nondeterministically) once --sim-shards > 1 meets a "
+           "multi-core host",
+           "move the state into Simulation/MpiWorld members (per-shard), "
+           "or annotate a mutex-guarded process-wide singleton with "
+           "tibsim-lint: allow(shard-shared)",
+           out);
+    }
+  }
+}
+
 void checkPragmaOnce(const FileContext& ctx, const Rule& rule,
                      std::vector<Finding>& out) {
   if (!ctx.isHeader) return;
@@ -419,7 +465,7 @@ void checkMpiContract(const FileContext& ctx, const Rule& rule,
 
 // Order is the report order; registry-docs is appended by rules() (it is a
 // tree-level rule with no per-file checker).
-constexpr std::array<Rule, 9> kSourceRules = {{
+constexpr std::array<Rule, 10> kSourceRules = {{
     {"wall-clock",
      "no wall-clock reads (steady_clock/system_clock/time()) outside "
      "annotated host-side measurement",
@@ -457,15 +503,22 @@ constexpr std::array<Rule, 9> kSourceRules = {{
      "double payloads go through sendDoubles/recvDoubles",
      "the helpers enforce the multiple-of-sizeof(double) payload "
      "contract; raw send()/reinterpret_cast paths only fail at runtime"},
+    {"shard-shared",
+     "no raw EventQueue pushes or mutable statics in shardable sim code "
+     "outside the engine/channel API",
+     "per-subtree shards replay cross-shard effects through the channel "
+     "to stay byte-identical; raw pushes and cross-shard mutable state "
+     "break the canonical order (and race on multi-core gangs)"},
 }};
 
 constexpr std::array<void (*)(const FileContext&, const Rule&,
                               std::vector<Finding>&),
-                     9>
+                     10>
     kCheckers = {{checkWallClock, checkRandomSource, checkUnorderedIteration,
                   checkPointerKeyedContainer, checkFiberBlocking,
                   checkThreadLocal, checkPragmaOnce,
-                  checkUsingNamespaceHeader, checkMpiContract}};
+                  checkUsingNamespaceHeader, checkMpiContract,
+                  checkShardShared}};
 
 bool ruleSelected(const Options& options, const char* id) {
   if (options.onlyRules.empty()) return true;
