@@ -90,6 +90,59 @@ Probe pingPongProbe(ExecBackend backend, int repetitions,
   return {seconds, stats.engine.contextSwitches, repetitions};
 }
 
+/// The ping-pong with the receiver matching on kAnySource/kAnyTag instead
+/// of the explicit (source, tag): what the wildcard scan over the mailbox
+/// costs on top of the exact-match path. Two ranks, size-only messages.
+Probe wildcardPingPongProbe(ExecBackend backend, int repetitions) {
+  tibsim::mpi::WorldConfig cfg = tibsim::mpi::WorldConfig::tibidaboNode();
+  cfg.simBackend = backend;
+  tibsim::mpi::MpiWorld world(cfg, 2);
+  const auto start = std::chrono::steady_clock::now();
+  const tibsim::mpi::WorldStats stats =
+      world.run([repetitions](tibsim::mpi::MpiContext& ctx) {
+        const tibsim::mpi::Communicator comm = ctx.commWorld();
+        for (int i = 0; i < repetitions; ++i) {
+          if (ctx.rank() == 0) {
+            comm.send(1, 7, 64);
+            comm.recv(tibsim::mpi::kAnySource,  // tibsim-lint: allow(wildcard-recv)
+                      tibsim::mpi::kAnyTag);
+          } else {
+            comm.recv(tibsim::mpi::kAnySource,  // tibsim-lint: allow(wildcard-recv)
+                      tibsim::mpi::kAnyTag);
+            comm.send(0, 8, 64);
+          }
+        }
+      });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {seconds, stats.engine.contextSwitches, repetitions};
+}
+
+/// Non-blocking allreduce over 8 ranks (4 Tegra 2 nodes x 2 ranks): the
+/// request/wait machinery plus the binomial reduce + bcast per repetition.
+/// `reps` counts iallreduce/waitDoubles pairs.
+Probe iallreduceProbe(ExecBackend backend, int repetitions) {
+  tibsim::mpi::WorldConfig cfg = tibsim::mpi::WorldConfig::tibidaboNode();
+  cfg.simBackend = backend;
+  tibsim::mpi::MpiWorld world(cfg, 8);
+  const auto start = std::chrono::steady_clock::now();
+  const tibsim::mpi::WorldStats stats =
+      world.run([repetitions](tibsim::mpi::MpiContext& ctx) {
+        const tibsim::mpi::Communicator comm = ctx.commWorld();
+        const double mine[1] = {static_cast<double>(ctx.rank())};
+        for (int i = 0; i < repetitions; ++i) {
+          const tibsim::mpi::Communicator::Request req =
+              comm.iallreduce(std::span<const double>(mine, 1));
+          comm.waitDoubles(req);
+        }
+      });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {seconds, stats.engine.contextSwitches, repetitions};
+}
+
 void report(const char* name, const Probe& fiber, const Probe& thread) {
   std::printf("%-22s %12llu switches   fiber %8.1f ns/switch   thread "
               "%8.1f ns/switch   ratio %.1fx",
@@ -149,6 +202,16 @@ int main(int argc, char** argv) {
   const Probe pp4kThread =
       pingPongProbe(ExecBackend::Thread, kPingPongReps, 4096);
   report("ping-pong 4 KiB pooled", pp4kFiber, pp4kThread);
+  const Probe wcFiber =
+      wildcardPingPongProbe(ExecBackend::Fiber, kPingPongReps);
+  const Probe wcThread =
+      wildcardPingPongProbe(ExecBackend::Thread, kPingPongReps);
+  report("ping-pong wildcard", wcFiber, wcThread);
+  constexpr int kIallreduceReps = 10000;
+  const Probe iarFiber = iallreduceProbe(ExecBackend::Fiber, kIallreduceReps);
+  const Probe iarThread =
+      iallreduceProbe(ExecBackend::Thread, kIallreduceReps);
+  report("iallreduce 8 ranks", iarFiber, iarThread);
   std::printf(
       "\nfiber = user-space swapcontext on owned stacks; thread = one OS "
       "thread per process with a mutex/condvar baton (two kernel wake-ups "
@@ -161,6 +224,8 @@ int main(int argc, char** argv) {
     doc["pingPongSizeOnly"] = probeJson(ppFiber, ppThread);
     doc["pingPong64BInline"] = probeJson(pp64Fiber, pp64Thread);
     doc["pingPong4KiBPooled"] = probeJson(pp4kFiber, pp4kThread);
+    doc["pingPongWildcard"] = probeJson(wcFiber, wcThread);
+    doc["iallreduce8Ranks"] = probeJson(iarFiber, iarThread);
     std::ofstream out(jsonPath);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());

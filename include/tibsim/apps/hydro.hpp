@@ -71,9 +71,21 @@ class HydroBenchmark {
     std::size_t nx = 4096;  ///< the paper-scale global grid
     std::size_t ny = 4096;
     int steps = 20;
+    /// asyncRankBody: ranks per row-group communicator (the two-level CFL
+    /// reduction runs group-local, then across group leaders).
+    int groupSize = 8;
   };
 
   static mpi::MpiWorld::RankBody rankBody(Params params);
+
+  /// Communication-avoiding variant of rankBody: halo exchanges run as
+  /// isend/irecv on a dup()ed communicator with the interior update
+  /// overlapping the in-flight ghosts, and the per-step CFL reduction is
+  /// two-level — a row-group reduce (split() by rank/groupSize), a
+  /// non-blocking iallreduce across the group leaders, then a group-local
+  /// broadcast. Same FLOPs and halo bytes as rankBody; only the schedule
+  /// differs, so the wall-clock delta is pure overlap + reduction shape.
+  static mpi::MpiWorld::RankBody asyncRankBody(Params params);
 };
 
 }  // namespace tibsim::apps

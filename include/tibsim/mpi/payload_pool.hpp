@@ -25,8 +25,10 @@
 // produced by CompatModel — an exact count/capacity replica of the original
 // single-LIFO pool fed with the same acquire/release sequence. The size
 // classes additionally expose per-class counters (ClassStats) describing
-// what the pool actually did; those are new observability and deliberately
-// stay out of the serialised artefacts.
+// what the pool actually did; those are serialised into the campaign
+// __worlds.csv per-class table, so sharded runs reproduce them canonically
+// through ClassModel — the same capacity-only-mirror trick, replayed at the
+// window barriers in merged dispatch order.
 //
 // Single-threaded by design: a world's sends and receives all run on the
 // simulation thread, like the mailboxes. Sharded worlds give each shard its
@@ -62,8 +64,8 @@ class PayloadPool {
   };
 
   /// What the size-classed pool actually did, per power-of-two class.
-  /// New observability — not serialised (the campaign artefact byte-contract
-  /// covers only the legacy Stats fields).
+  /// Serialised (campaign __worlds.csv per-class table): sharded runs must
+  /// produce these through ClassModel so they stay shard-count-invariant.
   struct ClassStats {
     std::size_t classBytes = 0;      ///< buffer capacity of this class
     std::uint64_t acquires = 0;      ///< requests that mapped to this class
@@ -100,6 +102,31 @@ class PayloadPool {
     std::vector<std::size_t> freeCaps_;  ///< parked capacities, LIFO back
     std::size_t outstanding_ = 0;
     Stats stats_;
+  };
+
+  /// Capacity-only mirror of the size-classed pool itself — the ClassStats
+  /// analogue of CompatModel. Fed the canonical acquire/release sequence at
+  /// the shard barriers it reproduces exactly the per-class counters the
+  /// single-queue pool produces, because the pool's behaviour depends only
+  /// on buffer capacities (always rounded to a class size) and per-class
+  /// LIFO order, both of which this model tracks.
+  class ClassModel {
+   public:
+    /// Model capacity of the acquired buffer; hand it back to release().
+    std::size_t acquire(std::size_t bytes);
+    void release(std::size_t capacity);
+    /// Mirrors PayloadPool::trimToHighWater (same keep policy and order).
+    std::size_t trimToHighWater();
+    void resetStats();
+    const std::vector<ClassStats>& classStats() const { return classStats_; }
+
+   private:
+    void ensureClass(std::size_t index);
+    std::vector<std::vector<std::size_t>> freeCaps_;  ///< by class, LIFO back
+    std::vector<ClassStats> classStats_;
+    std::size_t freeTotal_ = 0;
+    std::size_t outstanding_ = 0;
+    std::size_t liveHighWater_ = 0;
   };
 
   /// Smallest pooled class: one step above the inline capacity.

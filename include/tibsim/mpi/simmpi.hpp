@@ -12,9 +12,16 @@
 //    done;
 //  * rendezvous sends (Open-MX >= 32 KiB): RTS/CTS handshake; the sender
 //    blocks until the receiver posts a matching recv;
-//  * tag + source matching (no wildcards — deterministic by construction);
+//  * (communicator, tag, source) matching, including deterministic
+//    wildcard receives: kAnySource/kAnyTag match the first message in
+//    canonical delivery order, which the engine reconstructs identically
+//    for every --sim-shards value and both backends (communicator.hpp);
 //  * collectives built from point-to-point with the textbook algorithms
-//    (binomial bcast/reduce, dissemination barrier, ring alltoall).
+//    (binomial bcast/reduce, dissemination barrier, ring alltoall), all
+//    routed through mpi::Communicator — the world is communicator id 0.
+//
+// tibsim-lint: allowfile(wildcard-recv) — this header defines the shared
+// (comm, source, tag) matching predicate the wildcard rule guards.
 
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +34,7 @@
 
 #include "tibsim/arch/platform.hpp"
 #include "tibsim/net/fabric.hpp"
+#include "tibsim/mpi/communicator.hpp"
 #include "tibsim/mpi/payload_pool.hpp"
 #include "tibsim/mpi/trace.hpp"
 #include "tibsim/net/protocol.hpp"
@@ -97,9 +105,10 @@ struct WorldStats {
   std::uint64_t payloadPoolTrimmedBuffers = 0;  ///< freed by teardown trim
   std::uint64_t payloadPoolLiveHighWater = 0;   ///< peak buffers in use
   /// Per-size-class pool activity (power-of-two classes; index = log2 of
-  /// the class capacity, entries below the smallest class stay zero). New
-  /// observability for the size-classed pool — deliberately not part of the
-  /// serialised campaign artefacts.
+  /// the class capacity, entries below the smallest class stay zero).
+  /// Serialised into the campaign __worlds.csv per-class table, so sharded
+  /// runs produce it canonically (PayloadPool::ClassModel replayed at the
+  /// window barriers) and it is byte-identical for every --sim-shards value.
   std::vector<PayloadPool::ClassStats> payloadPoolClassStats;
 
   double achievedFlopsPerSecond() const {
@@ -132,6 +141,10 @@ class MpiContext {
   std::vector<std::byte> recv(int src, int tag,
                               std::size_t* receivedBytes = nullptr);
   std::vector<double> recvDoubles(int src, int tag);
+
+  /// The world communicator (id 0, identity rank mapping). Sub-communicators
+  /// derive from it via Communicator::split()/dup().
+  Communicator commWorld() { return Communicator(this, 0, rank_, nullptr); }
 
   /// Deadlock-free paired exchange (ordered by rank id).
   void sendrecv(int peer, int tag, std::size_t sendBytes,
@@ -193,20 +206,43 @@ class MpiContext {
 
  private:
   friend class MpiWorld;
+  friend class Communicator;
   MpiContext(MpiWorld& world, sim::Process& process, int rank, int node);
 
   struct PendingOp {
+    enum class Kind : std::uint8_t { Send, Recv, Barrier, Bcast, Allreduce };
     Request request = 0;
-    bool isRecv = false;
-    int peer = 0;
-    int tag = 0;
+    Kind kind = Kind::Send;
+    int peer = 0;  ///< world rank (or kAnySource) for Send/Recv
+    int tag = 0;   ///< or kAnyTag
+    /// Scope for Recv matching and for executing a lazy collective at
+    /// wait(). Default (null) means the world for Recv (id() == 0).
+    Communicator comm;
+    int root = 0;                   ///< Bcast root (comm-local)
+    ReduceOp op = ReduceOp::Sum;    ///< Allreduce combiner
+    std::vector<double> values;     ///< Bcast / Allreduce operand
   };
+
+  /// Mint a request id for `op` and register it. Used by isend/irecv and
+  /// by Communicator for comm-scoped and collective requests.
+  Request pushPending(PendingOp&& op) {
+    op.request = nextRequest_++;
+    pending_.push_back(std::move(op));
+    return pending_.back().request;
+  }
 
   MpiWorld& world_;
   sim::Process& process_;
   int rank_;
   int node_;
   std::uint64_t nextRequest_ = 1;
+  /// Per-rank communicator-creation counter: each split()/dup() this rank
+  /// participates in consumes one ordinal, and the new communicator's id is
+  /// derived from the *leader's* ordinal — learned through the collective
+  /// itself, never from shared state, so ids are shard- and
+  /// backend-invariant. Starts at 1: (leader 0, ordinal 0) would collide
+  /// with the world id.
+  std::uint64_t nextCommOrdinal_ = 1;
   // Flat vector, not a hash map: a rank has a handful of requests in
   // flight, and wait() usually completes them in issue order, so the linear
   // scan is cheaper than hashing and never allocates at steady state.
@@ -247,6 +283,7 @@ class MpiWorld {
 
  private:
   friend class MpiContext;
+  friend class Communicator;
 
   enum class Stage : std::uint8_t { Delivered, RtsPending, AwaitingData };
 
@@ -268,7 +305,19 @@ class MpiWorld {
     /// payload acquire with its release (kNoPoolTicket when inline or when
     /// running on the single-queue engine). See payload_pool.hpp.
     std::uint64_t poolTicket = kNoPoolTicket;
+    /// Communicator the message was sent on; part of the match key. The
+    /// world is id 0, so legacy world traffic is unchanged byte-for-byte.
+    std::uint64_t comm = 0;
   };
+
+  /// The one matching predicate, shared by doRecv's scan, deliver()'s
+  /// wake-up check and dataArrived()'s first-match fold, so all three agree
+  /// on wildcard semantics: first match in delivery order wins.
+  static bool matches(const Message& m, std::uint64_t comm, int src,
+                      int tag) {
+    return m.comm == comm && (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
 
   struct Mailbox {
     Mailbox() = default;
@@ -282,8 +331,10 @@ class MpiWorld {
     /// keeps mailbox traffic move-free, and slots stay valid across slab
     /// growth where references would not.
     std::deque<std::uint32_t> messages;
-    // A rank blocked in recv(src, tag):
+    // A rank blocked in recv(comm, src, tag); waitSrc/waitTag may be the
+    // kAnySource/kAnyTag wildcards.
     bool waiting = false;
+    std::uint64_t waitComm = 0;
     int waitSrc = 0;
     int waitTag = 0;
     sim::Process* waiter = nullptr;
@@ -399,11 +450,14 @@ class MpiWorld {
   /// Rendezvous data-arrival completion (legacy closure body, shard-safe).
   void dataArrived(int dstRank, std::uint64_t id);
 
-  void doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
-              std::span<const std::byte> payload,
+  void doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
+              std::size_t bytes, std::span<const std::byte> payload,
               bool allowRendezvous = true);
-  std::vector<std::byte> doRecv(MpiContext& ctx, int src, int tag,
-                                std::size_t* receivedBytes);
+  /// src is a world rank or kAnySource; tag may be kAnyTag. srcOut/tagOut
+  /// (if non-null) receive the matched message's world source and tag.
+  std::vector<std::byte> doRecv(MpiContext& ctx, std::uint64_t comm, int src,
+                                int tag, std::size_t* receivedBytes,
+                                int* srcOut = nullptr, int* tagOut = nullptr);
   void deliver(int dstRank, std::uint32_t slot);
   // In-flight message slab: a scheduled delivery captures [this, dst, slot]
   // (16 bytes, inline in the event closure) instead of the Message itself,
@@ -417,7 +471,8 @@ class MpiWorld {
   std::vector<std::byte> consumeSlot(int rank, std::uint32_t slot);
   void chargeCpu(int node, double seconds);
   void traceSpan(int rank, SpanKind kind, double begin, double end,
-                 int peer = -1, std::size_t bytes = 0);
+                 int peer = -1, std::size_t bytes = 0,
+                 std::uint64_t comm = 0);
 
   WorldConfig config_;
   int ranks_;
@@ -454,8 +509,18 @@ class MpiWorld {
   /// the source of the serialised pool counters on sharded runs. Persists
   /// across runs so repeat runs mirror the warm-pool behaviour of pool_.
   PayloadPool::CompatModel worldPoolCompat_;
-  /// poolTicketCaps_[shard][seq] = legacy-model capacity of that acquire.
-  std::vector<std::vector<std::size_t>> poolTicketCaps_;
+  /// Canonical size-class accounting replayed alongside worldPoolCompat_ at
+  /// the barriers: an exact capacity-only mirror of the size-classed pool
+  /// the single-queue path runs, so the serialised per-class counters are
+  /// shard-count-invariant too. Persists across runs, like pool_.
+  PayloadPool::ClassModel worldPoolClass_;
+  /// poolTicketCaps_[shard][seq] = model capacities of that acquire, handed
+  /// back to the matching release.
+  struct PoolTicketCaps {
+    std::size_t legacy = 0;   ///< CompatModel capacity
+    std::size_t classed = 0;  ///< ClassModel capacity
+  };
+  std::vector<std::vector<PoolTicketCaps>> poolTicketCaps_;
   // Virtual global-queue replay (what the single queue's size would have
   // been at each merged dispatch) for the serialised queueHighWater.
   std::uint64_t mergedQueueSize_ = 0;

@@ -10,9 +10,22 @@
 // byte-identical campaign JSON/CSV.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace tibsim::obs {
+
+/// Per-size-class payload-pool activity rolled up across worlds (the
+/// RunCounters analogue of PayloadPool::ClassStats; index = log2 of the
+/// class capacity). Serialised into the campaign __worlds.csv class table.
+struct PayloadClassCounters {
+  std::size_t classBytes = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t parked = 0;
+};
 
 struct RunCounters {
   std::uint64_t worlds = 0;  ///< simMPI worlds accounted
@@ -32,6 +45,8 @@ struct RunCounters {
   std::uint64_t payloadPoolReturns = 0;
   std::uint64_t payloadPoolTrimmedBuffers = 0;  ///< freed at teardown trims
   std::uint64_t payloadPoolLiveHighWater = 0;   ///< worst single-world peak
+  /// Per-class pool activity (grows to the largest class any world used).
+  std::vector<PayloadClassCounters> payloadPoolClasses;
 
   /// Fold another record into this one. Sums and maxes only, so the total
   /// is order-independent up to floating-point rounding; accumulate in a
@@ -53,6 +68,17 @@ struct RunCounters {
     payloadPoolTrimmedBuffers += other.payloadPoolTrimmedBuffers;
     payloadPoolLiveHighWater =
         std::max(payloadPoolLiveHighWater, other.payloadPoolLiveHighWater);
+    if (payloadPoolClasses.size() < other.payloadPoolClasses.size())
+      payloadPoolClasses.resize(other.payloadPoolClasses.size());
+    for (std::size_t c = 0; c < other.payloadPoolClasses.size(); ++c) {
+      PayloadClassCounters& mine = payloadPoolClasses[c];
+      const PayloadClassCounters& theirs = other.payloadPoolClasses[c];
+      if (mine.classBytes == 0) mine.classBytes = theirs.classBytes;
+      mine.acquires += theirs.acquires;
+      mine.reuses += theirs.reuses;
+      mine.allocations += theirs.allocations;
+      mine.parked += theirs.parked;
+    }
   }
 };
 

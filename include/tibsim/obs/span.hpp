@@ -6,6 +6,7 @@
 // mpi/trace.hpp aliases them back into tibsim::mpi for source compatibility.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace tibsim::obs {
@@ -28,6 +29,9 @@ struct TraceSpan {
   double end = 0.0;
   int peer = -1;           ///< other rank for Send/Recv, -1 otherwise
   std::size_t bytes = 0;   ///< message size for Send/Recv
+  /// Communicator the traffic ran on (0 = world); lets a timeline separate
+  /// e.g. halo traffic on a dup()ed communicator from CFL reductions.
+  std::uint64_t comm = 0;
 
   double duration() const { return end - begin; }
 };

@@ -170,4 +170,73 @@ mpi::MpiWorld::RankBody HydroBenchmark::rankBody(Params params) {
   };
 }
 
+mpi::MpiWorld::RankBody HydroBenchmark::asyncRankBody(Params params) {
+  TIB_REQUIRE(params.nx >= 64 && params.ny >= 64 && params.steps >= 1);
+  TIB_REQUIRE(params.groupSize >= 1);
+  return [params](mpi::MpiContext& ctx) {
+    const int p = ctx.size();
+    const int rank = ctx.rank();
+    mpi::Communicator world = ctx.commWorld();
+    const int groupSize = std::min(params.groupSize, p);
+    // Row groups: contiguous blocks of groupSize ranks, keyed by world rank
+    // so comm-local order matches domain order. Leaders (group rank 0) form
+    // a second communicator for the upper level of the CFL reduction.
+    const mpi::Communicator rowComm = world.split(rank / groupSize, rank);
+    const bool leader = rowComm.rank() == 0;
+    const mpi::Communicator leaders =
+        world.split(leader ? 0 : mpi::kUndefinedColor, rank);
+    // Halo traffic rides a duplicate of the world communicator: same ranks,
+    // own match domain, so the in-flight isend/irecv pairs can never collide
+    // with collective plumbing or application tags on the world.
+    const mpi::Communicator halo = world.dup();
+
+    const double rows = static_cast<double>(params.ny) / p;
+    const double nx = static_cast<double>(params.nx);
+    const auto haloBytes = static_cast<std::size_t>(nx * 4.0 * 8.0);
+    // Interior cells can be updated while the ghost rows are on the wire;
+    // the two boundary rows per side wait for the halos.
+    const double interiorFrac = rows > 4.0 ? (rows - 4.0) / rows : 0.0;
+
+    for (int step = 0; step < params.steps; ++step) {
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        const int tag = 200 + sweep;
+        std::vector<mpi::Communicator::Request> reqs;
+        if (rank > 0) {
+          reqs.push_back(halo.irecv(rank - 1, tag));
+          reqs.push_back(halo.isend(rank - 1, tag, haloBytes));
+        }
+        if (rank + 1 < p) {
+          reqs.push_back(halo.irecv(rank + 1, tag));
+          reqs.push_back(halo.isend(rank + 1, tag, haloBytes));
+        }
+        // Interior update overlaps the in-flight halos.
+        ctx.compute(WorkProfile{75.0 * nx * rows * interiorFrac,
+                                40.0 * nx * rows * interiorFrac,
+                                AccessPattern::Spatial, 0.75, 1.0, 0.06});
+        halo.waitall(reqs);
+        // Boundary rows once the ghosts are in.
+        ctx.compute(WorkProfile{75.0 * nx * rows * (1.0 - interiorFrac),
+                                40.0 * nx * rows * (1.0 - interiorFrac),
+                                AccessPattern::Spatial, 0.75, 1.0, 0.06});
+      }
+
+      // Two-level CFL reduction: row-local max to the group leader, a
+      // non-blocking allreduce across leaders, then a group broadcast.
+      const double local[1] = {1.0};
+      std::vector<double> rowMax =
+          rowComm.reduce(std::span<const double>(local, 1),
+                         mpi::ReduceOp::Max, 0);
+      double seed = 0.0;
+      if (leader) {
+        const mpi::Communicator::Request req =
+            leaders.iallreduce(rowMax, mpi::ReduceOp::Max);
+        seed = leaders.waitDoubles(req)[0];
+      }
+      std::vector<double> result(1, seed);
+      rowComm.bcast(std::move(result), 0);
+    }
+    world.barrier();
+  };
+}
+
 }  // namespace tibsim::apps

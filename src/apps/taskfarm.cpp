@@ -1,0 +1,95 @@
+#include "tibsim/apps/taskfarm.hpp"
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/rng.hpp"
+
+namespace tibsim::apps {
+
+namespace {
+constexpr int kTaskTag = 1;    ///< master -> worker: {taskId, costSeconds}
+constexpr int kResultTag = 2;  ///< worker -> master: {taskId, costSeconds}
+
+void sendTask(const mpi::Communicator& world, int worker, double taskId,
+              double costSeconds) {
+  const double msg[2] = {taskId, costSeconds};
+  world.sendDoubles(worker, kTaskTag, std::span<const double>(msg, 2));
+}
+
+void runMaster(mpi::MpiContext& ctx, const mpi::Communicator& world,
+               const TaskFarm::Params& params) {
+  const int p = world.size();
+  Rng rng(params.seed);
+  std::vector<double> costs(static_cast<std::size_t>(params.tasks));
+  for (double& c : costs)
+    c = rng.uniform(0.5 * params.meanTaskSeconds,
+                    1.5 * params.meanTaskSeconds);
+
+  std::vector<std::uint64_t> perWorker(static_cast<std::size_t>(p), 0);
+  int nextTask = 0;
+  int inFlight = 0;
+
+  // Seed every worker with one task; workers the queue cannot feed are
+  // released immediately.
+  for (int w = 1; w < p; ++w) {
+    if (nextTask < params.tasks) {
+      sendTask(world, w, static_cast<double>(nextTask),
+               costs[static_cast<std::size_t>(nextTask)]);
+      ++nextTask;
+      ++inFlight;
+    } else {
+      sendTask(world, w, -1.0, 0.0);  // poison pill
+    }
+  }
+
+  // Self-scheduling loop: the wildcard receive hands the next task to
+  // whichever worker drained first. Deterministic — the match is the first
+  // result in canonical delivery order.
+  while (inFlight > 0) {
+    int src = -1;
+    // The deterministic self-scheduling match this proxy demonstrates.
+    const std::vector<double> result = world.recvDoubles(
+        mpi::kAnySource, kResultTag, &src);  // tibsim-lint: allow(wildcard-recv)
+    TIB_REQUIRE(result.size() == 2 && src >= 1 && src < p);
+    --inFlight;
+    ++perWorker[static_cast<std::size_t>(src)];
+    if (nextTask < params.tasks) {
+      sendTask(world, src, static_cast<double>(nextTask),
+               costs[static_cast<std::size_t>(nextTask)]);
+      ++nextTask;
+      ++inFlight;
+    } else {
+      sendTask(world, src, -1.0, 0.0);
+    }
+  }
+  (void)ctx;
+  if (params.tasksPerWorkerOut != nullptr)
+    *params.tasksPerWorkerOut = std::move(perWorker);
+}
+
+void runWorker(mpi::MpiContext& ctx, const mpi::Communicator& world) {
+  while (true) {
+    const std::vector<double> task =
+        world.recvDoubles(TaskFarm::kMasterRank, kTaskTag);
+    TIB_REQUIRE(task.size() == 2);
+    if (task[0] < 0.0) break;  // poison pill: the queue is drained
+    ctx.computeSeconds(task[1]);
+    world.sendDoubles(TaskFarm::kMasterRank, kResultTag, task);
+  }
+}
+}  // namespace
+
+mpi::MpiWorld::RankBody TaskFarm::rankBody(Params params) {
+  TIB_REQUIRE(params.tasks >= 1);
+  TIB_REQUIRE(params.meanTaskSeconds > 0.0);
+  return [params](mpi::MpiContext& ctx) {
+    TIB_REQUIRE_MSG(ctx.size() >= 2,
+                    "taskfarm needs a master and at least one worker");
+    mpi::Communicator world = ctx.commWorld();
+    if (ctx.rank() == kMasterRank)
+      runMaster(ctx, world, params);
+    else
+      runWorker(ctx, world);
+  };
+}
+
+}  // namespace tibsim::apps

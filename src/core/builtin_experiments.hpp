@@ -13,6 +13,7 @@ void registerMicroKernelExperiments(ExperimentRegistry& registry);
 void registerClusterExperiments(ExperimentRegistry& registry);
 void registerNetworkExperiments(ExperimentRegistry& registry);
 void registerOpsExperiments(ExperimentRegistry& registry);
+void registerProxyExperiments(ExperimentRegistry& registry);
 
 inline void registerBuiltinExperiments(ExperimentRegistry& registry) {
   registerTrendExperiments(registry);
@@ -20,6 +21,7 @@ inline void registerBuiltinExperiments(ExperimentRegistry& registry) {
   registerClusterExperiments(registry);
   registerNetworkExperiments(registry);
   registerOpsExperiments(registry);
+  registerProxyExperiments(registry);
 }
 
 }  // namespace tibsim::core

@@ -220,6 +220,21 @@ CampaignResult runCampaign(const CampaignOptions& options,
             << run.counters.payloadPoolReturns << ','
             << run.counters.payloadPoolTrimmedBuffers << ','
             << run.counters.payloadPoolLiveHighWater << '\n';
+        // Per-size-class pool table, appended after a blank line so the
+        // first table keeps its historical byte layout. Only classes with
+        // activity are emitted (acquires or parked), keeping the artefact
+        // independent of how far any world's class vector happened to grow.
+        bool classHeader = false;
+        for (const obs::PayloadClassCounters& cls :
+             run.counters.payloadPoolClasses) {
+          if (cls.acquires == 0 && cls.parked == 0) continue;
+          if (!classHeader) {
+            csv << "\nclassBytes,acquires,reuses,allocations,parked\n";
+            classHeader = true;
+          }
+          csv << cls.classBytes << ',' << cls.acquires << ',' << cls.reuses
+              << ',' << cls.allocations << ',' << cls.parked << '\n';
+        }
         writeFile(dir / (run.name + "__worlds.csv"), csv.str());
       }
     }

@@ -1,3 +1,6 @@
+// tibsim-lint: allowfile(wildcard-recv) — this file implements the
+// wildcard matching machinery (doRecv/deliver/dataArrived) itself.
+
 #include "tibsim/mpi/simmpi.hpp"
 
 #include <algorithm>
@@ -55,7 +58,7 @@ void MpiContext::computeSeconds(double seconds) {
 
 void MpiContext::send(int dst, int tag, std::size_t bytes,
                       std::span<const std::byte> payload) {
-  world_.doSend(*this, dst, tag, bytes, payload);
+  world_.doSend(*this, /*comm=*/0, dst, tag, bytes, payload);
 }
 
 void MpiContext::sendDoubles(int dst, int tag,
@@ -66,14 +69,19 @@ void MpiContext::sendDoubles(int dst, int tag,
 
 std::vector<std::byte> MpiContext::recv(int src, int tag,
                                         std::size_t* receivedBytes) {
-  return world_.doRecv(*this, src, tag, receivedBytes);
+  return world_.doRecv(*this, /*comm=*/0, src, tag, receivedBytes);
 }
 
 std::vector<double> MpiContext::recvDoubles(int src, int tag) {
-  const std::vector<std::byte> raw = recv(src, tag);
+  std::size_t bytes = 0;
+  int actualSrc = src;
+  const std::vector<std::byte> raw =
+      world_.doRecv(*this, /*comm=*/0, src, tag, &bytes, &actualSrc);
   TIB_REQUIRE_MSG(raw.size() % sizeof(double) == 0,
-                  "recvDoubles: payload size is not a multiple of "
-                  "sizeof(double) — sender did not use sendDoubles");
+                  "recvDoubles: " + std::to_string(raw.size()) +
+                      "-byte payload from rank " + std::to_string(actualSrc) +
+                      " is not a multiple of sizeof(double) — the sender "
+                      "did not use sendDoubles");
   std::vector<double> values(raw.size() / sizeof(double));
   if (!values.empty())
     std::memcpy(values.data(), raw.data(), values.size() * sizeof(double));
@@ -84,28 +92,61 @@ MpiContext::Request MpiContext::isend(int dst, int tag, std::size_t bytes,
                                       std::span<const std::byte> payload) {
   // Eager buffered send: costs are charged now, delivery proceeds in the
   // background; rendezvous is suppressed so the caller never blocks.
-  world_.doSend(*this, dst, tag, bytes, payload, /*allowRendezvous=*/false);
-  const Request request = nextRequest_++;
-  pending_.push_back(PendingOp{request, false, dst, tag});
-  return request;
+  world_.doSend(*this, /*comm=*/0, dst, tag, bytes, payload,
+                /*allowRendezvous=*/false);
+  PendingOp op;
+  op.kind = PendingOp::Kind::Send;
+  op.peer = dst;
+  op.tag = tag;
+  return pushPending(std::move(op));
 }
 
 MpiContext::Request MpiContext::irecv(int src, int tag) {
-  const Request request = nextRequest_++;
-  pending_.push_back(PendingOp{request, true, src, tag});
-  return request;
+  PendingOp op;
+  op.kind = PendingOp::Kind::Recv;
+  op.peer = src;
+  op.tag = tag;
+  return pushPending(std::move(op));
 }
+
+namespace {
+std::vector<std::byte> doublesToBytes(std::span<const double> values,
+                                      std::size_t* receivedBytes) {
+  std::vector<std::byte> raw(values.size_bytes());
+  if (!raw.empty()) std::memcpy(raw.data(), values.data(), raw.size());
+  if (receivedBytes != nullptr) *receivedBytes = raw.size();
+  return raw;
+}
+}  // namespace
 
 std::vector<std::byte> MpiContext::wait(Request request,
                                         std::size_t* receivedBytes) {
   auto it = pending_.begin();
   while (it != pending_.end() && it->request != request) ++it;
   TIB_REQUIRE_MSG(it != pending_.end(), "unknown or already-waited request");
-  const PendingOp op = *it;
-  *it = pending_.back();
+  PendingOp op = std::move(*it);
+  *it = std::move(pending_.back());
   pending_.pop_back();
-  if (!op.isRecv) return {};  // isend completed at initiation
-  return world_.doRecv(*this, op.peer, op.tag, receivedBytes);
+  switch (op.kind) {
+    case PendingOp::Kind::Send:
+      return {};  // isend completed at initiation
+    case PendingOp::Kind::Recv:
+      // op.comm is the null communicator for a legacy world irecv; its id()
+      // is 0 either way, which is all the match needs.
+      return world_.doRecv(*this, op.comm.id(), op.peer, op.tag,
+                           receivedBytes);
+    case PendingOp::Kind::Barrier:
+      op.comm.barrier();
+      if (receivedBytes != nullptr) *receivedBytes = 0;
+      return {};
+    case PendingOp::Kind::Bcast:
+      return doublesToBytes(op.comm.bcast(std::move(op.values), op.root),
+                            receivedBytes);
+    case PendingOp::Kind::Allreduce:
+      return doublesToBytes(op.comm.allreduce(op.values, op.op),
+                            receivedBytes);
+  }
+  return {};
 }
 
 void MpiContext::waitall(std::span<const Request> requests) {
@@ -155,17 +196,17 @@ void MpiWorld::chargeCpu(int node, double seconds) {
 }
 
 void MpiWorld::traceSpan(int rank, SpanKind kind, double begin, double end,
-                         int peer, std::size_t bytes) {
+                         int peer, std::size_t bytes, std::uint64_t comm) {
   if (!tracing_) return;
   if (!sharded_) {
-    tracer_.record(TraceSpan{rank, kind, begin, end, peer, bytes});
+    tracer_.record(TraceSpan{rank, kind, begin, end, peer, bytes, comm});
     return;
   }
   // Span order (and the sink's capacity evolution) is serialised, so spans
   // buffer per shard and flush at the barrier in canonical dispatch order.
   Engine& eng = engineOf(rank);
   eng.spans.push_back(PendingSpan{TraceSpan{rank, kind, begin, end, peer,
-                                            bytes},
+                                            bytes, comm},
                                   eng.sim->currentDispatchIndex()});
 }
 
@@ -187,8 +228,8 @@ void MpiWorld::foldCompute(int rank, double flops, double dramBytes) {
   eng.ops.push_back(std::move(op));
 }
 
-void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
-                      std::span<const std::byte> payload,
+void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
+                      std::size_t bytes, std::span<const std::byte> payload,
                       bool allowRendezvous) {
   TIB_REQUIRE(dst >= 0 && dst < ranks_);
   TIB_REQUIRE(dst != ctx.rank());
@@ -235,10 +276,11 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
     chargeCpu(srcNode, side);
     ctx.process_.delay(side);
     traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst,
-              bytes);
+              bytes, comm);
     Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
                 side, nullptr, nextLocalMessageId(eng)};
     msg.poolTicket = poolTicket;
+    msg.comm = comm;
     const std::uint32_t slot = stashFor(dst, std::move(msg));
     sim.scheduleIn(0.2e-6, [this, dst, slot] { deliver(dst, slot); });
     return;
@@ -252,12 +294,13 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
     chargeCpu(srcNode, costs.senderSeconds);
     ctx.process_.delay(costs.senderSeconds);
     traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst,
-              bytes);
+              bytes, comm);
     const double wireBytes =
         costs.wireSeconds * platform().nicLinkRateBytesPerS;
     Message msg{ctx.rank(), tag, bytes, std::move(copy), Stage::Delivered,
                 costs.receiverSeconds, nullptr, nextLocalMessageId(eng)};
     msg.poolTicket = poolTicket;
+    msg.comm = comm;
     if (eng == nullptr) {
       const double arrival =
           fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim.now());
@@ -289,6 +332,7 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
               Stage::RtsPending,   costs.receiverSeconds,
               &ctx.process_,       id};
   msg.poolTicket = poolTicket;
+  msg.comm = comm;
   if (eng == nullptr) {
     const double rtsArrival =
         fabric_->scheduleWire(srcNode, dstNode, 84.0, sim.now());
@@ -311,7 +355,8 @@ void MpiWorld::doSend(MpiContext& ctx, int dst, int tag, std::size_t bytes,
   chargeCpu(srcNode, costs.senderSeconds);
   ctx.process_.delay(costs.senderSeconds);
   const double wireBytes = costs.wireSeconds * platform().nicLinkRateBytesPerS;
-  traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst, bytes);
+  traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst, bytes,
+            comm);
   if (eng == nullptr) {
     const double dataArrival =
         fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim.now());
@@ -347,7 +392,7 @@ void MpiWorld::dataArrived(int dstRank, std::uint64_t id) {
   Message* firstMatch = nullptr;
   for (const std::uint32_t s : box.messages) {
     Message& m = messageAt(dstRank, s);
-    if (m.src == box.waitSrc && m.tag == box.waitTag) {
+    if (matches(m, box.waitComm, box.waitSrc, box.waitTag)) {
       firstMatch = &m;
       break;
     }
@@ -416,7 +461,7 @@ void MpiWorld::deliver(int dstRank, std::uint32_t slot) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
   box.messages.push_back(slot);
   Message& msg = messageAt(dstRank, slot);
-  if (box.waiting && msg.src == box.waitSrc && msg.tag == box.waitTag) {
+  if (box.waiting && matches(msg, box.waitComm, box.waitSrc, box.waitTag)) {
     box.waiting = false;
     if (msg.stage == Stage::Delivered) {
       // The receiver is already blocked on exactly this message, so the
@@ -433,10 +478,13 @@ void MpiWorld::deliver(int dstRank, std::uint32_t slot) {
   }
 }
 
-std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
-                                        std::size_t* receivedBytes) {
-  TIB_REQUIRE(src >= 0 && src < ranks_);
+std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
+                                        int src, int tag,
+                                        std::size_t* receivedBytes,
+                                        int* srcOut, int* tagOut) {
+  TIB_REQUIRE(src == kAnySource || (src >= 0 && src < ranks_));
   TIB_REQUIRE(src != ctx.rank());
+  TIB_REQUIRE(tag == kAnyTag || tag >= 0);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(ctx.rank())];
   sim::Simulation& sim = simFor(ctx.rank());
   const double recvEntry = sim.now();
@@ -445,7 +493,14 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       const std::uint32_t slot = *it;
       Message& m = messageAt(ctx.rank(), slot);
-      if (m.src != src || m.tag != tag) continue;
+      // Wildcards resolve here: the first match in mailbox order is the
+      // canonical choice (delivery order is already shard- and
+      // backend-invariant), so kAnySource/kAnyTag stay deterministic.
+      if (!matches(m, comm, src, tag)) continue;
+      const int msgSrc = m.src;
+      const int msgTag = m.tag;
+      if (srcOut != nullptr) *srcOut = msgSrc;
+      if (tagOut != nullptr) *tagOut = msgTag;
       if (m.stage == Stage::Delivered) {
         if (m.receiverCharged) {
           // Delivery already charged receiverCost and folded it into the
@@ -455,9 +510,10 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
           // blocked elsewhere).
           const double cpuBegin =
               std::max(recvEntry, sim.now() - m.receiverCost);
-          traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, cpuBegin, src);
-          traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), src,
-                    m.bytes);
+          traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, cpuBegin, msgSrc,
+                    0, comm);
+          traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), msgSrc,
+                    m.bytes, comm);
           if (receivedBytes != nullptr) *receivedBytes = m.bytes;
           box.messages.erase(it);
           return consumeSlot(ctx.rank(), slot);
@@ -468,17 +524,19 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
         const double cost = m.receiverCost;
         const std::size_t bytes = m.bytes;
         box.messages.erase(it);
-        traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim.now(), src);
+        traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim.now(), msgSrc,
+                  0, comm);
         const double cpuBegin = sim.now();
         chargeCpu(ctx.node(), cost);
         ctx.process_.delay(cost);
-        traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), src,
-                  bytes);
+        traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), msgSrc,
+                  bytes, comm);
         if (receivedBytes != nullptr) *receivedBytes = bytes;
         return consumeSlot(ctx.rank(), slot);
       }
       if (m.stage == Stage::RtsPending) {
         // Matched a rendezvous request: return a CTS and wait for the data.
+        // msgSrc (not the possibly-wildcard src) names the sender.
         m.stage = Stage::AwaitingData;
         sim::Process* sender = m.sender;  // before delay(): the yield may
                                           // grow the slab and move Messages
@@ -487,7 +545,7 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
         ctx.process_.delay(cts.senderSeconds);
         if (!sharded_) {
           const double ctsArrival = fabric_->scheduleWire(
-              ctx.node(), nodeOfRank(src), 84.0, sim.now());
+              ctx.node(), nodeOfRank(msgSrc), 84.0, sim.now());
           sim.scheduleAt(ctsArrival, [this, sender] {
             sim_->resume(*sender);
           });
@@ -498,9 +556,9 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
           DeferredOp op;
           op.kind = DeferredOp::Kind::CtsResume;
           op.fromNode = ctx.node();
-          op.toNode = nodeOfRank(src);
+          op.toNode = nodeOfRank(msgSrc);
           op.wireBytes = 84.0;
-          op.targetShard = shardOfRank(src);
+          op.targetShard = shardOfRank(msgSrc);
           op.sender = sender;
           submitWireOp(eng, std::move(op));
         }
@@ -510,6 +568,7 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, int src, int tag,
       break;
     }
     box.waiting = true;
+    box.waitComm = comm;
     box.waitSrc = src;
     box.waitTag = tag;
     box.waiter = &ctx.process_;

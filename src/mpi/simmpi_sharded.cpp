@@ -108,15 +108,19 @@ void MpiWorld::executeOp(DeferredOp& op, std::uint64_t g) {
     case DeferredOp::Kind::PoolAcquire: {
       auto& caps = poolTicketCaps_[static_cast<std::size_t>(op.id >> 32)];
       const std::size_t seq = static_cast<std::size_t>(op.id & 0xffffffffu);
-      if (seq >= caps.size()) caps.resize(seq + 1, 0);
-      caps[seq] = worldPoolCompat_.acquire(op.bytes);
+      if (seq >= caps.size()) caps.resize(seq + 1);
+      caps[seq].legacy = worldPoolCompat_.acquire(op.bytes);
+      caps[seq].classed = worldPoolClass_.acquire(op.bytes);
       break;
     }
-    case DeferredOp::Kind::PoolRelease:
-      worldPoolCompat_.release(
+    case DeferredOp::Kind::PoolRelease: {
+      const PoolTicketCaps& caps =
           poolTicketCaps_[static_cast<std::size_t>(op.id >> 32)]
-                         [static_cast<std::size_t>(op.id & 0xffffffffu)]);
+                         [static_cast<std::size_t>(op.id & 0xffffffffu)];
+      worldPoolCompat_.release(caps.legacy);
+      worldPoolClass_.release(caps.classed);
       break;
+    }
   }
 }
 
@@ -230,6 +234,7 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
   }
   for (PayloadPool& pool : shardPools_) pool.resetStats();
   worldPoolCompat_.resetStats();
+  worldPoolClass_.resetStats();
   poolTicketCaps_.assign(static_cast<std::size_t>(shards), {});
 
   stats_ = WorldStats{};
@@ -377,32 +382,26 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
   stats_.traceMemoryBytes = tracer_.memoryBytes();
 
   // World-teardown checkpoint, mirroring the single-queue path: trim the
-  // real per-shard pools, trim the canonical compat model, and serialise
-  // the compat counters (plus order-free per-shard sums).
+  // real per-shard pools, trim the canonical models, and serialise the
+  // canonical counters (plus order-free per-shard sums). The per-class
+  // table comes from worldPoolClass_ — the canonical replay — NOT from
+  // summing the per-shard pools, whose donor choices are shard-order-local
+  // and would make the serialised table depend on the shard count.
   for (std::size_t s = 0; s < static_cast<std::size_t>(shards); ++s)
     shardPools_[s].trimToHighWater();
   worldPoolCompat_.trimToHighWater();
+  worldPoolClass_.trimToHighWater();
   const PayloadPool::Stats& poolStats = worldPoolCompat_.stats();
   stats_.payloadPoolReuses = poolStats.reuses;
   stats_.payloadPoolAllocations = poolStats.allocations;
   stats_.payloadPoolReturns = poolStats.returns;
   stats_.payloadPoolTrimmedBuffers = poolStats.trimmedBuffers;
   stats_.payloadPoolLiveHighWater = poolStats.liveHighWater;
+  stats_.payloadPoolClassStats = worldPoolClass_.classStats();
   for (std::size_t s = 0; s < static_cast<std::size_t>(shards); ++s) {
     const PayloadPool::Stats& ps = shardPools_[s].stats();
     stats_.payloadInlineMessages += ps.inlineMessages;
     stats_.payloadPooledMessages += ps.pooledMessages;
-    const auto& classStats = shardPools_[s].classStats();
-    if (stats_.payloadPoolClassStats.size() < classStats.size())
-      stats_.payloadPoolClassStats.resize(classStats.size());
-    for (std::size_t c = 0; c < classStats.size(); ++c) {
-      PayloadPool::ClassStats& out = stats_.payloadPoolClassStats[c];
-      out.classBytes = classStats[c].classBytes;
-      out.acquires += classStats[c].acquires;
-      out.reuses += classStats[c].reuses;
-      out.allocations += classStats[c].allocations;
-      out.parked += classStats[c].parked;
-    }
   }
 
   for (sim::Process* p : processes) {

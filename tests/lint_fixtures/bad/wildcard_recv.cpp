@@ -1,0 +1,7 @@
+// Fixture: an unannotated wildcard receive in a sim path (linted as
+// src/apps/...) must fire — the reviewer never signed off on the race.
+#include <vector>
+
+std::vector<double> drain(int tag) {
+  return world.recvDoubles(mpi::kAnySource, tag);
+}

@@ -1,0 +1,11 @@
+// Fixture: the waived wildcard (a deliberate self-scheduling master) and
+// an explicit (source, tag) receive are both fine; the constant's name in
+// a comment (kAnySource) never fires because comments are stripped.
+#include <vector>
+
+std::vector<double> next(int worker, int tag) {
+  std::vector<double> stolen = world.recvDoubles(
+      mpi::kAnySource, tag);  // tibsim-lint: allow(wildcard-recv)
+  (void)stolen;
+  return world.recvDoubles(worker, tag);
+}

@@ -93,6 +93,8 @@ const FixtureCase kFixtureCases[] = {
      "good/mpi_contract.cpp", "src/apps/fixture.cpp"},
     {"shard-shared", "bad/shard_shared.cpp", "src/net/fixture.cpp", 4,
      "good/shard_shared.cpp", "src/net/fixture.cpp"},
+    {"wildcard-recv", "bad/wildcard_recv.cpp", "src/apps/fixture.cpp", 6,
+     "good/wildcard_recv.cpp", "src/apps/fixture.cpp"},
 };
 
 TEST(LintFixtures, EveryRuleFiresOnItsBadFixture) {

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <numeric>
+#include <string>
 #include <tuple>
+#include <utility>
 
+#include "tibsim/apps/taskfarm.hpp"
 #include "tibsim/arch/registry.hpp"
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/units.hpp"
@@ -789,6 +793,289 @@ TEST_P(SimMpiTest, SteadyStatePooledSendsStopAllocating) {
   // everything after that is reuse.
   EXPECT_LE(stats.payloadPoolAllocations, 4u);
   EXPECT_GE(stats.payloadPoolReuses, 2u * kReps - 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Communicators: wildcard matching, split/dup, reductions, non-blocking
+// collectives, and the task-farm proxy built on them.
+// ---------------------------------------------------------------------------
+
+class SimMpiCommunicatorTest : public SimMpiTest {};
+TIBSIM_INSTANTIATE_BACKENDS(SimMpiCommunicatorTest);
+
+TEST_P(SimMpiCommunicatorTest, WorldCommunicatorIsIdentity) {
+  MpiWorld world(testConfig(), 4);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    EXPECT_TRUE(comm.isWorld());
+    EXPECT_EQ(comm.id(), 0u);
+    EXPECT_EQ(comm.rank(), ctx.rank());
+    EXPECT_EQ(comm.size(), ctx.size());
+    for (int r = 0; r < ctx.size(); ++r) {
+      EXPECT_EQ(comm.worldRank(r), r);
+      EXPECT_EQ(comm.commRankOf(r), r);
+    }
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, WildcardRecvReportsSourceAndTag) {
+  MpiWorld world(testConfig(), 2);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    if (ctx.rank() == 0) {
+      comm.sendDoubles(1, 17, std::vector<double>{3.5});
+    } else {
+      int src = -2;
+      int tag = -2;
+      const auto bytes =  // tibsim-lint: allow(wildcard-recv)
+          comm.recv(kAnySource, kAnyTag, nullptr, &src, &tag);
+      EXPECT_EQ(src, 0);
+      EXPECT_EQ(tag, 17);
+      EXPECT_EQ(bytes.size(), sizeof(double));
+    }
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, WildcardRecvIsDeterministicAcrossShards) {
+  // Four senders race into one wildcard receiver; the matched (src, tag)
+  // sequence must be identical for every shard count (and both backends,
+  // via the suite parameter). Tiny leaf switches force real sharding.
+  auto sequence = [](int shards) {
+    WorldConfig cfg = testConfig();
+    cfg.topology.nodesPerLeafSwitch = 2;
+    cfg.simShards = shards;
+    MpiWorld world(cfg, 5);
+    std::vector<std::pair<int, int>> matched;
+    world.run([&](MpiContext& ctx) {
+      const Communicator comm = ctx.commWorld();
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < 4; ++i) {
+          int src = -1;
+          const std::vector<double> v =  // tibsim-lint: allow(wildcard-recv)
+              comm.recvDoubles(kAnySource, 100, &src);
+          ASSERT_EQ(v.size(), 1u);
+          EXPECT_EQ(v[0], static_cast<double>(src));
+          matched.emplace_back(src, 100);
+        }
+      } else {
+        ctx.computeSeconds(1e-6 * (ctx.rank() % 3));
+        comm.sendDoubles(0, 100,
+                         std::vector<double>{static_cast<double>(ctx.rank())});
+      }
+    });
+    return matched;
+  };
+  const auto base = sequence(1);
+  ASSERT_EQ(base.size(), 4u);
+  EXPECT_EQ(sequence(2), base);
+  EXPECT_EQ(sequence(4), base);
+  EXPECT_EQ(sequence(1), base);  // rerun stability
+}
+
+TEST_P(SimMpiCommunicatorTest, SplitOrdersMembersByKeyThenWorldRank) {
+  MpiWorld world(testConfig(), 6);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    // Even/odd halves, keyed by descending world rank: comm-local order
+    // inside each colour is reversed relative to world order.
+    const Communicator half = comm.split(ctx.rank() % 2, -ctx.rank());
+    ASSERT_FALSE(half.isNull());
+    EXPECT_EQ(half.size(), 3);
+    const std::vector<int> evens = {4, 2, 0};
+    const std::vector<int> odds = {5, 3, 1};
+    const auto& members = ctx.rank() % 2 == 0 ? evens : odds;
+    for (int r = 0; r < 3; ++r) EXPECT_EQ(half.worldRank(r), members[r]);
+    EXPECT_EQ(half.worldRank(half.rank()), ctx.rank());
+    // Traffic stays comm-local even with clashing tags: neighbours in the
+    // ring exchange on the same tag the world also uses elsewhere.
+    const int peer = (half.rank() + 1) % half.size();
+    const int from = (half.rank() + 2) % half.size();
+    half.sendDoubles(peer, 5,
+                     std::vector<double>{static_cast<double>(half.rank())});
+    const std::vector<double> got = half.recvDoubles(from, 5);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], static_cast<double>(from));
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, SplitUndefinedColorYieldsNull) {
+  MpiWorld world(testConfig(), 4);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    const Communicator leaders =
+        comm.split(ctx.rank() == 0 ? 0 : kUndefinedColor, ctx.rank());
+    if (ctx.rank() == 0) {
+      ASSERT_FALSE(leaders.isNull());
+      EXPECT_EQ(leaders.size(), 1);
+      EXPECT_EQ(leaders.rank(), 0);
+    } else {
+      EXPECT_TRUE(leaders.isNull());
+    }
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, SplitMintsDistinctDeterministicIds) {
+  auto ids = [this] {
+    MpiWorld world(testConfig(), 4);
+    std::vector<std::uint64_t> out;
+    world.run([&](MpiContext& ctx) {
+      const Communicator comm = ctx.commWorld();
+      const Communicator a = comm.split(ctx.rank() % 2, ctx.rank());
+      const Communicator b = comm.split(0, ctx.rank());
+      if (ctx.rank() == 0) out = {a.id(), b.id()};
+    });
+    return out;
+  };
+  const auto first = ids();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_NE(first[0], 0u);
+  EXPECT_NE(first[1], 0u);
+  EXPECT_NE(first[0], first[1]);
+  EXPECT_EQ(ids(), first);
+}
+
+TEST_P(SimMpiCommunicatorTest, DupIsolatesTrafficFromParent) {
+  MpiWorld world(testConfig(), 2);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    const Communicator clone = comm.dup();
+    EXPECT_NE(clone.id(), comm.id());
+    EXPECT_EQ(clone.size(), comm.size());
+    if (ctx.rank() == 0) {
+      // Same destination, same tag, two communicators — delivery order
+      // would cross-match them if matching ignored the communicator.
+      comm.sendDoubles(1, 9, std::vector<double>{1.0});
+      clone.sendDoubles(1, 9, std::vector<double>{2.0});
+    } else {
+      const std::vector<double> onClone = clone.recvDoubles(0, 9);
+      const std::vector<double> onWorld = comm.recvDoubles(0, 9);
+      ASSERT_EQ(onClone.size(), 1u);
+      ASSERT_EQ(onWorld.size(), 1u);
+      EXPECT_EQ(onClone[0], 2.0);
+      EXPECT_EQ(onWorld[0], 1.0);
+    }
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, ReduceOpsMatchExpectedValues) {
+  MpiWorld world(testConfig(), 4);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    const double mine = static_cast<double>(ctx.rank() + 1);  // 1..4
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::Sum), 10.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::Min), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::Max), 4.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(mine, ReduceOp::Prod), 24.0);
+    const double values[2] = {mine, -mine};
+    const std::vector<double> atRoot =
+        comm.reduce(std::span<const double>(values, 2), ReduceOp::Max, 2);
+    if (ctx.rank() == 2) {
+      ASSERT_EQ(atRoot.size(), 2u);
+      EXPECT_DOUBLE_EQ(atRoot[0], 4.0);
+      EXPECT_DOUBLE_EQ(atRoot[1], -1.0);
+    } else {
+      EXPECT_TRUE(atRoot.empty());
+    }
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, ReduceAcceptsUserCombineFn) {
+  MpiWorld world(testConfig(), 4);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    const double mine[1] = {static_cast<double>(ctx.rank() + 1)};
+    // Commutative-associative user combiner: max of squares.
+    const std::vector<double> got = comm.reduce(
+        std::span<const double>(mine, 1),
+        [](double a, double b) { return a * a > b * b ? a : b; }, 0);
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_DOUBLE_EQ(got[0], 4.0);
+    }
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, NonblockingCollectivesCompleteAtWait) {
+  MpiWorld world(testConfig(), 4);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    const Communicator::Request barrier = comm.ibarrier();
+    comm.wait(barrier);
+
+    std::vector<double> payload;
+    if (ctx.rank() == 1) payload = {2.5, -0.5};
+    const Communicator::Request bcast = comm.ibcast(std::move(payload), 1);
+    const std::vector<double> fromRoot = comm.waitDoubles(bcast);
+    EXPECT_EQ(fromRoot, (std::vector<double>{2.5, -0.5}));
+
+    const double mine[1] = {static_cast<double>(ctx.rank() + 1)};
+    const Communicator::Request sum =
+        comm.iallreduce(std::span<const double>(mine, 1), ReduceOp::Sum);
+    const std::vector<double> total = comm.waitDoubles(sum);
+    ASSERT_EQ(total.size(), 1u);
+    EXPECT_DOUBLE_EQ(total[0], 10.0);
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, CollectivesRunOnSplitCommunicators) {
+  MpiWorld world(testConfig(), 6);
+  world.run([](MpiContext& ctx) {
+    const Communicator comm = ctx.commWorld();
+    const Communicator half = comm.split(ctx.rank() % 2, ctx.rank());
+    half.barrier();
+    const std::vector<double> all =
+        half.allgather(static_cast<double>(ctx.rank()));
+    ASSERT_EQ(all.size(), 3u);
+    // Members in comm-local order are world ranks parity, parity+2, ...
+    for (int r = 0; r < 3; ++r)
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)],
+                       static_cast<double>(2 * r + ctx.rank() % 2));
+    EXPECT_DOUBLE_EQ(half.allreduce(1.0, ReduceOp::Sum), 3.0);
+  });
+}
+
+TEST_P(SimMpiCommunicatorTest, RecvDoublesReportsByteCountAndSource) {
+  MpiWorld world(testConfig(), 2);
+  try {
+    world.run([](MpiContext& ctx) {
+      if (ctx.rank() == 0) {
+        const std::vector<std::byte> raw(12, std::byte{0});
+        ctx.send(1, 3, raw.size(), raw);
+      } else {
+        ctx.recvDoubles(0, 3);
+      }
+    });
+    FAIL() << "recvDoubles accepted a 12-byte payload";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("12-byte payload"), std::string::npos) << what;
+    EXPECT_NE(what.find("from rank 0"), std::string::npos) << what;
+  }
+}
+
+TEST_P(SimMpiCommunicatorTest, TaskFarmDistributesEveryTaskDeterministically) {
+  auto distribution = [](int shards) {
+    WorldConfig cfg = testConfig();
+    cfg.topology.nodesPerLeafSwitch = 2;
+    cfg.simShards = shards;
+    MpiWorld world(cfg, 9);
+    apps::TaskFarm::Params params;
+    params.tasks = 40;
+    std::vector<std::uint64_t> perWorker;
+    params.tasksPerWorkerOut = &perWorker;
+    world.run(apps::TaskFarm::rankBody(params));
+    return perWorker;
+  };
+  const std::vector<std::uint64_t> base = distribution(1);
+  ASSERT_EQ(base.size(), 9u);
+  EXPECT_EQ(base[0], 0u);  // the master serves, it does not compute
+  std::uint64_t total = 0;
+  for (std::uint64_t n : base) total += n;
+  EXPECT_EQ(total, 40u);
+  for (std::size_t w = 1; w < base.size(); ++w)
+    EXPECT_GE(base[w], 1u) << "worker " << w << " starved";
+  EXPECT_EQ(distribution(2), base);
+  EXPECT_EQ(distribution(4), base);
 }
 
 TEST_P(SimMpiTest, DeterministicAcrossRuns) {

@@ -394,6 +394,36 @@ TEST(Campaign, ShardedJsonIsByteIdenticalAcrossSimBackends) {
   EXPECT_EQ(fiber.runs[0].json, thread.runs[0].json);
 }
 
+TEST(Campaign, TaskFarmJsonIsByteIdenticalAcrossShardsAndBackends) {
+  // The wildcard-receive acceptance bar: the task farm's self-scheduling
+  // master matches kAnySource results at up to 2,048 ranks, and the full
+  // artefact (including the per-worker distribution the tables derive
+  // from) must not depend on the shard count or the execution backend.
+  const auto one = shardedCampaign(1, "fiber", "taskfarm");
+  const auto two = shardedCampaign(2, "fiber", "taskfarm");
+  const auto eight = shardedCampaign(8, "fiber", "taskfarm");
+  const auto thread = shardedCampaign(8, "thread", "taskfarm");
+  ASSERT_EQ(one.runs.size(), 1u);
+  EXPECT_FALSE(one.runs[0].json.empty());
+  EXPECT_EQ(one.runs[0].json, two.runs[0].json);
+  EXPECT_EQ(one.runs[0].json, eight.runs[0].json);
+  EXPECT_EQ(one.runs[0].json, thread.runs[0].json);
+  EXPECT_EQ(one.runs[0].engine.peakLiveProcesses, 2048u);
+}
+
+TEST(Campaign, HydroAsyncJsonIsByteIdenticalAcrossShardsAndBackends) {
+  // comm.split()/dup() and the non-blocking collectives cross the shard
+  // boundary here: communicator ids are minted from traffic, so every
+  // shard count and backend must serialise identical bytes.
+  const auto one = shardedCampaign(1, "fiber", "hydro_async");
+  const auto eight = shardedCampaign(8, "fiber", "hydro_async");
+  const auto thread = shardedCampaign(8, "thread", "hydro_async");
+  ASSERT_EQ(one.runs.size(), 1u);
+  EXPECT_FALSE(one.runs[0].json.empty());
+  EXPECT_EQ(one.runs[0].json, eight.runs[0].json);
+  EXPECT_EQ(one.runs[0].json, thread.runs[0].json);
+}
+
 TEST(Campaign, EngineStatsLandInResultDocument) {
   const auto campaign = backendCampaign("fiber", "imb_suite");
   const json::Value doc = json::Value::parse(campaign.runs[0].json);

@@ -463,9 +463,27 @@ void checkMpiContract(const FileContext& ctx, const Rule& rule,
   }
 }
 
+void checkWildcardRecv(const FileContext& ctx, const Rule& rule,
+                       std::vector<Finding>& out) {
+  if (!ctx.isSimPath) return;
+  static const std::regex kWildcard("\\bkAny(?:Source|Tag)\\b");
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    if (!std::regex_search(ctx.code[i], kWildcard)) continue;
+    emit(ctx, i, rule,
+         "wildcard receive (kAnySource/kAnyTag) in simulation code: the "
+         "match is deterministic only because it follows canonical mailbox "
+         "delivery order, and casual wildcards make message races "
+         "invisible in review",
+         "prefer an explicit (source, tag) pair; a deliberate wildcard "
+         "(self-scheduling masters, drain loops) is waived with "
+         "// tibsim-lint: allow(wildcard-recv)",
+         out);
+  }
+}
+
 // Order is the report order; registry-docs is appended by rules() (it is a
 // tree-level rule with no per-file checker).
-constexpr std::array<Rule, 10> kSourceRules = {{
+constexpr std::array<Rule, 11> kSourceRules = {{
     {"wall-clock",
      "no wall-clock reads (steady_clock/system_clock/time()) outside "
      "annotated host-side measurement",
@@ -509,16 +527,22 @@ constexpr std::array<Rule, 10> kSourceRules = {{
      "per-subtree shards replay cross-shard effects through the channel "
      "to stay byte-identical; raw pushes and cross-shard mutable state "
      "break the canonical order (and race on multi-core gangs)"},
+    {"wildcard-recv",
+     "wildcard receives (kAnySource/kAnyTag) in sim paths carry an "
+     "explicit waiver",
+     "a wildcard match is only deterministic through the engine's "
+     "canonical delivery order; each use must be a reviewed, deliberate "
+     "choice — unannotated wildcards hide message races"},
 }};
 
 constexpr std::array<void (*)(const FileContext&, const Rule&,
                               std::vector<Finding>&),
-                     10>
+                     11>
     kCheckers = {{checkWallClock, checkRandomSource, checkUnorderedIteration,
                   checkPointerKeyedContainer, checkFiberBlocking,
                   checkThreadLocal, checkPragmaOnce,
                   checkUsingNamespaceHeader, checkMpiContract,
-                  checkShardShared}};
+                  checkShardShared, checkWildcardRecv}};
 
 bool ruleSelected(const Options& options, const char* id) {
   if (options.onlyRules.empty()) return true;
