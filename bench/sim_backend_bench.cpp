@@ -21,6 +21,7 @@
 // waived for the whole file rather than per call site.
 // tibsim-lint: allowfile(wall-clock)
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +30,7 @@
 
 #include "tibsim/common/json.hpp"
 #include "tibsim/mpi/simmpi.hpp"
+#include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/execution_context.hpp"
 #include "tibsim/sim/simulation.hpp"
 
@@ -81,6 +83,40 @@ Probe pingPongProbe(ExecBackend backend, int repetitions,
           } else {
             ctx.recv(0, 7);
             ctx.send(0, 8, bytes, payload);
+          }
+        }
+      });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {seconds, stats.engine.contextSwitches, repetitions};
+}
+
+/// The size-only ping-pong with the observability layers dialled through
+/// their settings: span tracing off / aggregate / sampled / full, and the
+/// per-link fabric telemetry on or off. The delta against the plain
+/// size-only probe is the tax each recording mode puts on every simulated
+/// message — the number that justifies leaving aggregate tracing and link
+/// telemetry on for campaign runs.
+Probe observedPingPongProbe(ExecBackend backend, int repetitions,
+                            const tibsim::obs::TraceMode* traceMode,
+                            bool linkTelemetry) {
+  tibsim::mpi::WorldConfig cfg = tibsim::mpi::WorldConfig::tibidaboNode();
+  cfg.simBackend = backend;
+  cfg.linkTelemetry = linkTelemetry;
+  if (traceMode) cfg.traceMode = *traceMode;
+  tibsim::mpi::MpiWorld world(cfg, 2);
+  if (traceMode) world.enableTracing();
+  const auto start = std::chrono::steady_clock::now();
+  const tibsim::mpi::WorldStats stats =
+      world.run([repetitions](tibsim::mpi::MpiContext& ctx) {
+        for (int i = 0; i < repetitions; ++i) {
+          if (ctx.rank() == 0) {
+            ctx.send(1, 7, 64);
+            ctx.recv(1, 8);
+          } else {
+            ctx.recv(0, 7);
+            ctx.send(0, 8, 64);
           }
         }
       });
@@ -212,6 +248,60 @@ int main(int argc, char** argv) {
   const Probe iarThread =
       iallreduceProbe(ExecBackend::Thread, kIallreduceReps);
   report("iallreduce 8 ranks", iarFiber, iarThread);
+
+  // Observability tax: the same size-only ping-pong with the recording
+  // layers dialled up one at a time (fiber backend only — the thread
+  // backend's kernel wake-ups drown the deltas). Baseline is everything
+  // off; campaign defaults are link telemetry on, tracing off. Best-of-3
+  // because the deltas are within single-run scheduler jitter.
+  using tibsim::obs::TraceMode;
+  constexpr int kObsRuns = 7;
+  constexpr int kObsReps = 100000;
+  constexpr TraceMode kAggregate = TraceMode::Aggregate;
+  constexpr TraceMode kSampled = TraceMode::Sampled;
+  constexpr TraceMode kFull = TraceMode::Full;
+  struct ObsConfig {
+    const TraceMode* mode = nullptr;
+    bool links = false;
+  };
+  // Round-robin over the configurations and keep each one's fastest run:
+  // interleaving means a host-load burst hits every configuration equally
+  // instead of biasing whichever block it lands on.
+  const std::array<ObsConfig, 5> obsConfigs = {{{nullptr, false},
+                                                {nullptr, true},
+                                                {&kAggregate, true},
+                                                {&kSampled, true},
+                                                {&kFull, true}}};
+  std::array<Probe, 5> obsBest{};
+  for (int run = 0; run < kObsRuns; ++run) {
+    for (std::size_t i = 0; i < obsConfigs.size(); ++i) {
+      const Probe probe = observedPingPongProbe(
+          ExecBackend::Fiber, kObsReps, obsConfigs[i].mode,
+          obsConfigs[i].links);
+      if (run == 0 || probe.seconds < obsBest[i].seconds) obsBest[i] = probe;
+    }
+  }
+  const Probe& obsOff = obsBest[0];
+  const Probe& obsLinks = obsBest[1];
+  const Probe& obsAgg = obsBest[2];
+  const Probe& obsSampled = obsBest[3];
+  const Probe& obsFull = obsBest[4];
+  std::printf("\nobservability tax (fiber, size-only ping-pong, %d reps, "
+              "best of %d interleaved, vs all recording off)\n",
+              kObsReps, kObsRuns);
+  const auto taxLine = [&](const char* name, const Probe& probe) {
+    std::printf("%-22s %8.1f ns/round-trip   %+6.1f%%\n", name,
+                probe.nsPerRep(),
+                obsOff.nsPerRep() > 0.0
+                    ? 100.0 * (probe.nsPerRep() / obsOff.nsPerRep() - 1.0)
+                    : 0.0);
+  };
+  taxLine("all off", obsOff);
+  taxLine("link telemetry", obsLinks);
+  taxLine("+trace aggregate", obsAgg);
+  taxLine("+trace sampled", obsSampled);
+  taxLine("+trace full", obsFull);
+
   std::printf(
       "\nfiber = user-space swapcontext on owned stacks; thread = one OS "
       "thread per process with a mutex/condvar baton (two kernel wake-ups "
@@ -226,6 +316,22 @@ int main(int argc, char** argv) {
     doc["pingPong4KiBPooled"] = probeJson(pp4kFiber, pp4kThread);
     doc["pingPongWildcard"] = probeJson(wcFiber, wcThread);
     doc["iallreduce8Ranks"] = probeJson(iarFiber, iarThread);
+    tibsim::json::Value obs = tibsim::json::Value::object();
+    const auto obsEntry = [&](const Probe& probe) {
+      tibsim::json::Value v = tibsim::json::Value::object();
+      v["fiberNsPerRoundTrip"] = probe.nsPerRep();
+      v["overheadPercent"] =
+          obsOff.nsPerRep() > 0.0
+              ? 100.0 * (probe.nsPerRep() / obsOff.nsPerRep() - 1.0)
+              : 0.0;
+      return v;
+    };
+    obs["allOff"] = obsEntry(obsOff);
+    obs["linkTelemetry"] = obsEntry(obsLinks);
+    obs["traceAggregate"] = obsEntry(obsAgg);
+    obs["traceSampled"] = obsEntry(obsSampled);
+    obs["traceFull"] = obsEntry(obsFull);
+    doc["observabilityTax"] = obs;
     std::ofstream out(jsonPath);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());

@@ -41,6 +41,11 @@ struct CampaignOptions {
   /// are byte-identical for any value; >1 partitions each world's switch
   /// tree into conservatively synchronised per-subtree event engines.
   int simShards = 0;
+  /// Enable the deterministic stall watchdog (--stall-report): a world
+  /// whose event queue drains with ranks still blocked throws with a
+  /// per-rank wait-state report instead of the bare deadlock one-liner.
+  /// false keeps the process-wide default (off, or TIBSIM_STALL_REPORT).
+  bool stallReport = false;
 };
 
 struct ExperimentRun {
@@ -81,7 +86,8 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
 ///   socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N] [--seed S]
 ///                [--sim-backend fiber|thread]
 ///                [--trace-mode full|sampled|aggregate]
-///                [--trace-export DIR] [--compat] [--no-summary]
+///                [--trace-export DIR] [--stall-report]
+///                [--compat] [--no-summary]
 /// Flags accept both "--flag value" and "--flag=value".
 /// Returns the process exit code.
 int socbenchMain(int argc, const char* const* argv);

@@ -114,6 +114,8 @@ class ExperimentContext {
       out.allocations = cs.allocations;
       out.parked = cs.parked;
     }
+    counters.links = stats.linkStats;
+    counters.criticalPath = stats.criticalPath;
     recordRunCounters(counters);
   }
 

@@ -37,6 +37,8 @@
 #include "tibsim/mpi/communicator.hpp"
 #include "tibsim/mpi/payload_pool.hpp"
 #include "tibsim/mpi/trace.hpp"
+#include "tibsim/obs/critical_path.hpp"
+#include "tibsim/obs/stall_report.hpp"
 #include "tibsim/net/protocol.hpp"
 #include "tibsim/perfmodel/execution_model.hpp"
 #include "tibsim/perfmodel/work_profile.hpp"
@@ -72,6 +74,13 @@ struct WorldConfig {
   /// topology has no lookahead (zero switch latency) or fewer than two leaf
   /// subtrees. Campaign artefacts are byte-identical for every value.
   int simShards = sim::defaultSimShards();
+  /// Per-link fabric telemetry (WorldStats::linkStats). On by default —
+  /// O(links) counters with no event-order effect; the bench harness turns
+  /// it off to measure its cost.
+  bool linkTelemetry = true;
+  /// Deadlocked-world wait-state report (obs/stall_report.hpp). Snapshot
+  /// of the process-wide default (--stall-report / TIBSIM_STALL_REPORT).
+  bool stallReport = obs::defaultStallReport();
 
   static WorldConfig tibidaboNode();  ///< Tegra2 node, 1 GbE, TCP/IP
 };
@@ -110,6 +119,12 @@ struct WorldStats {
   /// runs produce it canonically (PayloadPool::ClassModel replayed at the
   /// window barriers) and it is byte-identical for every --sim-shards value.
   std::vector<PayloadPool::ClassStats> payloadPoolClassStats;
+  /// Per-link fabric telemetry folded per link class (all zero when
+  /// WorldConfig::linkTelemetry is off). Shard-invariant by construction:
+  /// every fabric occupancy runs in canonical dispatch order.
+  obs::LinkStats linkStats;
+  /// Sim-time critical path of the run (obs/critical_path.hpp).
+  obs::CriticalPath criticalPath;
 
   double achievedFlopsPerSecond() const {
     return wallClockSeconds > 0.0 ? totalFlops / wallClockSeconds : 0.0;
@@ -231,10 +246,28 @@ class MpiContext {
     return pending_.back().request;
   }
 
+  /// Adopt `snapshot` + the hop's wire time as this rank's chain — the
+  /// matched message (or CTS) arrived after the rank started waiting, so
+  /// the peer's chain bounded this rank.
+  void adoptPath(const obs::PathSnapshot& snapshot, double linkSeconds) {
+    path_ = snapshot;
+    path_.linkSeconds += linkSeconds;
+    ++path_.edges;
+  }
+
   MpiWorld& world_;
   sim::Process& process_;
   int rank_;
   int node_;
+  /// Running critical-path chain ending at this rank's current sim time.
+  obs::PathSnapshot path_;
+  // Stall-watchdog state: set while the rank is blocked in a rendezvous
+  // send (recv-side waits live in the mailbox).
+  bool sendBlocked_ = false;
+  int sendPeer_ = -1;
+  int sendTag_ = 0;
+  std::uint64_t sendComm_ = 0;
+  double sendBlockedSince_ = 0.0;
   std::uint64_t nextRequest_ = 1;
   /// Per-rank communicator-creation counter: each split()/dup() this rank
   /// participates in consumes one ordinal, and the new communicator's id is
@@ -308,6 +341,12 @@ class MpiWorld {
     /// Communicator the message was sent on; part of the match key. The
     /// world is id 0, so legacy world traffic is unchanged byte-for-byte.
     std::uint64_t comm = 0;
+    /// Critical-path piggyback: the sender's chain when the payload left,
+    /// and the wire interval, so a receiver that waited can adopt the
+    /// sender's chain plus the link time (obs/critical_path.hpp).
+    obs::PathSnapshot path{};
+    double departTime = 0.0;   ///< sim time the transfer was committed
+    double arrivalTime = 0.0;  ///< sim time deliver() ran (mailbox entry)
   };
 
   /// The one matching predicate, shared by doRecv's scan, deliver()'s
@@ -338,6 +377,8 @@ class MpiWorld {
     int waitSrc = 0;
     int waitTag = 0;
     sim::Process* waiter = nullptr;
+    /// Sim time the rank entered the wait (stall-watchdog bookkeeping).
+    double blockedSince = 0.0;
   };
 
   // -- sharded logical-process execution (simShards > 1) -------------------
@@ -384,6 +425,10 @@ class MpiWorld {
     double dramBytes = 0.0;
     std::size_t bytes = 0;  ///< PoolAcquire payload size
     sim::Process* sender = nullptr;  ///< CtsResume wake-up target
+    /// CtsResume: the receiver's chain when the CTS left, adopted by the
+    /// blocked sender (plus the CTS wire time) at wake-up.
+    obs::PathSnapshot path{};
+    MpiContext* senderCtx = nullptr;  ///< CtsResume adoption target
     bool hasMessage = false;
     Message message;  ///< Deliver: moved here until stashed at the barrier
   };
@@ -448,7 +493,11 @@ class MpiWorld {
   void submitWireOp(Engine& eng, DeferredOp&& op);
   void foldCompute(int rank, double flops, double dramBytes);
   /// Rendezvous data-arrival completion (legacy closure body, shard-safe).
-  void dataArrived(int dstRank, std::uint64_t id);
+  /// `path`/`departTime` are the sender's chain when the data left, stamped
+  /// into the message here — in the destination shard — so the receiver's
+  /// adoption never reads cross-shard state.
+  void dataArrived(int dstRank, std::uint64_t id,
+                   const obs::PathSnapshot& path, double departTime);
 
   void doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
               std::size_t bytes, std::span<const std::byte> payload,
@@ -473,6 +522,13 @@ class MpiWorld {
   void traceSpan(int rank, SpanKind kind, double begin, double end,
                  int peer = -1, std::size_t bytes = 0,
                  std::uint64_t comm = 0);
+  /// Fold fabric link telemetry and the end rank's chain into stats_
+  /// (called at the end of run()/runSharded() before teardown).
+  void harvestPathAndLinks();
+  /// The ContractError text for an all-ranks-blocked world: the bare
+  /// deadlock line, plus the per-rank wait-state report when
+  /// config_.stallReport is set.
+  std::string deadlockMessage(double now);
 
   WorldConfig config_;
   int ranks_;
@@ -537,6 +593,9 @@ class MpiWorld {
   /// accumulate and one deferred merge replays them, still in exact global
   /// order (windows are time-partitioned whether or not a merge ran).
   std::uint64_t pendingChannelOps_ = 0;
+  /// Dispatch records merged across all shardBarrier() calls this run
+  /// (EngineStats::shardMergeRecords).
+  std::uint64_t shardMergeRecords_ = 0;
 };
 
 }  // namespace tibsim::mpi

@@ -42,7 +42,7 @@ class Tracer {
     sink_ = obs::TraceSink::create(config);
   }
 
-  void record(TraceSpan span) { sink_->record(span); }
+  void record(const TraceSpan& span) { sink_->record(span); }
   void clear() { sink_->clear(); }
 
   obs::TraceMode mode() const { return sink_->mode(); }
@@ -80,9 +80,11 @@ class Tracer {
   /// One line per span: rank,kind,begin,end,peer,bytes (header included).
   std::string exportCsv() const { return obs::exportCsv(retainedSpans()); }
 
-  /// Chrome trace_event JSON (chrome://tracing, Perfetto).
-  std::string exportChromeJson() const {
-    return obs::exportChromeJson(retainedSpans());
+  /// Chrome trace_event JSON (chrome://tracing, Perfetto). The optional
+  /// process name is JSON-escaped by the exporter, so experiment titles
+  /// with quotes or backslashes stay loadable.
+  std::string exportChromeJson(const std::string& processName = {}) const {
+    return obs::exportChromeJson(retainedSpans(), processName);
   }
 
   /// Paraver .prv state records over the retained spans.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tibsim/common/assert.hpp"
+#include "tibsim/obs/link_stats.hpp"
 
 namespace tibsim::net {
 
@@ -25,7 +26,9 @@ struct TopologySpec {
 /// events execute in time order.
 class Fabric {
  public:
-  explicit Fabric(TopologySpec spec);
+  /// `telemetry` enables the per-link counter blocks; the structural
+  /// occupancy model (and every arrival time) is identical either way.
+  explicit Fabric(TopologySpec spec, bool telemetry = true);
 
   /// Reserve the path src -> dst for `wireBytes` starting no earlier than
   /// `startTime`; returns the time the last byte arrives at dst's NIC.
@@ -49,19 +52,38 @@ class Fabric {
   /// Total time transfers spent queued behind busy links (contention).
   double totalQueueingSeconds() const { return totalQueueingSeconds_; }
 
+  bool telemetryEnabled() const { return telemetry_; }
+
+  /// Per-link occupancy counters folded per link class. Every counter is
+  /// zero when the fabric was built with telemetry disabled.
+  obs::LinkStats linkStats() const;
+
  private:
   struct Resource {
     double rateBytesPerS = 0.0;
     double nextFree = 0.0;
+    // Telemetry block (only written when telemetry_ is set).
+    double busySeconds = 0.0;
+    double bytes = 0.0;
+    double queueSeconds = 0.0;
+    std::uint64_t transfers = 0;
   };
 
-  /// Serialise through one resource; returns completion time.
-  double occupy(Resource& resource, double bytes, double earliest);
+  /// Serialise through one resource; returns completion time. Queueing
+  /// delay for this occupancy lands in `delayHistogram`.
+  double occupy(Resource& resource, obs::DurationHistogram& delayHistogram,
+                double bytes, double earliest);
+
+  static void fold(const Resource& resource, obs::LinkKindCounters& into);
 
   TopologySpec spec_;
+  bool telemetry_;
   std::vector<Resource> uplink_;    // node NIC -> leaf switch
   std::vector<Resource> downlink_;  // leaf switch -> node NIC
   Resource core_;                   // shared bisection capacity
+  obs::DurationHistogram uplinkDelay_;
+  obs::DurationHistogram coreDelay_;
+  obs::DurationHistogram downlinkDelay_;
   double totalWireBytes_ = 0.0;
   double totalQueueingSeconds_ = 0.0;
   std::uint64_t transferCount_ = 0;

@@ -17,8 +17,15 @@ namespace tibsim::obs {
 std::string exportCsv(std::span<const TraceSpan> spans);
 
 /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds,
-/// tid = rank), loadable in chrome://tracing and Perfetto.
+/// tid = rank), loadable in chrome://tracing and Perfetto. All strings —
+/// including the optional process name, which may contain quotes,
+/// backslashes or control characters — are emitted through the
+/// common/json.hpp document model, so the output is always valid JSON.
 std::string exportChromeJson(std::span<const TraceSpan> spans);
+/// Same, labelling pid 0 with `processName` via a process_name metadata
+/// event (empty name = no metadata event).
+std::string exportChromeJson(std::span<const TraceSpan> spans,
+                             const std::string& processName);
 
 /// Paraver-convertible .prv trace: header plus one state record per span
 /// (1:cpu:appl:task:thread:begin:end:state, times in ns). State mapping:

@@ -14,6 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "tibsim/obs/critical_path.hpp"
+#include "tibsim/obs/link_stats.hpp"
+
 namespace tibsim::obs {
 
 /// Per-size-class payload-pool activity rolled up across worlds (the
@@ -47,6 +50,11 @@ struct RunCounters {
   std::uint64_t payloadPoolLiveHighWater = 0;   ///< worst single-world peak
   /// Per-class pool activity (grows to the largest class any world used).
   std::vector<PayloadClassCounters> payloadPoolClasses;
+  /// Per-link-kind fabric telemetry summed across worlds (net/fabric.hpp).
+  LinkStats links;
+  /// Sim-time critical-path attribution summed across worlds
+  /// (obs/critical_path.hpp); endRank survives only single-world roll-ups.
+  CriticalPath criticalPath;
 
   /// Fold another record into this one. Sums and maxes only, so the total
   /// is order-independent up to floating-point rounding; accumulate in a
@@ -79,6 +87,8 @@ struct RunCounters {
       mine.allocations += theirs.allocations;
       mine.parked += theirs.parked;
     }
+    links.accumulate(other.links);
+    criticalPath.accumulate(other.criticalPath);
   }
 };
 

@@ -22,11 +22,14 @@
 
 #include <array>
 #include <cstddef>
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "tibsim/common/assert.hpp"
 #include "tibsim/obs/span.hpp"
 
 namespace tibsim::obs {
@@ -78,7 +81,19 @@ struct DurationHistogram {
   std::array<std::uint64_t, kBuckets> counts{};
 
   void record(double seconds) { ++counts[static_cast<std::size_t>(bucketFor(seconds))]; }
-  static int bucketFor(double seconds);
+  /// Bucket index for a duration. Inline because it sits on the per-span
+  /// aggregate-mode hot path: floor(log2(ns)) straight from the exponent
+  /// bits — ns > 1 here, so the value is a positive normal double (or
+  /// +inf, whose biased exponent lands in the clamped tail) and the biased
+  /// exponent IS the floor, exact at every power-of-two boundary.
+  static int bucketFor(double seconds) {
+    const double ns = seconds * 1e9;
+    if (!(ns > 1.0)) return 0;  // sub-nanosecond, zero, NaN
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &ns, sizeof bits);
+    const int bucket = static_cast<int>((bits >> 52) & 0x7ffU) - 1023;
+    return bucket >= kBuckets ? kBuckets - 1 : bucket;
+  }
   /// Inclusive lower edge of a bucket, in seconds.
   static double bucketLowerSeconds(int bucket);
   std::uint64_t total() const;
@@ -91,8 +106,30 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// Consume one span. Exact totals are always updated; retention depends
-  /// on the mode.
-  void record(const TraceSpan& span);
+  /// on the mode. Inline: this is the one call every traced simMPI event
+  /// makes, and the base bookkeeping is a handful of adds. Aggregate mode —
+  /// the always-on campaign setting — is handled here too (the sink
+  /// installs its histogram grid via aggGrid_), so the per-span cost in
+  /// that mode is pure arithmetic with no virtual dispatch.
+  void record(const TraceSpan& span) {
+    TIB_REQUIRE(span.end >= span.begin);
+    ++recorded_;
+    if (span.rank >= 0) {
+      const auto r = static_cast<std::size_t>(span.rank);
+      if (r >= totals_.size()) totals_.resize(r + 1);
+      const auto k = static_cast<std::size_t>(span.kind);
+      const double duration = span.duration();
+      totals_[r].seconds[k] += duration;
+      if (aggGrid_ != nullptr) {
+        if (r >= aggGrid_->size()) aggGrid_->resize(r + 1);
+        (*aggGrid_)[r][k].record(duration);
+        return;  // aggregate retains no spans
+      }
+    } else if (aggGrid_ != nullptr) {
+      return;
+    }
+    onRecord(span);
+  }
   void clear();
 
   TraceMode mode() const { return mode_; }
@@ -132,12 +169,17 @@ class TraceSink {
   virtual void onClear() = 0;
   virtual std::size_t retainedBytes() const = 0;
 
+  /// Per-(rank, kind) histogram grid, grown on demand by rank.
+  using HistogramGrid = std::vector<std::array<DurationHistogram, kSpanKinds>>;
+  /// Installed by the aggregate sink so record() can update the grid
+  /// inline; every other mode leaves it null and takes the virtual path.
+  HistogramGrid* aggGrid_ = nullptr;
+
  private:
   std::size_t totalsBytes() const;
 
   struct RankTotals {
     std::array<double, kSpanKinds> seconds{};
-    std::array<std::uint64_t, kSpanKinds> count{};
   };
 
   TraceMode mode_;

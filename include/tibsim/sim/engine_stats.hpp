@@ -39,6 +39,14 @@ struct EngineStats {
   std::size_t shardCount = 1;       ///< logical-process shards in the run
   std::uint64_t shardWindows = 0;   ///< conservative windows executed
   std::uint64_t shardParallelWindows = 0;  ///< windows with >1 active shard
+  // Shard-gang profiling (zero on the single-queue engine): what the
+  // window barriers actually cost and how much merge work they did, so
+  // --sim-shards tuning is measurable. Barrier host time is wall-clock and
+  // stays out of serialised artefacts, like hostSeconds.
+  std::uint64_t shardBarrierCalls = 0;  ///< barriers that ran a merge
+  std::uint64_t shardBarrierSkips = 0;  ///< barriers batched away (no merge)
+  std::uint64_t shardMergeRecords = 0;  ///< dispatch records merged
+  double shardBarrierHostSeconds = 0.0;  ///< host time inside merges
 
   /// Fold another simulation's stats into this one. Order-independent
   /// (sums and maxes only) so accumulation across parallelFor cells yields
@@ -57,6 +65,19 @@ struct EngineStats {
     shardCount = std::max(shardCount, other.shardCount);
     shardWindows += other.shardWindows;
     shardParallelWindows += other.shardParallelWindows;
+    shardBarrierCalls += other.shardBarrierCalls;
+    shardBarrierSkips += other.shardBarrierSkips;
+    shardMergeRecords += other.shardMergeRecords;
+    shardBarrierHostSeconds += other.shardBarrierHostSeconds;
+  }
+
+  /// Mean events per conservative window — the lookahead-efficiency
+  /// figure: higher means the shards amortise each barrier better.
+  double eventsPerShardWindow() const {
+    return shardWindows > 0
+               ? static_cast<double>(eventsDispatched) /
+                     static_cast<double>(shardWindows)
+               : 0.0;
   }
 
   /// Host wall-clock cost per simulated second (0 when nothing simulated).

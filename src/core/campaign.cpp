@@ -10,6 +10,7 @@
 
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/table.hpp"
+#include "tibsim/obs/stall_report.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/execution_context.hpp"
 #include "tibsim/sim/shard_scheduler.hpp"
@@ -38,6 +39,28 @@ using HostTimePoint = std::chrono::steady_clock::time_point;  // tibsim-lint: al
 double secondsSince(HostTimePoint start) {
   const auto now = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
   return std::chrono::duration<double>(now - start).count();
+}
+
+json::Value linkKindJson(const obs::LinkKindCounters& kind) {
+  json::Value out = json::Value::object();
+  out["busySeconds"] = kind.busySeconds;
+  out["bytes"] = kind.bytes;
+  out["transfers"] = static_cast<double>(kind.transfers);
+  out["queueSeconds"] = kind.queueSeconds;
+  out["maxLinkBusySeconds"] = kind.maxLinkBusySeconds;
+  // Queueing-delay histogram, nonzero buckets only as [lowerSeconds, count]
+  // pairs — O(occupied buckets), independent of kBuckets growth.
+  json::Value delay = json::Value::array();
+  for (int b = 0; b < obs::DurationHistogram::kBuckets; ++b) {
+    if (kind.queueDelay.counts[static_cast<std::size_t>(b)] == 0) continue;
+    json::Value bucket = json::Value::array();
+    bucket.push(obs::DurationHistogram::bucketLowerSeconds(b));
+    bucket.push(static_cast<double>(
+        kind.queueDelay.counts[static_cast<std::size_t>(b)]));
+    delay.push(std::move(bucket));
+  }
+  out["queueDelay"] = std::move(delay);
+  return out;
 }
 
 }  // namespace
@@ -95,6 +118,32 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
     worlds["payloadPoolLiveHighWater"] =
         static_cast<double>(counters->payloadPoolLiveHighWater);
     doc["worlds"] = std::move(worlds);
+    // Link-utilization telemetry (net/fabric.hpp): per-kind busy time,
+    // bytes, transfer counts and queueing-delay histograms. Recorded at
+    // canonical fabric occupancy points only, so the object is
+    // byte-identical across runs, backends, --jobs and --sim-shards.
+    if (counters->links.any()) {
+      json::Value links = json::Value::object();
+      links["uplink"] = linkKindJson(counters->links.uplink);
+      links["core"] = linkKindJson(counters->links.core);
+      links["downlink"] = linkKindJson(counters->links.downlink);
+      doc["links"] = std::move(links);
+    }
+    // Sim-time critical path (obs/critical_path.hpp): the dependency chain
+    // bounding the slowest world, decomposed by segment. endRank is -1 when
+    // the experiment ran more than one world.
+    const obs::CriticalPath& path = counters->criticalPath;
+    if (path.edges > 0 || path.lengthSeconds() > 0.0) {
+      json::Value cp = json::Value::object();
+      cp["computeSeconds"] = path.computeSeconds;
+      cp["sendSeconds"] = path.sendSeconds;
+      cp["recvSeconds"] = path.recvSeconds;
+      cp["linkSeconds"] = path.linkSeconds;
+      cp["waitSeconds"] = path.waitSeconds;
+      cp["edges"] = static_cast<double>(path.edges);
+      cp["endRank"] = path.endRank;
+      doc["criticalPath"] = std::move(cp);
+    }
   }
   doc["results"] = ResultSet::toJson(results);
   return doc.dump(2) + "\n";
@@ -133,6 +182,12 @@ CampaignResult runCampaign(const CampaignOptions& options,
   // byte-identical for any value; only wall-clock changes.
   std::optional<sim::ScopedSimShards> shardOverride;
   if (options.simShards > 0) shardOverride.emplace(options.simShards);
+
+  // Stall-watchdog override (--stall-report): WorldConfig snapshots the
+  // default, so every world built below inherits it. Leaving the flag off
+  // keeps whatever TIBSIM_STALL_REPORT set process-wide.
+  std::optional<obs::ScopedStallReport> stallOverride;
+  if (options.stallReport) stallOverride.emplace(true);
 
   CampaignResult campaign;
   campaign.jobs = jobs;
@@ -237,6 +292,53 @@ CampaignResult runCampaign(const CampaignOptions& options,
         }
         writeFile(dir / (run.name + "__worlds.csv"), csv.str());
       }
+      if (run.counters.links.any()) {
+        // Link telemetry: per-kind scalar table, then (after a blank line,
+        // the __worlds.csv convention) the nonzero queueing-delay buckets.
+        // Doubles go through json::formatNumber so the artefact is
+        // byte-identical across runs, backends, --jobs and --sim-shards.
+        std::string csv =
+            "kind,busySeconds,bytes,transfers,queueSeconds,"
+            "maxLinkBusySeconds\n";
+        const std::pair<const char*, const obs::LinkKindCounters*> kinds[] =
+            {{"uplink", &run.counters.links.uplink},
+             {"core", &run.counters.links.core},
+             {"downlink", &run.counters.links.downlink}};
+        for (const auto& [name, kind] : kinds) {
+          csv += name;
+          csv += ',';
+          csv += json::formatNumber(kind->busySeconds);
+          csv += ',';
+          csv += json::formatNumber(kind->bytes);
+          csv += ',';
+          csv += std::to_string(kind->transfers);
+          csv += ',';
+          csv += json::formatNumber(kind->queueSeconds);
+          csv += ',';
+          csv += json::formatNumber(kind->maxLinkBusySeconds);
+          csv += '\n';
+        }
+        bool delayHeader = false;
+        for (const auto& [name, kind] : kinds) {
+          for (int b = 0; b < obs::DurationHistogram::kBuckets; ++b) {
+            const std::uint64_t count =
+                kind->queueDelay.counts[static_cast<std::size_t>(b)];
+            if (count == 0) continue;
+            if (!delayHeader) {
+              csv += "\nkind,bucketLowerSeconds,count\n";
+              delayHeader = true;
+            }
+            csv += name;
+            csv += ',';
+            csv += json::formatNumber(
+                obs::DurationHistogram::bucketLowerSeconds(b));
+            csv += ',';
+            csv += std::to_string(count);
+            csv += '\n';
+          }
+        }
+        writeFile(dir / (run.name + "__links.csv"), csv);
+      }
     }
   }
 
@@ -281,6 +383,47 @@ CampaignResult runCampaign(const CampaignOptions& options,
       out << "-- engine (sim-backend="
           << sim::toString(sim::defaultExecBackend()) << ") --\n"
           << engineTable.render() << '\n';
+    }
+    // Shard-gang block: only when a sharded engine actually ran. Window
+    // counts and barrier host time are run-summary-only (never serialised).
+    bool anyShards = false;
+    TextTable shardTable({"experiment", "shards", "windows", "parallel",
+                          "barriers", "skipped", "merged recs", "ev/window",
+                          "barrier s"});
+    for (const ExperimentRun& run : campaign.runs) {
+      if (run.engine.shardCount <= 1 || run.engine.shardWindows == 0)
+        continue;
+      anyShards = true;
+      shardTable.addRow({run.name, std::to_string(run.engine.shardCount),
+                         std::to_string(run.engine.shardWindows),
+                         std::to_string(run.engine.shardParallelWindows),
+                         std::to_string(run.engine.shardBarrierCalls),
+                         std::to_string(run.engine.shardBarrierSkips),
+                         std::to_string(run.engine.shardMergeRecords),
+                         fmt(run.engine.eventsPerShardWindow(), 1),
+                         fmt(run.engine.shardBarrierHostSeconds, 2)});
+    }
+    if (anyShards) {
+      out << "-- shard gangs --\n" << shardTable.render() << '\n';
+    }
+    // Critical-path block: where the slowest dependency chain spent its
+    // simulated time (compute / protocol / wire / residual wait).
+    bool anyPath = false;
+    TextTable pathTable({"experiment", "compute s", "send s", "recv s",
+                         "link s", "wait s", "hops", "end rank"});
+    for (const ExperimentRun& run : campaign.runs) {
+      const obs::CriticalPath& path = run.counters.criticalPath;
+      if (path.edges == 0 && path.lengthSeconds() == 0.0) continue;
+      anyPath = true;
+      pathTable.addRow({run.name, fmt(path.computeSeconds, 4),
+                        fmt(path.sendSeconds, 4), fmt(path.recvSeconds, 4),
+                        fmt(path.linkSeconds, 4), fmt(path.waitSeconds, 4),
+                        std::to_string(path.edges),
+                        path.endRank >= 0 ? std::to_string(path.endRank)
+                                          : std::string("-")});
+    }
+    if (anyPath) {
+      out << "-- critical path (sim time) --\n" << pathTable.render() << '\n';
     }
     // Worlds block: message traffic and trace accounting, plus the fiber
     // stack high-water marks (host-dependent, so summary-only — never in
@@ -344,7 +487,8 @@ void printUsage(std::ostream& out) {
          "               [--seed S] [--sim-backend fiber|thread]\n"
          "               [--sim-shards N]\n"
          "               [--trace-mode full|sampled|aggregate]\n"
-         "               [--trace-export DIR] [--compat] [--no-summary]\n\n"
+         "               [--trace-export DIR] [--stall-report]\n"
+         "               [--compat] [--no-summary]\n\n"
          "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
          "selects every experiment.\n"
          "Flags accept both '--flag value' and '--flag=value'.\n"
@@ -365,7 +509,12 @@ void printUsage(std::ostream& out) {
          "ready artefacts (Chrome trace_event JSON for chrome://tracing/\n"
          "Perfetto, Paraver .prv, per-rank breakdown CSV). Timeline "
          "formats need retained spans (full/sampled mode); aggregate mode\n"
-         "still exports the exact per-rank breakdown CSV.\n";
+         "still exports the exact per-rank breakdown CSV.\n"
+         "--stall-report arms the deterministic stall watchdog: a world "
+         "whose event queue drains with ranks still blocked fails with a\n"
+         "per-rank wait-state report (rank, pending op, peer, blocked "
+         "since) instead of the bare deadlock error. TIBSIM_STALL_REPORT=1\n"
+         "sets the same default.\n";
 }
 
 }  // namespace
@@ -439,6 +588,8 @@ int socbenchMain(int argc, const char* const* argv) {
       const std::string* v = flagValue("--trace-export");
       if (v == nullptr) return 2;
       options.traceExportDir = *v;
+    } else if (arg == "--stall-report") {
+      options.stallReport = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "socbench: unknown flag " << arg << "\n";
       printUsage(std::cerr);

@@ -126,6 +126,20 @@ ResultSet runHplGreen500(ExperimentContext& ctx) {
   }
   results.addTable("HPL weak scaling", std::move(table));
 
+  // Sim-time critical-path attribution: which segment of the bounding
+  // dependency chain grows as the panel broadcasts deepen with the machine.
+  TextTable pathTable({"nodes", "compute s", "send s", "recv s", "link s",
+                       "wait s", "hops", "end rank"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const obs::CriticalPath& path = cells[i].result.stats.criticalPath;
+    pathTable.addRow({std::to_string(nodeCounts[i]),
+                      fmt(path.computeSeconds, 3), fmt(path.sendSeconds, 3),
+                      fmt(path.recvSeconds, 3), fmt(path.linkSeconds, 3),
+                      fmt(path.waitSeconds, 3), std::to_string(path.edges),
+                      std::to_string(path.endRank)});
+  }
+  results.addTable("critical path (sim time)", std::move(pathTable));
+
   const auto& top = cells.back().result;
   results.addMetric("GFLOPS at 96 nodes", top.gflops, "GFLOPS");
   results.addMetric("efficiency at 96 nodes", top.efficiency() * 100, "%");

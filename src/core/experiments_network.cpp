@@ -351,8 +351,12 @@ ResultSet runAblationInterconnect(ExperimentContext& ctx) {
     std::vector<double> seconds(specs.size(), 0.0);
     ctx.parallelFor(specs.size(), [&](std::size_t i) {
       cluster::ClusterSimulation sim(specs[i]);
-      seconds[i] = sim.runJob(64, apps::HydroBenchmark::rankBody(hydro))
-                       .wallClockSeconds;
+      const cluster::JobResult result =
+          sim.runJob(64, apps::HydroBenchmark::rankBody(hydro));
+      seconds[i] = result.wallClockSeconds;
+      // Fold engine counters and link telemetry into the campaign run so
+      // the ablation emits __links.csv like the other cluster experiments.
+      ctx.recordWorldStats(result.stats);
     });
 
     TextTable table({"cluster", "HYDRO wallclock s", "speedup vs TCP"});

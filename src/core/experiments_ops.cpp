@@ -20,6 +20,7 @@
 #include "tibsim/core/experiments.hpp"
 #include "tibsim/kernels/microkernel.hpp"
 #include "tibsim/kernels/stream.hpp"
+#include "tibsim/obs/critical_path.hpp"
 #include "tibsim/obs/exporters.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/power/dvfs_governor.hpp"
@@ -466,6 +467,19 @@ ResultSet runAblationArmv8BigCluster(ExperimentContext& ctx) {
     const cluster::JobResult huge =
         sim.runJob(kHugeNodes, apps::HplBenchmark::rankBody(params), options);
     ctx.recordWorldStats(huge.stats);
+    // The campaign JSON criticalPath object rolls up every world in the
+    // experiment, so surface the huge cell's own bounding chain here —
+    // this is the table EXPERIMENTS.md quotes for the 65,536-rank cell.
+    const obs::CriticalPath& hugePath = huge.stats.criticalPath;
+    TextTable hugePathTable({"ranks", "compute s", "send s", "recv s",
+                             "link s", "wait s", "hops", "end rank"});
+    hugePathTable.addRow(
+        {std::to_string(huge.ranks), fmt(hugePath.computeSeconds, 3),
+         fmt(hugePath.sendSeconds, 3), fmt(hugePath.recvSeconds, 3),
+         fmt(hugePath.linkSeconds, 3), fmt(hugePath.waitSeconds, 3),
+         std::to_string(hugePath.edges), std::to_string(hugePath.endRank)});
+    results.addTable("65536-rank critical path (sim time)",
+                     std::move(hugePathTable));
     results.addMetric("ranks simulated at 32768 nodes",
                       static_cast<double>(huge.ranks), "processes");
     results.addMetric("ARMv8 HPL at 32768 nodes", huge.gflops, "GFLOPS");

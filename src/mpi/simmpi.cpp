@@ -43,6 +43,7 @@ void MpiContext::compute(const perfmodel::WorkProfile& work) {
       world_.platform(), work, world_.frequencyHz(), /*cores=*/1);
   world_.foldCompute(rank_, work.flops, work.bytes);
   world_.stats_.nodeBusySeconds[static_cast<std::size_t>(node_)] += seconds;
+  path_.computeSeconds += seconds;
   const double begin = now();
   process_.delay(seconds);
   world_.traceSpan(rank_, SpanKind::Compute, begin, now());
@@ -51,6 +52,7 @@ void MpiContext::compute(const perfmodel::WorkProfile& work) {
 void MpiContext::computeSeconds(double seconds) {
   TIB_REQUIRE(seconds >= 0.0);
   world_.stats_.nodeBusySeconds[static_cast<std::size_t>(node_)] += seconds;
+  path_.computeSeconds += seconds;
   const double begin = now();
   process_.delay(seconds);
   world_.traceSpan(rank_, SpanKind::Compute, begin, now());
@@ -274,6 +276,7 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
     const double side =
         0.3e-6 + static_cast<double>(bytes) / sameNodeCopyBandwidth_;
     chargeCpu(srcNode, side);
+    ctx.path_.sendSeconds += side;
     ctx.process_.delay(side);
     traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst,
               bytes, comm);
@@ -281,6 +284,8 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
                 side, nullptr, nextLocalMessageId(eng)};
     msg.poolTicket = poolTicket;
     msg.comm = comm;
+    msg.path = ctx.path_;
+    msg.departTime = sim.now();
     const std::uint32_t slot = stashFor(dst, std::move(msg));
     sim.scheduleIn(0.2e-6, [this, dst, slot] { deliver(dst, slot); });
     return;
@@ -292,6 +297,7 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
   if (!costs.rendezvous) {
     // Eager: pay the sender stack, put the bytes on the wire, return.
     chargeCpu(srcNode, costs.senderSeconds);
+    ctx.path_.sendSeconds += costs.senderSeconds;
     ctx.process_.delay(costs.senderSeconds);
     traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst,
               bytes, comm);
@@ -301,6 +307,8 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
                 costs.receiverSeconds, nullptr, nextLocalMessageId(eng)};
     msg.poolTicket = poolTicket;
     msg.comm = comm;
+    msg.path = ctx.path_;
+    msg.departTime = sim.now();
     if (eng == nullptr) {
       const double arrival =
           fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim.now());
@@ -326,6 +334,7 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
   // then stream the data with zero-copy send semantics.
   const net::MessageCosts rts = protocol_->messageCosts(0);
   chargeCpu(srcNode, rts.senderSeconds);
+  ctx.path_.sendSeconds += rts.senderSeconds;
   ctx.process_.delay(rts.senderSeconds);
   const std::uint64_t id = nextLocalMessageId(eng);
   Message msg{ctx.rank(), tag,     bytes, std::move(copy),
@@ -349,18 +358,33 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
     op.message = std::move(msg);
     submitWireOp(*eng, std::move(op));
   }
+  // Stall-watchdog bookkeeping: the rank is about to block outside any
+  // mailbox wait, so record what it is blocked on here.
+  ctx.sendBlocked_ = true;
+  ctx.sendPeer_ = dst;
+  ctx.sendTag_ = tag;
+  ctx.sendComm_ = comm;
+  ctx.sendBlockedSince_ = sim.now();
   ctx.process_.suspend();  // woken by the receiver's CTS
+  ctx.sendBlocked_ = false;
 
-  // CTS received: stream the payload.
+  // CTS received: stream the payload. The wake-up already adopted the
+  // receiver's chain (the CTS is what unblocked us); the stream CPU and
+  // the data wire extend it toward the receiver.
   chargeCpu(srcNode, costs.senderSeconds);
+  ctx.path_.sendSeconds += costs.senderSeconds;
   ctx.process_.delay(costs.senderSeconds);
   const double wireBytes = costs.wireSeconds * platform().nicLinkRateBytesPerS;
   traceSpan(ctx.rank(), SpanKind::Send, sendBegin, sim.now(), dst, bytes,
             comm);
+  const obs::PathSnapshot dataPath = ctx.path_;
+  const double dataDepart = sim.now();
   if (eng == nullptr) {
     const double dataArrival =
         fabric_->scheduleWire(srcNode, dstNode, wireBytes, sim.now());
-    sim.scheduleAt(dataArrival, [this, dst, id] { dataArrived(dst, id); });
+    sim.scheduleAt(dataArrival, [this, dst, id, dataPath, dataDepart] {
+      dataArrived(dst, id, dataPath, dataDepart);
+    });
   } else {
     DeferredOp op;
     op.kind = DeferredOp::Kind::DataArrival;
@@ -369,11 +393,14 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
     op.dstRank = dst;
     op.wireBytes = wireBytes;
     op.id = id;
+    op.path = dataPath;
+    op.submitT = dataDepart;
     submitWireOp(*eng, std::move(op));
   }
 }
 
-void MpiWorld::dataArrived(int dstRank, std::uint64_t id) {
+void MpiWorld::dataArrived(int dstRank, std::uint64_t id,
+                           const obs::PathSnapshot& path, double departTime) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
   Message* arrived = nullptr;
   for (const std::uint32_t s : box.messages) {
@@ -381,6 +408,11 @@ void MpiWorld::dataArrived(int dstRank, std::uint64_t id) {
     if (m.id == id) {
       arrived = &m;
       arrived->stage = Stage::Delivered;
+      // Rendezvous completion: the chain that matters is the sender's at
+      // data-stream time, not the stale RTS-time snapshot.
+      arrived->path = path;
+      arrived->departTime = departTime;
+      arrived->arrivalTime = simFor(dstRank).now();
       break;
     }
   }
@@ -461,6 +493,7 @@ void MpiWorld::deliver(int dstRank, std::uint32_t slot) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dstRank)];
   box.messages.push_back(slot);
   Message& msg = messageAt(dstRank, slot);
+  msg.arrivalTime = simFor(dstRank).now();
   if (box.waiting && matches(msg, box.waitComm, box.waitSrc, box.waitTag)) {
     box.waiting = false;
     if (msg.stage == Stage::Delivered) {
@@ -514,6 +547,12 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
                     0, comm);
           traceSpan(ctx.rank(), SpanKind::Recv, cpuBegin, sim.now(), msgSrc,
                     m.bytes, comm);
+          // Critical path: the message arriving after we started waiting
+          // means the sender's chain (plus the hop) bounded this rank.
+          if (m.arrivalTime > recvEntry)
+            ctx.adoptPath(m.path,
+                          std::max(0.0, m.arrivalTime - m.departTime));
+          ctx.path_.recvSeconds += m.receiverCost;
           if (receivedBytes != nullptr) *receivedBytes = m.bytes;
           box.messages.erase(it);
           return consumeSlot(ctx.rank(), slot);
@@ -523,6 +562,9 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
         // slab — so keep the slot index, not the Message reference.
         const double cost = m.receiverCost;
         const std::size_t bytes = m.bytes;
+        if (m.arrivalTime > recvEntry)
+          ctx.adoptPath(m.path, std::max(0.0, m.arrivalTime - m.departTime));
+        ctx.path_.recvSeconds += cost;
         box.messages.erase(it);
         traceSpan(ctx.rank(), SpanKind::Wait, recvEntry, sim.now(), msgSrc,
                   0, comm);
@@ -542,13 +584,24 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
                                           // grow the slab and move Messages
         const net::MessageCosts cts = protocol_->messageCosts(0);
         chargeCpu(ctx.node(), cts.senderSeconds);
+        ctx.path_.recvSeconds += cts.senderSeconds;
         ctx.process_.delay(cts.senderSeconds);
+        // The CTS is what unblocks the rendezvous sender, so the sender's
+        // chain becomes this receiver's chain plus the CTS hop. The
+        // adoption is applied inside the sender's shard at wake-up.
+        const obs::PathSnapshot ctsPath = ctx.path_;
+        MpiContext* senderCtx =
+            contexts_[static_cast<std::size_t>(msgSrc)].get();
         if (!sharded_) {
+          const double ctsDepart = sim.now();
           const double ctsArrival = fabric_->scheduleWire(
-              ctx.node(), nodeOfRank(msgSrc), 84.0, sim.now());
-          sim.scheduleAt(ctsArrival, [this, sender] {
-            sim_->resume(*sender);
-          });
+              ctx.node(), nodeOfRank(msgSrc), 84.0, ctsDepart);
+          const double ctsLink = std::max(0.0, ctsArrival - ctsDepart);
+          sim.scheduleAt(ctsArrival,
+                         [this, sender, senderCtx, ctsPath, ctsLink] {
+                           senderCtx->adoptPath(ctsPath, ctsLink);
+                           sim_->resume(*sender);
+                         });
         } else {
           // CTS wire + sender wake-up land in the sender's shard; both
           // defer to the barrier like every other cross-shard effect.
@@ -560,6 +613,8 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
           op.wireBytes = 84.0;
           op.targetShard = shardOfRank(msgSrc);
           op.sender = sender;
+          op.path = ctsPath;
+          op.senderCtx = senderCtx;
           submitWireOp(eng, std::move(op));
         }
         break;  // fall through to waiting for the data-arrival wake-up
@@ -572,6 +627,7 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
     box.waitSrc = src;
     box.waitTag = tag;
     box.waiter = &ctx.process_;
+    box.blockedSince = sim.now();
     ctx.process_.suspend();
     box.waiting = false;
   }
@@ -590,7 +646,7 @@ WorldStats MpiWorld::run(const RankBody& body) {
   sim_->reserveEvents(static_cast<std::size_t>(ranks_) * 4);
   net::TopologySpec topo = config_.topology;
   topo.nodes = nodes_;
-  fabric_ = std::make_unique<net::Fabric>(topo);
+  fabric_ = std::make_unique<net::Fabric>(topo, config_.linkTelemetry);
   // clear + resize, not assign: Mailbox holds move-only Messages now.
   mailboxes_.clear();
   mailboxes_.resize(static_cast<std::size_t>(ranks_));
@@ -642,14 +698,82 @@ WorldStats MpiWorld::run(const RankBody& body) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());
   }
   TIB_REQUIRE_MSG(sim_->liveProcessCount() == 0,
-                  "simMPI deadlock: ranks still blocked after event queue "
-                  "drained");
+                  deadlockMessage(sim_->now()));
 
   stats_.wallClockSeconds = *std::max_element(
       stats_.rankFinishSeconds.begin(), stats_.rankFinishSeconds.end());
   stats_.wireBytes = fabric_->totalWireBytes();
   stats_.fabricQueueingSeconds = fabric_->totalQueueingSeconds();
+  harvestPathAndLinks();
   return stats_;
+}
+
+void MpiWorld::harvestPathAndLinks() {
+  stats_.linkStats = fabric_->linkStats();
+  // The end rank bounds the world: argmax finish time, ties to the lowest
+  // rank (max_element returns the first maximum).
+  const auto last = std::max_element(stats_.rankFinishSeconds.begin(),
+                                     stats_.rankFinishSeconds.end());
+  const int endRank =
+      static_cast<int>(last - stats_.rankFinishSeconds.begin());
+  const obs::PathSnapshot& path =
+      contexts_[static_cast<std::size_t>(endRank)]->path_;
+  obs::CriticalPath& cp = stats_.criticalPath;
+  cp.computeSeconds = path.computeSeconds;
+  cp.sendSeconds = path.sendSeconds;
+  cp.recvSeconds = path.recvSeconds;
+  cp.linkSeconds = path.linkSeconds;
+  cp.edges = path.edges;
+  cp.endRank = endRank;
+  // Everything the chain does not explain is time the path spent blocked
+  // with no modelled predecessor (e.g. a receiver that out-waited the
+  // adoption tie) — report it as wait rather than losing it.
+  cp.waitSeconds =
+      std::max(0.0, stats_.wallClockSeconds - path.lengthSeconds());
+}
+
+std::string MpiWorld::deadlockMessage(double now) {
+  std::string message =
+      "simMPI deadlock: ranks still blocked after event queue drained";
+  if (!config_.stallReport) {
+    return message +
+           " (enable --stall-report / TIBSIM_STALL_REPORT=1 for the "
+           "per-rank wait-state report)";
+  }
+  const std::vector<TraceSpan> retained =
+      tracing_ ? tracer_.retainedSpans() : std::vector<TraceSpan>{};
+  constexpr std::size_t kSpansPerRank = 3;
+  std::vector<obs::StallEntry> entries;
+  for (int r = 0; r < ranks_; ++r) {
+    const Mailbox& box = mailboxes_[static_cast<std::size_t>(r)];
+    const MpiContext* ctx = contexts_[static_cast<std::size_t>(r)].get();
+    obs::StallEntry entry;
+    if (box.waiting) {
+      entry.op = "recv";
+      entry.peer = box.waitSrc;
+      entry.tag = box.waitTag;
+      entry.comm = box.waitComm;
+      entry.blockedSince = box.blockedSince;
+    } else if (ctx != nullptr && ctx->sendBlocked_) {
+      entry.op = "rendezvous-send";
+      entry.peer = ctx->sendPeer_;
+      entry.tag = ctx->sendTag_;
+      entry.comm = ctx->sendComm_;
+      entry.blockedSince = ctx->sendBlockedSince_;
+    } else {
+      continue;  // this rank finished (or never blocked)
+    }
+    entry.rank = r;
+    entry.node = nodeOfRank(r);
+    for (const TraceSpan& span : retained) {
+      if (span.rank != r) continue;
+      entry.lastSpans.push_back(span);
+      if (entry.lastSpans.size() > kSpansPerRank)
+        entry.lastSpans.erase(entry.lastSpans.begin());
+    }
+    entries.push_back(std::move(entry));
+  }
+  return message + "\n" + obs::formatStallReport(entries, now);
 }
 
 }  // namespace tibsim::mpi

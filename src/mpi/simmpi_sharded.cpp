@@ -85,9 +85,11 @@ void MpiWorld::executeOp(DeferredOp& op, std::uint64_t g) {
                                                    op.wireBytes, op.submitT);
       const int dst = op.dstRank;
       const std::uint64_t id = op.id;
+      const obs::PathSnapshot path = op.path;
+      const double depart = op.submitT;
       scheduler_->channelPush(
           static_cast<std::size_t>(shardOfRank(dst)), arrival, g, op.pushIdx,
-          [this, dst, id] { dataArrived(dst, id); });
+          [this, dst, id, path, depart] { dataArrived(dst, id, path, depart); });
       break;
     }
     case DeferredOp::Kind::CtsResume: {
@@ -96,9 +98,17 @@ void MpiWorld::executeOp(DeferredOp& op, std::uint64_t g) {
       sim::Simulation* sim =
           engines_[static_cast<std::size_t>(op.targetShard)].sim.get();
       sim::Process* sender = op.sender;
+      // The sender adopts the receiver's chain (plus the CTS hop) inside
+      // its own shard's window, exactly when the single queue would.
+      MpiContext* senderCtx = op.senderCtx;
+      const obs::PathSnapshot path = op.path;
+      const double link = std::max(0.0, arrival - op.submitT);
       scheduler_->channelPush(static_cast<std::size_t>(op.targetShard),
                               arrival, g, op.pushIdx,
-                              [sim, sender] { sim->resume(*sender); });
+                              [sim, sender, senderCtx, path, link] {
+                                senderCtx->adoptPath(path, link);
+                                sim->resume(*sender);
+                              });
       break;
     }
     case DeferredOp::Kind::StatFold:
@@ -174,6 +184,7 @@ void MpiWorld::shardBarrier() {
     Engine* best = &engines_[bestShard];
     const auto idx = static_cast<std::uint32_t>(best->logCursor++);
     shardOrdByDispatch_[bestShard][idx] = nextGlobalOrd_++;
+    ++shardMergeRecords_;
 
     // Virtual single-queue size replay: the dispatch popped one event and
     // pushed `pushes` (in-window pushes plus deferred channel pushes, which
@@ -217,7 +228,7 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
   sim_.reset();  // the single-queue engine is unused on this path
   net::TopologySpec topo = config_.topology;
   topo.nodes = nodes_;
-  fabric_ = std::make_unique<net::Fabric>(topo);
+  fabric_ = std::make_unique<net::Fabric>(topo, config_.linkTelemetry);
   scheduler_ =
       std::make_unique<sim::ShardScheduler>(fabric_->lookaheadSeconds());
 
@@ -301,16 +312,19 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
   mergedQueueHighWater_ = static_cast<std::uint64_t>(ranks_);
 
   // TIBSIM_SHARD_PROFILE=1 prints a host-side timing split (window vs
-  // barrier) to stderr — a tuning aid, never part of the artefacts.
+  // barrier) to stderr — a tuning aid, never part of the artefacts. The
+  // counters themselves now feed EngineStats unconditionally (two clock
+  // reads per window barrier, noise next to the merge itself).
   const bool profile = std::getenv("TIBSIM_SHARD_PROFILE") != nullptr;
   double barrierSeconds = 0.0;
   std::uint64_t barrierCalls = 0;
   std::uint64_t barrierSkips = 0;
+  shardMergeRecords_ = 0;
   // A barrier with no pending channel ops has nothing another shard can
   // observe: defer the merge and let compute-phase windows batch. The cap
   // bounds the accumulated dispatch-log/op memory between real merges.
   constexpr std::size_t kBarrierBatchRecords = 32768;
-  const auto maybeBarrier = [this, &barrierSkips] {
+  const auto maybeBarrier = [this, &barrierSkips, &barrierCalls] {
     if (pendingChannelOps_ == 0) {
       std::size_t records = 0;
       for (Engine& e : engines_) records += e.sim->dispatchLog().size();
@@ -319,23 +333,23 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
         return;
       }
     }
+    ++barrierCalls;
     shardBarrier();
   };
   const auto start = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
-  const double finalTime = scheduler_->run(
-      [profile, &maybeBarrier, &barrierSeconds, &barrierCalls] {
-        if (!profile) {
-          maybeBarrier();
-          return;
-        }
-        const auto t0 = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
-        maybeBarrier();
-        barrierSeconds += secondsSince(t0);
-        ++barrierCalls;
-      });
+  const double finalTime = scheduler_->run([&maybeBarrier, &barrierSeconds] {
+    const auto t0 = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
+    maybeBarrier();
+    barrierSeconds += secondsSince(t0);
+  });
   // Final flush: merge whatever the batching left behind (the drain-time
   // barrier may have skipped) before the stats below are assembled.
-  shardBarrier();
+  {
+    const auto t0 = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
+    ++barrierCalls;
+    shardBarrier();
+    barrierSeconds += secondsSince(t0);
+  }
   const double hostSeconds = secondsSince(start);
   if (profile) {
     std::uint64_t dispatched = 0;
@@ -360,6 +374,10 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
   merged.shardCount = static_cast<std::size_t>(shards);
   merged.shardWindows = scheduler_->windowsRun();
   merged.shardParallelWindows = scheduler_->parallelWindowsRun();
+  merged.shardBarrierCalls = barrierCalls;
+  merged.shardBarrierSkips = barrierSkips;
+  merged.shardMergeRecords = shardMergeRecords_;
+  merged.shardBarrierHostSeconds = barrierSeconds;
   for (Engine& e : engines_) {
     const sim::EngineStats es = e.sim->engineStats();
     merged.eventsDispatched += es.eventsDispatched;
@@ -409,14 +427,13 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
   }
   std::size_t live = 0;
   for (Engine& e : engines_) live += e.sim->liveProcessCount();
-  TIB_REQUIRE_MSG(live == 0,
-                  "simMPI deadlock: ranks still blocked after event queue "
-                  "drained");
+  TIB_REQUIRE_MSG(live == 0, deadlockMessage(finalTime));
 
   stats_.wallClockSeconds = *std::max_element(
       stats_.rankFinishSeconds.begin(), stats_.rankFinishSeconds.end());
   stats_.wireBytes = fabric_->totalWireBytes();
   stats_.fabricQueueingSeconds = fabric_->totalQueueingSeconds();
+  harvestPathAndLinks();
   return stats_;
 }
 

@@ -4,7 +4,8 @@
 
 namespace tibsim::net {
 
-Fabric::Fabric(TopologySpec spec) : spec_(spec) {
+Fabric::Fabric(TopologySpec spec, bool telemetry)
+    : spec_(spec), telemetry_(telemetry) {
   TIB_REQUIRE(spec_.nodes >= 1);
   TIB_REQUIRE(spec_.nodesPerLeafSwitch >= 1);
   TIB_REQUIRE(spec_.linkRateBytesPerS > 0.0);
@@ -27,12 +28,43 @@ int Fabric::hopCount(int src, int dst) const {
   return sameLeaf(src, dst) ? 1 : 3;
 }
 
-double Fabric::occupy(Resource& resource, double bytes, double earliest) {
+double Fabric::occupy(Resource& resource,
+                      obs::DurationHistogram& delayHistogram, double bytes,
+                      double earliest) {
   const double start = std::max(earliest, resource.nextFree);
-  totalQueueingSeconds_ += start - earliest;
-  const double finish = start + bytes / resource.rateBytesPerS;
+  const double queued = start - earliest;
+  totalQueueingSeconds_ += queued;
+  const double serialise = bytes / resource.rateBytesPerS;
+  const double finish = start + serialise;
   resource.nextFree = finish;
+  if (telemetry_) {
+    resource.busySeconds += serialise;
+    resource.bytes += bytes;
+    resource.queueSeconds += queued;
+    ++resource.transfers;
+    delayHistogram.record(queued);
+  }
   return finish;
+}
+
+void Fabric::fold(const Resource& resource, obs::LinkKindCounters& into) {
+  into.busySeconds += resource.busySeconds;
+  into.bytes += resource.bytes;
+  into.transfers += resource.transfers;
+  into.queueSeconds += resource.queueSeconds;
+  if (resource.busySeconds > into.maxLinkBusySeconds)
+    into.maxLinkBusySeconds = resource.busySeconds;
+}
+
+obs::LinkStats Fabric::linkStats() const {
+  obs::LinkStats stats;
+  for (const Resource& link : uplink_) fold(link, stats.uplink);
+  fold(core_, stats.core);
+  for (const Resource& link : downlink_) fold(link, stats.downlink);
+  stats.uplink.queueDelay = uplinkDelay_;
+  stats.core.queueDelay = coreDelay_;
+  stats.downlink.queueDelay = downlinkDelay_;
+  return stats;
 }
 
 double Fabric::scheduleWire(int src, int dst, double wireBytes,
@@ -51,14 +83,15 @@ double Fabric::scheduleWire(int src, int dst, double wireBytes,
   // previous finish minus its own serialisation time); when it is busy the
   // message queues. A fixed per-hop switch latency is added at the end.
   const double serialise = wireBytes / spec_.linkRateBytesPerS;
-  double t = occupy(uplink_[static_cast<std::size_t>(src)], wireBytes,
-                    startTime);
+  double t = occupy(uplink_[static_cast<std::size_t>(src)], uplinkDelay_,
+                    wireBytes, startTime);
   if (!sameLeaf(src, dst)) {
     const double coreSerialise = wireBytes / spec_.bisectionBytesPerS;
-    t = occupy(core_, wireBytes, std::max(startTime, t - coreSerialise));
+    t = occupy(core_, coreDelay_, wireBytes,
+               std::max(startTime, t - coreSerialise));
   }
-  t = occupy(downlink_[static_cast<std::size_t>(dst)], wireBytes,
-             std::max(startTime, t - serialise));
+  t = occupy(downlink_[static_cast<std::size_t>(dst)], downlinkDelay_,
+             wireBytes, std::max(startTime, t - serialise));
   return t + spec_.switchLatency * hopCount(src, dst);
 }
 

@@ -1,7 +1,9 @@
 #include "tibsim/obs/exporters.hpp"
 
 #include <cmath>
-#include <sstream>
+#include <string>
+
+#include "tibsim/common/json.hpp"
 
 namespace tibsim::obs {
 
@@ -24,36 +26,67 @@ int prvState(SpanKind kind) {
   return 0;
 }
 
+json::Value chromeEvent(const TraceSpan& span) {
+  json::Value event = json::Value::object();
+  event["name"] = json::Value(toString(span.kind));
+  event["ph"] = json::Value("X");
+  event["pid"] = json::Value(0);
+  event["tid"] = json::Value(span.rank);
+  event["ts"] = json::Value(span.begin * 1e6);
+  event["dur"] = json::Value(span.duration() * 1e6);
+  if (span.peer >= 0) {
+    json::Value& args = event["args"];
+    args["peer"] = json::Value(span.peer);
+    args["bytes"] = json::Value(span.bytes);
+  }
+  return event;
+}
+
 }  // namespace
 
 std::string exportCsv(std::span<const TraceSpan> spans) {
-  std::ostringstream out;
-  out << "rank,kind,begin,end,peer,bytes\n";
+  std::string out = "rank,kind,begin,end,peer,bytes\n";
   for (const TraceSpan& span : spans) {
-    out << span.rank << ',' << toString(span.kind) << ',' << span.begin
-        << ',' << span.end << ',' << span.peer << ',' << span.bytes << '\n';
+    out += std::to_string(span.rank);
+    out += ',';
+    out += toString(span.kind);
+    out += ',';
+    out += json::formatNumber(span.begin);
+    out += ',';
+    out += json::formatNumber(span.end);
+    out += ',';
+    out += std::to_string(span.peer);
+    out += ',';
+    out += std::to_string(span.bytes);
+    out += '\n';
   }
-  return out.str();
+  return out;
 }
 
 std::string exportChromeJson(std::span<const TraceSpan> spans) {
-  std::ostringstream out;
-  out << "{\"traceEvents\":[";
-  bool first = true;
-  for (const TraceSpan& span : spans) {
-    if (!first) out << ',';
-    first = false;
-    out << "{\"name\":\"" << toString(span.kind)
-        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.rank
-        << ",\"ts\":" << span.begin * 1e6 << ",\"dur\":" << span.duration() * 1e6;
-    if (span.peer >= 0) {
-      out << ",\"args\":{\"peer\":" << span.peer << ",\"bytes\":" << span.bytes
-          << '}';
-    }
-    out << '}';
+  return exportChromeJson(spans, std::string());
+}
+
+std::string exportChromeJson(std::span<const TraceSpan> spans,
+                             const std::string& processName) {
+  // Built on the json::Value document model so every string — span names
+  // today, caller-supplied process names with quotes or backslashes
+  // tomorrow — goes through one escaping path, and numbers keep their
+  // shortest-round-trip form instead of ostream's 6-digit rounding.
+  json::Value doc = json::Value::object();
+  json::Value& events = doc["traceEvents"];
+  events = json::Value::array();
+  if (!processName.empty()) {
+    json::Value meta = json::Value::object();
+    meta["name"] = json::Value("process_name");
+    meta["ph"] = json::Value("M");
+    meta["pid"] = json::Value(0);
+    meta["args"]["name"] = json::Value(processName);
+    events.push(std::move(meta));
   }
-  out << "],\"displayTimeUnit\":\"ms\"}";
-  return out.str();
+  for (const TraceSpan& span : spans) events.push(chromeEvent(span));
+  doc["displayTimeUnit"] = json::Value("ms");
+  return doc.dump();
 }
 
 std::string exportPrv(std::span<const TraceSpan> spans, int ranks,
@@ -61,33 +94,52 @@ std::string exportPrv(std::span<const TraceSpan> spans, int ranks,
   // Header: #Paraver (date):duration:nodes(cpus):apps:app_list
   // Dates are banned (byte-determinism), so the date field is left blank the
   // way wxparaver tolerates.
-  std::ostringstream out;
-  const std::uint64_t duration = toNanos(wallClockSeconds);
-  out << "#Paraver ():" << duration << "_ns:1(" << ranks << "):1:" << ranks
-      << '(';
+  std::string out = "#Paraver ():";
+  out += std::to_string(toNanos(wallClockSeconds));
+  out += "_ns:1(";
+  out += std::to_string(ranks);
+  out += "):1:";
+  out += std::to_string(ranks);
+  out += '(';
   for (int r = 0; r < ranks; ++r) {
-    if (r > 0) out << ',';
-    out << "1:1";
+    if (r > 0) out += ',';
+    out += "1:1";
   }
-  out << ")\n";
+  out += ")\n";
   // State records: 1:cpu:appl:task:thread:begin:end:state
   for (const TraceSpan& span : spans) {
-    out << "1:" << span.rank + 1 << ":1:" << span.rank + 1 << ":1:"
-        << toNanos(span.begin) << ':' << toNanos(span.end) << ':'
-        << prvState(span.kind) << '\n';
+    out += "1:";
+    out += std::to_string(span.rank + 1);
+    out += ":1:";
+    out += std::to_string(span.rank + 1);
+    out += ":1:";
+    out += std::to_string(toNanos(span.begin));
+    out += ':';
+    out += std::to_string(toNanos(span.end));
+    out += ':';
+    out += std::to_string(prvState(span.kind));
+    out += '\n';
   }
-  return out.str();
+  return out;
 }
 
 std::string exportBreakdownCsv(const std::vector<RankSummary>& summaries) {
-  std::ostringstream out;
-  out << "rank,compute_s,send_s,recv_s,wait_s,other_s\n";
+  std::string out = "rank,compute_s,send_s,recv_s,wait_s,other_s\n";
   for (const RankSummary& s : summaries) {
-    out << s.rank << ',' << s.computeSeconds << ',' << s.sendSeconds << ','
-        << s.recvSeconds << ',' << s.waitSeconds << ',' << s.otherSeconds
-        << '\n';
+    out += std::to_string(s.rank);
+    out += ',';
+    out += json::formatNumber(s.computeSeconds);
+    out += ',';
+    out += json::formatNumber(s.sendSeconds);
+    out += ',';
+    out += json::formatNumber(s.recvSeconds);
+    out += ',';
+    out += json::formatNumber(s.waitSeconds);
+    out += ',';
+    out += json::formatNumber(s.otherSeconds);
+    out += '\n';
   }
-  return out.str();
+  return out;
 }
 
 }  // namespace tibsim::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/rng.hpp"
@@ -48,7 +49,10 @@ TraceMode readModeFromEnv() {
 }
 
 TraceMode& defaultModeSlot() {
-  static TraceMode slot = readModeFromEnv();
+  // Process-wide configuration, written from the host thread (CLI/env/
+  // ScopedTraceMode) before any world runs and only snapshotted into
+  // WorldConfig — never touched from inside shard windows.
+  static TraceMode slot = readModeFromEnv();  // tibsim-lint: allow(shard-shared)
   return slot;
 }
 
@@ -60,13 +64,6 @@ void setDefaultTraceMode(TraceMode mode) { defaultModeSlot() = mode; }
 // ---------------------------------------------------------------------------
 // DurationHistogram
 // ---------------------------------------------------------------------------
-
-int DurationHistogram::bucketFor(double seconds) {
-  const double ns = seconds * 1e9;
-  if (!(ns > 1.0)) return 0;  // sub-nanosecond, zero, NaN
-  const int bucket = static_cast<int>(std::log2(ns));
-  return bucket >= kBuckets ? kBuckets - 1 : bucket;
-}
 
 double DurationHistogram::bucketLowerSeconds(int bucket) {
   return std::exp2(static_cast<double>(bucket)) * 1e-9;
@@ -81,19 +78,6 @@ std::uint64_t DurationHistogram::total() const {
 // ---------------------------------------------------------------------------
 // TraceSink base: exact O(ranks) totals shared by every mode
 // ---------------------------------------------------------------------------
-
-void TraceSink::record(const TraceSpan& span) {
-  TIB_REQUIRE(span.end >= span.begin);
-  ++recorded_;
-  if (span.rank >= 0) {
-    const auto r = static_cast<std::size_t>(span.rank);
-    if (r >= totals_.size()) totals_.resize(r + 1);
-    const auto k = static_cast<std::size_t>(span.kind);
-    totals_[r].seconds[k] += span.duration();
-    ++totals_[r].count[k];
-  }
-  onRecord(span);
-}
 
 void TraceSink::clear() {
   recorded_ = 0;
@@ -231,7 +215,7 @@ class SampledSink final : public TraceSink {
 
 class AggregateSink final : public TraceSink {
  public:
-  AggregateSink() : TraceSink(TraceMode::Aggregate) {}
+  AggregateSink() : TraceSink(TraceMode::Aggregate) { aggGrid_ = &grid_; }
 
   std::vector<TraceSpan> retainedSpans() const override { return {}; }
   std::size_t spansRetained() const override { return 0; }
@@ -244,12 +228,8 @@ class AggregateSink final : public TraceSink {
   }
 
  protected:
-  void onRecord(const TraceSpan& span) override {
-    if (span.rank < 0) return;
-    const auto r = static_cast<std::size_t>(span.rank);
-    if (r >= grid_.size()) grid_.resize(r + 1);
-    grid_[r][static_cast<std::size_t>(span.kind)].record(span.duration());
-  }
+  // record() updates the installed grid inline; nothing reaches onRecord.
+  void onRecord(const TraceSpan&) override {}
 
   void onClear() override { grid_.clear(); }
 
@@ -258,7 +238,7 @@ class AggregateSink final : public TraceSink {
   }
 
  private:
-  std::vector<std::array<DurationHistogram, kSpanKinds>> grid_;
+  HistogramGrid grid_;
 };
 
 }  // namespace

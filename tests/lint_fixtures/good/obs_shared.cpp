@@ -1,0 +1,12 @@
+// Fixture: per-sink member state keeps obs recording shard-safe, and a
+// process-wide configuration slot written only from the host thread is
+// waived explicitly.
+struct Sink {
+  unsigned long long recorded = 0;
+  void record() { ++recorded; }
+};
+
+int defaultMode() {
+  static int slot = 0;  // tibsim-lint: allow(shard-shared)
+  return slot;
+}

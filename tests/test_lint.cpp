@@ -93,6 +93,10 @@ const FixtureCase kFixtureCases[] = {
      "good/mpi_contract.cpp", "src/apps/fixture.cpp"},
     {"shard-shared", "bad/shard_shared.cpp", "src/net/fixture.cpp", 4,
      "good/shard_shared.cpp", "src/net/fixture.cpp"},
+    // Same rule through an obs-layer path: trace sinks and link telemetry
+    // mutate from inside the event loop, so src/obs/ counts as sim code.
+    {"shard-shared", "bad/obs_shared.cpp", "src/obs/fixture.cpp", 5,
+     "good/obs_shared.cpp", "src/obs/fixture.cpp"},
     {"wildcard-recv", "bad/wildcard_recv.cpp", "src/apps/fixture.cpp", 6,
      "good/wildcard_recv.cpp", "src/apps/fixture.cpp"},
 };
@@ -218,7 +222,11 @@ TEST(LintFormat, FindingsRenderAsFileLineRuleMessage) {
 class LintRegistryDocsTest : public testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::path(testing::TempDir()) / "tibsim_lint_docs_tree";
+    // Unique per test: ctest runs each TEST_F as its own process, so a
+    // shared directory name races under parallel execution.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(testing::TempDir()) /
+            (std::string("tibsim_lint_docs_tree_") + info->name());
     fs::remove_all(root_);
     fs::create_directories(root_ / "src" / "core");
     writeFile(root_ / "src" / "core" / "experiments.cpp",

@@ -208,6 +208,97 @@ TEST_P(SimMpiTest, DeadlockIsDetected) {
                ContractError);
 }
 
+TEST_P(SimMpiTest, DeadlockWithoutWatchdogPointsAtTheFlag) {
+  MpiWorld world(testConfig(), 2);
+  try {
+    world.run([](MpiContext& ctx) { ctx.recv(1 - ctx.rank(), 1); });
+    FAIL() << "deadlock not detected";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("--stall-report"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_P(SimMpiTest, StallReportListsEveryBlockedRank) {
+  // The report is derived from simulated state only, so the exact lines
+  // can be pinned: identical on both backends and any shard count.
+  obs::ScopedStallReport scoped(true);
+  MpiWorld world(testConfig(), 4);
+  try {
+    world.run([](MpiContext& ctx) {
+      // Every rank receives from its left neighbour first: a 4-cycle.
+      ctx.recv((ctx.rank() + 1) % ctx.size(), 7);
+    });
+    FAIL() << "deadlock not detected";
+  } catch (const ContractError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("stall report: 4 rank(s) blocked at t=0s"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 0 node 0: recv(peer=1, tag=7)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 3 node 3: recv(peer=0, tag=7)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("blocked 0s since t=0s"), std::string::npos) << what;
+  }
+}
+
+TEST_P(SimMpiTest, StallReportCoversRendezvousSenders) {
+  // A rendezvous send with no matching receive blocks on the CTS; the
+  // watchdog must attribute the stall to the send side, not the mailbox.
+  obs::ScopedStallReport scoped(true);
+  MpiWorld world(testConfig(1, net::Protocol::OpenMx), 2);
+  try {
+    world.run([](MpiContext& ctx) {
+      if (ctx.rank() == 0) ctx.send(1, 5, 64 * 1024);
+    });
+    FAIL() << "deadlock not detected";
+  } catch (const ContractError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("stall report: 1 rank(s) blocked"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 0 node 0: rendezvous-send(peer=1, tag=5)"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST_P(SimMpiTest, StallReportIsByteIdenticalAcrossShards) {
+  obs::ScopedStallReport scoped(true);
+  const auto report = [](int shards) {
+    WorldConfig cfg = testConfig();
+    cfg.topology.nodesPerLeafSwitch = 2;
+    cfg.simShards = shards;
+    MpiWorld world(cfg, 6);
+    try {
+      world.run([](MpiContext& ctx) {
+        if (ctx.rank() < 3) {
+          ctx.recv((ctx.rank() + 1) % 3, 9);  // 3-cycle among ranks 0..2
+        } else {
+          ctx.computeSeconds(1e-5 * ctx.rank());  // these ranks finish
+        }
+      });
+    } catch (const ContractError& error) {
+      // Strip the engine-specific TIB_REQUIRE prefix (expression and
+      // file:line differ between the single-queue and sharded engines);
+      // the report body itself must be byte-identical.
+      const std::string what = error.what();
+      const std::size_t at = what.find("stall report:");
+      return at == std::string::npos ? what : what.substr(at);
+    }
+    return std::string();
+  };
+  const std::string base = report(1);
+  ASSERT_NE(base.find("stall report: 3 rank(s) blocked"), std::string::npos)
+      << base;
+  EXPECT_EQ(report(2), base);
+  EXPECT_EQ(report(3), base);
+}
+
 TEST_P(SimMpiTest, RankExceptionsPropagate) {
   MpiWorld world(testConfig(), 2);
   EXPECT_THROW(world.run([](MpiContext& ctx) {

@@ -13,10 +13,12 @@
 #include "tibsim/arch/registry.hpp"
 #include "tibsim/cluster/cluster.hpp"
 #include "tibsim/common/assert.hpp"
+#include "tibsim/common/json.hpp"
 #include "tibsim/common/units.hpp"
 #include "tibsim/mpi/imb.hpp"
 #include "tibsim/mpi/simmpi.hpp"
 #include "tibsim/obs/exporters.hpp"
+#include "tibsim/obs/stall_report.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/simulation.hpp"
 
@@ -250,6 +252,35 @@ TEST(Exporters, PrvHeaderAndStateRecords) {
             std::string::npos);
 }
 
+TEST(Exporters, ChromeJsonEscapesProcessNames) {
+  const std::vector<TraceSpan> spans = {
+      TraceSpan{0, SpanKind::Compute, 0.0, 0.5, -1, 0},
+  };
+  const std::string name = "hydro \"async\" C:\\traces\n";
+  const std::string json = obs::exportChromeJson(spans, name);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("hydro \\\"async\\\" C:\\\\traces\\n"),
+            std::string::npos)
+      << json;
+  // The document must stay valid JSON and round-trip the raw name.
+  const json::Value doc = json::Value::parse(json);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);  // metadata event + the span
+  const json::Value* args = events->at(0).find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("name")->asString(), name);
+}
+
+TEST(Exporters, ChromeJsonWithoutNameHasNoMetadataEvent) {
+  const std::vector<TraceSpan> spans = {
+      TraceSpan{0, SpanKind::Compute, 0.0, 0.5, -1, 0},
+  };
+  const std::string json = obs::exportChromeJson(spans);
+  EXPECT_EQ(json.find("process_name"), std::string::npos);
+  EXPECT_EQ(json::Value::parse(json).find("traceEvents")->size(), 1u);
+}
+
 TEST(Exporters, BreakdownCsvHasOneRowPerRank) {
   obs::RankSummary s0;
   s0.rank = 0;
@@ -329,6 +360,178 @@ TEST(WorldTrace, SampledReservoirIdenticalAcrossBackends) {
     EXPECT_EQ(fiber[i].peer, thread[i].peer);
     EXPECT_EQ(fiber[i].bytes, thread[i].bytes);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Link telemetry, critical path and sharded exporter identity
+// ---------------------------------------------------------------------------
+
+mpi::WorldConfig shardableConfig(int shards,
+                                 sim::ExecBackend backend =
+                                     sim::ExecBackend::Fiber) {
+  mpi::WorldConfig cfg = tegraConfig();
+  cfg.simBackend = backend;
+  cfg.topology.nodesPerLeafSwitch = 2;  // tiny leaves force real sharding
+  cfg.simShards = shards;
+  return cfg;
+}
+
+TEST(WorldLinks, TelemetryCountsTransfersAndIsShardInvariant) {
+  const auto run = [](int shards, bool telemetry) {
+    mpi::WorldConfig cfg = shardableConfig(shards);
+    cfg.linkTelemetry = telemetry;
+    mpi::MpiWorld world(cfg, 8);
+    return world.run(commHeavyBody);
+  };
+  const auto base = run(1, true);
+  ASSERT_TRUE(base.linkStats.any());
+  EXPECT_GT(base.linkStats.uplink.transfers, 0u);
+  EXPECT_GT(base.linkStats.uplink.busySeconds, 0.0);
+  EXPECT_GT(base.linkStats.uplink.bytes, 0.0);
+  // Every transfer climbs one uplink and descends one downlink.
+  EXPECT_EQ(base.linkStats.uplink.transfers,
+            base.linkStats.downlink.transfers);
+  EXPECT_EQ(base.linkStats.uplink.queueDelay.total(),
+            base.linkStats.uplink.transfers);
+  EXPECT_LE(base.linkStats.uplink.maxLinkBusySeconds,
+            base.linkStats.uplink.busySeconds);
+  // Fabric occupancy happens at canonical wire-scheduling points only, so
+  // the counters are exactly shard-invariant, not merely close.
+  for (int shards : {2, 4}) {
+    const auto got = run(shards, true);
+    EXPECT_EQ(got.linkStats.uplink.transfers,
+              base.linkStats.uplink.transfers);
+    EXPECT_DOUBLE_EQ(got.linkStats.uplink.busySeconds,
+                     base.linkStats.uplink.busySeconds);
+    EXPECT_DOUBLE_EQ(got.linkStats.core.queueSeconds,
+                     base.linkStats.core.queueSeconds);
+    EXPECT_DOUBLE_EQ(got.linkStats.downlink.maxLinkBusySeconds,
+                     base.linkStats.downlink.maxLinkBusySeconds);
+    for (int b = 0; b < obs::DurationHistogram::kBuckets; ++b) {
+      EXPECT_EQ(got.linkStats.uplink.queueDelay.counts[
+                    static_cast<std::size_t>(b)],
+                base.linkStats.uplink.queueDelay.counts[
+                    static_cast<std::size_t>(b)]);
+    }
+  }
+  // Telemetry off: same simulation, empty counters.
+  const auto off = run(1, false);
+  EXPECT_FALSE(off.linkStats.any());
+  EXPECT_DOUBLE_EQ(off.wallClockSeconds, base.wallClockSeconds);
+}
+
+TEST(CriticalPath, DecomposesWallClockExactly) {
+  mpi::MpiWorld world(shardableConfig(1), 8);
+  const auto stats = world.run(commHeavyBody);
+  const obs::CriticalPath& path = stats.criticalPath;
+  EXPECT_GE(path.endRank, 0);
+  EXPECT_LT(path.endRank, 8);
+  EXPECT_GT(path.edges, 0u);
+  EXPECT_GT(path.computeSeconds, 0.0);
+  EXPECT_GT(path.sendSeconds + path.recvSeconds, 0.0);
+  // waitSeconds is defined as the residual, so the decomposition covers
+  // the wall clock up to FP rounding of the segment sums (the residual is
+  // clamped at zero, so a chain that over-accounts by an ulp shows up as
+  // length > wallClock by that ulp).
+  EXPECT_NEAR(path.lengthSeconds(), stats.wallClockSeconds,
+              1e-12 * stats.wallClockSeconds);
+}
+
+TEST(CriticalPath, IdenticalAcrossShardsAndBackends) {
+  const auto run = [](sim::ExecBackend backend, int shards) {
+    mpi::MpiWorld world(shardableConfig(shards, backend), 8);
+    return world.run(commHeavyBody).criticalPath;
+  };
+  const obs::CriticalPath base = run(sim::ExecBackend::Fiber, 1);
+  for (const auto backend :
+       {sim::ExecBackend::Fiber, sim::ExecBackend::Thread}) {
+    for (int shards : {1, 2, 4}) {
+      const obs::CriticalPath got = run(backend, shards);
+      EXPECT_EQ(got.endRank, base.endRank);
+      EXPECT_EQ(got.edges, base.edges);
+      EXPECT_DOUBLE_EQ(got.computeSeconds, base.computeSeconds);
+      EXPECT_DOUBLE_EQ(got.sendSeconds, base.sendSeconds);
+      EXPECT_DOUBLE_EQ(got.recvSeconds, base.recvSeconds);
+      EXPECT_DOUBLE_EQ(got.linkSeconds, base.linkSeconds);
+      EXPECT_DOUBLE_EQ(got.waitSeconds, base.waitSeconds);
+    }
+  }
+}
+
+std::pair<std::string, std::string> shardedArtefacts(
+    sim::ExecBackend backend, int shards) {
+  mpi::WorldConfig cfg = shardableConfig(shards, backend);
+  cfg.traceMode = TraceMode::Sampled;
+  cfg.traceReservoirPerRank = 16;
+  cfg.traceSeed = 7;
+  mpi::MpiWorld world(cfg, 8);
+  world.enableTracing();
+  const auto stats = world.run(commHeavyBody);
+  const std::string prv =
+      world.tracer().exportPrv(8, stats.wallClockSeconds);
+  const std::string breakdown = obs::exportBreakdownCsv(
+      world.tracer().summarize(8, stats.wallClockSeconds));
+  return {prv, breakdown};
+}
+
+TEST(Exporters, ShardedRunsExportByteIdenticalArtefacts) {
+  for (const auto backend :
+       {sim::ExecBackend::Fiber, sim::ExecBackend::Thread}) {
+    const auto base = shardedArtefacts(backend, 1);
+    ASSERT_EQ(base.first.rfind("#Paraver", 0), 0u);
+    ASSERT_NE(base.second.find("rank,compute_s"), std::string::npos);
+    for (int shards : {2, 8}) {
+      const auto got = shardedArtefacts(backend, shards);
+      EXPECT_EQ(got.first, base.first)
+          << "prv differs: backend=" << sim::toString(backend)
+          << " shards=" << shards;
+      EXPECT_EQ(got.second, base.second)
+          << "breakdown differs: backend=" << sim::toString(backend)
+          << " shards=" << shards;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog
+// ---------------------------------------------------------------------------
+
+TEST(StallReport, ScopedOverrideRestoresPrevious) {
+  const bool before = obs::defaultStallReport();
+  {
+    obs::ScopedStallReport scoped(true);
+    EXPECT_TRUE(obs::defaultStallReport());
+    mpi::WorldConfig cfg;  // snapshots the default at construction
+    EXPECT_TRUE(cfg.stallReport);
+  }
+  EXPECT_EQ(obs::defaultStallReport(), before);
+}
+
+TEST(StallReport, FormatSortsByRankAndRendersWildcards) {
+  obs::StallEntry late;
+  late.rank = 3;
+  late.node = 1;
+  late.op = "recv";
+  late.peer = -1;  // kAnySource
+  late.tag = -1;   // kAnyTag
+  late.comm = 7;
+  late.blockedSince = 0.5;
+  obs::StallEntry early;
+  early.rank = 0;
+  early.node = 0;
+  early.op = "rendezvous-send";
+  early.peer = 2;
+  early.tag = 9;
+  early.blockedSince = 0.25;
+  early.lastSpans.push_back(TraceSpan{0, SpanKind::Compute, 0.0, 0.25, -1, 0});
+  const std::string report = obs::formatStallReport({late, early}, 1.0);
+  EXPECT_EQ(report,
+            "stall report: 2 rank(s) blocked at t=1s\n"
+            "  rank 0 node 0: rendezvous-send(peer=2, tag=9) comm=0 "
+            "blocked 0.75s since t=0.25s\n"
+            "    recent: compute[0s..0.25s]\n"
+            "  rank 3 node 1: recv(peer=*, tag=*) comm=7 "
+            "blocked 0.5s since t=0.5s\n");
 }
 
 TEST(Imb, StatsHookSeesEveryWorld) {

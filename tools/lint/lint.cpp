@@ -199,12 +199,14 @@ FileContext makeContext(const std::string& path, const std::string& content) {
                  (ctx.path.rfind(".hpp") == ctx.path.size() - 4 ||
                   ctx.path.rfind(".h") == ctx.path.size() - 2);
   // Sim paths: everything that executes inside fiber-run rank/process
-  // bodies — the engine, simMPI, the network models they drive and the
-  // MPI applications. cluster/ and core/ orchestrate from the host thread.
+  // bodies — the engine, simMPI, the network models they drive, the MPI
+  // applications, and the observability layer they record into (trace
+  // sinks, link telemetry, critical-path state all mutate from inside the
+  // event loop). cluster/ and core/ orchestrate from the host thread.
   for (const char* dir :
-       {"src/sim/", "src/mpi/", "src/apps/", "src/net/",
+       {"src/sim/", "src/mpi/", "src/apps/", "src/net/", "src/obs/",
         "include/tibsim/sim/", "include/tibsim/mpi/", "include/tibsim/apps/",
-        "include/tibsim/net/"}) {
+        "include/tibsim/net/", "include/tibsim/obs/"}) {
     if (pathContains(ctx.path, dir)) {
       ctx.isSimPath = true;
       break;
