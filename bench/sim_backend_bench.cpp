@@ -25,10 +25,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "tibsim/common/json.hpp"
+#include "tibsim/core/campaign.hpp"
 #include "tibsim/mpi/simmpi.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/execution_context.hpp"
@@ -179,6 +183,46 @@ Probe iallreduceProbe(ExecBackend backend, int repetitions) {
   return {seconds, stats.engine.contextSwitches, repetitions};
 }
 
+/// Campaign throughput: the same fixed experiment subset run cold (fresh
+/// cache, every cell computed), warm (same cache, every cell replayed)
+/// and cold again across two worker processes. Tracks the result cache's
+/// speedup and the --procs scheduling overhead as numbers in
+/// BENCH_sim.json, not anecdotes.
+struct CampaignProbe {
+  std::size_t experiments = 0;
+  double coldSeconds = 0.0;
+  double warmSeconds = 0.0;
+  double procs2Seconds = 0.0;
+};
+
+CampaignProbe campaignThroughputProbe() {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() / "tibsim_bench_campaign";
+  fs::remove_all(base);
+  const std::vector<std::string> subset = {"tab01", "tab04", "imb_suite",
+                                           "latency_penalty"};
+  const auto timedRun = [&](const fs::path& cache, int procs) {
+    tibsim::core::CampaignOptions options;
+    options.patterns = subset;
+    options.summary = false;
+    options.cacheDir = cache.string();
+    options.procs = procs;
+    std::ostringstream sink;
+    const auto start = std::chrono::steady_clock::now();
+    tibsim::core::runCampaign(options, sink);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  CampaignProbe probe;
+  probe.experiments = subset.size();
+  probe.coldSeconds = timedRun(base / "cache", 1);
+  probe.warmSeconds = timedRun(base / "cache", 1);
+  probe.procs2Seconds = timedRun(base / "cache2", 2);
+  fs::remove_all(base);
+  return probe;
+}
+
 void report(const char* name, const Probe& fiber, const Probe& thread) {
   std::printf("%-22s %12llu switches   fiber %8.1f ns/switch   thread "
               "%8.1f ns/switch   ratio %.1fx",
@@ -204,6 +248,12 @@ tibsim::json::Value probeJson(const Probe& fiber, const Probe& thread) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The --procs scheduler re-invokes /proc/self/exe: when the campaign
+  // probe below spawns workers, that is THIS binary, so a leading "run"
+  // forwards straight to the campaign driver.
+  if (argc > 1 && std::strcmp(argv[1], "run") == 0)
+    return tibsim::core::socbenchMain(argc, argv);
+
   std::string jsonPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -302,6 +352,20 @@ int main(int argc, char** argv) {
   taxLine("+trace sampled", obsSampled);
   taxLine("+trace full", obsFull);
 
+  const CampaignProbe campaign = campaignThroughputProbe();
+  std::printf("\ncampaign throughput (%zu experiments, result cache)\n"
+              "%-22s %8.3f s\n%-22s %8.3f s   %0.1fx vs cold\n"
+              "%-22s %8.3f s   %0.1fx vs cold\n",
+              campaign.experiments, "cold", campaign.coldSeconds, "warm",
+              campaign.warmSeconds,
+              campaign.warmSeconds > 0.0
+                  ? campaign.coldSeconds / campaign.warmSeconds
+                  : 0.0,
+              "cold --procs 2", campaign.procs2Seconds,
+              campaign.procs2Seconds > 0.0
+                  ? campaign.coldSeconds / campaign.procs2Seconds
+                  : 0.0);
+
   std::printf(
       "\nfiber = user-space swapcontext on owned stacks; thread = one OS "
       "thread per process with a mutex/condvar baton (two kernel wake-ups "
@@ -332,6 +396,19 @@ int main(int argc, char** argv) {
     obs["traceSampled"] = obsEntry(obsSampled);
     obs["traceFull"] = obsEntry(obsFull);
     doc["observabilityTax"] = obs;
+    tibsim::json::Value ct = tibsim::json::Value::object();
+    ct["experiments"] = static_cast<double>(campaign.experiments);
+    ct["coldSeconds"] = campaign.coldSeconds;
+    ct["warmSeconds"] = campaign.warmSeconds;
+    ct["procs2Seconds"] = campaign.procs2Seconds;
+    ct["warmSpeedup"] = campaign.warmSeconds > 0.0
+                            ? campaign.coldSeconds / campaign.warmSeconds
+                            : 0.0;
+    ct["procs2Speedup"] =
+        campaign.procs2Seconds > 0.0
+            ? campaign.coldSeconds / campaign.procs2Seconds
+            : 0.0;
+    doc["campaignThroughput"] = ct;
     std::ofstream out(jsonPath);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());

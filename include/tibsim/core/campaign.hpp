@@ -46,6 +46,26 @@ struct CampaignOptions {
   /// per-rank wait-state report instead of the bare deadlock one-liner.
   /// false keeps the process-wide default (off, or TIBSIM_STALL_REPORT).
   bool stallReport = false;
+  /// Content-addressed result cache directory (--cache). When non-empty,
+  /// each experiment cell is keyed by core/result_cache.hpp's digest
+  /// (experiment + version tag, platform spec bytes, seed, resolved
+  /// backend/trace/shard/stall options, binary fingerprint); hits replay
+  /// their JSON/CSV byte-identically from disk and misses are stored
+  /// atomically after computing. Ignored (with a summary note) when
+  /// --trace-export is set: exported timeline artefacts are written
+  /// during the run and cannot be replayed. Empty disables caching.
+  std::string cacheDir;
+  /// Worker processes for uncached cells (--procs). The parent partitions
+  /// cache misses across N re-invocations of this binary (an internal
+  /// --worker-cells spec), workers write into the cache, and the parent
+  /// folds everything in canonical order — artefacts stay byte-identical
+  /// for every --procs value. Requires cacheDir; 1 (the default) computes
+  /// misses in-process.
+  int procs = 1;
+  /// Internal (set by the parent via --worker-cells): comma-separated
+  /// exact experiment names this process must compute and store into
+  /// cacheDir. Non-empty selects exactly these cells, ignoring patterns.
+  std::string workerCells;
 };
 
 struct ExperimentRun {
@@ -58,6 +78,11 @@ struct ExperimentRun {
   obs::RunCounters counters;  ///< world traffic/trace accounting
   ResultSet results;
   std::string json;  ///< the deterministic result document
+  /// True when this run replayed from the result cache (or from a worker
+  /// process that stored it there) instead of executing in-process. The
+  /// host-only engine fields (hostSeconds, stack high-water, shard-gang
+  /// counters) are zero then: no engine ran here.
+  bool fromCache = false;
 };
 
 struct CampaignResult {
@@ -65,6 +90,8 @@ struct CampaignResult {
   double wallSeconds = 0.0;
   int jobs = 1;
   std::uint64_t seed = 42;
+  std::size_t cacheHits = 0;    ///< cells replayed from the result cache
+  std::size_t cacheMisses = 0;  ///< cells computed (in-process or workers)
 };
 
 /// Run every experiment matching options.patterns. Reports go to `out`;
@@ -84,12 +111,14 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
 /// The `socbench` CLI:
 ///   socbench list [glob...]
 ///   socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N] [--seed S]
+///                [--cache DIR] [--procs N]
 ///                [--sim-backend fiber|thread]
 ///                [--trace-mode full|sampled|aggregate]
 ///                [--trace-export DIR] [--stall-report]
 ///                [--compat] [--no-summary]
-/// Flags accept both "--flag value" and "--flag=value".
-/// Returns the process exit code.
+/// Flags accept both "--flag value" and "--flag=value". Numeric flags are
+/// validated (a usage error, not an uncaught std::stoi abort). Returns the
+/// process exit code.
 int socbenchMain(int argc, const char* const* argv);
 
 /// Entry point for the legacy single-figure binaries: behaves like

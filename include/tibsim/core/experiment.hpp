@@ -144,6 +144,15 @@ class Experiment {
   /// One-line human description for `socbench list` and report headings.
   virtual std::string title() const = 0;
 
+  /// Cache-invalidation tag for the result cache (core/result_cache.hpp).
+  /// The binary fingerprint already invalidates cached cells on any
+  /// rebuild; this tag additionally lets an experiment declare a semantic
+  /// version, so external inputs the fingerprint cannot see (a data file
+  /// an experiment reads, a deliberate re-measurement) can force a miss
+  /// without code changes. Bump it whenever the experiment's output
+  /// changes for a reason the key's other ingredients do not capture.
+  virtual std::string versionTag() const { return "1"; }
+
   virtual ResultSet run(ExperimentContext& ctx) const = 0;
 };
 
@@ -187,15 +196,17 @@ class LambdaExperiment final : public Experiment {
   using RunFn = std::function<ResultSet(ExperimentContext&)>;
 
   LambdaExperiment(std::string name, std::string paperRef, std::string title,
-                   RunFn run)
+                   RunFn run, std::string versionTag = "1")
       : name_(std::move(name)),
         paperRef_(std::move(paperRef)),
         title_(std::move(title)),
-        run_(std::move(run)) {}
+        run_(std::move(run)),
+        versionTag_(std::move(versionTag)) {}
 
   std::string name() const override { return name_; }
   std::string paperRef() const override { return paperRef_; }
   std::string title() const override { return title_; }
+  std::string versionTag() const override { return versionTag_; }
   ResultSet run(ExperimentContext& ctx) const override { return run_(ctx); }
 
  private:
@@ -203,6 +214,7 @@ class LambdaExperiment final : public Experiment {
   std::string paperRef_;
   std::string title_;
   RunFn run_;
+  std::string versionTag_;
 };
 
 /// Mix a campaign-level seed with an experiment name into the

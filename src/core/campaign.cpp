@@ -1,7 +1,12 @@
 #include "tibsim/core/campaign.hpp"
 
+#include <spawn.h>
+#include <sys/wait.h>
+
 #include <algorithm>
+#include <charconv>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -10,10 +15,13 @@
 
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/table.hpp"
+#include "tibsim/core/result_cache.hpp"
 #include "tibsim/obs/stall_report.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/execution_context.hpp"
 #include "tibsim/sim/shard_scheduler.hpp"
+
+extern char** environ;
 
 namespace tibsim::core {
 
@@ -61,6 +69,82 @@ json::Value linkKindJson(const obs::LinkKindCounters& kind) {
   }
   out["queueDelay"] = std::move(delay);
   return out;
+}
+
+std::vector<std::string> splitCommaList(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Re-invoke this binary once per worker with an exact --worker-cells list,
+/// blocking until every worker exits. Workers communicate results through
+/// the cache only (no pipes), so the parent replays them afterwards in the
+/// existing canonical order. A worker that fails is a campaign failure:
+/// its cells would silently fall back to in-process recomputation
+/// otherwise, hiding the breakage.
+void runWorkerProcesses(const std::vector<std::vector<std::string>>& shards,
+                        const CampaignOptions& options, int workerJobs) {
+  std::vector<pid_t> pids;
+  for (const std::vector<std::string>& cells : shards) {
+    if (cells.empty()) continue;
+    std::string joined;
+    for (const std::string& name : cells)
+      joined += (joined.empty() ? "" : ",") + name;
+    std::vector<std::string> args = {
+        "socbench",     "run",
+        "--worker-cells", joined,
+        "--cache",      options.cacheDir,
+        "--seed",       std::to_string(options.seed),
+        "--jobs",       std::to_string(workerJobs),
+        "--no-summary"};
+    if (!options.simBackend.empty()) {
+      args.push_back("--sim-backend");
+      args.push_back(options.simBackend);
+    }
+    if (!options.traceMode.empty()) {
+      args.push_back("--trace-mode");
+      args.push_back(options.traceMode);
+    }
+    if (options.simShards > 0) {
+      args.push_back("--sim-shards");
+      args.push_back(std::to_string(options.simShards));
+    }
+    if (options.stallReport) args.push_back("--stall-report");
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    // /proc/self/exe pins the image this process is running (even if the
+    // file was replaced since exec), so workers share our binary
+    // fingerprint and their cache entries replay here.
+    pid_t pid = -1;
+    const int rc = ::posix_spawn(&pid, "/proc/self/exe", nullptr, nullptr,
+                                 argv.data(), environ);
+    TIB_REQUIRE_MSG(rc == 0, "cannot spawn campaign worker: " +
+                                 std::string(std::strerror(rc)));
+    pids.push_back(pid);
+  }
+  // Collect every worker before judging any: leaking live children on a
+  // first-failure throw would leave them racing the parent's fallback.
+  std::vector<int> statuses(pids.size(), 0);
+  for (std::size_t i = 0; i < pids.size(); ++i)
+    TIB_REQUIRE_MSG(::waitpid(pids[i], &statuses[i], 0) == pids[i],
+                    "waitpid lost a campaign worker");
+  for (const int status : statuses) {
+    TIB_REQUIRE_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                    "campaign worker failed with status " +
+                        std::to_string(WIFEXITED(status)
+                                           ? WEXITSTATUS(status)
+                                           : -WTERMSIG(status)));
+  }
 }
 
 }  // namespace
@@ -152,13 +236,28 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
 CampaignResult runCampaign(const CampaignOptions& options,
                            std::ostream& out) {
   const ExperimentRegistry& registry = ExperimentRegistry::global();
-  const std::vector<const Experiment*> selected =
-      registry.match(options.patterns);
-  std::string patternText;
-  for (const std::string& p : options.patterns)
-    patternText += (patternText.empty() ? "" : " ") + p;
-  TIB_REQUIRE_MSG(!selected.empty(),
-                  "no experiment matches: " + patternText);
+  const bool workerMode = !options.workerCells.empty();
+  std::vector<const Experiment*> selected;
+  if (workerMode) {
+    // Internal worker invocation: the parent hands down exact names (no
+    // globs), and this process computes them into the cache.
+    for (const std::string& name : splitCommaList(options.workerCells)) {
+      const Experiment* experiment = registry.find(name);
+      TIB_REQUIRE_MSG(experiment != nullptr,
+                      "worker cell not registered: " + name);
+      selected.push_back(experiment);
+    }
+    TIB_REQUIRE_MSG(!selected.empty(), "--worker-cells names no experiment");
+    TIB_REQUIRE_MSG(!options.cacheDir.empty(),
+                    "--worker-cells requires --cache");
+  } else {
+    selected = registry.match(options.patterns);
+    std::string patternText;
+    for (const std::string& p : options.patterns)
+      patternText += (patternText.empty() ? "" : " ") + p;
+    TIB_REQUIRE_MSG(!selected.empty(),
+                    "no experiment matches: " + patternText);
+  }
 
   int jobs = options.jobs;
   if (jobs < 1)
@@ -194,9 +293,42 @@ CampaignResult runCampaign(const CampaignOptions& options,
   campaign.seed = options.seed;
   campaign.runs.resize(selected.size());
 
+  // Result cache. Keys are computed after the scoped overrides above, so
+  // the resolved-effective settings key identically whether they came from
+  // a flag, the environment or the default. --trace-export disables the
+  // cache entirely: timeline artefacts are written while an experiment
+  // runs and a replayed cell cannot reproduce them.
+  const bool cacheEnabled =
+      !options.cacheDir.empty() && options.traceExportDir.empty();
+  const int procs = std::max(1, options.procs);
+  TIB_REQUIRE_MSG(procs == 1 || (cacheEnabled && !workerMode),
+                  "--procs > 1 requires --cache (workers exchange results "
+                  "through the cache) and is incompatible with "
+                  "--trace-export");
+  std::optional<ResultCache> cache;
+  std::vector<std::string> keys(selected.size());
+  if (cacheEnabled) {
+    cache.emplace(options.cacheDir);
+    CacheKeyInputs base;
+    base.seed = options.seed;
+    base.simBackend = sim::toString(sim::defaultExecBackend());
+    base.traceMode = obs::toString(obs::defaultTraceMode());
+    base.simShards = sim::defaultSimShards();
+    base.stallReport = obs::defaultStallReport();
+    base.platformSpecHash = hashPlatformSpecs();
+    base.binaryFingerprint = executableFingerprint();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      CacheKeyInputs inputs = base;
+      inputs.experiment = selected[i]->name();
+      inputs.versionTag = selected[i]->versionTag();
+      keys[i] = cacheKey(inputs);
+    }
+  }
+
   if (options.summary) {
     out << "=== socbench: " << selected.size() << " experiment"
         << (selected.size() == 1 ? "" : "s") << ", jobs=" << jobs
+        << (procs > 1 ? ", procs=" + std::to_string(procs) : "")
         << ", seed=" << options.seed
         << ", sim-backend=" << sim::toString(sim::defaultExecBackend())
         << ", sim-shards=" << sim::defaultSimShards()
@@ -209,12 +341,63 @@ CampaignResult runCampaign(const CampaignOptions& options,
   // sweep; TaskPool::parallelFor is nested-safe. jobs == 1 runs serial.
   TaskPool pool(static_cast<std::size_t>(jobs));
   const auto campaignStart = std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
-  pool.parallelFor(selected.size(), [&](std::size_t i) {
+
+  const auto replay = [](ExperimentRun& run, CachedRun&& hit) {
+    run.cells = hit.cells;
+    run.engine = hit.engine;  // deterministic fields; host-only stay zero
+    run.counters = std::move(hit.counters);
+    run.results = std::move(hit.results);
+    run.json = std::move(hit.resultJson);
+    run.fromCache = true;
+  };
+
+  // Probe: hits replay immediately, misses queue for computation. The
+  // canonical selection order is preserved throughout — runs[i] is filled
+  // wherever its bytes come from, so emission below never reorders.
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
     const Experiment& experiment = *selected[i];
     ExperimentRun& run = campaign.runs[i];
     run.name = experiment.name();
     run.paperRef = experiment.paperRef();
     run.title = experiment.title();
+    if (cache) {
+      if (std::optional<CachedRun> hit = cache->load(run.name, keys[i])) {
+        replay(run, std::move(*hit));
+        ++campaign.cacheHits;
+        continue;
+      }
+    }
+    missing.push_back(i);
+  }
+  campaign.cacheMisses = missing.size();
+
+  // Multi-process scheduling: partition the misses round-robin over the
+  // canonical order, let workers compute them into the cache, then replay
+  // what they stored. Anything a worker somehow failed to store (it would
+  // have exited nonzero first) falls through to in-process computation.
+  if (procs > 1 && !missing.empty()) {
+    std::vector<std::vector<std::string>> shards(
+        static_cast<std::size_t>(procs));
+    for (std::size_t m = 0; m < missing.size(); ++m)
+      shards[m % static_cast<std::size_t>(procs)].push_back(
+          campaign.runs[missing[m]].name);
+    runWorkerProcesses(shards, options, std::max(1, jobs / procs));
+    std::vector<std::size_t> still;
+    for (const std::size_t i : missing) {
+      ExperimentRun& run = campaign.runs[i];
+      if (std::optional<CachedRun> hit = cache->load(run.name, keys[i]))
+        replay(run, std::move(*hit));
+      else
+        still.push_back(i);
+    }
+    missing = std::move(still);
+  }
+
+  pool.parallelFor(missing.size(), [&](std::size_t m) {
+    const std::size_t i = missing[m];
+    const Experiment& experiment = *selected[i];
+    ExperimentRun& run = campaign.runs[i];
     const std::uint64_t seed = experimentSeed(options.seed, run.name);
     ExperimentContext ctx(seed, jobs > 1 ? &pool : nullptr);
     ctx.setTraceExportDir(options.traceExportDir);
@@ -228,8 +411,19 @@ CampaignResult runCampaign(const CampaignOptions& options,
         experiment, seed, run.results,
         run.engine.eventsDispatched > 0 ? &run.engine : nullptr,
         run.counters.worlds > 0 ? &run.counters : nullptr);
+    if (cache) {
+      CachedRun entry;
+      entry.cells = run.cells;
+      entry.engine = run.engine;  // store() keeps deterministic fields only
+      entry.counters = run.counters;
+      entry.resultJson = run.json;
+      cache->store(run.name, keys[i], entry);
+    }
   });
   campaign.wallSeconds = secondsSince(campaignStart);
+  // The index is the parent's job: workers writing it concurrently would
+  // race, and the parent's post-campaign scan sees every entry anyway.
+  if (cache && !workerMode) cache->writeIndex();
 
   if (!options.jsonDir.empty()) {
     const std::filesystem::path dir(options.jsonDir);
@@ -363,7 +557,20 @@ CampaignResult runCampaign(const CampaignOptions& options,
     out << "-- run summary --\n"
         << table.render() << '\n'
         << "campaign wall-clock: " << fmt(campaign.wallSeconds, 2)
-        << " s with " << jobs << " job" << (jobs == 1 ? "" : "s") << '\n';
+        << " s with " << jobs << " job" << (jobs == 1 ? "" : "s");
+    if (procs > 1)
+      out << " across " << procs << " worker processes";
+    out << '\n';
+    if (cache) {
+      out << "result cache: " << campaign.cacheHits << " hit"
+          << (campaign.cacheHits == 1 ? "" : "s") << ", "
+          << campaign.cacheMisses << " miss"
+          << (campaign.cacheMisses == 1 ? "" : "es") << " (" << cache->dir()
+          << ")\n";
+    } else if (!options.cacheDir.empty()) {
+      out << "result cache disabled: --trace-export artefacts are written "
+             "during the run and cannot replay\n";
+    }
     // Engine block: only experiments that ran discrete-event simulations.
     bool anyEngine = false;
     TextTable engineTable({"experiment", "events", "switches", "peak procs",
@@ -466,6 +673,20 @@ CampaignResult runCampaign(const CampaignOptions& options,
 
 namespace {
 
+/// from_chars-backed numeric flag parsing: the whole token must be one
+/// in-range number. Returns false — no exception, no std::stoi abort — on
+/// anything else ("banana", "12x", overflow, empty).
+template <typename T>
+bool parseNumber(const std::string& text, T& out) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  T value{};
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || first == last) return false;
+  out = value;
+  return true;
+}
+
 int listCommand(const std::vector<std::string>& patterns, std::ostream& out) {
   const std::vector<const Experiment*> selected =
       ExperimentRegistry::global().match(patterns);
@@ -484,7 +705,8 @@ void printUsage(std::ostream& out) {
          "usage:\n"
          "  socbench list [glob...]\n"
          "  socbench run [glob...] [--json DIR] [--csv DIR] [--jobs N]\n"
-         "               [--seed S] [--sim-backend fiber|thread]\n"
+         "               [--seed S] [--cache DIR] [--procs N]\n"
+         "               [--sim-backend fiber|thread]\n"
          "               [--sim-shards N]\n"
          "               [--trace-mode full|sampled|aggregate]\n"
          "               [--trace-export DIR] [--stall-report]\n"
@@ -492,6 +714,17 @@ void printUsage(std::ostream& out) {
          "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
          "selects every experiment.\n"
          "Flags accept both '--flag value' and '--flag=value'.\n"
+         "--cache DIR keys every experiment cell by a content hash "
+         "(experiment + version tag, platform spec bytes, seed, resolved\n"
+         "backend/trace/shard options, binary fingerprint): hits replay "
+         "their JSON/CSV byte-identically from DIR, misses are computed\n"
+         "and stored atomically. Any ingredient change — a rebuilt binary, "
+         "an edited Table-1 number — is an automatic miss.\n"
+         "--procs N partitions uncached cells across N worker processes "
+         "(re-invocations of this binary) that fill the cache; the parent\n"
+         "folds results in canonical order, so artefacts are byte-identical "
+         "for every --procs/--jobs/--sim-shards combination. Requires\n"
+         "--cache.\n"
          "--sim-backend picks the cooperative-process implementation "
          "(user-space fibers by default; 'thread' is the portable\n"
          "one-OS-thread-per-rank fallback). TIBSIM_SIM_BACKEND sets the "
@@ -567,11 +800,19 @@ int socbenchMain(int argc, const char* const* argv) {
     } else if (arg == "--jobs") {
       const std::string* v = flagValue("--jobs");
       if (v == nullptr) return 2;
-      options.jobs = std::stoi(*v);
+      if (!parseNumber(*v, options.jobs)) {
+        std::cerr << "socbench: --jobs expects an integer, got \"" << *v
+                  << "\"\n";
+        return 2;
+      }
     } else if (arg == "--seed") {
       const std::string* v = flagValue("--seed");
       if (v == nullptr) return 2;
-      options.seed = std::stoull(*v);
+      if (!parseNumber(*v, options.seed)) {
+        std::cerr << "socbench: --seed expects an unsigned integer, got \""
+                  << *v << "\"\n";
+        return 2;
+      }
     } else if (arg == "--sim-backend") {
       const std::string* v = flagValue("--sim-backend");
       if (v == nullptr) return 2;
@@ -579,7 +820,29 @@ int socbenchMain(int argc, const char* const* argv) {
     } else if (arg == "--sim-shards") {
       const std::string* v = flagValue("--sim-shards");
       if (v == nullptr) return 2;
-      options.simShards = std::stoi(*v);
+      if (!parseNumber(*v, options.simShards)) {
+        std::cerr << "socbench: --sim-shards expects an integer, got \""
+                  << *v << "\"\n";
+        return 2;
+      }
+    } else if (arg == "--cache") {
+      const std::string* v = flagValue("--cache");
+      if (v == nullptr) return 2;
+      options.cacheDir = *v;
+    } else if (arg == "--procs") {
+      const std::string* v = flagValue("--procs");
+      if (v == nullptr) return 2;
+      if (!parseNumber(*v, options.procs) || options.procs < 1) {
+        std::cerr << "socbench: --procs expects a positive integer, got \""
+                  << *v << "\"\n";
+        return 2;
+      }
+    } else if (arg == "--worker-cells") {
+      // Internal: set by the parent of a --procs campaign; see
+      // CampaignOptions::workerCells.
+      const std::string* v = flagValue("--worker-cells");
+      if (v == nullptr) return 2;
+      options.workerCells = *v;
     } else if (arg == "--trace-mode") {
       const std::string* v = flagValue("--trace-mode");
       if (v == nullptr) return 2;
@@ -603,6 +866,12 @@ int socbenchMain(int argc, const char* const* argv) {
   if (command != "run") {
     std::cerr << "socbench: unknown command \"" << command << "\"\n";
     printUsage(std::cerr);
+    return 2;
+  }
+  if (options.procs > 1 && options.cacheDir.empty()) {
+    std::cerr << "socbench: --procs " << options.procs
+              << " requires --cache DIR (workers exchange results through "
+                 "the cache)\n";
     return 2;
   }
 

@@ -504,4 +504,38 @@ TEST(Campaign, RejectsUnknownTraceMode) {
   EXPECT_THROW(traceModeCampaign("firehose", 1), ContractError);
 }
 
+// ---------------------------------------------------------------------------
+// CLI flag validation
+// ---------------------------------------------------------------------------
+
+int cliExit(std::vector<const char*> args) {
+  args.insert(args.begin(), "socbench");
+  return core::socbenchMain(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, RejectsNonNumericIntegerFlags) {
+  // Formerly a bare std::stoi: `--jobs banana` aborted with an uncaught
+  // std::invalid_argument instead of a usage error.
+  EXPECT_EQ(cliExit({"run", "--jobs", "banana"}), 2);
+  EXPECT_EQ(cliExit({"run", "--jobs", "4x"}), 2);
+  EXPECT_EQ(cliExit({"run", "--jobs", ""}), 2);
+  EXPECT_EQ(cliExit({"run", "--seed", "banana"}), 2);
+  EXPECT_EQ(cliExit({"run", "--seed", "-1"}), 2);
+  EXPECT_EQ(cliExit({"run", "--sim-shards", "many"}), 2);
+  EXPECT_EQ(cliExit({"run", "--procs", "banana"}), 2);
+  EXPECT_EQ(cliExit({"run", "--procs", "0"}), 2);
+  EXPECT_EQ(cliExit({"run", "--jobs=banana"}), 2);  // --flag=value spelling
+}
+
+TEST(Cli, RejectsProcsWithoutCache) {
+  EXPECT_EQ(cliExit({"run", "tab01", "--procs", "2"}), 2);
+}
+
+TEST(Cli, AcceptsValidNumericFlags) {
+  // A valid spelling still runs: tab01 is the cheapest experiment.
+  EXPECT_EQ(cliExit({"run", "tab01", "--jobs", "2", "--seed", "7",
+                     "--no-summary"}),
+            0);
+}
+
 }  // namespace

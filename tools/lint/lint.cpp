@@ -202,7 +202,12 @@ FileContext makeContext(const std::string& path, const std::string& content) {
   // bodies — the engine, simMPI, the network models they drive, the MPI
   // applications, and the observability layer they record into (trace
   // sinks, link telemetry, critical-path state all mutate from inside the
-  // event loop). cluster/ and core/ orchestrate from the host thread.
+  // event loop). cluster/ and core/ orchestrate from the host thread;
+  // that includes core/result_cache (host filesystem I/O — getpid temp
+  // suffixes, directory scans — whose determinism obligation is only that
+  // replayed artefact bytes match a fresh run) and the campaign driver's
+  // worker-process spawning. The everywhere rules (wall-clock,
+  // random-source, unordered-iter, pointer-key) still apply to them.
   for (const char* dir :
        {"src/sim/", "src/mpi/", "src/apps/", "src/net/", "src/obs/",
         "include/tibsim/sim/", "include/tibsim/mpi/", "include/tibsim/apps/",
