@@ -46,6 +46,12 @@ struct CampaignOptions {
   /// per-rank wait-state report instead of the bare deadlock one-liner.
   /// false keeps the process-wide default (off, or TIBSIM_STALL_REPORT).
   bool stallReport = false;
+  /// Arm the runtime collective-matching verifier (--verify-collectives):
+  /// every collective entry stamps its traffic and any rank matching a
+  /// stamp that disagrees with its own active collective throws a
+  /// deterministic mismatch report (mpi/collective_verify.hpp). false
+  /// keeps the process-wide default (off, or TIBSIM_VERIFY_COLLECTIVES).
+  bool verifyCollectives = false;
   /// Content-addressed result cache directory (--cache). When non-empty,
   /// each experiment cell is keyed by core/result_cache.hpp's digest
   /// (experiment + version tag, platform spec bytes, seed, resolved

@@ -92,6 +92,7 @@ class ExperimentContext {
     obs::RunCounters counters;
     counters.worlds = 1;
     counters.messages = stats.messageCount;
+    counters.collectiveChecks = stats.collectiveChecks;
     counters.payloadBytes = stats.payloadBytes;
     counters.wireBytes = stats.wireBytes;
     counters.spansRecorded = stats.traceSpansRecorded;

@@ -65,6 +65,7 @@ struct CacheKeyInputs {
   std::string traceMode;    ///< resolved trace mode name
   int simShards = 1;        ///< resolved shard count
   bool stallReport = false; ///< resolved watchdog arming
+  bool verifyCollectives = false;  ///< resolved collective-verifier arming
   std::uint64_t platformSpecHash = 0;  ///< hashPlatformSpecs()
   std::uint64_t binaryFingerprint = 0; ///< executableFingerprint()
 };

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <source_location>
 #include <span>
 #include <vector>
 
@@ -86,10 +87,13 @@ class Communicator {
   /// communicator, ordered by (key, world rank). kUndefinedColor (or any
   /// negative color) yields the null communicator for that member. Every
   /// member must call split (it is a collective).
-  Communicator split(int color, int key) const;
+  Communicator split(
+      int color, int key,
+      std::source_location loc = std::source_location::current()) const;
   /// A new communicator with the same group and a distinct id, so its
   /// traffic cannot match the parent's. Collective; shares the group table.
-  Communicator dup() const;
+  Communicator dup(
+      std::source_location loc = std::source_location::current()) const;
 
   // -- point-to-point (ranks are comm-local) -------------------------------
   void send(int dst, int tag, std::size_t bytes,
@@ -120,27 +124,51 @@ class Communicator {
   std::vector<double> waitDoubles(Request request) const;
 
   // -- collectives ---------------------------------------------------------
-  void barrier() const;
-  std::vector<double> bcast(std::vector<double> values, int root) const;
-  void bcastBytes(std::size_t bytes, int root) const;
-  void pipelinedBcastBytes(std::size_t bytes, int root) const;
+  // Every entry records its call site (defaulted std::source_location) for
+  // the runtime verifier's mismatch report; call them as before.
+  void barrier(
+      std::source_location loc = std::source_location::current()) const;
+  std::vector<double> bcast(
+      std::vector<double> values, int root,
+      std::source_location loc = std::source_location::current()) const;
+  void bcastBytes(
+      std::size_t bytes, int root,
+      std::source_location loc = std::source_location::current()) const;
+  void pipelinedBcastBytes(
+      std::size_t bytes, int root,
+      std::source_location loc = std::source_location::current()) const;
   /// Binomial-tree reduction to root; non-root members return empty.
-  std::vector<double> reduce(std::span<const double> values, ReduceOp op,
-                             int root) const;
-  std::vector<double> reduce(std::span<const double> values,
-                             CombineFn combine, int root) const;
-  std::vector<double> allreduce(std::span<const double> values,
-                                ReduceOp op) const;
-  double allreduce(double value, ReduceOp op) const;
-  std::vector<double> gather(double value, int root) const;
-  std::vector<double> allgather(double value) const;
-  void alltoallBytes(std::size_t bytesPerPeer) const;
+  std::vector<double> reduce(
+      std::span<const double> values, ReduceOp op, int root,
+      std::source_location loc = std::source_location::current()) const;
+  std::vector<double> reduce(
+      std::span<const double> values, CombineFn combine, int root,
+      std::source_location loc = std::source_location::current()) const;
+  std::vector<double> allreduce(
+      std::span<const double> values, ReduceOp op,
+      std::source_location loc = std::source_location::current()) const;
+  double allreduce(
+      double value, ReduceOp op,
+      std::source_location loc = std::source_location::current()) const;
+  std::vector<double> gather(
+      double value, int root,
+      std::source_location loc = std::source_location::current()) const;
+  std::vector<double> allgather(
+      double value,
+      std::source_location loc = std::source_location::current()) const;
+  void alltoallBytes(
+      std::size_t bytesPerPeer,
+      std::source_location loc = std::source_location::current()) const;
 
   // -- non-blocking collectives (lazy: executed by wait()) -----------------
-  Request ibarrier() const;
-  Request ibcast(std::vector<double> values, int root) const;
-  Request iallreduce(std::span<const double> values,
-                     ReduceOp op = ReduceOp::Sum) const;
+  Request ibarrier(
+      std::source_location loc = std::source_location::current()) const;
+  Request ibcast(
+      std::vector<double> values, int root,
+      std::source_location loc = std::source_location::current()) const;
+  Request iallreduce(
+      std::span<const double> values, ReduceOp op = ReduceOp::Sum,
+      std::source_location loc = std::source_location::current()) const;
 
  private:
   friend class MpiContext;

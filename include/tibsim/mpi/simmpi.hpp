@@ -29,11 +29,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <source_location>
 #include <span>
 #include <vector>
 
 #include "tibsim/arch/platform.hpp"
 #include "tibsim/net/fabric.hpp"
+#include "tibsim/mpi/collective_verify.hpp"
 #include "tibsim/mpi/communicator.hpp"
 #include "tibsim/mpi/payload_pool.hpp"
 #include "tibsim/mpi/trace.hpp"
@@ -81,6 +83,11 @@ struct WorldConfig {
   /// Deadlocked-world wait-state report (obs/stall_report.hpp). Snapshot
   /// of the process-wide default (--stall-report / TIBSIM_STALL_REPORT).
   bool stallReport = obs::defaultStallReport();
+  /// Runtime collective-matching verifier (mpi/collective_verify.hpp).
+  /// Snapshot of the process-wide default (--verify-collectives /
+  /// TIBSIM_VERIFY_COLLECTIVES). Stamps ride inside Message, so enabling
+  /// it never changes the event schedule or the artefact bytes.
+  bool verifyCollectives = defaultVerifyCollectives();
 
   static WorldConfig tibidaboNode();  ///< Tegra2 node, 1 GbE, TCP/IP
 };
@@ -96,6 +103,10 @@ struct WorldStats {
   double payloadBytes = 0.0;
   double wireBytes = 0.0;
   double fabricQueueingSeconds = 0.0;
+  /// Stamp comparisons performed by the collective verifier (zero when
+  /// WorldConfig::verifyCollectives is off). Summed over per-rank counters
+  /// after the run, so the value is shard- and backend-invariant.
+  std::uint64_t collectiveChecks = 0;
   int nodes = 0;
   sim::EngineStats engine;  ///< discrete-event engine counters for the run
   // Trace accounting (zero when tracing was not enabled). Recorded counts
@@ -196,26 +207,44 @@ class MpiContext {
   void waitall(std::span<const Request> requests);
 
   // -- collectives -------------------------------------------------------
-  void barrier();
+  // World-communicator delegations; the defaulted std::source_location
+  // records the call site for the collective verifier's mismatch report.
+  void barrier(std::source_location loc = std::source_location::current());
   /// Broadcast `values` from root; every rank returns the root's data.
-  std::vector<double> bcast(std::vector<double> values, int root);
+  std::vector<double> bcast(
+      std::vector<double> values, int root,
+      std::source_location loc = std::source_location::current());
   /// Size-only broadcast (models the traffic without carrying data).
-  void bcastBytes(std::size_t bytes, int root);
+  void bcastBytes(std::size_t bytes, int root,
+                  std::source_location loc = std::source_location::current());
   /// Pipelined ring broadcast of a large buffer (HPL-style): a small
   /// binomial control message enforces causality, then every rank streams
   /// the payload through once at the protocol's sustained rate. Use for
   /// bulk broadcasts where the binomial tree's log(p) root fan-out would
   /// be unrealistic.
-  void pipelinedBcastBytes(std::size_t bytes, int root);
-  std::vector<double> reduceSum(std::span<const double> values, int root);
-  std::vector<double> allreduceSum(std::span<const double> values);
-  double allreduceSum(double value);
-  double allreduceMax(double value);
+  void pipelinedBcastBytes(
+      std::size_t bytes, int root,
+      std::source_location loc = std::source_location::current());
+  std::vector<double> reduceSum(
+      std::span<const double> values, int root,
+      std::source_location loc = std::source_location::current());
+  std::vector<double> allreduceSum(
+      std::span<const double> values,
+      std::source_location loc = std::source_location::current());
+  double allreduceSum(
+      double value, std::source_location loc = std::source_location::current());
+  double allreduceMax(
+      double value, std::source_location loc = std::source_location::current());
   /// Gather one double per rank to root (returned in rank order at root).
-  std::vector<double> gather(double value, int root);
-  std::vector<double> allgather(double value);
+  std::vector<double> gather(
+      double value, int root,
+      std::source_location loc = std::source_location::current());
+  std::vector<double> allgather(
+      double value, std::source_location loc = std::source_location::current());
   /// Ring all-to-all of size-only messages (bytesPerPeer to every rank).
-  void alltoallBytes(std::size_t bytesPerPeer);
+  void alltoallBytes(
+      std::size_t bytesPerPeer,
+      std::source_location loc = std::source_location::current());
 
   MpiWorld& world() { return world_; }
 
@@ -236,6 +265,10 @@ class MpiContext {
     int root = 0;                   ///< Bcast root (comm-local)
     ReduceOp op = ReduceOp::Sum;    ///< Allreduce combiner
     std::vector<double> values;     ///< Bcast / Allreduce operand
+    /// Call site of the i-collective that queued this op, replayed into
+    /// the verifier stamp when wait() executes the lazy collective.
+    const char* file = nullptr;
+    std::uint32_t line = 0;
   };
 
   /// Mint a request id for `op` and register it. Used by isend/irecv and
@@ -244,6 +277,35 @@ class MpiContext {
     op.request = nextRequest_++;
     pending_.push_back(std::move(op));
     return pending_.back().request;
+  }
+
+  /// RAII scope of one collective entry (collective_verify.hpp). Engages
+  /// only at the outermost level, so building-block collectives (allreduce
+  /// = reduce + bcast, split = 3x allgather, ...) inherit the outer stamp,
+  /// and only when the world runs with verifyCollectives — otherwise the
+  /// guard is a no-op and collective traffic stays stamp-free.
+  class CollectiveGuard {
+   public:
+    CollectiveGuard(MpiContext& ctx, std::uint64_t comm, CollectiveKind kind,
+                    std::uint8_t op, std::uint64_t count, const char* file,
+                    std::uint32_t line);
+    ~CollectiveGuard();
+    CollectiveGuard(const CollectiveGuard&) = delete;
+    CollectiveGuard& operator=(const CollectiveGuard&) = delete;
+
+   private:
+    MpiContext& ctx_;
+    bool tracking_ = false;  ///< verification on: depth is counted
+    bool engaged_ = false;   ///< outermost level: stamp pinned/cleared
+  };
+
+  /// Next per-(rank, communicator) collective ordinal. Flat vector, not a
+  /// hash map: a rank talks on a handful of communicators.
+  std::uint32_t nextCollectiveSeq(std::uint64_t comm) {
+    for (auto& [id, next] : collectiveSeq_)
+      if (id == comm) return next++;
+    collectiveSeq_.emplace_back(comm, 1u);
+    return 0;
   }
 
   /// Adopt `snapshot` + the hop's wire time as this rank's chain — the
@@ -280,6 +342,14 @@ class MpiContext {
   // flight, and wait() usually completes them in issue order, so the linear
   // scan is cheaper than hashing and never allocates at steady state.
   std::vector<PendingOp> pending_;
+  // Collective-verifier state (all idle unless config.verifyCollectives).
+  // The active stamp is copied into every message this rank sends and
+  // compared against every stamped message it matches; each rank's state
+  // is touched only by its own fiber, so sharded windows never race.
+  CollectiveStamp activeCollective_{};
+  int collectiveDepth_ = 0;
+  std::uint64_t collectiveChecks_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> collectiveSeq_;
 };
 
 class MpiWorld {
@@ -341,6 +411,11 @@ class MpiWorld {
     /// Communicator the message was sent on; part of the match key. The
     /// world is id 0, so legacy world traffic is unchanged byte-for-byte.
     std::uint64_t comm = 0;
+    /// Collective-verifier stamp of the sender at doSend time (disengaged
+    /// for point-to-point traffic and when verification is off). Rides the
+    /// message wholesale through the sharded DeferredOp path, so no extra
+    /// shard plumbing and no schedule effect.
+    CollectiveStamp verify{};
     /// Critical-path piggyback: the sender's chain when the payload left,
     /// and the wire interval, so a receiver that waited can adopt the
     /// sender's chain plus the link time (obs/critical_path.hpp).
@@ -507,6 +582,9 @@ class MpiWorld {
   std::vector<std::byte> doRecv(MpiContext& ctx, std::uint64_t comm, int src,
                                 int tag, std::size_t* receivedBytes,
                                 int* srcOut = nullptr, int* tagOut = nullptr);
+  /// Collective verifier: compare the matched message's stamp against the
+  /// receiver's active collective; throws ContractError on divergence.
+  void verifyCollectiveMatch(MpiContext& ctx, const Message& message);
   void deliver(int dstRank, std::uint32_t slot);
   // In-flight message slab: a scheduled delivery captures [this, dst, slot]
   // (16 bytes, inline in the event closure) instead of the Message itself,

@@ -33,6 +33,9 @@ struct PayloadClassCounters {
 struct RunCounters {
   std::uint64_t worlds = 0;  ///< simMPI worlds accounted
   std::uint64_t messages = 0;
+  /// Collective-verifier stamp comparisons (mpi/collective_verify.hpp);
+  /// zero unless the runs executed with --verify-collectives.
+  std::uint64_t collectiveChecks = 0;
   double payloadBytes = 0.0;
   double wireBytes = 0.0;
   std::uint64_t spansRecorded = 0;  ///< spans seen by trace sinks
@@ -62,6 +65,7 @@ struct RunCounters {
   void accumulate(const RunCounters& other) {
     worlds += other.worlds;
     messages += other.messages;
+    collectiveChecks += other.collectiveChecks;
     payloadBytes += other.payloadBytes;
     wireBytes += other.wireBytes;
     spansRecorded += other.spansRecorded;

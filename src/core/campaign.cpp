@@ -16,6 +16,7 @@
 #include "tibsim/common/assert.hpp"
 #include "tibsim/common/table.hpp"
 #include "tibsim/core/result_cache.hpp"
+#include "tibsim/mpi/collective_verify.hpp"
 #include "tibsim/obs/stall_report.hpp"
 #include "tibsim/obs/trace_sink.hpp"
 #include "tibsim/sim/execution_context.hpp"
@@ -118,6 +119,7 @@ void runWorkerProcesses(const std::vector<std::vector<std::string>>& shards,
       args.push_back(std::to_string(options.simShards));
     }
     if (options.stallReport) args.push_back("--stall-report");
+    if (options.verifyCollectives) args.push_back("--verify-collectives");
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& arg : args) argv.push_back(arg.data());
@@ -201,6 +203,11 @@ std::string resultDocument(const Experiment& experiment, std::uint64_t seed,
         static_cast<double>(counters->payloadPoolTrimmedBuffers);
     worlds["payloadPoolLiveHighWater"] =
         static_cast<double>(counters->payloadPoolLiveHighWater);
+    // Present only on verified runs (--verify-collectives), so unverified
+    // campaign artefacts keep their exact historical bytes.
+    if (counters->collectiveChecks > 0)
+      worlds["collectiveChecks"] =
+          static_cast<double>(counters->collectiveChecks);
     doc["worlds"] = std::move(worlds);
     // Link-utilization telemetry (net/fabric.hpp): per-kind busy time,
     // bytes, transfer counts and queueing-delay histograms. Recorded at
@@ -288,6 +295,11 @@ CampaignResult runCampaign(const CampaignOptions& options,
   std::optional<obs::ScopedStallReport> stallOverride;
   if (options.stallReport) stallOverride.emplace(true);
 
+  // Collective-verifier override (--verify-collectives): same snapshot
+  // mechanism; off keeps whatever TIBSIM_VERIFY_COLLECTIVES set.
+  std::optional<mpi::ScopedVerifyCollectives> verifyOverride;
+  if (options.verifyCollectives) verifyOverride.emplace(true);
+
   CampaignResult campaign;
   campaign.jobs = jobs;
   campaign.seed = options.seed;
@@ -315,6 +327,7 @@ CampaignResult runCampaign(const CampaignOptions& options,
     base.traceMode = obs::toString(obs::defaultTraceMode());
     base.simShards = sim::defaultSimShards();
     base.stallReport = obs::defaultStallReport();
+    base.verifyCollectives = mpi::defaultVerifyCollectives();
     base.platformSpecHash = hashPlatformSpecs();
     base.binaryFingerprint = executableFingerprint();
     for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -661,6 +674,16 @@ CampaignResult runCampaign(const CampaignOptions& options,
           << obs::toString(obs::defaultTraceMode()) << ") --\n"
           << worldsTable.render() << '\n';
     }
+    // Collective-verifier roll-up: reaching this line means no experiment
+    // threw a mismatch, so the count is always paired with 0 mismatches
+    // (CI pins this exact line over the full campaign).
+    if (options.verifyCollectives || mpi::defaultVerifyCollectives()) {
+      std::uint64_t totalChecks = 0;
+      for (const ExperimentRun& run : campaign.runs)
+        totalChecks += run.counters.collectiveChecks;
+      out << "collective verify: " << totalChecks
+          << " checks, 0 mismatches\n";
+    }
     if (!options.jsonDir.empty())
       out << "JSON written to " << options.jsonDir << "/\n";
     if (!options.csvDir.empty())
@@ -710,6 +733,7 @@ void printUsage(std::ostream& out) {
          "               [--sim-shards N]\n"
          "               [--trace-mode full|sampled|aggregate]\n"
          "               [--trace-export DIR] [--stall-report]\n"
+         "               [--verify-collectives]\n"
          "               [--compat] [--no-summary]\n\n"
          "Globs match experiment names ('fig0?', 'ablation_*'); no glob "
          "selects every experiment.\n"
@@ -747,7 +771,14 @@ void printUsage(std::ostream& out) {
          "whose event queue drains with ranks still blocked fails with a\n"
          "per-rank wait-state report (rank, pending op, peer, blocked "
          "since) instead of the bare deadlock error. TIBSIM_STALL_REPORT=1\n"
-         "sets the same default.\n";
+         "sets the same default.\n"
+         "--verify-collectives arms the runtime collective-matching "
+         "verifier: every collective entry stamps its traffic with a\n"
+         "(communicator, kind, op, sequence, count) tuple and any rank "
+         "matching a disagreeing stamp fails with a deterministic report\n"
+         "naming both ranks, both tuples and the call sites — the dynamic "
+         "cross-check for tibsim_lint's collective-match rule.\n"
+         "TIBSIM_VERIFY_COLLECTIVES=1 sets the same default.\n";
 }
 
 }  // namespace
@@ -853,6 +884,8 @@ int socbenchMain(int argc, const char* const* argv) {
       options.traceExportDir = *v;
     } else if (arg == "--stall-report") {
       options.stallReport = true;
+    } else if (arg == "--verify-collectives") {
+      options.verifyCollectives = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "socbench: unknown flag " << arg << "\n";
       printUsage(std::cerr);

@@ -166,6 +166,7 @@ json::Value countersToJson(const obs::RunCounters& c) {
   json::Value v = json::Value::object();
   v["worlds"] = static_cast<double>(c.worlds);
   v["messages"] = static_cast<double>(c.messages);
+  v["collectiveChecks"] = static_cast<double>(c.collectiveChecks);
   v["payloadBytes"] = c.payloadBytes;
   v["wireBytes"] = c.wireBytes;
   v["spansRecorded"] = static_cast<double>(c.spansRecorded);
@@ -213,6 +214,12 @@ obs::RunCounters countersFromJson(const json::Value& v) {
   obs::RunCounters c;
   c.worlds = static_cast<std::uint64_t>(member(v, "worlds"));
   c.messages = static_cast<std::uint64_t>(member(v, "messages"));
+  // Optional: entries written before the collective verifier existed lack
+  // it (they can never hit the new key, but fail softly regardless).
+  const json::Value* checks = v.find("collectiveChecks");
+  c.collectiveChecks = checks != nullptr && checks->isNumber()
+                           ? static_cast<std::uint64_t>(checks->asDouble())
+                           : 0;
   c.payloadBytes = member(v, "payloadBytes");
   c.wireBytes = member(v, "wireBytes");
   c.spansRecorded = static_cast<std::uint64_t>(member(v, "spansRecorded"));
@@ -338,6 +345,7 @@ std::string cacheKey(const CacheKeyInputs& inputs) {
   h.str(inputs.traceMode);
   h.i64(inputs.simShards);
   h.boolean(inputs.stallReport);
+  h.boolean(inputs.verifyCollectives);
   h.u64(inputs.platformSpecHash);
   h.u64(inputs.binaryFingerprint);
   const std::uint64_t digest = h.digest();

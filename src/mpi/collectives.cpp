@@ -55,8 +55,11 @@ CombineFn combinerFor(ReduceOp op) {
 // Communicator collectives (comm-local ranks throughout)
 // ---------------------------------------------------------------------------
 
-void Communicator::barrier() const {
+void Communicator::barrier(std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Barrier,
+                                    kNoReduceOp, 0, loc.file_name(),
+                                    loc.line());
   const int n = size();
   if (n == 1) return;
   // Dissemination barrier: ceil(log2 n) rounds; in round k, rank r signals
@@ -75,8 +78,12 @@ void Communicator::barrier() const {
 }
 
 std::vector<double> Communicator::bcast(std::vector<double> values,
-                                        int root) const {
+                                        int root,
+                                        std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Bcast,
+                                    kNoReduceOp, values.size(),
+                                    loc.file_name(), loc.line());
   const int n = size();
   if (n == 1) return values;
   // Binomial tree on rank ids relative to the root.
@@ -97,8 +104,12 @@ std::vector<double> Communicator::bcast(std::vector<double> values,
   return values;
 }
 
-void Communicator::bcastBytes(std::size_t bytes, int root) const {
+void Communicator::bcastBytes(std::size_t bytes, int root,
+                              std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::BcastBytes,
+                                    kNoReduceOp, bytes, loc.file_name(),
+                                    loc.line());
   const int n = size();
   if (n == 1) return;
   const int rel = (rank_ - root + n) % n;
@@ -112,8 +123,13 @@ void Communicator::bcastBytes(std::size_t bytes, int root) const {
   }
 }
 
-void Communicator::pipelinedBcastBytes(std::size_t bytes, int root) const {
+void Communicator::pipelinedBcastBytes(std::size_t bytes, int root,
+                                       std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_,
+                                    CollectiveKind::PipelinedBcastBytes,
+                                    kNoReduceOp, bytes, loc.file_name(),
+                                    loc.line());
   const int n = size();
   if (n == 1 || bytes == 0) return;
   // Causality: nobody may consume the payload before the root produced it
@@ -138,8 +154,12 @@ void Communicator::pipelinedBcastBytes(std::size_t bytes, int root) const {
 }
 
 std::vector<double> Communicator::reduce(std::span<const double> values,
-                                         CombineFn combine, int root) const {
+                                         CombineFn combine, int root,
+                                         std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Reduce,
+                                    kCustomCombineOp, values.size(),
+                                    loc.file_name(), loc.line());
   const int n = size();
   std::vector<double> acc(values.begin(), values.end());
   if (n == 1) return acc;
@@ -171,24 +191,41 @@ std::vector<double> Communicator::reduce(std::span<const double> values,
 }
 
 std::vector<double> Communicator::reduce(std::span<const double> values,
-                                         ReduceOp op, int root) const {
-  return reduce(values, combinerFor(op), root);
+                                         ReduceOp op, int root,
+                                         std::source_location loc) const {
+  requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Reduce,
+                                    static_cast<std::uint8_t>(op),
+                                    values.size(), loc.file_name(),
+                                    loc.line());
+  return reduce(values, combinerFor(op), root, loc);
 }
 
 std::vector<double> Communicator::allreduce(std::span<const double> values,
-                                            ReduceOp op) const {
-  std::vector<double> reduced = reduce(values, op, 0);
-  if (rank_ != 0) reduced.assign(values.size(), 0.0);
-  return bcast(std::move(reduced), 0);
-}
-
-double Communicator::allreduce(double value, ReduceOp op) const {
-  const double v[1] = {value};
-  return allreduce(std::span<const double>(v, 1), op)[0];
-}
-
-std::vector<double> Communicator::gather(double value, int root) const {
+                                            ReduceOp op,
+                                            std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Allreduce,
+                                    static_cast<std::uint8_t>(op),
+                                    values.size(), loc.file_name(),
+                                    loc.line());
+  std::vector<double> reduced = reduce(values, op, 0, loc);
+  if (rank_ != 0) reduced.assign(values.size(), 0.0);
+  return bcast(std::move(reduced), 0, loc);
+}
+
+double Communicator::allreduce(double value, ReduceOp op,
+                               std::source_location loc) const {
+  const double v[1] = {value};
+  return allreduce(std::span<const double>(v, 1), op, loc)[0];
+}
+
+std::vector<double> Communicator::gather(double value, int root,
+                                         std::source_location loc) const {
+  requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Gather,
+                                    kNoReduceOp, 1, loc.file_name(),
+                                    loc.line());
   const int n = size();
   if (rank_ != root) {
     const double buf[1] = {value};
@@ -204,14 +241,23 @@ std::vector<double> Communicator::gather(double value, int root) const {
   return all;
 }
 
-std::vector<double> Communicator::allgather(double value) const {
-  std::vector<double> all = gather(value, 0);
+std::vector<double> Communicator::allgather(double value,
+                                            std::source_location loc) const {
+  requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Allgather,
+                                    kNoReduceOp, 1, loc.file_name(),
+                                    loc.line());
+  std::vector<double> all = gather(value, 0, loc);
   if (rank_ != 0) all.assign(static_cast<std::size_t>(size()), 0.0);
-  return bcast(std::move(all), 0);
+  return bcast(std::move(all), 0, loc);
 }
 
-void Communicator::alltoallBytes(std::size_t bytesPerPeer) const {
+void Communicator::alltoallBytes(std::size_t bytesPerPeer,
+                                 std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::AlltoallBytes,
+                                    kNoReduceOp, bytesPerPeer,
+                                    loc.file_name(), loc.line());
   const int n = size();
   // Tournament schedule: in round k the partner of r is (k - r) mod n, which
   // is symmetric (partner's partner is r), covers every pair exactly once
@@ -228,14 +274,18 @@ void Communicator::alltoallBytes(std::size_t bytesPerPeer) const {
 // Legacy MpiContext entry points: the world communicator's collectives
 // ---------------------------------------------------------------------------
 
-void MpiContext::barrier() { commWorld().barrier(); }
-
-std::vector<double> MpiContext::bcast(std::vector<double> values, int root) {
-  return commWorld().bcast(std::move(values), root);
+void MpiContext::barrier(std::source_location loc) {
+  commWorld().barrier(loc);
 }
 
-void MpiContext::bcastBytes(std::size_t bytes, int root) {
-  commWorld().bcastBytes(bytes, root);
+std::vector<double> MpiContext::bcast(std::vector<double> values, int root,
+                                      std::source_location loc) {
+  return commWorld().bcast(std::move(values), root, loc);
+}
+
+void MpiContext::bcastBytes(std::size_t bytes, int root,
+                            std::source_location loc) {
+  commWorld().bcastBytes(bytes, root, loc);
 }
 
 void MpiContext::neighborExchange(std::size_t bytes, int tag) {
@@ -249,27 +299,34 @@ void MpiContext::neighborExchange(std::size_t bytes, int tag) {
   }
 }
 
-void MpiContext::pipelinedBcastBytes(std::size_t bytes, int root) {
-  commWorld().pipelinedBcastBytes(bytes, root);
+void MpiContext::pipelinedBcastBytes(std::size_t bytes, int root,
+                                     std::source_location loc) {
+  commWorld().pipelinedBcastBytes(bytes, root, loc);
 }
 
 std::vector<double> MpiContext::reduceSum(std::span<const double> values,
-                                          int root) {
-  return commWorld().reduce(values, ReduceOp::Sum, root);
+                                          int root,
+                                          std::source_location loc) {
+  return commWorld().reduce(values, ReduceOp::Sum, root, loc);
 }
 
-std::vector<double> MpiContext::allreduceSum(std::span<const double> values) {
-  return commWorld().allreduce(values, ReduceOp::Sum);
+std::vector<double> MpiContext::allreduceSum(std::span<const double> values,
+                                             std::source_location loc) {
+  return commWorld().allreduce(values, ReduceOp::Sum, loc);
 }
 
-double MpiContext::allreduceSum(double value) {
-  return commWorld().allreduce(value, ReduceOp::Sum);
+double MpiContext::allreduceSum(double value, std::source_location loc) {
+  return commWorld().allreduce(value, ReduceOp::Sum, loc);
 }
 
-double MpiContext::allreduceMax(double value) {
+double MpiContext::allreduceMax(double value, std::source_location loc) {
   // Predates the communicator layer and is frozen as-is: its tag sub-space
   // (kReduceTag + (6 << 20) + bit) and message schedule are part of the
-  // byte-identical artefact contract for existing campaigns.
+  // byte-identical artefact contract for existing campaigns. The verifier
+  // stamp rides inside Message and adds no traffic, so it is safe here too.
+  CollectiveGuard guard(*this, 0, CollectiveKind::AllreduceMax,
+                        static_cast<std::uint8_t>(ReduceOp::Max), 1,
+                        loc.file_name(), loc.line());
   const int n = size();
   double acc = value;
   if (n == 1) return acc;
@@ -287,19 +344,22 @@ double MpiContext::allreduceMax(double value) {
     }
   }
   std::vector<double> result(1, acc);
-  return bcast(std::move(result), 0)[0];
+  return bcast(std::move(result), 0, loc)[0];
 }
 
-std::vector<double> MpiContext::gather(double value, int root) {
-  return commWorld().gather(value, root);
+std::vector<double> MpiContext::gather(double value, int root,
+                                       std::source_location loc) {
+  return commWorld().gather(value, root, loc);
 }
 
-std::vector<double> MpiContext::allgather(double value) {
-  return commWorld().allgather(value);
+std::vector<double> MpiContext::allgather(double value,
+                                          std::source_location loc) {
+  return commWorld().allgather(value, loc);
 }
 
-void MpiContext::alltoallBytes(std::size_t bytesPerPeer) {
-  commWorld().alltoallBytes(bytesPerPeer);
+void MpiContext::alltoallBytes(std::size_t bytesPerPeer,
+                               std::source_location loc) {
+  commWorld().alltoallBytes(bytesPerPeer, loc);
 }
 
 }  // namespace tibsim::mpi

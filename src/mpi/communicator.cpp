@@ -161,8 +161,14 @@ std::vector<double> Communicator::waitDoubles(Request request) const {
 // Derivation (collective over the parent communicator)
 // ---------------------------------------------------------------------------
 
-Communicator Communicator::split(int color, int key) const {
+Communicator Communicator::split(int color, int key,
+                                 std::source_location loc) const {
   requireMember();
+  // The three allgathers below are the split's traffic; the verifier
+  // stamps them all with the split's own call site.
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Split,
+                                    kNoReduceOp, 0, loc.file_name(),
+                                    loc.line());
   // Every member burns one creation ordinal whether or not it joins a new
   // communicator: the id derivation below needs the *leader's* ordinal to
   // be unique per creation event, and the leader is not known until the
@@ -219,8 +225,11 @@ Communicator Communicator::split(int color, int key) const {
   return Communicator(ctx_, id, myCommRank, std::move(group));
 }
 
-Communicator Communicator::dup() const {
+Communicator Communicator::dup(std::source_location loc) const {
   requireMember();
+  MpiContext::CollectiveGuard guard(*ctx_, id_, CollectiveKind::Dup,
+                                    kNoReduceOp, 0, loc.file_name(),
+                                    loc.line());
   const std::uint64_t myOrdinal = ctx_->nextCommOrdinal_++;
   // Comm-rank 0's fresh ordinal names the duplicate; a one-element bcast
   // over the parent teaches it to every member. Sharing the parent's group
@@ -238,33 +247,42 @@ Communicator Communicator::dup() const {
 // Non-blocking collectives (lazy: wait() executes them)
 // ---------------------------------------------------------------------------
 
-Communicator::Request Communicator::ibarrier() const {
+Communicator::Request Communicator::ibarrier(
+    std::source_location loc) const {
   requireMember();
   MpiContext::PendingOp op;
   op.kind = MpiContext::PendingOp::Kind::Barrier;
   op.comm = *this;
+  op.file = loc.file_name();
+  op.line = loc.line();
   return ctx_->pushPending(std::move(op));
 }
 
 Communicator::Request Communicator::ibcast(std::vector<double> values,
-                                           int root) const {
+                                           int root,
+                                           std::source_location loc) const {
   requireMember();
   MpiContext::PendingOp op;
   op.kind = MpiContext::PendingOp::Kind::Bcast;
   op.comm = *this;
   op.root = root;
   op.values = std::move(values);
+  op.file = loc.file_name();
+  op.line = loc.line();
   return ctx_->pushPending(std::move(op));
 }
 
-Communicator::Request Communicator::iallreduce(std::span<const double> values,
-                                               ReduceOp rop) const {
+Communicator::Request Communicator::iallreduce(
+    std::span<const double> values, ReduceOp rop,
+    std::source_location loc) const {
   requireMember();
   MpiContext::PendingOp op;
   op.kind = MpiContext::PendingOp::Kind::Allreduce;
   op.comm = *this;
   op.op = rop;
   op.values.assign(values.begin(), values.end());
+  op.file = loc.file_name();
+  op.line = loc.line();
   return ctx_->pushPending(std::move(op));
 }
 

@@ -34,6 +34,34 @@ MpiContext::MpiContext(MpiWorld& world, sim::Process& process, int rank,
                        int node)
     : world_(world), process_(process), rank_(rank), node_(node) {}
 
+MpiContext::CollectiveGuard::CollectiveGuard(MpiContext& ctx,
+                                             std::uint64_t comm,
+                                             CollectiveKind kind,
+                                             std::uint8_t op,
+                                             std::uint64_t count,
+                                             const char* file,
+                                             std::uint32_t line)
+    : ctx_(ctx) {
+  if (!ctx_.world_.config_.verifyCollectives) return;
+  tracking_ = true;
+  if (ctx_.collectiveDepth_++ > 0) return;  // building block: inherit outer
+  engaged_ = true;
+  CollectiveStamp stamp;
+  stamp.kind = kind;
+  stamp.op = op;
+  stamp.seq = ctx_.nextCollectiveSeq(comm);
+  stamp.count = count;
+  stamp.file = file;
+  stamp.line = line;
+  ctx_.activeCollective_ = stamp;
+}
+
+MpiContext::CollectiveGuard::~CollectiveGuard() {
+  if (!tracking_) return;
+  --ctx_.collectiveDepth_;
+  if (engaged_) ctx_.activeCollective_ = CollectiveStamp{};
+}
+
 int MpiContext::size() const { return world_.ranks(); }
 
 double MpiContext::now() const { return process_.now(); }
@@ -137,16 +165,29 @@ std::vector<std::byte> MpiContext::wait(Request request,
       // is 0 either way, which is all the match needs.
       return world_.doRecv(*this, op.comm.id(), op.peer, op.tag,
                            receivedBytes);
-    case PendingOp::Kind::Barrier:
+    case PendingOp::Kind::Barrier: {
+      // Lazy collectives replay the i-collective's recorded call site into
+      // the verifier stamp; the inner (blocking) collective's own guard
+      // nests beneath this one and inherits it.
+      CollectiveGuard guard(*this, op.comm.id(), CollectiveKind::Barrier,
+                            kNoReduceOp, 0, op.file, op.line);
       op.comm.barrier();
       if (receivedBytes != nullptr) *receivedBytes = 0;
       return {};
-    case PendingOp::Kind::Bcast:
+    }
+    case PendingOp::Kind::Bcast: {
+      CollectiveGuard guard(*this, op.comm.id(), CollectiveKind::Bcast,
+                            kNoReduceOp, op.values.size(), op.file, op.line);
       return doublesToBytes(op.comm.bcast(std::move(op.values), op.root),
                             receivedBytes);
-    case PendingOp::Kind::Allreduce:
+    }
+    case PendingOp::Kind::Allreduce: {
+      CollectiveGuard guard(*this, op.comm.id(), CollectiveKind::Allreduce,
+                            static_cast<std::uint8_t>(op.op),
+                            op.values.size(), op.file, op.line);
       return doublesToBytes(op.comm.allreduce(op.values, op.op),
                             receivedBytes);
+    }
   }
   return {};
 }
@@ -284,6 +325,7 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
                 side, nullptr, nextLocalMessageId(eng)};
     msg.poolTicket = poolTicket;
     msg.comm = comm;
+    msg.verify = ctx.activeCollective_;
     msg.path = ctx.path_;
     msg.departTime = sim.now();
     const std::uint32_t slot = stashFor(dst, std::move(msg));
@@ -307,6 +349,7 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
                 costs.receiverSeconds, nullptr, nextLocalMessageId(eng)};
     msg.poolTicket = poolTicket;
     msg.comm = comm;
+    msg.verify = ctx.activeCollective_;
     msg.path = ctx.path_;
     msg.departTime = sim.now();
     if (eng == nullptr) {
@@ -342,6 +385,7 @@ void MpiWorld::doSend(MpiContext& ctx, std::uint64_t comm, int dst, int tag,
               &ctx.process_,       id};
   msg.poolTicket = poolTicket;
   msg.comm = comm;
+  msg.verify = ctx.activeCollective_;
   if (eng == nullptr) {
     const double rtsArrival =
         fabric_->scheduleWire(srcNode, dstNode, 84.0, sim.now());
@@ -535,6 +579,11 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
       if (srcOut != nullptr) *srcOut = msgSrc;
       if (tagOut != nullptr) *tagOut = msgTag;
       if (m.stage == Stage::Delivered) {
+        // Collective verifier: the consumed message's stamp must agree
+        // with whatever collective this rank is executing. The comparison
+        // rides the canonical match order, so any report is byte-identical
+        // across shard counts and backends.
+        verifyCollectiveMatch(ctx, m);
         if (m.receiverCharged) {
           // Delivery already charged receiverCost and folded it into the
           // wake-up; reconstruct the span boundary and consume in place.
@@ -633,6 +682,18 @@ std::vector<std::byte> MpiWorld::doRecv(MpiContext& ctx, std::uint64_t comm,
   }
 }
 
+void MpiWorld::verifyCollectiveMatch(MpiContext& ctx, const Message& message) {
+  if (!config_.verifyCollectives) return;
+  const CollectiveStamp& local = ctx.activeCollective_;
+  const CollectiveStamp& remote = message.verify;
+  if (!local.engaged() && !remote.engaged()) return;  // plain point-to-point
+  ++ctx.collectiveChecks_;
+  if (local.engaged() && remote.engaged() && local.matches(remote)) return;
+  throw ContractError(formatCollectiveMismatch(ctx.rank(), ctx.node(),
+                                               message.src, message.comm,
+                                               local, remote, ctx.now()));
+}
+
 WorldStats MpiWorld::run(const RankBody& body) {
   const int shards = effectiveSimShards();
   if (shards > 1) return runSharded(body, shards);
@@ -693,6 +754,8 @@ WorldStats MpiWorld::run(const RankBody& body) {
   stats_.payloadPoolTrimmedBuffers = poolStats.trimmedBuffers;
   stats_.payloadPoolLiveHighWater = poolStats.liveHighWater;
   stats_.payloadPoolClassStats = pool_.classStats();
+  for (const auto& ctx : contexts_)
+    stats_.collectiveChecks += ctx->collectiveChecks_;
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

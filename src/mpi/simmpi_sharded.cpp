@@ -421,6 +421,10 @@ WorldStats MpiWorld::runSharded(const RankBody& body, int shards) {
     stats_.payloadInlineMessages += ps.inlineMessages;
     stats_.payloadPooledMessages += ps.pooledMessages;
   }
+  // Per-rank verifier counters fold after the shard threads joined, so the
+  // sum is single-threaded and shard-invariant.
+  for (const auto& ctx : contexts_)
+    stats_.collectiveChecks += ctx->collectiveChecks_;
 
   for (sim::Process* p : processes) {
     if (p->exception() != nullptr) std::rethrow_exception(p->exception());

@@ -1,0 +1,55 @@
+#include "tibsim/reliability/fault_injection.hpp"
+
+#include "tibsim/common/assert.hpp"
+#include "tibsim/common/rng.hpp"
+#include "tibsim/mpi/collective_verify.hpp"
+
+namespace tibsim::reliability {
+
+FaultPlan planCollectiveFault(const DramErrorModel& model, int ranks,
+                              int steps, std::uint64_t seed) {
+  TIB_REQUIRE_MSG(ranks > 0, "fault plan needs at least one rank");
+  TIB_REQUIRE_MSG(steps > 1, "fault plan needs at least two steps");
+  FaultPlan plan;
+  plan.dailyErrorProbability = model.systemDailyErrorProbability(ranks);
+  Rng rng(seed ^ 0x5eedFa017ULL);
+  plan.victimRank =
+      static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(ranks)));
+  plan.victimStep = 1 + static_cast<int>(rng.nextBelow(
+                            static_cast<std::uint64_t>(steps - 1)));
+  return plan;
+}
+
+std::string runCollectiveFaultDemo(mpi::WorldConfig config, int ranks,
+                                   int steps, const FaultPlan& plan) {
+  config.verifyCollectives = true;
+  mpi::MpiWorld world(config, ranks);
+  try {
+    world.run([&](mpi::MpiContext& ctx) {
+      mpi::Communicator comm = ctx.commWorld();
+      double residual = 1.0;
+      for (int step = 0; step < steps; ++step) {
+        ctx.computeSeconds(1e-6);
+        // The uncorrected bit flip: the victim's residual collapses to
+        // zero, so its convergence test passes a step early.
+        if (ctx.rank() == plan.victimRank && step == plan.victimStep)
+          residual = 0.0;
+        // Data-driven divergence the static collective-match rule cannot
+        // see: the corrupted rank takes the cheap converged-vote
+        // reduction while every peer still runs the residual max.
+        if (residual > 0.5) {
+          residual = comm.allreduce(residual, mpi::ReduceOp::Max);
+        } else {
+          comm.allreduce(1.0, mpi::ReduceOp::Sum);
+        }
+      }
+    });
+  } catch (const ContractError& error) {
+    const std::string what = error.what();
+    const std::size_t at = what.find("collective mismatch");
+    return at == std::string::npos ? what : what.substr(at);
+  }
+  return std::string();
+}
+
+}  // namespace tibsim::reliability

@@ -1,0 +1,42 @@
+// Rank-conditional code the collective-match rule must accept: matched
+// arm sequences, uniform conditions, membership-scoped communicators, and
+// an explicitly waived deliberate asymmetry.
+struct Comm {
+  int rank() const;
+  void barrier();
+  void bcast(double v);
+  Comm split(int color, int key) const;
+};
+inline constexpr int kUndefinedColor = -1;
+
+void matchedArms(Comm& world) {
+  if (world.rank() == 0) {
+    world.bcast(1.0);
+    world.barrier();
+  } else {
+    world.bcast(0.0);
+    world.barrier();
+  }
+}
+
+void uniformCondition(Comm& world, int steps) {
+  if (steps > 4) {
+    world.barrier();
+  }
+}
+
+void membershipScoped(Comm& world) {
+  const bool leader = world.rank() == 0;
+  const Comm leaders =
+      world.split(leader ? 0 : kUndefinedColor, world.rank());
+  if (leader) {
+    leaders.barrier();
+  }
+}
+
+void waivedAsymmetry(Comm& world) {
+  // tibsim-lint: allow(collective-match)
+  if (world.rank() == 0) {
+    world.barrier();
+  }
+}

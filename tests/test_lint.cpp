@@ -44,7 +44,7 @@ Options only(const std::string& rule) {
 
 TEST(LintRules, TableHasTenDocumentedRules) {
   const std::vector<RuleInfo> all = rules();
-  ASSERT_GE(all.size(), 10u);
+  ASSERT_GE(all.size(), 12u);
   bool hasRegistryDocs = false;
   for (const RuleInfo& rule : all) {
     EXPECT_FALSE(rule.id.empty());
@@ -99,6 +99,10 @@ const FixtureCase kFixtureCases[] = {
      "good/obs_shared.cpp", "src/obs/fixture.cpp"},
     {"wildcard-recv", "bad/wildcard_recv.cpp", "src/apps/fixture.cpp", 6,
      "good/wildcard_recv.cpp", "src/apps/fixture.cpp"},
+    // The good fixture also covers the uniform-condition, membership-
+    // scoped-communicator and waived-asymmetry escapes.
+    {"collective-match", "bad/collective_match.cpp", "src/apps/fixture.cpp",
+     11, "good/collective_match.cpp", "src/apps/fixture.cpp"},
 };
 
 TEST(LintFixtures, EveryRuleFiresOnItsBadFixture) {
@@ -138,6 +142,24 @@ TEST(LintFixtures, MpiContractAlsoFlagsReinterpretCastToDouble) {
                  only("mpi-contract"));
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[1].line, 15);
+}
+
+TEST(LintCollectiveMatch, WitnessListsBothArmSequences) {
+  const std::vector<Finding> findings =
+      lintSource("src/apps/fixture.cpp",
+                 readFixture("bad/collective_match.cpp"),
+                 only("collective-match"));
+  ASSERT_EQ(findings.size(), 2u);
+  // Divergent arms: the witness names both sequences in order.
+  EXPECT_NE(findings[0].message.find("[bcast -> barrier]"),
+            std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("[barrier]"), std::string::npos);
+  // Early return: the falling-through arm reaches the later collective.
+  EXPECT_EQ(findings[1].line, 21);
+  EXPECT_NE(findings[1].message.find("[no collective]"), std::string::npos)
+      << findings[1].message;
+  EXPECT_NE(findings[1].message.find("allreduceSum"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +237,26 @@ TEST(LintFormat, FindingsRenderAsFileLineRuleMessage) {
   EXPECT_NE(withFix.find("suggestion:"), std::string::npos);
 }
 
+TEST(LintFormat, SarifDocumentCarriesRulesAndResults) {
+  const std::vector<Finding> findings =
+      lintSource("src/apps/fixture.cpp",
+                 readFixture("bad/collective_match.cpp"),
+                 only("collective-match"));
+  ASSERT_FALSE(findings.empty());
+  const std::string sarif = formatSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"tibsim-lint\""), std::string::npos);
+  // The full rule table ships even when only one rule fired.
+  EXPECT_NE(sarif.find("\"id\": \"wall-clock\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"collective-match\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 11"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/apps/fixture.cpp\""),
+            std::string::npos);
+  // Deterministic: a second render is byte-identical.
+  EXPECT_EQ(sarif, formatSarif(findings));
+}
+
 // ---------------------------------------------------------------------------
 // registry-docs (tree-level rule)
 // ---------------------------------------------------------------------------
@@ -272,6 +314,24 @@ TEST(LintTree, RepositoryLintsClean) {
   EXPECT_TRUE(findings.empty())
       << "repo tree has lint findings:\n"
       << formatFindings(findings, /*fixSuggestions=*/true);
+}
+
+TEST(LintTree, FindingsAreIdenticalAcrossJobCounts) {
+  // The tree walk lints files on a TaskPool; per-file slot merging plus
+  // the final sort must make the result a pure function of the tree.
+  Options serial;
+  serial.jobs = 1;
+  Options parallel;
+  parallel.jobs = 4;
+  const std::vector<Finding> a = lintTree(TIBSIM_REPO_ROOT, serial);
+  const std::vector<Finding> b = lintTree(TIBSIM_REPO_ROOT, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].file, b[i].file);
+    EXPECT_EQ(a[i].line, b[i].line);
+    EXPECT_EQ(a[i].rule, b[i].rule);
+    EXPECT_EQ(a[i].message, b[i].message);
+  }
 }
 
 }  // namespace

@@ -54,9 +54,11 @@ class SimMpiTest : public ::testing::TestWithParam<sim::ExecBackend> {
 
 class SimMpiNonblockingTest : public SimMpiTest {};
 class SimMpiCollectivesTest : public SimMpiTest {};
+class SimMpiCollectiveVerifyTest : public SimMpiTest {};
 TIBSIM_INSTANTIATE_BACKENDS(SimMpiTest);
 TIBSIM_INSTANTIATE_BACKENDS(SimMpiNonblockingTest);
 TIBSIM_INSTANTIATE_BACKENDS(SimMpiCollectivesTest);
+TIBSIM_INSTANTIATE_BACKENDS(SimMpiCollectiveVerifyTest);
 
 TEST_P(SimMpiTest, RankAndSizeVisible) {
   MpiWorld world(testConfig(), 4);
@@ -294,6 +296,114 @@ TEST_P(SimMpiTest, StallReportIsByteIdenticalAcrossShards) {
   };
   const std::string base = report(1);
   ASSERT_NE(base.find("stall report: 3 rank(s) blocked"), std::string::npos)
+      << base;
+  EXPECT_EQ(report(2), base);
+  EXPECT_EQ(report(3), base);
+}
+
+// ---- Runtime collective-matching verifier ---------------------------------
+
+TEST_P(SimMpiCollectiveVerifyTest, CleanRunPassesAndCountsChecks) {
+  WorldConfig cfg = testConfig();
+  cfg.verifyCollectives = true;
+  MpiWorld world(cfg, 4);
+  const WorldStats stats = world.run([](MpiContext& ctx) {
+    ctx.allreduceSum(1.0);
+    ctx.barrier();
+    ctx.bcastBytes(4096, 0);
+  });
+  EXPECT_GT(stats.collectiveChecks, 0u);
+}
+
+TEST_P(SimMpiCollectiveVerifyTest, OffByDefaultPerformsNoChecks) {
+  MpiWorld world(testConfig(), 4);
+  const WorldStats stats = world.run([](MpiContext& ctx) {
+    ctx.allreduceSum(1.0);
+    ctx.barrier();
+  });
+  EXPECT_EQ(stats.collectiveChecks, 0u);
+}
+
+TEST_P(SimMpiCollectiveVerifyTest, DivergentReduceOpIsReported) {
+  WorldConfig cfg = testConfig();
+  cfg.verifyCollectives = true;
+  MpiWorld world(cfg, 4);
+  try {
+    world.run([](MpiContext& ctx) {
+      Communicator comm = ctx.commWorld();
+      // One rank votes with a sum while the others run a max — same tag
+      // space, same message schedule, divergent stamps.
+      if (ctx.rank() == 2) {
+        comm.allreduce(1.0, ReduceOp::Sum);
+      } else {
+        comm.allreduce(1.0, ReduceOp::Max);
+      }
+    });
+    FAIL() << "collective mismatch not detected";
+  } catch (const ContractError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("collective mismatch on comm 0"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("op=sum"), std::string::npos) << what;
+    EXPECT_NE(what.find("op=max"), std::string::npos) << what;
+    EXPECT_NE(what.find("every rank of a communicator must run the same "
+                        "collective sequence"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST_P(SimMpiCollectiveVerifyTest, CollectiveVsPointToPointIsReported) {
+  WorldConfig cfg = testConfig();
+  cfg.verifyCollectives = true;
+  MpiWorld world(cfg, 2);
+  try {
+    world.run([](MpiContext& ctx) {
+      // Rank 0's dissemination-barrier signal is stamped; rank 1 consumes
+      // it with a plain receive on the reserved plumbing tag instead of
+      // entering the barrier: a one-sided engagement.
+      // Deliberate divergence: exactly what the lint rule exists to stop.
+      if (ctx.rank() == 0) {  // tibsim-lint: allow(collective-match)
+        ctx.barrier();
+      } else {
+        ctx.recv(0, 1 << 24);  // kBarrierTag round 0
+      }
+    });
+    FAIL() << "collective mismatch not detected";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("point-to-point traffic"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_P(SimMpiCollectiveVerifyTest, MismatchReportIsByteIdenticalAcrossShards) {
+  const auto report = [](int shards) {
+    WorldConfig cfg = testConfig();
+    cfg.verifyCollectives = true;
+    cfg.topology.nodesPerLeafSwitch = 2;
+    cfg.simShards = shards;
+    MpiWorld world(cfg, 6);
+    try {
+      world.run([](MpiContext& ctx) {
+        Communicator comm = ctx.commWorld();
+        if (ctx.rank() == 3) {
+          comm.allreduce(2.0, ReduceOp::Sum);
+        } else {
+          comm.allreduce(2.0, ReduceOp::Max);
+        }
+      });
+    } catch (const ContractError& error) {
+      // Strip the engine-specific TIB_REQUIRE prefix, as in the stall-
+      // report test; the report body must be byte-identical.
+      const std::string what = error.what();
+      const std::size_t at = what.find("collective mismatch");
+      return at == std::string::npos ? what : what.substr(at);
+    }
+    return std::string();
+  };
+  const std::string base = report(1);
+  ASSERT_NE(base.find("collective mismatch on comm 0"), std::string::npos)
       << base;
   EXPECT_EQ(report(2), base);
   EXPECT_EQ(report(3), base);

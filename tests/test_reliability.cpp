@@ -1,11 +1,16 @@
-// Tests for the Section 6.3 DRAM reliability model.
+// Tests for the Section 6.3 DRAM reliability model and the fault-injection
+// harness that drives its bit flips into a live verified MPI run.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "tibsim/arch/registry.hpp"
 #include "tibsim/common/assert.hpp"
+#include "tibsim/common/units.hpp"
 #include "tibsim/reliability/dram_errors.hpp"
+#include "tibsim/reliability/fault_injection.hpp"
 
 namespace tibsim::reliability {
 namespace {
@@ -93,6 +98,67 @@ TEST(DramErrors, InvalidInputsRejected) {
   EXPECT_THROW(model.dimmDailyErrorProbability(), ContractError);
   DramErrorModel ok;
   EXPECT_THROW(ok.jobSurvivalProbability(10, 0.0), ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection into a verified collective run (ROADMAP 6.3)
+// ---------------------------------------------------------------------------
+
+mpi::WorldConfig faultDemoConfig(int shards = 1) {
+  mpi::WorldConfig cfg;
+  cfg.platform = arch::PlatformRegistry::tegra2();
+  cfg.frequencyHz = units::ghz(1.0);
+  cfg.ranksPerNode = 1;
+  cfg.topology.nodesPerLeafSwitch = 2;
+  cfg.simShards = shards;
+  return cfg;
+}
+
+TEST(FaultInjection, PlanIsDeterministicAndInBounds) {
+  const DramErrorModel model;
+  const FaultPlan a = planCollectiveFault(model, 8, 6, 42);
+  const FaultPlan b = planCollectiveFault(model, 8, 6, 42);
+  EXPECT_EQ(a.victimRank, b.victimRank);
+  EXPECT_EQ(a.victimStep, b.victimStep);
+  EXPECT_GE(a.victimRank, 0);
+  EXPECT_LT(a.victimRank, 8);
+  EXPECT_GE(a.victimStep, 1);  // never step 0: a clean prefix first
+  EXPECT_LT(a.victimStep, 6);
+  EXPECT_NEAR(a.dailyErrorProbability,
+              model.systemDailyErrorProbability(8), 1e-12);
+  // A different seed must eventually plan a different strike.
+  bool varied = false;
+  for (std::uint64_t seed = 0; seed < 16 && !varied; ++seed) {
+    const FaultPlan c = planCollectiveFault(model, 8, 6, seed);
+    varied = c.victimRank != a.victimRank || c.victimStep != a.victimStep;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(FaultInjection, BitFlipSurfacesAsCollectiveMismatch) {
+  const FaultPlan plan = planCollectiveFault(DramErrorModel{}, 6, 5, 42);
+  const std::string report =
+      runCollectiveFaultDemo(faultDemoConfig(), 6, 5, plan);
+  ASSERT_FALSE(report.empty()) << "fault run completed without a report";
+  EXPECT_EQ(report.rfind("collective mismatch on comm 0 at t=", 0), 0u)
+      << report;
+  // The witness names both sides of the divergence: the converged-vote
+  // sum against the peers' residual max.
+  EXPECT_NE(report.find("op=max"), std::string::npos) << report;
+  EXPECT_NE(report.find("op=sum"), std::string::npos) << report;
+  EXPECT_NE(report.find("every rank of a communicator must run the same "
+                        "collective sequence"),
+            std::string::npos)
+      << report;
+}
+
+TEST(FaultInjection, MismatchReportIsByteIdenticalAcrossShards) {
+  const FaultPlan plan = planCollectiveFault(DramErrorModel{}, 6, 5, 42);
+  const std::string base =
+      runCollectiveFaultDemo(faultDemoConfig(1), 6, 5, plan);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(runCollectiveFaultDemo(faultDemoConfig(2), 6, 5, plan), base);
+  EXPECT_EQ(runCollectiveFaultDemo(faultDemoConfig(3), 6, 5, plan), base);
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "tibsim/common/thread_pool.hpp"
 
 namespace tibsim::lint {
 
@@ -488,9 +492,395 @@ void checkWildcardRecv(const FileContext& ctx, const Rule& rule,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 12 (collective-match): lightweight statement/CFG model
+// ---------------------------------------------------------------------------
+//
+// A brace-matched statement model over the comment/string-stripped text:
+// just enough control-flow structure (if/else arms, loop bodies,
+// return/continue/break edges) to compare the collective sequences
+// reachable from the two arms of a branch, PARCOACH-style, without a real
+// C++ front-end. The model is deliberately syntactic — rank taint and
+// communicator membership are word-level heuristics over assignment
+// chunks — and every deliberate asymmetry (taskfarm master/worker split,
+// membership-scoped sub-communicators the heuristic cannot see) is waived
+// in source with the standard annotation grammar. The runtime verifier
+// (mpi/collective_verify.hpp) is the ground truth this pass is
+// cross-checked against: a site the lint flags without a waiver either
+// mismatches under --verify-collectives or documents why it cannot.
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the whole word `word` starts at code[pos].
+bool wordAt(const std::string& code, std::size_t pos, const char* word) {
+  const std::size_t n = std::strlen(word);
+  if (code.compare(pos, n, word) != 0) return false;
+  if (pos > 0 && isIdentChar(code[pos - 1])) return false;
+  if (pos + n < code.size() && isIdentChar(code[pos + n])) return false;
+  return true;
+}
+
+std::size_t skipSpace(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+/// One past the bracket matching code[pos] (code[pos] is '(' or '{').
+std::size_t matchBracket(const std::string& code, std::size_t pos) {
+  const char open = code[pos];
+  const char close = open == '(' ? ')' : '}';
+  int depth = 0;
+  for (; pos < code.size(); ++pos) {
+    if (code[pos] == open) {
+      ++depth;
+    } else if (code[pos] == close && --depth == 0) {
+      return pos + 1;
+    }
+  }
+  return code.size();
+}
+
+/// One past the end of the statement starting at (or after) pos: a brace
+/// block, an if/else chain, a loop with its body, or a plain `...;`
+/// statement. Purely bracket-driven — declarations and expressions are
+/// indistinguishable, which is fine for arm-extent recovery.
+std::size_t parseStatement(const std::string& code, std::size_t pos) {
+  pos = skipSpace(code, pos);
+  if (pos >= code.size()) return pos;
+  if (code[pos] == '{') return matchBracket(code, pos);
+  if (wordAt(code, pos, "if")) {
+    std::size_t p = skipSpace(code, pos + 2);
+    if (wordAt(code, p, "constexpr")) p = skipSpace(code, p + 9);
+    if (p < code.size() && code[p] == '(') p = matchBracket(code, p);
+    p = parseStatement(code, p);  // then-arm
+    const std::size_t q = skipSpace(code, p);
+    if (wordAt(code, q, "else")) return parseStatement(code, q + 4);
+    return p;
+  }
+  for (const char* kw : {"for", "while", "switch"}) {
+    if (wordAt(code, pos, kw)) {
+      std::size_t p = skipSpace(code, pos + std::strlen(kw));
+      if (p < code.size() && code[p] == '(') p = matchBracket(code, p);
+      return parseStatement(code, p);
+    }
+  }
+  if (wordAt(code, pos, "do")) {
+    std::size_t p = parseStatement(code, pos + 2);  // body
+    const std::size_t semi = code.find(';', p);     // trailing while(...)
+    return semi == std::string::npos ? code.size() : semi + 1;
+  }
+  // Plain statement: to the first ';' outside brackets. A '}' at depth 0
+  // means we ran off the enclosing block (malformed tail) — stop there.
+  int paren = 0;
+  int brace = 0;
+  for (; pos < code.size(); ++pos) {
+    const char c = code[pos];
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      --paren;
+    } else if (c == '{') {
+      ++brace;
+    } else if (c == '}') {
+      if (brace == 0) return pos;
+      --brace;
+    } else if (c == ';' && paren == 0 && brace == 0) {
+      return pos + 1;
+    }
+  }
+  return pos;
+}
+
+/// One `if (...) ... [else ...]` site with arm extents.
+struct BranchSite {
+  std::size_t ifPos = 0;      ///< offset of the `if` keyword
+  std::size_t condBegin = 0;  ///< inside the condition parens
+  std::size_t condEnd = 0;
+  std::size_t thenBegin = 0;
+  std::size_t thenEnd = 0;
+  bool hasElse = false;
+  std::size_t elseBegin = 0;
+  std::size_t elseEnd = 0;
+  std::size_t stmtEnd = 0;  ///< one past the whole if/else statement
+};
+
+std::vector<BranchSite> collectBranches(const std::string& code) {
+  std::vector<BranchSite> sites;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i] != 'i' || !wordAt(code, i, "if")) continue;
+    // Skip preprocessor conditionals (#if/#ifdef survive stripping).
+    std::size_t lineStart = code.rfind('\n', i);
+    lineStart = lineStart == std::string::npos ? 0 : lineStart + 1;
+    if (code.find('#', lineStart) < i) continue;
+    std::size_t p = skipSpace(code, i + 2);
+    // `if constexpr` selects one arm at compile time, identically on
+    // every rank — never a divergence site.
+    if (wordAt(code, p, "constexpr")) continue;
+    if (p >= code.size() || code[p] != '(') continue;
+    BranchSite site;
+    site.ifPos = i;
+    site.condBegin = p + 1;
+    const std::size_t condClose = matchBracket(code, p);
+    site.condEnd = condClose - 1;
+    site.thenBegin = condClose;
+    site.thenEnd = parseStatement(code, condClose);
+    const std::size_t q = skipSpace(code, site.thenEnd);
+    if (wordAt(code, q, "else")) {
+      site.hasElse = true;
+      site.elseBegin = q + 4;
+      site.elseEnd = parseStatement(code, site.elseBegin);
+      site.stmtEnd = site.elseEnd;
+    } else {
+      site.stmtEnd = site.thenEnd;
+    }
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+bool containsTaintedWord(const std::string& text,
+                         const std::set<std::string>& tainted) {
+  static const std::regex kIdent("[A-Za-z_]\\w*");
+  for (std::sregex_iterator it(text.begin(), text.end(), kIdent), end;
+       it != end; ++it) {
+    if (tainted.count(it->str()) != 0) return true;
+  }
+  return false;
+}
+
+/// Names holding rank-derived values: seeded by the canonical rank
+/// accessors and wildcard-recv results, then propagated through
+/// assignments/initialisations to a fixpoint. Chunk granularity (split on
+/// ; { }) keeps the regex work linear in file size.
+std::set<std::string> rankTaintedNames(const std::string& code) {
+  // rank_ covers the MpiContext member; kAnySource/kAnyTag taint the
+  // result of a wildcard receive (its .src is rank-dependent data).
+  static const std::regex kSeedRhs(
+      "\\brank\\s*\\(|\\bworldRank\\s*\\(|\\bcommRankOf\\s*\\(|"
+      "\\bkAnySource\\b|\\bkAnyTag\\b|\\brank_\\b");
+  static const std::regex kAssign(
+      "([A-Za-z_]\\w*)\\s*(?:[+\\-*/%&|^]|<<|>>)?=(?![=])");
+  std::set<std::string> tainted = {"rank", "myRank", "worldRank", "commRank"};
+  // Collect (lhs, rhs) pairs once; the fixpoint then re-scans only them.
+  std::vector<std::pair<std::string, std::string>> assigns;
+  std::size_t chunkStart = 0;
+  for (std::size_t i = 0; i <= code.size(); ++i) {
+    if (i < code.size() && code[i] != ';' && code[i] != '{' && code[i] != '}')
+      continue;
+    const std::string chunk = code.substr(chunkStart, i - chunkStart);
+    chunkStart = i + 1;
+    std::smatch m;
+    if (!std::regex_search(chunk, m, kAssign)) continue;
+    assigns.emplace_back(
+        m[1].str(),
+        chunk.substr(static_cast<std::size_t>(m.position(0)) + m.length(0)));
+  }
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (const auto& [lhs, rhs] : assigns) {
+      if (tainted.count(lhs) != 0) continue;
+      if (std::regex_search(rhs, kSeedRhs) ||
+          containsTaintedWord(rhs, tainted)) {
+        tainted.insert(lhs);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return tainted;
+}
+
+bool isRankDerivedCondition(const std::string& cond,
+                            const std::set<std::string>& tainted) {
+  static const std::regex kCondSeed(
+      "\\brank\\s*\\(|\\bworldRank\\s*\\(|\\bcommRankOf\\s*\\(|"
+      "\\brank_\\b");
+  return std::regex_search(cond, kCondSeed) ||
+         containsTaintedWord(cond, tainted);
+}
+
+/// Communicators built with rank-dependent membership — split() colours
+/// using kUndefinedColor or a conditional expression. Only the ranks that
+/// joined hold a live handle, so collectives on them are legitimately
+/// guarded by the membership condition.
+std::set<std::string> membershipScopedComms(const std::string& code) {
+  std::set<std::string> comms;
+  for (std::size_t pos = code.find(".split"); pos != std::string::npos;
+       pos = code.find(".split", pos + 1)) {
+    std::size_t p = pos + 6;
+    if (p < code.size() && isIdentChar(code[p])) continue;
+    p = skipSpace(code, p);
+    if (p >= code.size() || code[p] != '(') continue;
+    const std::size_t close = matchBracket(code, p);
+    const std::string colourArgs = code.substr(p + 1, close - p - 2);
+    if (colourArgs.find("kUndefinedColor") == std::string::npos &&
+        colourArgs.find('?') == std::string::npos)
+      continue;
+    // Walk back over `name = receiver.split(...)` to the assigned name
+    // (declarations span lines; the stripped text keeps the newlines).
+    std::size_t r = pos;
+    while (r > 0 && isIdentChar(code[r - 1])) --r;  // the receiver
+    std::size_t e = r;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1])) != 0)
+      --e;
+    if (e == 0 || code[e - 1] != '=') continue;
+    --e;
+    if (e > 0 && std::strchr("=<>!+-*/%&|^", code[e - 1]) != nullptr)
+      continue;  // comparison/compound operator, not an assignment
+    while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1])) != 0)
+      --e;
+    const std::size_t nameEnd = e;
+    while (e > 0 && isIdentChar(code[e - 1])) --e;
+    if (e < nameEnd) comms.insert(code.substr(e, nameEnd - e));
+  }
+  return comms;
+}
+
+struct CollectiveCall {
+  std::size_t offset = 0;
+  std::string receiver;
+  std::string method;
+};
+
+/// Every `<receiver>.<collective>(` site, in source order. The alternation
+/// lists longer names before their prefixes so std::regex picks the full
+/// method name.
+std::vector<CollectiveCall> collectCollectiveCalls(const std::string& code) {
+  static const std::regex kCall(
+      "([A-Za-z_]\\w*)\\s*(?:\\.|->)\\s*(ibarrier|ibcast|iallreduce|"
+      "barrier|bcastBytes|pipelinedBcastBytes|bcast|reduceSum|"
+      "allreduceSum|allreduceMax|allreduce|reduce|allgatherBytes|"
+      "allgather|gatherBytes|gather|alltoallBytes|split|dup)\\s*\\(");
+  std::vector<CollectiveCall> calls;
+  for (std::sregex_iterator it(code.begin(), code.end(), kCall), end;
+       it != end; ++it) {
+    calls.push_back(CollectiveCall{static_cast<std::size_t>(it->position(0)),
+                                   (*it)[1].str(), (*it)[2].str()});
+  }
+  return calls;
+}
+
+bool exitsEarly(const std::string& code, std::size_t begin, std::size_t end) {
+  for (const char* kw : {"return", "continue", "break"}) {
+    for (std::size_t pos = code.find(kw, begin);
+         pos != std::string::npos && pos < end;
+         pos = code.find(kw, pos + 1)) {
+      if (wordAt(code, pos, kw)) return true;
+    }
+  }
+  return false;
+}
+
+/// Offset of the '}' closing the block containing pos.
+std::size_t enclosingBlockEnd(const std::string& code, std::size_t pos) {
+  int depth = 0;
+  for (; pos < code.size(); ++pos) {
+    const char c = code[pos];
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (depth == 0) return pos;
+      --depth;
+    }
+  }
+  return code.size();
+}
+
+std::string renderCollectiveSeq(const std::vector<std::string>& seq) {
+  if (seq.empty()) return "no collective";
+  std::string out;
+  for (const std::string& s : seq) {
+    if (!out.empty()) out += " -> ";
+    out += s;
+  }
+  return out;
+}
+
+void checkCollectiveMatch(const FileContext& ctx, const Rule& rule,
+                          std::vector<Finding>& out) {
+  // Join the stripped lines back into one offset-addressed string; a
+  // prefix table maps offsets back to line indices for emission.
+  std::string code;
+  std::vector<std::size_t> lineStarts;
+  lineStarts.reserve(ctx.code.size());
+  for (const std::string& line : ctx.code) {
+    lineStarts.push_back(code.size());
+    code += line;
+    code += '\n';
+  }
+  const std::vector<CollectiveCall> calls = collectCollectiveCalls(code);
+  if (calls.empty()) return;
+  const std::set<std::string> tainted = rankTaintedNames(code);
+  const std::set<std::string> scoped = membershipScopedComms(code);
+  const auto lineOf = [&lineStarts](std::size_t offset) {
+    const auto it = std::upper_bound(lineStarts.begin(), lineStarts.end(),
+                                     offset);
+    return static_cast<std::size_t>(it - lineStarts.begin()) - 1;
+  };
+  const auto callsIn = [&calls](std::size_t begin, std::size_t end) {
+    std::vector<const CollectiveCall*> seq;
+    for (const CollectiveCall& call : calls)
+      if (call.offset >= begin && call.offset < end) seq.push_back(&call);
+    return seq;
+  };
+  for (const BranchSite& site : collectBranches(code)) {
+    const std::string cond =
+        code.substr(site.condBegin, site.condEnd - site.condBegin);
+    if (!isRankDerivedCondition(cond, tainted)) continue;
+    std::vector<const CollectiveCall*> thenSeq =
+        callsIn(site.thenBegin, site.thenEnd);
+    std::vector<const CollectiveCall*> elseSeq =
+        site.hasElse ? callsIn(site.elseBegin, site.elseEnd)
+                     : std::vector<const CollectiveCall*>{};
+    // When exactly one arm exits early (return/continue/break), the
+    // falling-through arm continues into the rest of the enclosing block:
+    // its reachable collective sequence extends past the branch. This is
+    // what catches `if (rank(...)) return;` skipping a later barrier.
+    const bool thenExits = exitsEarly(code, site.thenBegin, site.thenEnd);
+    const bool elseExits =
+        site.hasElse && exitsEarly(code, site.elseBegin, site.elseEnd);
+    if (thenExits != elseExits) {
+      const std::vector<const CollectiveCall*> rest =
+          callsIn(site.stmtEnd, enclosingBlockEnd(code, site.stmtEnd));
+      std::vector<const CollectiveCall*>& fallthrough =
+          thenExits ? elseSeq : thenSeq;
+      fallthrough.insert(fallthrough.end(), rest.begin(), rest.end());
+    }
+    std::set<std::string> receivers;
+    for (const CollectiveCall* call : thenSeq) receivers.insert(call->receiver);
+    for (const CollectiveCall* call : elseSeq) receivers.insert(call->receiver);
+    for (const std::string& receiver : receivers) {
+      if (scoped.count(receiver) != 0) continue;  // membership-scoped comm
+      std::vector<std::string> thenMethods;
+      std::vector<std::string> elseMethods;
+      for (const CollectiveCall* call : thenSeq)
+        if (call->receiver == receiver) thenMethods.push_back(call->method);
+      for (const CollectiveCall* call : elseSeq)
+        if (call->receiver == receiver) elseMethods.push_back(call->method);
+      if (thenMethods == elseMethods) continue;
+      emit(ctx, lineOf(site.ifPos), rule,
+           "collective sequence on '" + receiver +
+               "' diverges across a rank-derived branch: one arm reaches [" +
+               renderCollectiveSeq(thenMethods) + "], the other [" +
+               renderCollectiveSeq(elseMethods) +
+               "] — ranks taking different arms enter different collectives "
+               "on the same communicator",
+           "hoist the collective out of the branch so every member runs it, "
+           "scope it to a membership communicator (split() with "
+           "kUndefinedColor for non-members), or waive a deliberate "
+           "asymmetry with // tibsim-lint: allow(collective-match)",
+           out);
+    }
+  }
+}
+
 // Order is the report order; registry-docs is appended by rules() (it is a
 // tree-level rule with no per-file checker).
-constexpr std::array<Rule, 11> kSourceRules = {{
+constexpr std::array<Rule, 12> kSourceRules = {{
     {"wall-clock",
      "no wall-clock reads (steady_clock/system_clock/time()) outside "
      "annotated host-side measurement",
@@ -540,21 +930,53 @@ constexpr std::array<Rule, 11> kSourceRules = {{
      "a wildcard match is only deterministic through the engine's "
      "canonical delivery order; each use must be a reviewed, deliberate "
      "choice — unannotated wildcards hide message races"},
+    {"collective-match",
+     "collectives control-dependent on a rank-derived condition run the "
+     "same sequence on both arms of the branch",
+     "every rank of a communicator must enter the same collective "
+     "sequence; a branch on rank()/wildcard-recv data whose arms reach "
+     "different collectives deadlocks (or mis-pairs) at scale — the "
+     "static mirror of the --verify-collectives runtime check"},
 }};
 
 constexpr std::array<void (*)(const FileContext&, const Rule&,
                               std::vector<Finding>&),
-                     11>
+                     12>
     kCheckers = {{checkWallClock, checkRandomSource, checkUnorderedIteration,
                   checkPointerKeyedContainer, checkFiberBlocking,
                   checkThreadLocal, checkPragmaOnce,
                   checkUsingNamespaceHeader, checkMpiContract,
-                  checkShardShared, checkWildcardRecv}};
+                  checkShardShared, checkWildcardRecv,
+                  checkCollectiveMatch}};
 
 bool ruleSelected(const Options& options, const char* id) {
   if (options.onlyRules.empty()) return true;
   return std::find(options.onlyRules.begin(), options.onlyRules.end(), id) !=
          options.onlyRules.end();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 std::string readFile(const std::filesystem::path& path) {
@@ -680,11 +1102,18 @@ std::vector<Finding> lintTree(const std::string& root,
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
-  for (const fs::path& file : files) {
+  // Lint files in parallel: each file's findings land in its own slot, so
+  // the merged order is a pure function of the sorted file list and the
+  // final stable_sort — identical for every job count.
+  std::vector<std::vector<Finding>> perFile(files.size());
+  TaskPool pool(options.jobs);
+  pool.parallelFor(files.size(), [&](std::size_t i) {
     const std::string rel =
-        normalisePath(fs::relative(file, root).string());
-    std::vector<Finding> local = lintSource(rel, readFile(file), options);
+        normalisePath(fs::relative(files[i], root).string());
+    perFile[i] = lintSource(rel, readFile(files[i]), options);
+  });
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& local : perFile) {
     findings.insert(findings.end(),
                     std::make_move_iterator(local.begin()),
                     std::make_move_iterator(local.end()));
@@ -709,6 +1138,45 @@ std::string formatFindings(const std::vector<Finding>& findings,
     if (fixSuggestions && !f.suggestion.empty())
       out << "    suggestion: " << f.suggestion << '\n';
   }
+  return out.str();
+}
+
+std::string formatSarif(const std::vector<Finding>& findings) {
+  // Minimal SARIF 2.1.0: one run, the full rule table, one result per
+  // finding. Hand-rolled emission (the lint library keeps zero deps);
+  // deterministic because findings arrive sorted and the rule table has a
+  // fixed order.
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n"
+      << "      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"tibsim-lint\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo> table = rules();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    out << "            {\"id\": \"" << jsonEscape(table[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << jsonEscape(table[i].summary)
+        << "\"}, \"fullDescription\": {\"text\": \""
+        << jsonEscape(table[i].rationale) << "\"}}"
+        << (i + 1 < table.size() ? "," : "") << '\n';
+  }
+  out << "          ]\n        }\n      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << jsonEscape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << jsonEscape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+        << "}}}]}" << (i + 1 < findings.size() ? "," : "") << '\n';
+  }
+  out << "      ]\n    }\n  ]\n}\n";
   return out.str();
 }
 

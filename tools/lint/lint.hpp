@@ -48,6 +48,10 @@ struct RuleInfo {
 struct Options {
   /// When non-empty, only these rule ids run.
   std::vector<std::string> onlyRules;
+  /// Worker threads for the tree walk (0 = hardware concurrency). Findings
+  /// are slot-merged per file then sorted, so output is identical for
+  /// every value.
+  std::size_t jobs = 0;
 };
 
 /// Every implemented rule, in canonical (report) order. At least eight.
@@ -79,5 +83,10 @@ std::vector<Finding> lintTree(const std::string& root,
 /// an indented "suggestion:" line each when fixSuggestions is set.
 std::string formatFindings(const std::vector<Finding>& findings,
                            bool fixSuggestions);
+
+/// Render findings as a SARIF 2.1.0 document (one run, the full rule table
+/// under tool.driver.rules, one result per finding) for code-scanning
+/// upload. Deterministic: same findings, same bytes.
+std::string formatSarif(const std::vector<Finding>& findings);
 
 }  // namespace tibsim::lint

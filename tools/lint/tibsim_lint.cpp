@@ -2,6 +2,7 @@
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error (CI treats 1 and 2 as
 // red). See lint.hpp for the rule model and the suppression grammar.
 
+#include <chrono>  // tibsim-lint: allow(wall-clock)
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -17,8 +18,9 @@ void printUsage(std::ostream& out) {
   out << "tibsim_lint — determinism & sim-safety static analysis for the "
          "tibsim tree\n\n"
          "usage:\n"
-         "  tibsim_lint [--root DIR] [--rules id,id,...] "
-         "[--fix-suggestions] [file...]\n"
+         "  tibsim_lint [--root DIR] [--rules id,id,...] [--jobs N]\n"
+         "              [--sarif OUT] [--verbose] [--fix-suggestions] "
+         "[file...]\n"
          "  tibsim_lint --list-rules\n\n"
          "With no files, walks DIR/{src,include,bench,tests,tools,examples} "
          "(DIR defaults to the\n"
@@ -28,7 +30,13 @@ void printUsage(std::ostream& out) {
          "Suppressions: // tibsim-lint: allow(rule) on or above the line, "
          "// tibsim-lint: allowfile(rule)\n"
          "anywhere in a file. --fix-suggestions prints a remediation hint "
-         "under every finding.\n";
+         "under every finding.\n"
+         "--jobs N lints files on N worker threads (0 = hardware "
+         "concurrency; findings are\n"
+         "identical for every value). --sarif OUT additionally writes a "
+         "SARIF 2.1.0 document\n"
+         "for code-scanning upload. --verbose reports wall-clock and "
+         "thread count to stderr.\n";
 }
 
 int listRules() {
@@ -51,7 +59,9 @@ std::string readFile(const std::string& path) {
 
 int main(int argc, char** argv) try {
   std::string root = ".";
+  std::string sarifPath;
   bool fixSuggestions = false;
+  bool verbose = false;
   tibsim::lint::Options options;
   std::vector<std::string> files;
 
@@ -64,6 +74,26 @@ int main(int argc, char** argv) try {
     if (arg == "--list-rules") return listRules();
     if (arg == "--fix-suggestions") {
       fixSuggestions = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--jobs") {
+      if (++i >= argc) {
+        std::cerr << "tibsim_lint: --jobs needs a value\n";
+        return 2;
+      }
+      try {
+        options.jobs = static_cast<std::size_t>(std::stoul(argv[i]));
+      } catch (const std::exception&) {
+        std::cerr << "tibsim_lint: --jobs needs a number, got '" << argv[i]
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--sarif") {
+      if (++i >= argc) {
+        std::cerr << "tibsim_lint: --sarif needs a value\n";
+        return 2;
+      }
+      sarifPath = argv[i];
     } else if (arg == "--root") {
       if (++i >= argc) {
         std::cerr << "tibsim_lint: --root needs a value\n";
@@ -87,6 +117,11 @@ int main(int argc, char** argv) try {
       files.push_back(arg);
     }
   }
+
+  // Host-side instrumentation only; findings and exit code never depend
+  // on it.
+  const auto started =
+      std::chrono::steady_clock::now();  // tibsim-lint: allow(wall-clock)
 
   std::vector<tibsim::lint::Finding> findings;
   std::size_t scanned = 0;
@@ -113,10 +148,27 @@ int main(int argc, char** argv) try {
     }
   }
 
+  if (!sarifPath.empty()) {
+    std::ofstream sarif(sarifPath, std::ios::binary);
+    if (!sarif.good())
+      throw std::runtime_error("cannot write " + sarifPath);
+    sarif << tibsim::lint::formatSarif(findings);
+  }
+
   std::cout << tibsim::lint::formatFindings(findings, fixSuggestions);
   std::cout << "tibsim_lint: " << findings.size() << " finding"
             << (findings.size() == 1 ? "" : "s") << " across " << scanned
             << " file" << (scanned == 1 ? "" : "s") << " scanned\n";
+  if (verbose) {
+    const auto elapsed =
+        std::chrono::steady_clock::now() -  // tibsim-lint: allow(wall-clock)
+        started;
+    std::cerr << "tibsim_lint: "
+              << std::chrono::duration<double>(elapsed).count() << " s, "
+              << (options.jobs == 0 ? "hardware-concurrency"
+                                    : std::to_string(options.jobs))
+              << " jobs\n";
+  }
   return findings.empty() ? 0 : 1;
 } catch (const std::exception& error) {
   std::cerr << "tibsim_lint: " << error.what() << "\n";
